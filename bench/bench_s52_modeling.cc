@@ -1,0 +1,67 @@
+// §5.2 reproduction: offline UI-navigation modeling cost.
+//
+// Paper: raw modeled graphs exceed 4K controls per app; core topologies are
+// Excel ~2K, Word ~1K, PowerPoint ~1K controls; automated modeling takes
+// < 3 hours per application; blocklist misses would cost expensive restarts.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/word_sim.h"
+#include "src/ripper/ripper.h"
+
+int main() {
+  bench::PrintHeader("Section 5.2: offline phase — UI navigation modeling cost");
+  agentsim::TaskRunner runner;
+
+  std::printf("  %-10s %8s %8s %7s %7s %8s %7s %6s %9s %10s\n", "app", "raw", "edges",
+              "merges", "cycles", "forest", "shared", "refs", "core", "core-tok");
+  bench::PrintRule();
+  for (auto kind : {workload::AppKind::kWord, workload::AppKind::kExcel,
+                    workload::AppKind::kPpoint}) {
+    const dmi::ModelingStats& s = runner.modeling_stats(kind);
+    std::printf("  %-10s %8zu %8zu %7zu %7zu %8zu %7zu %6zu %9zu %10zu\n",
+                workload::AppKindName(kind), s.raw.nodes, s.raw.edges, s.raw.merge_nodes,
+                s.back_edges_removed, s.forest_nodes, s.shared_subtrees, s.references,
+                s.core_nodes, s.core_tokens);
+  }
+  std::printf("  (paper: raw >4K controls/app; cores Excel~2K, Word~1K, PPoint~1K)\n");
+
+  std::printf("\nModeling cost (simulated UIA latencies: 120ms/click, 80ms/capture):\n");
+  std::printf("  %-10s %9s %9s %9s %10s %12s\n", "app", "clicks", "captures", "explored",
+              "contexts", "wall-time");
+  bench::PrintRule();
+  for (auto kind : {workload::AppKind::kWord, workload::AppKind::kExcel,
+                    workload::AppKind::kPpoint}) {
+    const ripper::RipStats& s = runner.rip_stats(kind);
+    std::printf("  %-10s %9llu %9llu %9llu %10llu %9.1f min\n",
+                workload::AppKindName(kind),
+                static_cast<unsigned long long>(s.clicks),
+                static_cast<unsigned long long>(s.captures),
+                static_cast<unsigned long long>(s.explored),
+                static_cast<unsigned long long>(s.contexts), s.simulated_ms / 60000.0);
+  }
+  std::printf("  (paper: automated modeling < 3 hours per application)\n");
+
+  // Blocklist value: rip WordSim without the blocklist and count recoveries.
+  std::printf("\nAccess blocklist ablation (WordSim):\n");
+  bench::PrintRule();
+  {
+    apps::WordSim scratch;
+    ripper::RipperConfig with;
+    with.blocklist = {"Account", "Feedback"};
+    ripper::GuiRipper rip_with(scratch, with);
+    (void)rip_with.Rip();
+    apps::WordSim scratch2;
+    ripper::GuiRipper rip_without(scratch2, ripper::RipperConfig{});
+    (void)rip_without.Rip();
+    std::printf("  with blocklist:    %3llu external recoveries, %8.1f min simulated\n",
+                static_cast<unsigned long long>(rip_with.stats().external_recoveries),
+                rip_with.stats().simulated_ms / 60000.0);
+    std::printf("  without blocklist: %3llu external recoveries, %8.1f min simulated\n",
+                static_cast<unsigned long long>(rip_without.stats().external_recoveries),
+                rip_without.stats().simulated_ms / 60000.0);
+  }
+  std::printf("\nshape check: raw graphs in the thousands with merge nodes and cycles;\n"
+              "cores an order of magnitude smaller; modeling well under 3 hours.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "src/agent/failure.h"
+
+namespace agentsim {
+
+std::string_view FailureCauseName(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone:
+      return "none";
+    case FailureCause::kAmbiguousTask:
+      return "ambiguous task description";
+    case FailureCause::kControlSemanticsMisread:
+      return "misinterpretation of control semantics";
+    case FailureCause::kVisualSemanticWeak:
+      return "weak visual-semantic understanding";
+    case FailureCause::kSubtleSemantics:
+      return "misunderstanding of subtle task semantics";
+    case FailureCause::kTopologyInaccuracy:
+      return "topology/modeling inaccuracy";
+    case FailureCause::kNavigationError:
+      return "control localization / navigation error";
+    case FailureCause::kCompositeInteractionError:
+      return "composite interaction error";
+    case FailureCause::kVisualRecognitionError:
+      return "visual recognition error";
+    case FailureCause::kStepBudgetExhausted:
+      return "step budget exhausted";
+  }
+  return "?";
+}
+
+bool IsPolicyFailure(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kAmbiguousTask:
+    case FailureCause::kControlSemanticsMisread:
+    case FailureCause::kVisualSemanticWeak:
+    case FailureCause::kSubtleSemantics:
+    case FailureCause::kTopologyInaccuracy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsMechanismFailure(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNavigationError:
+    case FailureCause::kCompositeInteractionError:
+    case FailureCause::kVisualRecognitionError:
+    case FailureCause::kStepBudgetExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace agentsim

@@ -1,0 +1,36 @@
+// Failure taxonomy for the Figure 6 reproduction (paper §5.6).
+//
+// Policy-level causes (semantic planning): the LLM decided wrongly.
+// Mechanism-level causes (navigation/interaction): the decision was right but
+// executing it through the interface went wrong.
+#ifndef SRC_AGENT_FAILURE_H_
+#define SRC_AGENT_FAILURE_H_
+
+#include <string_view>
+
+namespace agentsim {
+
+enum class FailureCause {
+  kNone = 0,
+  // ----- policy ------------------------------------------------------------
+  kAmbiguousTask,           // under-specified instruction misread
+  kControlSemanticsMisread, // picked a semantically wrong control/parameter
+  kVisualSemanticWeak,      // misunderstood on-screen content meaning
+  kSubtleSemantics,         // missed a subtle requirement (e.g. ENTER commit)
+  kTopologyInaccuracy,      // the offline model was wrong/incomplete
+  // ----- mechanism -----------------------------------------------------------
+  kNavigationError,         // control localization / navigation went wrong
+  kCompositeInteractionError, // drag / multi-step interaction failed
+  kVisualRecognitionError,  // grounding: clicked the wrong thing
+  kStepBudgetExhausted,     // 30-step cap (counted as navigation-class)
+};
+
+std::string_view FailureCauseName(FailureCause cause);
+
+// Policy vs mechanism classification.
+bool IsPolicyFailure(FailureCause cause);
+bool IsMechanismFailure(FailureCause cause);
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_FAILURE_H_

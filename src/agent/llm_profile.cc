@@ -1,0 +1,82 @@
+#include "src/agent/llm_profile.h"
+
+namespace agentsim {
+
+// Calibration notes: the GUI-only paths were fitted toward Table 3's baseline
+// rows (44.4% / 23.5% / 17.3% SR); the DMI rows then follow from the same
+// profiles through the declarative interface. See EXPERIMENTS.md.
+
+LlmProfile LlmProfile::Gpt5Medium() {
+  LlmProfile p;
+  p.model = "GPT-5";
+  p.reasoning = "Medium";
+  // Defaults above describe the strong reasoning model.
+  p.reasoning_latency_s = 44.0;
+  p.input_tok_per_s = 5000.0;
+  p.output_tok_per_s = 64.0;
+  return p;
+}
+
+LlmProfile LlmProfile::Gpt5Minimal() {
+  LlmProfile p;
+  p.model = "GPT-5";
+  p.reasoning = "Minimal";
+  // Minimal effort: markedly worse planning and recovery; fast calls.
+  p.ambiguous_fail_dmi = 0.80;
+  p.ambiguous_fail_gui = 0.85;
+  p.subtle_fail_dmi = 0.72;
+  p.subtle_fail_gui = 0.82;
+  p.visual_semantic_dmi = 0.45;
+  p.visual_semantic_gui = 0.85;
+  p.semantic_error_dmi = 0.40;
+  p.semantic_error_gui = 0.26;
+  p.verify_catch = 0.10;
+  p.topology_fail = 0.06;
+  p.dmi_residual_mechanism = 0.12;
+  p.grounding_error = 0.34;
+  p.grounding_detect = 0.35;
+  p.drag_read_sigma = 13.0;
+  p.drag_hard_fail = 0.70;
+  p.text_select_offbyone = 0.65;
+  p.nav_plan_error = 0.30;
+  p.nav_slip = 0.40;
+  p.reasoning_latency_s = 26.0;
+  p.latency_sigma = 0.30;
+  p.input_tok_per_s = 6000.0;
+  p.output_tok_per_s = 90.0;
+  return p;
+}
+
+LlmProfile LlmProfile::Gpt5MiniMedium() {
+  LlmProfile p;
+  p.model = "GPT-5-mini";
+  p.reasoning = "Medium";
+  // Small model: weak general knowledge (so the forest knowledge actually
+  // helps it, §5.5), noisy grounding, slow prompt ingestion.
+  p.ambiguous_fail_dmi = 0.85;
+  p.ambiguous_fail_gui = 0.88;
+  p.subtle_fail_dmi = 0.80;
+  p.subtle_fail_gui = 0.85;
+  p.visual_semantic_dmi = 0.60;
+  p.visual_semantic_gui = 0.88;
+  p.semantic_error_dmi = 0.60;
+  p.semantic_error_gui = 0.30;
+  p.verify_catch = 0.10;
+  p.topology_fail = 0.09;
+  p.dmi_residual_mechanism = 0.16;
+  p.grounding_error = 0.38;
+  p.grounding_detect = 0.30;
+  p.drag_read_sigma = 14.0;
+  p.drag_hard_fail = 0.75;
+  p.text_select_offbyone = 0.68;
+  p.nav_plan_error = 0.22;
+  p.nav_slip = 0.45;
+  p.forest_knowledge_gain = 0.55;  // supplementary knowledge helps the small model
+  p.reasoning_latency_s = 13.0;
+  p.latency_sigma = 0.40;
+  p.input_tok_per_s = 900.0;  // slow ingestion: big DMI prompts cost latency
+  p.output_tok_per_s = 70.0;
+  return p;
+}
+
+}  // namespace agentsim

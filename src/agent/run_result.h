@@ -1,0 +1,29 @@
+// The outcome of one task run (one trial of one task under one setting).
+#ifndef SRC_AGENT_RUN_RESULT_H_
+#define SRC_AGENT_RUN_RESULT_H_
+
+#include <cstddef>
+
+#include "src/agent/failure.h"
+
+namespace agentsim {
+
+// The UFO-2-like framework overhead: HostAgent decompose/open, AppAgent
+// verify-and-handoff, HostAgent final verification (paper §5.3
+// "One-shot task completion": 3 fixed steps around the core calls).
+inline constexpr int kFrameworkOverheadSteps = 3;
+
+struct RunResult {
+  bool success = false;
+  int llm_calls = 0;        // total, including the 3 framework steps
+  int core_calls = 0;       // application-task calls only
+  double sim_time_s = 0.0;  // simulated wall time (latencies + UI actions)
+  size_t prompt_tokens = 0;
+  size_t output_tokens = 0;
+  size_t ui_actions = 0;  // concrete UI operations executed (clicks/keys/...)
+  FailureCause cause = FailureCause::kNone;
+};
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_RUN_RESULT_H_

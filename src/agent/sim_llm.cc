@@ -1,0 +1,77 @@
+#include "src/agent/sim_llm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agentsim {
+
+FailureCause SimLlm::SampleTaskPolicy(const workload::Task& task, bool gui_mode,
+                                      bool forest_knowledge) {
+  // Knowledge-in-prompt softens semantic confusion a little for models that
+  // benefit from it (§5.5 ablation).
+  const double gain = forest_knowledge ? profile_.forest_knowledge_gain : 1.0;
+  if (task.ambiguous) {
+    const double p = gui_mode ? profile_.ambiguous_fail_gui : profile_.ambiguous_fail_dmi;
+    if (rng_.Bernoulli(p * gain)) {
+      return FailureCause::kAmbiguousTask;
+    }
+  }
+  if (task.subtle_semantics) {
+    const double p = gui_mode ? profile_.subtle_fail_gui : profile_.subtle_fail_dmi;
+    if (rng_.Bernoulli(p * gain)) {
+      return FailureCause::kSubtleSemantics;
+    }
+  }
+  if (task.visual_heavy) {
+    const double p =
+        gui_mode ? profile_.visual_semantic_gui : profile_.visual_semantic_dmi;
+    if (rng_.Bernoulli(p)) {
+      return FailureCause::kVisualSemanticWeak;
+    }
+  }
+  return FailureCause::kNone;
+}
+
+bool SimLlm::WrongControlChoice(bool gui_mode, bool forest_knowledge) {
+  const double gain = forest_knowledge ? profile_.forest_knowledge_gain : 1.0;
+  const double p = gui_mode ? profile_.semantic_error_gui : profile_.semantic_error_dmi;
+  return rng_.Bernoulli(p * gain);
+}
+
+bool SimLlm::GroundingError() { return rng_.Bernoulli(profile_.grounding_error); }
+
+bool SimLlm::DetectsWrongClick() { return rng_.Bernoulli(profile_.grounding_detect); }
+
+bool SimLlm::NavPlanError(bool forest_knowledge) {
+  const double gain = forest_knowledge ? profile_.forest_knowledge_gain : 1.0;
+  return rng_.Bernoulli(profile_.nav_plan_error * gain);
+}
+
+bool SimLlm::SlipsNavigationNodes() { return rng_.Bernoulli(profile_.nav_slip); }
+
+bool SimLlm::CompositeCollapses() { return rng_.Bernoulli(profile_.drag_hard_fail); }
+
+bool SimLlm::SelectionOffByOne() { return rng_.Bernoulli(profile_.text_select_offbyone); }
+
+bool SimLlm::VerifyCatches() { return rng_.Bernoulli(profile_.verify_catch); }
+
+bool SimLlm::TopologyInaccuracy() { return rng_.Bernoulli(profile_.topology_fail); }
+
+bool SimLlm::ResidualMechanismFailure() {
+  return rng_.Bernoulli(profile_.dmi_residual_mechanism);
+}
+
+double SimLlm::PerceiveScroll(double actual) {
+  return std::clamp(rng_.Gaussian(actual, profile_.drag_read_sigma), 0.0, 100.0);
+}
+
+double SimLlm::CallLatency(size_t prompt_tokens, size_t output_tokens) {
+  // Lognormal reasoning time around the profile median, plus token transport.
+  const double mu = std::log(profile_.reasoning_latency_s);
+  const double reasoning = rng_.LogNormal(mu, profile_.latency_sigma);
+  const double ingest = static_cast<double>(prompt_tokens) / profile_.input_tok_per_s;
+  const double emit = static_cast<double>(output_tokens) / profile_.output_tok_per_s;
+  return reasoning + ingest + emit;
+}
+
+}  // namespace agentsim

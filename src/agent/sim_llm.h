@@ -1,0 +1,54 @@
+// SimLlm: a seeded stochastic decision sampler driven by a capability
+// profile. Both agents draw every "LLM decision" from here, so an experiment
+// is exactly reproducible from (profile, seed).
+#ifndef SRC_AGENT_SIM_LLM_H_
+#define SRC_AGENT_SIM_LLM_H_
+
+#include <cstdint>
+
+#include "src/agent/failure.h"
+#include "src/agent/llm_profile.h"
+#include "src/support/rng.h"
+#include "src/workload/tasks.h"
+
+namespace agentsim {
+
+class SimLlm {
+ public:
+  SimLlm(const LlmProfile& profile, uint64_t seed)
+      : profile_(profile), rng_(seed) {}
+
+  const LlmProfile& profile() const { return profile_; }
+  support::Rng& rng() { return rng_; }
+
+  // Task-level policy outcome, sampled once per run. Returns kNone or the
+  // policy failure that will doom the run (the agent doesn't know yet).
+  FailureCause SampleTaskPolicy(const workload::Task& task, bool gui_mode,
+                                bool forest_knowledge);
+
+  // Per-decision samples.
+  bool WrongControlChoice(bool gui_mode, bool forest_knowledge);
+  bool GroundingError();
+  bool DetectsWrongClick();
+  bool NavPlanError(bool forest_knowledge);
+  bool SlipsNavigationNodes();
+  bool CompositeCollapses();
+  bool SelectionOffByOne();
+  bool VerifyCatches();
+  bool TopologyInaccuracy();
+  bool ResidualMechanismFailure();
+
+  // Misperceived scroll position (GUI observe-act loops read the screen).
+  double PerceiveScroll(double actual);
+
+  // Per-call latency in seconds given prompt/output token counts.
+  double CallLatency(size_t prompt_tokens, size_t output_tokens);
+
+ private:
+  LlmProfile profile_;
+  support::Rng rng_;
+};
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_SIM_LLM_H_

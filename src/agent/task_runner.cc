@@ -1,0 +1,318 @@
+#include "src/agent/task_runner.h"
+
+#include <algorithm>
+
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/support/logging.h"
+
+namespace agentsim {
+namespace {
+
+std::unique_ptr<gsim::Application> MakeScratch(workload::AppKind kind) {
+  switch (kind) {
+    case workload::AppKind::kWord:
+      return std::make_unique<apps::WordSim>();
+    case workload::AppKind::kExcel:
+      return std::make_unique<apps::ExcelSim>();
+    case workload::AppKind::kPpoint:
+      return std::make_unique<apps::PpointSim>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* InterfaceModeName(InterfaceMode mode) {
+  switch (mode) {
+    case InterfaceMode::kGuiOnly:
+      return "GUI-only";
+    case InterfaceMode::kGuiOnlyForest:
+      return "GUI-only+forest";
+    case InterfaceMode::kGuiPlusDmi:
+      return "GUI+DMI";
+  }
+  return "?";
+}
+
+TaskRunner::TaskRunner() = default;
+
+dmi::ModelingOptions TaskRunner::DefaultModelingOptions(workload::AppKind kind) {
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account", "Feedback"};
+  if (kind == workload::AppKind::kPpoint) {
+    ripper::RipContext image_context;
+    image_context.name = "image-selected";
+    image_context.setup = [](gsim::Application& a) {
+      auto& pp = static_cast<apps::PpointSim&>(a);
+      pp.SetCurrentSlide(2);
+      gsim::Control* image = nullptr;
+      pp.main_window().root().WalkStatic([&](gsim::Control& c) {
+        if (image == nullptr && c.Type() == uia::ControlType::kImage && !c.IsOffscreen()) {
+          image = &c;
+        }
+      });
+      if (image != nullptr) {
+        (void)a.Click(*image);
+      }
+    };
+    options.contexts = {image_context};
+  }
+  if (kind == workload::AppKind::kExcel) {
+    // Scrolled-viewport contexts: cells below/right of the initial viewport
+    // only exist on screen after scrolling, so the modeler visits the grid at
+    // several scroll positions (context-aware exploration, §4.1).
+    for (double v : {45.0, 90.0}) {
+      ripper::RipContext scrolled;
+      scrolled.name = "scrolled-" + std::to_string(static_cast<int>(v));
+      scrolled.setup = [v](gsim::Application& a) {
+        auto& excel = static_cast<apps::ExcelSim&>(a);
+        auto* scroll = uia::PatternCast<uia::ScrollPattern>(*excel.grid_control());
+        if (scroll != nullptr) {
+          (void)scroll->SetScrollPercent(100.0, v);
+        }
+      };
+      options.contexts.push_back(scrolled);
+    }
+  }
+  return options;
+}
+
+TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
+  auto it = models_.find(kind);
+  if (it != models_.end()) {
+    return *it->second;
+  }
+  DMI_LOG(kInfo) << "modeling " << workload::AppKindName(kind) << " (offline phase)";
+  auto model = std::make_unique<AppModel>();
+  dmi::ModelingOptions options = DefaultModelingOptions(kind);
+  std::unique_ptr<gsim::Application> scratch = MakeScratch(kind);
+  ripper::GuiRipper rip(*scratch, options.ripper_config);
+  model->graph = rip.Rip(options.contexts);
+  model->rip = rip.stats();
+  // Build a throwaway session to collect modeling stats and core tokens.
+  {
+    std::unique_ptr<gsim::Application> probe = MakeScratch(kind);
+    dmi::DmiSession session(*probe, model->graph, options);
+    model->stats = session.stats();
+    model->stats.rip = model->rip;
+    model->core_tokens = session.stats().core_tokens;
+  }
+  AppModel& ref = *model;
+  models_[kind] = std::move(model);
+  return ref;
+}
+
+const dmi::ModelingStats& TaskRunner::modeling_stats(workload::AppKind kind) {
+  return ModelFor(kind).stats;
+}
+
+const ripper::RipStats& TaskRunner::rip_stats(workload::AppKind kind) {
+  return ModelFor(kind).rip;
+}
+
+size_t TaskRunner::CoreTopologyTokens(workload::AppKind kind) {
+  return ModelFor(kind).core_tokens;
+}
+
+RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& config,
+                              uint64_t seed) {
+  AppModel& model = ModelFor(task.app);
+  std::unique_ptr<gsim::Application> app = task.make_app();
+  gsim::InstabilityInjector injector(config.instability, seed ^ 0x5eedf00dULL);
+  app->SetInstability(&injector);
+  SimLlm llm(config.profile, seed);
+
+  if (config.mode == InterfaceMode::kGuiPlusDmi) {
+    dmi::ModelingOptions options = DefaultModelingOptions(task.app);
+    options.visit = config.visit;
+    dmi::DmiSession session(*app, model.graph, options);
+    DmiAgentConfig agent_config;
+    agent_config.step_cap = config.step_cap;
+    DmiAgent agent(agent_config);
+    return agent.Run(task, session, llm);
+  }
+
+  BaselineConfig agent_config;
+  agent_config.step_cap = config.step_cap;
+  agent_config.forest_knowledge = config.mode == InterfaceMode::kGuiOnlyForest;
+  agent_config.forest_knowledge_tokens = model.core_tokens;
+  BaselineGuiAgent agent(agent_config);
+  return agent.Run(task, *app, llm, &injector);
+}
+
+SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
+                                 const RunConfig& config) {
+  SuiteResult result;
+  for (const workload::Task& task : tasks) {
+    TaskRecord record;
+    record.task_id = task.id;
+    for (int trial = 0; trial < config.repeats; ++trial) {
+      const uint64_t seed =
+          config.seed * 1000003ULL + std::hash<std::string>{}(task.id) * 31ULL +
+          static_cast<uint64_t>(trial) * 7919ULL;
+      record.runs.push_back(RunOnce(task, config, seed));
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+// ----- SuiteResult aggregates -----------------------------------------------------
+
+int SuiteResult::TotalRuns() const {
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    n += static_cast<int>(r.runs.size());
+  }
+  return n;
+}
+
+int SuiteResult::FailedRuns() const {
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      n += run.success ? 0 : 1;
+    }
+  }
+  return n;
+}
+
+double SuiteResult::SuccessRate() const {
+  const int total = TotalRuns();
+  if (total == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(FailedRuns()) / total;
+}
+
+double SuiteResult::AvgStepsSuccessful() const {
+  double sum = 0;
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        sum += run.llm_calls;
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SuiteResult::AvgTimeSuccessful() const {
+  double sum = 0;
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        sum += run.sim_time_s;
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SuiteResult::AvgPromptTokensSuccessful() const {
+  double sum = 0;
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        sum += static_cast<double>(run.prompt_tokens);
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SuiteResult::AvgTotalTokensSuccessful() const {
+  double sum = 0;
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        sum += static_cast<double>(run.prompt_tokens + run.output_tokens);
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double SuiteResult::OneShotShare(int core_calls) const {
+  int successes = 0;
+  int one_shot = 0;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        ++successes;
+        if (run.core_calls <= core_calls) {
+          ++one_shot;
+        }
+      }
+    }
+  }
+  return successes == 0 ? 0.0 : static_cast<double>(one_shot) / successes;
+}
+
+std::set<std::string> SuiteResult::SolvedTasks() const {
+  std::set<std::string> solved;
+  for (const TaskRecord& r : records) {
+    int wins = 0;
+    for (const RunResult& run : r.runs) {
+      wins += run.success ? 1 : 0;
+    }
+    if (wins * 2 > static_cast<int>(r.runs.size())) {
+      solved.insert(r.task_id);
+    }
+  }
+  return solved;
+}
+
+std::set<std::string> SuiteResult::SolvableTasks() const {
+  std::set<std::string> solvable;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        solvable.insert(r.task_id);
+        break;
+      }
+    }
+  }
+  return solvable;
+}
+
+double SuiteResult::AvgStepsOnTasks(const std::set<std::string>& ids) const {
+  double sum = 0;
+  int n = 0;
+  for (const TaskRecord& r : records) {
+    if (ids.count(r.task_id) == 0) {
+      continue;
+    }
+    for (const RunResult& run : r.runs) {
+      if (run.success) {
+        sum += run.llm_calls;
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+std::map<FailureCause, int> SuiteResult::FailureDistribution() const {
+  std::map<FailureCause, int> dist;
+  for (const TaskRecord& r : records) {
+    for (const RunResult& run : r.runs) {
+      if (!run.success) {
+        ++dist[run.cause];
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace agentsim

@@ -1,0 +1,108 @@
+// TaskRunner: the experiment harness behind every end-to-end table/figure.
+//
+// Models each application once (offline phase, cached), then runs tasks under
+// a setting = (interface mode, LLM profile, instability level, robustness
+// toggles), repeating each task and aggregating the paper's metrics: SR,
+// Steps (LLM calls), Time (simulated), tokens, one-shot share, and the
+// failure-cause distribution.
+#ifndef SRC_AGENT_TASK_RUNNER_H_
+#define SRC_AGENT_TASK_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/agent/baseline_agent.h"
+#include "src/agent/dmi_agent.h"
+#include "src/agent/llm_profile.h"
+#include "src/agent/run_result.h"
+#include "src/dmi/session.h"
+#include "src/workload/tasks.h"
+
+namespace agentsim {
+
+enum class InterfaceMode {
+  kGuiOnly,        // UFO2-as baseline
+  kGuiOnlyForest,  // baseline + navigation forest as prompt knowledge (§5.5)
+  kGuiPlusDmi,     // UFO2-as + DMI (our approach)
+};
+
+const char* InterfaceModeName(InterfaceMode mode);
+
+struct RunConfig {
+  InterfaceMode mode = InterfaceMode::kGuiOnly;
+  LlmProfile profile = LlmProfile::Gpt5Medium();
+  uint64_t seed = 1;
+  int repeats = 3;  // paper: each task run three times, averaged
+  int step_cap = 30;
+  gsim::InstabilityConfig instability = gsim::InstabilityConfig::Typical();
+  dmi::VisitConfig visit;  // robustness toggles (ablation bench)
+};
+
+struct TaskRecord {
+  std::string task_id;
+  std::vector<RunResult> runs;
+};
+
+struct SuiteResult {
+  std::vector<TaskRecord> records;
+
+  double SuccessRate() const;
+  // Steps/Time averaged over successful runs only (paper Table 3 convention).
+  double AvgStepsSuccessful() const;
+  double AvgTimeSuccessful() const;
+  double AvgPromptTokensSuccessful() const;
+  double AvgTotalTokensSuccessful() const;
+  // Share of successful runs completed in <= `core_calls` core LLM calls
+  // (core 1 == the paper's "4 steps" one-shot completion).
+  double OneShotShare(int core_calls = 1) const;
+  // Task ids solved in the majority of runs.
+  std::set<std::string> SolvedTasks() const;
+  // Task ids solved in at least one run ("solvable").
+  std::set<std::string> SolvableTasks() const;
+  // Average steps over successful runs of the given tasks (for the
+  // intersection normalization of Figure 5b).
+  double AvgStepsOnTasks(const std::set<std::string>& ids) const;
+  std::map<FailureCause, int> FailureDistribution() const;
+  int TotalRuns() const;
+  int FailedRuns() const;
+};
+
+class TaskRunner {
+ public:
+  TaskRunner();
+
+  // One run of one task under the setting, with an explicit trial seed.
+  RunResult RunOnce(const workload::Task& task, const RunConfig& config, uint64_t seed);
+
+  // Full suite, `config.repeats` trials per task.
+  SuiteResult RunSuite(const std::vector<workload::Task>& tasks, const RunConfig& config);
+
+  // Offline-phase results for §5.2 reporting.
+  const dmi::ModelingStats& modeling_stats(workload::AppKind kind);
+  const ripper::RipStats& rip_stats(workload::AppKind kind);
+  // Serialized core-topology token count (the knowledge blob in the §5.5
+  // ablation and the context overhead in §5.4).
+  size_t CoreTopologyTokens(workload::AppKind kind);
+
+  // The modeling configuration shared by all settings.
+  static dmi::ModelingOptions DefaultModelingOptions(workload::AppKind kind);
+
+ private:
+  struct AppModel {
+    topo::NavGraph graph;
+    dmi::ModelingStats stats;
+    ripper::RipStats rip;
+    size_t core_tokens = 0;
+  };
+
+  AppModel& ModelFor(workload::AppKind kind);
+
+  std::map<workload::AppKind, std::unique_ptr<AppModel>> models_;
+};
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_TASK_RUNNER_H_

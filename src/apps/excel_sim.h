@@ -1,0 +1,135 @@
+// ExcelSim: a synthetic spreadsheet with Office-scale UI.
+//
+// Reproduces the structures the paper's Excel case study depends on:
+//   - a large cell grid exposed as DataItem controls (the passive get_texts
+//     payload source), with a scroll-dependent viewport;
+//   - the Name Box whose input only commits on ENTER (the §5.7 "rich control
+//     descriptions" lesson);
+//   - conditional-formatting rules that apply to ALL cells of the selected
+//     region, including blanks (the §5.6 policy-failure gotcha);
+//   - a small formula evaluator (SUM/AVERAGE/COUNT/MIN/MAX) so data tasks
+//     have verifiable semantics.
+#ifndef SRC_APPS_EXCEL_SIM_H_
+#define SRC_APPS_EXCEL_SIM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/office_common.h"
+#include "src/gui/application.h"
+
+namespace apps {
+
+struct ExcelCell {
+  std::string value;            // displayed value (result for formulas)
+  std::string formula;          // original "=..." text, empty if literal
+  bool bold = false;
+  bool italic = false;
+  std::string fill_color = "None";
+  std::string font_color = "Black";
+  std::string number_format = "General";
+  bool cf_highlighted = false;  // set when a conditional rule matched
+};
+
+struct CfRule {
+  std::string kind;       // "GreaterThan", "LessThan", "Between", "DuplicateValues", ...
+  double threshold = 0.0;
+  double threshold2 = 0.0;
+  std::string format = "Light Red Fill";
+  // Applied region (inclusive bounding box of the selection at apply time).
+  int row0 = 0, col0 = 0, row1 = 0, col1 = 0;
+};
+
+class ExcelSim final : public gsim::Application {
+ public:
+  static constexpr int kRows = 150;      // logical rows
+  static constexpr int kCols = 16;       // logical columns (A..P)
+  static constexpr int kViewRows = 24;   // rows visible at once
+  static constexpr int kViewCols = 10;   // columns visible at once
+
+  explicit ExcelSim(const OfficeScale& scale = OfficeScale{});
+
+  // ----- model ----------------------------------------------------------------
+  // row/col are zero-based; "A1" is (0,0).
+  ExcelCell& cell(int row, int col);
+  const ExcelCell* find_cell(int row, int col) const;
+  void SetCellValue(int row, int col, const std::string& value);
+
+  int active_row() const { return active_row_; }
+  int active_col() const { return active_col_; }
+  void SetActiveCell(int row, int col);
+
+  // Bounding box of currently selected cells; false if nothing selected.
+  bool SelectionBounds(int* row0, int* col0, int* row1, int* col1) const;
+
+  const std::vector<CfRule>& cf_rules() const { return cf_rules_; }
+  bool sorted_ascending() const { return sorted_ascending_; }
+  bool filter_enabled() const { return filter_enabled_; }
+  double v_scroll_percent() const { return v_scroll_; }
+
+  bool HasEffect(const std::string& effect) const { return effects_.count(effect) > 0; }
+
+  // "A1"-style reference parsing; returns false on malformed refs.
+  static bool ParseRef(const std::string& ref, int* row, int* col);
+  static std::string MakeRef(int row, int col);
+
+  gsim::Control* grid_control() const { return grid_; }
+  gsim::Control* CellControl(int row, int col) const;
+  gsim::Control* name_box() const { return name_box_; }
+  gsim::Control* formula_bar() const { return formula_bar_; }
+
+  // ----- Application overrides -------------------------------------------------
+  support::Status ExecuteCommand(gsim::Control& source, const std::string& command) override;
+  support::Status OnKeyChord(const std::string& chord) override;
+  void OnValueChanged(gsim::Control& control) override;
+  void OnSelectionChanged(gsim::Control& control) override;
+
+ private:
+  void BuildUi(const OfficeScale& scale);
+  void BuildHomeTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildFormulasTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildInsertTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildDataTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildBulkTabs(gsim::Control& tab_strip, const OfficeScale& scale);
+  void BuildGridArea();
+  void BuildDialogs(const OfficeScale& scale);
+  void SeedData();
+
+  void UpdateViewport();
+  void SyncCellControl(int row, int col);
+  void ReapplyConditionalRules();
+
+  // Evaluates a committed input; returns the display value.
+  std::string Evaluate(const std::string& input) const;
+
+  support::Status ApplySelectedCells(const std::function<void(ExcelCell&)>& fn);
+  support::Status ApplyConditionalRule(const std::string& kind);
+
+  std::map<std::pair<int, int>, ExcelCell> cells_;
+  int active_row_ = 0;
+  int active_col_ = 0;
+  std::vector<CfRule> cf_rules_;
+  bool sorted_ascending_ = false;
+  bool filter_enabled_ = false;
+  std::set<std::string> effects_;
+
+  double v_scroll_ = 0.0;
+  double h_scroll_ = 0.0;
+
+  std::string cf_pending_value_;
+  std::string cf_pending_value2_;
+  std::string cf_pending_format_ = "Light Red Fill";
+
+  gsim::Control* shared_palette_ = nullptr;
+  gsim::Control* grid_ = nullptr;
+  gsim::Control* name_box_ = nullptr;
+  gsim::Control* formula_bar_ = nullptr;
+  std::vector<gsim::Control*> row_panes_;                // index = row
+  std::vector<std::vector<gsim::Control*>> cell_ctrls_;  // [row][col]
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_EXCEL_SIM_H_

@@ -1,0 +1,166 @@
+#include "src/apps/office_common.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace apps {
+
+const std::vector<std::string>& StandardColors() {
+  static const std::vector<std::string> kColors = [] {
+    std::vector<std::string> colors;
+    // Theme color columns with five shades each (6 x 10 grid), then the ten
+    // standard colors. 70 cells, matching Office's palette footprint.
+    const std::vector<std::string> themes = {"White", "Black", "Gray",   "Blue",  "Orange",
+                                             "Green", "Gold",  "Purple", "Teal",  "Red"};
+    for (const auto& base : themes) {
+      colors.push_back(base);
+      for (int shade = 1; shade <= 5; ++shade) {
+        colors.push_back(base + ", Shade " + std::to_string(shade));
+      }
+    }
+    const std::vector<std::string> standard = {
+        "Dark Red",  "Standard Red",  "Standard Orange", "Yellow",        "Light Green",
+        "Sea Green", "Light Blue",    "Standard Blue",   "Dark Blue",     "Standard Purple"};
+    colors.insert(colors.end(), standard.begin(), standard.end());
+    return colors;
+  }();
+  return kColors;
+}
+
+std::unique_ptr<gsim::Control> MakeMenuRoot(const std::string& name) {
+  auto root = std::make_unique<gsim::Control>(name, uia::ControlType::kMenu);
+  return root;
+}
+
+gsim::Control* AddRibbonTab(gsim::Control& tab_strip, const std::string& name, bool active) {
+  gsim::Control* item = tab_strip.NewChild(name, uia::ControlType::kTabItem);
+  item->SetClickEffect(gsim::ClickEffect::kSwitchTab);
+  item->SetHelpText(name + " ribbon tab");
+  auto panel = std::make_unique<gsim::Control>(name + " Ribbon", uia::ControlType::kPane);
+  gsim::Control* panel_raw = item->SetPopup(std::move(panel));
+  // SetPopup defaults the effect to kRevealPopup; tabs switch exclusively.
+  item->SetClickEffect(gsim::ClickEffect::kSwitchTab);
+  if (active) {
+    item->set_selected(true);
+    item->SetPopupOpen(true);
+  }
+  return panel_raw;
+}
+
+gsim::Control* AddGroup(gsim::Control& panel, const std::string& name) {
+  gsim::Control* group = panel.NewChild(name, uia::ControlType::kGroup);
+  group->SetHelpText(name + " group");
+  return group;
+}
+
+gsim::Control* AddButton(gsim::Control& parent, const std::string& name,
+                         const std::string& command) {
+  gsim::Control* b = parent.NewChild(name, uia::ControlType::kButton);
+  b->SetCommand(command);
+  return b;
+}
+
+gsim::Control* AddToggle(gsim::Control& parent, const std::string& name,
+                         const std::string& command) {
+  gsim::Control* b = parent.NewChild(name, uia::ControlType::kButton);
+  b->SetCommand(command);
+  b->SetClickEffect(gsim::ClickEffect::kToggle);
+  return b;
+}
+
+gsim::Control* AddMenuButton(gsim::Control& parent, const std::string& name,
+                             uia::ControlType type) {
+  gsim::Control* host = parent.NewChild(name, type);
+  return host->SetPopup(MakeMenuRoot(name + " Menu"));
+}
+
+gsim::Control* AddSharedPaletteButton(gsim::Control& parent, const std::string& name,
+                                      gsim::Control* shared_palette) {
+  gsim::Control* host = parent.NewChild(name, uia::ControlType::kSplitButton);
+  host->SetSharedPopup(shared_palette);
+  host->SetHelpText(name + ": opens the color palette");
+  return host;
+}
+
+void AddGalleryItems(gsim::Control& popup, const std::string& prefix, int count,
+                     const std::string& command) {
+  for (int i = 1; i <= count; ++i) {
+    gsim::Control* item =
+        popup.NewChild(prefix + " " + std::to_string(i), uia::ControlType::kListItem);
+    item->SetCommand(command);
+  }
+}
+
+gsim::Control* AddDialogLauncher(gsim::Control& parent, const std::string& name,
+                                 const std::string& dialog_id) {
+  gsim::Control* b = parent.NewChild(name, uia::ControlType::kButton);
+  b->SetDialogId(dialog_id);
+  b->SetHelpText("Opens the " + name + " dialog");
+  return b;
+}
+
+std::unique_ptr<gsim::Control> BuildColorPalette(const std::string& command,
+                                                 const std::string& more_dialog_id) {
+  auto palette = std::make_unique<gsim::Control>("Color Palette", uia::ControlType::kList);
+  for (const auto& color : StandardColors()) {
+    gsim::Control* cell = palette->NewChild(color, uia::ControlType::kListItem);
+    cell->SetCommand(command);
+    cell->SetHelpText("Color cell " + color);
+  }
+  if (!more_dialog_id.empty()) {
+    AddDialogLauncher(*palette, "More Colors...", more_dialog_id);
+  }
+  return palette;
+}
+
+std::unique_ptr<gsim::Window> MakeDialog(const std::string& title,
+                                         const std::string& ok_command) {
+  auto dialog = std::make_unique<gsim::Window>(title, /*modal=*/true);
+  gsim::Control& root = dialog->root();
+  gsim::Control* ok = root.NewChild("OK", uia::ControlType::kButton);
+  ok->SetCloseDisposition(gsim::CloseDisposition::kCommit);
+  if (!ok_command.empty()) {
+    ok->SetCommand(ok_command);
+    ok->SetClickEffect(gsim::ClickEffect::kCloseWindow);
+  }
+  gsim::Control* cancel = root.NewChild("Cancel", uia::ControlType::kButton);
+  cancel->SetCloseDisposition(gsim::CloseDisposition::kCancel);
+  return dialog;
+}
+
+support::Status SurfaceScroll::SetScrollPercent(double horizontal, double vertical) {
+  if (horizontal != kNoScroll) {
+    if (!horizontal_) {
+      return support::FailedPreconditionError("surface is not horizontally scrollable");
+    }
+    h_ = std::clamp(horizontal, 0.0, 100.0);
+  }
+  if (vertical != kNoScroll) {
+    if (!vertical_) {
+      return support::FailedPreconditionError("surface is not vertically scrollable");
+    }
+    v_ = std::clamp(vertical, 0.0, 100.0);
+  }
+  if (on_change_) {
+    on_change_(h_, v_);
+  }
+  return support::Status::Ok();
+}
+
+support::Status SurfaceScroll::ScrollIncrement(double horizontal_delta, double vertical_delta) {
+  if (horizontal_delta != 0.0 && !horizontal_) {
+    return support::FailedPreconditionError("surface is not horizontally scrollable");
+  }
+  if (vertical_delta != 0.0 && !vertical_) {
+    return support::FailedPreconditionError("surface is not vertically scrollable");
+  }
+  h_ = std::clamp(h_ + horizontal_delta, 0.0, 100.0);
+  v_ = std::clamp(v_ + vertical_delta, 0.0, 100.0);
+  if (on_change_) {
+    on_change_(h_, v_);
+  }
+  return support::Status::Ok();
+}
+
+}  // namespace apps

@@ -1,0 +1,113 @@
+// Shared scaffolding for the synthetic Office-scale applications.
+//
+// The three case-study apps (WordSim, ExcelSim, PpointSim) are procedurally
+// generated so each exposes >4,000 controls with the structural pathologies
+// the paper leans on: deep ribbon->menu->dialog nesting (depth > 10), large
+// enumerations (font lists, symbol galleries), shared palettes referenced
+// from several menus (merge nodes), and back/reset controls (cycles).
+#ifndef SRC_APPS_OFFICE_COMMON_H_
+#define SRC_APPS_OFFICE_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gui/application.h"
+#include "src/gui/control.h"
+#include "src/gui/window.h"
+
+namespace apps {
+
+// Scales the bulk galleries; 1.0 yields app control counts in the 4-6K range
+// the paper reports for Office (§5.2).
+struct OfficeScale {
+  double gallery_multiplier = 1.0;
+
+  int Scaled(int n) const {
+    int v = static_cast<int>(n * gallery_multiplier);
+    return v < 1 ? 1 : v;
+  }
+};
+
+// The standard 10x6 theme-color grid plus the ten "standard colors" — the
+// shared palette that Font Color / Underline Color / Text Outline etc. all
+// reference (the canonical merge-node example from the paper).
+const std::vector<std::string>& StandardColors();
+
+// Builder helpers. All helpers return borrowed pointers owned by the tree.
+
+// A popup root of Menu type ("<name>" is the menu's accessible name).
+std::unique_ptr<gsim::Control> MakeMenuRoot(const std::string& name);
+
+// Adds a ribbon tab item (TabItem with a Pane popup panel). Returns the
+// *panel* so callers can fill it. The tab item itself is panel->parent.
+gsim::Control* AddRibbonTab(gsim::Control& tab_strip, const std::string& name, bool active);
+
+// Adds a labeled group (Group) inside a ribbon panel.
+gsim::Control* AddGroup(gsim::Control& panel, const std::string& name);
+
+// Adds a plain command button.
+gsim::Control* AddButton(gsim::Control& parent, const std::string& name,
+                         const std::string& command);
+
+// Adds a toggle (checkbox-like button).
+gsim::Control* AddToggle(gsim::Control& parent, const std::string& name,
+                         const std::string& command);
+
+// Adds a menu-hosting button; returns the popup root to be filled.
+gsim::Control* AddMenuButton(gsim::Control& parent, const std::string& name,
+                             uia::ControlType type = uia::ControlType::kMenuItem);
+
+// Adds a SplitButton that opens the given shared palette subtree.
+gsim::Control* AddSharedPaletteButton(gsim::Control& parent, const std::string& name,
+                                      gsim::Control* shared_palette);
+
+// Adds `count` homogeneous gallery items ("<prefix> 1..N") to a popup,
+// each a ListItem dispatching "<command>" (source name disambiguates).
+void AddGalleryItems(gsim::Control& popup, const std::string& prefix, int count,
+                     const std::string& command);
+
+// Adds a dialog-launcher button.
+gsim::Control* AddDialogLauncher(gsim::Control& parent, const std::string& name,
+                                 const std::string& dialog_id);
+
+// Builds the shared color palette subtree (List of color cells + a
+// "More Colors..." launcher). Every cell dispatches `command`; the app
+// resolves the *role* (font vs underline vs outline vs fill) from the open
+// ancestor chain — the path-dependent semantics of §2.4.
+std::unique_ptr<gsim::Control> BuildColorPalette(const std::string& command,
+                                                 const std::string& more_dialog_id);
+
+// Creates a dialog window with OK / Cancel buttons appended after `fill`
+// runs. `ok_command` (optional) dispatches when OK commits.
+std::unique_ptr<gsim::Window> MakeDialog(const std::string& title,
+                                         const std::string& ok_command);
+
+// A generic ScrollPattern implementation backed by two doubles; concrete apps
+// hook `on_change` to update their viewport.
+class SurfaceScroll : public uia::ScrollPattern {
+ public:
+  using ChangeHook = std::function<void(double h, double v)>;
+
+  SurfaceScroll(bool horizontal, bool vertical, ChangeHook on_change)
+      : horizontal_(horizontal), vertical_(vertical), on_change_(std::move(on_change)) {}
+
+  double HorizontalPercent() const override { return horizontal_ ? h_ : kNoScroll; }
+  double VerticalPercent() const override { return vertical_ ? v_ : kNoScroll; }
+  bool HorizontallyScrollable() const override { return horizontal_; }
+  bool VerticallyScrollable() const override { return vertical_; }
+
+  support::Status SetScrollPercent(double horizontal, double vertical) override;
+  support::Status ScrollIncrement(double horizontal_delta, double vertical_delta) override;
+
+ private:
+  bool horizontal_;
+  bool vertical_;
+  double h_ = 0.0;
+  double v_ = 0.0;
+  ChangeHook on_change_;
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_OFFICE_COMMON_H_

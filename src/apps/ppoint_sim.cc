@@ -1,0 +1,581 @@
+#include "src/apps/ppoint_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <tuple>
+
+#include "src/support/strings.h"
+
+namespace apps {
+namespace {
+
+constexpr int kSlideCount = 12;
+
+}  // namespace
+
+PpointSim::PpointSim(const OfficeScale& scale) : gsim::Application("PpointSim") {
+  // Twelve slides; slide 3 carries an image (the context that reveals the
+  // Picture Format tab), slide 5 a chart placeholder.
+  for (int i = 0; i < kSlideCount; ++i) {
+    Slide s;
+    s.shapes.push_back(Shape{"Title", "Slide " + std::to_string(i + 1) + " Title"});
+    s.shapes.push_back(Shape{"TextBox", "Body text for slide " + std::to_string(i + 1)});
+    if (i == 2) {
+      s.shapes.push_back(Shape{"Image", "Quarterly chart screenshot"});
+    }
+    if (i == 4) {
+      s.shapes.push_back(Shape{"Chart", "Revenue by region"});
+    }
+    slides_.push_back(std::move(s));
+  }
+  BuildUi(scale);
+  RefreshThumbnails();
+  FinalizeMainWindow();
+}
+
+void PpointSim::SetCurrentSlide(int index) {
+  current_slide_ = std::clamp(index, 0, static_cast<int>(slides_.size()) - 1);
+  selected_shape_ = -1;
+  RefreshThumbnails();
+  UpdatePictureTabVisibility();
+}
+
+void PpointSim::SelectShape(int index) {
+  selected_shape_ = index;
+  UpdatePictureTabVisibility();
+}
+
+void PpointSim::BuildUi(const OfficeScale& scale) {
+  gsim::Control& root = main_window().root();
+
+  shared_palette_ = RegisterSharedSubtree(BuildColorPalette("color.pick", "more_colors_dialog"));
+
+  gsim::Control* qat = root.NewChild("Quick Access Toolbar", uia::ControlType::kToolBar);
+  AddButton(*qat, "Save", "file.save");
+  AddButton(*qat, "Undo", "edit.undo");
+  AddButton(*qat, "Start Slideshow", "show.start");
+
+  gsim::Control* file_menu = AddMenuButton(root, "File", uia::ControlType::kMenuItem);
+  AddButton(*file_menu, "New Presentation", "file.new");
+  AddButton(*file_menu, "Open", "file.open");
+  file_menu->NewChild("Account", uia::ControlType::kButton)
+      ->SetClickEffect(gsim::ClickEffect::kExternal);
+
+  gsim::Control* tab_strip = root.NewChild("Ribbon Tabs", uia::ControlType::kTab);
+  BuildHomeTab(*AddRibbonTab(*tab_strip, "Home", /*active=*/true), scale);
+  BuildInsertTab(*AddRibbonTab(*tab_strip, "Insert", false), scale);
+  BuildDesignTab(*AddRibbonTab(*tab_strip, "Design", false), scale);
+  BuildTransitionsTab(*AddRibbonTab(*tab_strip, "Transitions", false), scale);
+  BuildAnimationsTab(*AddRibbonTab(*tab_strip, "Animations", false), scale);
+  BuildBulkTabs(*tab_strip, scale);
+  BuildPictureFormatTab(*tab_strip, scale);
+
+  BuildSlideArea();
+  BuildDialogs(scale);
+
+  gsim::Control* status = root.NewChild("Status Bar", uia::ControlType::kStatusBar);
+  status->NewChild("Slide 1 of 12", uia::ControlType::kText);
+  AddButton(*status, "Notes", "view.notes");
+  AddButton(*status, "Slideshow View", "view.slideshow");
+}
+
+void PpointSim::BuildHomeTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* slides_grp = AddGroup(panel, "Slides");
+  gsim::Control* new_slide = AddMenuButton(*slides_grp, "New Slide", uia::ControlType::kSplitButton);
+  AddGalleryItems(*new_slide, "New Slide Layout", scale.Scaled(30), "slide.new");
+  gsim::Control* layout = AddMenuButton(*slides_grp, "Layout", uia::ControlType::kMenuItem);
+  AddGalleryItems(*layout, "Layout Preset", scale.Scaled(30), "layout.apply");
+  AddButton(*slides_grp, "Reset Slide", "slide.reset");
+  gsim::Control* reuse = AddMenuButton(*slides_grp, "Reuse Slides", uia::ControlType::kMenuItem);
+  AddGalleryItems(*reuse, "Library Slide", scale.Scaled(260), "slide.reuse");
+
+  gsim::Control* font = AddGroup(panel, "Font");
+  gsim::Control* font_combo = AddMenuButton(*font, "Font Family", uia::ControlType::kComboBox);
+  for (int i = 0; i < scale.Scaled(220); ++i) {
+    font_combo->NewChild("Deck Font " + std::to_string(i + 1), uia::ControlType::kListItem)
+        ->SetCommand("font.set_family");
+  }
+  gsim::Control* size_combo = AddMenuButton(*font, "Font Size", uia::ControlType::kComboBox);
+  for (int s = 8; s <= 96; s += 2) {
+    size_combo->NewChild(std::to_string(s), uia::ControlType::kListItem)
+        ->SetCommand("font.set_size");
+  }
+  AddToggle(*font, "Bold", "font.bold");
+  AddToggle(*font, "Italic", "font.italic");
+  AddToggle(*font, "Underline", "font.underline");
+  AddToggle(*font, "Text Shadow", "font.shadow");
+  AddSharedPaletteButton(*font, "Font Color", shared_palette_);
+
+  gsim::Control* para = AddGroup(panel, "Paragraph");
+  AddButton(*para, "Bullets", "para.bullets");
+  AddButton(*para, "Numbering", "para.numbering");
+  AddButton(*para, "Align Left", "para.align:Left");
+  AddButton(*para, "Center", "para.align:Center");
+  AddButton(*para, "Align Right", "para.align:Right");
+  gsim::Control* dir = AddMenuButton(*para, "Text Direction", uia::ControlType::kMenuItem);
+  AddGalleryItems(*dir, "Direction", 5, "para.direction");
+
+  gsim::Control* drawing = AddGroup(panel, "Drawing");
+  gsim::Control* shapes = AddMenuButton(*drawing, "Shapes", uia::ControlType::kMenuItem);
+  AddGalleryItems(*shapes, "Shape", scale.Scaled(260), "shape.insert");
+  gsim::Control* arrange = AddMenuButton(*drawing, "Arrange", uia::ControlType::kMenuItem);
+  AddGalleryItems(*arrange, "Arrange Action", 12, "shape.arrange");
+  gsim::Control* quick = AddMenuButton(*drawing, "Quick Styles", uia::ControlType::kMenuItem);
+  AddGalleryItems(*quick, "Quick Style", scale.Scaled(150), "shape.quick_style");
+  AddSharedPaletteButton(*drawing, "Shape Fill", shared_palette_);
+  AddSharedPaletteButton(*drawing, "Shape Outline", shared_palette_);
+
+  gsim::Control* editing = AddGroup(panel, "Editing");
+  AddButton(*editing, "Find", "edit.find");
+  AddButton(*editing, "Replace", "edit.replace");
+  gsim::Control* select = AddMenuButton(*editing, "Select", uia::ControlType::kMenuItem);
+  AddButton(*select, "Select All", "edit.select_all");
+  AddButton(*select, "Selection Pane", "view.selection_pane");
+}
+
+void PpointSim::BuildInsertTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* slides_grp = AddGroup(panel, "Slides Insert");
+  AddButton(*slides_grp, "New Slide Insert", "slide.new");
+  gsim::Control* tables = AddGroup(panel, "Tables");
+  gsim::Control* table_menu = AddMenuButton(*tables, "Table", uia::ControlType::kMenuItem);
+  for (int r = 1; r <= 8; ++r) {
+    for (int c = 1; c <= 10; ++c) {
+      table_menu
+          ->NewChild("Table " + std::to_string(r) + " x " + std::to_string(c),
+                     uia::ControlType::kListItem)
+          ->SetCommand("table.insert_grid");
+    }
+  }
+  gsim::Control* images = AddGroup(panel, "Images");
+  AddButton(*images, "Pictures", "pic.insert");
+  AddButton(*images, "Screenshot", "pic.screenshot");
+  gsim::Control* album = AddMenuButton(*images, "Photo Album", uia::ControlType::kMenuItem);
+  AddGalleryItems(*album, "Album Layout", 8, "pic.album");
+  gsim::Control* illus = AddGroup(panel, "Illustrations");
+  gsim::Control* shapes = AddMenuButton(*illus, "Insert Shapes", uia::ControlType::kMenuItem);
+  AddGalleryItems(*shapes, "Insertable Shape", scale.Scaled(260), "shape.insert");
+  gsim::Control* icons = AddMenuButton(*illus, "Icons", uia::ControlType::kMenuItem);
+  AddGalleryItems(*icons, "Icon", scale.Scaled(220), "shape.icon");
+  AddDialogLauncher(*illus, "SmartArt", "smartart_dialog");
+  AddDialogLauncher(*illus, "Chart", "chart_dialog");
+  gsim::Control* media = AddGroup(panel, "Media");
+  gsim::Control* video = AddMenuButton(*media, "Video", uia::ControlType::kMenuItem);
+  AddGalleryItems(*video, "Video Source", scale.Scaled(60), "media.video");
+  gsim::Control* audio = AddMenuButton(*media, "Audio", uia::ControlType::kMenuItem);
+  AddGalleryItems(*audio, "Audio Source", scale.Scaled(20), "media.audio");
+  gsim::Control* text_grp = AddGroup(panel, "Text Insert");
+  AddButton(*text_grp, "Text Box", "shape.textbox");
+  AddDialogLauncher(*text_grp, "Header and Footer", "header_footer_dialog");
+  gsim::Control* wordart = AddMenuButton(*text_grp, "WordArt", uia::ControlType::kMenuItem);
+  AddGalleryItems(*wordart, "WordArt Style", scale.Scaled(30), "shape.wordart");
+  gsim::Control* symbols = AddGroup(panel, "Symbols Insert");
+  AddDialogLauncher(*symbols, "Symbol", "symbol_dialog");
+  gsim::Control* equation = AddMenuButton(*symbols, "Equation", uia::ControlType::kSplitButton);
+  AddGalleryItems(*equation, "Equation Template", scale.Scaled(20), "shape.equation");
+}
+
+void PpointSim::BuildDesignTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* themes_grp = AddGroup(panel, "Themes");
+  gsim::Control* themes = AddMenuButton(*themes_grp, "Themes Gallery", uia::ControlType::kMenuItem);
+  AddGalleryItems(*themes, "Theme", scale.Scaled(170), "theme.apply");
+  gsim::Control* variants = AddMenuButton(*themes_grp, "Variants", uia::ControlType::kMenuItem);
+  AddGalleryItems(*variants, "Variant", scale.Scaled(40), "theme.variant");
+
+  gsim::Control* customize = AddGroup(panel, "Customize");
+  gsim::Control* size_menu = AddMenuButton(*customize, "Slide Size", uia::ControlType::kMenuItem);
+  AddButton(*size_menu, "Standard (4:3)", "slide.size");
+  AddButton(*size_menu, "Widescreen (16:9)", "slide.size");
+  AddDialogLauncher(*size_menu, "Custom Slide Size...", "slide_size_dialog");
+
+  // The Format Background task pane: persistent, with nested palette access
+  // and a pane-switching cycle.
+  gsim::Control* fmt_bg = customize->NewChild("Format Background", uia::ControlType::kButton);
+  fmt_bg->SetPopupPersistent(true);
+  bg_pane_ = fmt_bg->SetPopup(
+      std::make_unique<gsim::Control>("Format Background Pane", uia::ControlType::kPane));
+  BuildBackgroundPane();
+
+  gsim::Control* ideas = AddGroup(panel, "Designer");
+  gsim::Control* design_ideas = AddMenuButton(*ideas, "Design Ideas", uia::ControlType::kMenuItem);
+  AddGalleryItems(*design_ideas, "Design Idea", scale.Scaled(320), "theme.design_idea");
+}
+
+void PpointSim::BuildBackgroundPane() {
+  gsim::Control& pane = *bg_pane_;
+  bg_basic_pane_ = pane.NewChild("Fill Options Basic", uia::ControlType::kGroup);
+  for (const char* fill : {"Solid fill", "Gradient fill", "Picture or texture fill",
+                           "Pattern fill"}) {
+    gsim::Control* rb = bg_basic_pane_->NewChild(fill, uia::ControlType::kRadioButton);
+    rb->SetCommand("bg.fill_kind");
+  }
+  AddSharedPaletteButton(*bg_basic_pane_, "Fill Color", shared_palette_);
+  AddButton(*bg_basic_pane_, "More Fill Options", "pane.show:bg_advanced");
+  bg_advanced_pane_ = pane.NewChild("Fill Options Advanced", uia::ControlType::kGroup);
+  bg_advanced_pane_->SetForcedOffscreen(true);
+  bg_advanced_pane_->NewChild("Transparency", uia::ControlType::kSlider)
+      ->SetCommand("bg.transparency");
+  bg_advanced_pane_->NewChild("Offset X", uia::ControlType::kSpinner);
+  bg_advanced_pane_->NewChild("Offset Y", uia::ControlType::kSpinner);
+  AddButton(*bg_advanced_pane_, "Back to Fill Options", "pane.show:bg_basic");
+  AddButton(pane, "Apply to All", "bg.apply_all")
+      ->SetHelpText("Applies the current background to every slide");
+  AddButton(pane, "Reset Background", "bg.reset");
+  gsim::Control* close = pane.NewChild("Close Pane", uia::ControlType::kButton);
+  close->SetClickEffect(gsim::ClickEffect::kClosePane);
+}
+
+void PpointSim::BuildTransitionsTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* preview = AddGroup(panel, "Preview");
+  AddButton(*preview, "Preview Transition", "transition.preview");
+  gsim::Control* gallery_grp = AddGroup(panel, "Transition to This Slide");
+  gsim::Control* gallery = AddMenuButton(*gallery_grp, "Transition Gallery",
+                                         uia::ControlType::kMenuItem);
+  AddGalleryItems(*gallery, "Transition", scale.Scaled(170), "transition.apply");
+  gsim::Control* options = AddMenuButton(*gallery_grp, "Effect Options",
+                                         uia::ControlType::kMenuItem);
+  AddGalleryItems(*options, "Effect Option", scale.Scaled(20), "transition.option");
+  gsim::Control* timing = AddGroup(panel, "Timing");
+  timing->NewChild("Duration", uia::ControlType::kSpinner)->SetCommand("transition.duration");
+  AddToggle(*timing, "On Mouse Click", "transition.on_click");
+  AddButton(*timing, "Apply To All Slides", "transition.apply_all");
+}
+
+void PpointSim::BuildAnimationsTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* gallery_grp = AddGroup(panel, "Animation");
+  gsim::Control* gallery = AddMenuButton(*gallery_grp, "Animation Gallery",
+                                         uia::ControlType::kMenuItem);
+  AddGalleryItems(*gallery, "Animation", scale.Scaled(260), "anim.apply");
+  gsim::Control* adv = AddGroup(panel, "Advanced Animation");
+  AddButton(*adv, "Add Animation", "anim.add");
+  AddButton(*adv, "Animation Pane", "view.animation_pane");
+  gsim::Control* trigger = AddMenuButton(*adv, "Trigger", uia::ControlType::kMenuItem);
+  AddGalleryItems(*trigger, "Trigger Source", 10, "anim.trigger");
+  gsim::Control* timing = AddGroup(panel, "Animation Timing");
+  timing->NewChild("Animation Duration", uia::ControlType::kSpinner);
+  timing->NewChild("Animation Delay", uia::ControlType::kSpinner);
+}
+
+void PpointSim::BuildPictureFormatTab(gsim::Control& tab_strip, const OfficeScale& scale) {
+  gsim::Control* panel = AddRibbonTab(tab_strip, "Picture Format", false);
+  picture_tab_item_ = panel->parent_control();
+  picture_tab_item_->SetHelpText("Contextual tab: visible while an image is selected");
+  picture_tab_item_->SetForcedOffscreen(true);  // no image selected initially
+
+  gsim::Control* adjust = AddGroup(*panel, "Adjust");
+  gsim::Control* corrections = AddMenuButton(*adjust, "Corrections", uia::ControlType::kMenuItem);
+  AddGalleryItems(*corrections, "Correction Preset", scale.Scaled(60), "pic.correction");
+  gsim::Control* color = AddMenuButton(*adjust, "Picture Color", uia::ControlType::kMenuItem);
+  AddGalleryItems(*color, "Color Preset", scale.Scaled(60), "pic.color");
+  gsim::Control* artistic = AddMenuButton(*adjust, "Artistic Effects", uia::ControlType::kMenuItem);
+  AddGalleryItems(*artistic, "Artistic Effect", scale.Scaled(40), "pic.artistic");
+  AddButton(*adjust, "Compress Pictures", "pic.compress");
+  AddButton(*adjust, "Reset Picture", "pic.reset");
+
+  gsim::Control* styles = AddGroup(*panel, "Picture Styles");
+  gsim::Control* style_gallery = AddMenuButton(*styles, "Picture Style Gallery",
+                                               uia::ControlType::kMenuItem);
+  AddGalleryItems(*style_gallery, "Picture Style", scale.Scaled(60), "pic.style");
+  AddSharedPaletteButton(*styles, "Picture Border", shared_palette_);
+  gsim::Control* pic_effects = AddMenuButton(*styles, "Picture Effects",
+                                             uia::ControlType::kMenuItem);
+  AddGalleryItems(*pic_effects, "Picture Effect", scale.Scaled(40), "pic.effect");
+
+  gsim::Control* size_grp = AddGroup(*panel, "Picture Size");
+  gsim::Control* crop = AddMenuButton(*size_grp, "Crop", uia::ControlType::kSplitButton);
+  AddGalleryItems(*crop, "Crop Mode", 8, "pic.crop");
+  size_grp->NewChild("Picture Width", uia::ControlType::kSpinner);
+  size_grp->NewChild("Picture Height", uia::ControlType::kSpinner);
+}
+
+void PpointSim::BuildBulkTabs(gsim::Control& tab_strip, const OfficeScale& scale) {
+  for (const char* tab_name : {"Slide Show", "Review", "View"}) {
+    gsim::Control* panel = AddRibbonTab(tab_strip, tab_name, false);
+    for (int g = 1; g <= 4; ++g) {
+      gsim::Control* group =
+          AddGroup(*panel, std::string(tab_name) + " Group " + std::to_string(g));
+      gsim::Control* menu = AddMenuButton(*group, std::string(tab_name) + " Menu " +
+                                          std::to_string(g), uia::ControlType::kMenuItem);
+      AddGalleryItems(*menu, std::string(tab_name) + " Choice " + std::to_string(g),
+                      scale.Scaled(18), "bulk.apply");
+      AddButton(*group, std::string(tab_name) + " Action " + std::to_string(g), "bulk.action");
+    }
+  }
+}
+
+void PpointSim::BuildSlideArea() {
+  gsim::Control& root = main_window().root();
+
+  thumbnail_list_ = root.NewChild("Slide Thumbnails", uia::ControlType::kList);
+  for (int i = 0; i < kSlideCount; ++i) {
+    gsim::Control* thumb = thumbnail_list_->NewChild("Slide " + std::to_string(i + 1),
+                                                     uia::ControlType::kListItem);
+    thumb->SetAutomationId("thumb_" + std::to_string(i));
+    thumb->SetClickEffect(gsim::ClickEffect::kSelect);
+  }
+
+  slide_view_ = root.NewChild("Slide View", uia::ControlType::kPane);
+  slide_view_->SetHelpText("The slide editing canvas");
+  slide_view_->AttachPattern(std::make_unique<SurfaceScroll>(
+      /*horizontal=*/false, /*vertical=*/true,
+      [this](double, double v) { view_scroll_ = v; }));
+  // One canvas per slide; only the current slide's canvas is on-screen.
+  for (int i = 0; i < kSlideCount; ++i) {
+    gsim::Control* canvas = slide_view_->NewChild(
+        "Slide " + std::to_string(i + 1) + " Canvas", uia::ControlType::kPane);
+    canvas->SetForcedOffscreen(i != 0);
+    const Slide& s = slides_[static_cast<size_t>(i)];
+    for (size_t j = 0; j < s.shapes.size(); ++j) {
+      const Shape& shape = s.shapes[j];
+      uia::ControlType type = shape.kind == "Image" ? uia::ControlType::kImage
+                                                    : uia::ControlType::kText;
+      gsim::Control* sc = canvas->NewChild(shape.kind + ": " + shape.text, type);
+      sc->SetAutomationId("shape_" + std::to_string(i) + "_" + std::to_string(j));
+      sc->SetClickEffect(gsim::ClickEffect::kSelect);
+    }
+  }
+
+  gsim::Control* vbar = root.NewChild("Vertical Scroll Bar", uia::ControlType::kScrollBar);
+  vbar->NewChild("Scroll Thumb", uia::ControlType::kThumb);
+}
+
+void PpointSim::BuildDialogs(const OfficeScale& scale) {
+  {
+    auto dialog = MakeDialog("Symbol", "");
+    gsim::Control* grid = dialog->root().NewChild("Symbol Grid", uia::ControlType::kList);
+    for (int i = 0; i < scale.Scaled(380); ++i) {
+      grid->NewChild("Symbol U+" + std::to_string(0x2500 + i), uia::ControlType::kListItem)
+          ->SetCommand("shape.symbol");
+    }
+    RegisterDialog("symbol_dialog", std::move(dialog));
+  }
+  {
+    auto dialog = MakeDialog("Colors", "");
+    gsim::Control* honeycomb =
+        dialog->root().NewChild("Custom Color Grid", uia::ControlType::kList);
+    for (int i = 0; i < scale.Scaled(216); ++i) {
+      honeycomb->NewChild("Custom Color " + std::to_string(i), uia::ControlType::kListItem)
+          ->SetCommand("color.pick");
+    }
+    RegisterDialog("more_colors_dialog", std::move(dialog));
+  }
+  for (const auto& [id, title, ok_cmd] :
+       std::vector<std::tuple<std::string, std::string, std::string>>{
+           {"slide_size_dialog", "Slide Size", "slide.size_custom"},
+           {"header_footer_dialog", "Header and Footer", "slide.header_footer"},
+           {"smartart_dialog", "Choose a SmartArt Graphic", "shape.smartart"},
+           {"chart_dialog", "Insert Chart", "shape.chart"},
+       }) {
+    auto dialog = MakeDialog(title, ok_cmd);
+    gsim::Control& r = dialog->root();
+    for (int i = 1; i <= 6; ++i) {
+      gsim::Control* opt =
+          r.NewChild(title + " Option " + std::to_string(i), uia::ControlType::kCheckBox);
+      opt->SetClickEffect(gsim::ClickEffect::kToggle);
+    }
+    r.NewChild(title + " Value", uia::ControlType::kEdit);
+    RegisterDialog(id, std::move(dialog));
+  }
+}
+
+void PpointSim::RefreshThumbnails() {
+  if (thumbnail_list_ == nullptr || slide_view_ == nullptr) {
+    return;
+  }
+  int idx = 0;
+  for (gsim::Control* thumb : thumbnail_list_->StaticChildren()) {
+    thumb->set_selected(idx == current_slide_);
+    ++idx;
+  }
+  idx = 0;
+  for (gsim::Control* canvas : slide_view_->StaticChildren()) {
+    canvas->SetForcedOffscreen(idx != current_slide_);
+    ++idx;
+  }
+}
+
+void PpointSim::UpdatePictureTabVisibility() {
+  if (picture_tab_item_ == nullptr) {
+    return;
+  }
+  bool image_selected = false;
+  if (selected_shape_ >= 0 && current_slide_ < static_cast<int>(slides_.size())) {
+    const Slide& s = slides_[static_cast<size_t>(current_slide_)];
+    if (selected_shape_ < static_cast<int>(s.shapes.size())) {
+      image_selected = s.shapes[static_cast<size_t>(selected_shape_)].kind == "Image";
+    }
+  }
+  picture_tab_item_->SetForcedOffscreen(!image_selected);
+  if (!image_selected && picture_tab_item_->popup_open()) {
+    picture_tab_item_->SetPopupOpen(false);
+  }
+}
+
+support::Status PpointSim::ApplyToSelectedShape(const std::function<void(Shape&)>& fn) {
+  if (selected_shape_ < 0) {
+    return support::FailedPreconditionError("no shape is selected on the current slide");
+  }
+  Slide& s = slides_[static_cast<size_t>(current_slide_)];
+  if (selected_shape_ >= static_cast<int>(s.shapes.size())) {
+    return support::InternalError("selected shape index out of range");
+  }
+  fn(s.shapes[static_cast<size_t>(selected_shape_)]);
+  return support::Status::Ok();
+}
+
+support::Status PpointSim::ApplyColor(gsim::Control& source) {
+  const std::string color = source.TrueName();
+  const std::vector<std::string> chain = OpenAncestorNames(source);
+  auto chain_has = [&](const std::string& name) {
+    return std::find(chain.begin(), chain.end(), name) != chain.end();
+  };
+  if (chain_has("Fill Color") && chain_has("Format Background Pane")) {
+    pending_bg_color_ = color;
+    Slide& s = slides_[static_cast<size_t>(current_slide_)];
+    s.background_color = color;
+    s.background_solid = pending_bg_solid_ || s.background_solid;
+    return support::Status::Ok();
+  }
+  if (chain_has("Shape Fill")) {
+    return ApplyToSelectedShape([&](Shape& sh) { sh.fill_color = color; });
+  }
+  if (chain_has("Shape Outline") || chain_has("Picture Border")) {
+    effects_.insert("shape.outline_color:" + color);
+    return support::Status::Ok();
+  }
+  return ApplyToSelectedShape([&](Shape& sh) { sh.font_color = color; });
+}
+
+support::Status PpointSim::ExecuteCommand(gsim::Control& source, const std::string& command) {
+  const std::string name = source.TrueName();
+
+  if (command == "color.pick") {
+    return ApplyColor(source);
+  }
+  if (command == "bg.fill_kind") {
+    pending_bg_solid_ = (name == "Solid fill");
+    if (pending_bg_solid_) {
+      slides_[static_cast<size_t>(current_slide_)].background_solid = true;
+    }
+    return support::Status::Ok();
+  }
+  if (command == "bg.apply_all") {
+    const Slide& cur = slides_[static_cast<size_t>(current_slide_)];
+    for (Slide& s : slides_) {
+      s.background_color = cur.background_color;
+      s.background_solid = cur.background_solid;
+    }
+    return support::Status::Ok();
+  }
+  if (command == "bg.reset") {
+    Slide& s = slides_[static_cast<size_t>(current_slide_)];
+    s.background_color = "White";
+    s.background_solid = false;
+    return support::Status::Ok();
+  }
+  if (support::StartsWith(command, "pane.show:")) {
+    const std::string pane = command.substr(std::string("pane.show:").size());
+    if (bg_basic_pane_ != nullptr && bg_advanced_pane_ != nullptr) {
+      bg_basic_pane_->SetForcedOffscreen(pane != "bg_basic");
+      bg_advanced_pane_->SetForcedOffscreen(pane != "bg_advanced");
+    }
+    return support::Status::Ok();
+  }
+  if (command == "theme.apply") {
+    theme_ = name;
+    return support::Status::Ok();
+  }
+  if (command == "layout.apply") {
+    slides_[static_cast<size_t>(current_slide_)].layout = name;
+    return support::Status::Ok();
+  }
+  if (command == "transition.apply") {
+    slides_[static_cast<size_t>(current_slide_)].transition = name;
+    return support::Status::Ok();
+  }
+  if (command == "transition.apply_all") {
+    const std::string t = slides_[static_cast<size_t>(current_slide_)].transition;
+    for (Slide& s : slides_) {
+      s.transition = t;
+    }
+    return support::Status::Ok();
+  }
+  if (command == "slide.new") {
+    Slide s;
+    s.layout = name;
+    slides_.push_back(std::move(s));
+    effects_.insert(command + ":" + name);
+    return support::Status::Ok();
+  }
+  if (command == "shape.insert") {
+    slides_[static_cast<size_t>(current_slide_)].shapes.push_back(Shape{"Shape", name});
+    effects_.insert(command + ":" + name);
+    return support::Status::Ok();
+  }
+  if (command == "shape.textbox") {
+    slides_[static_cast<size_t>(current_slide_)].shapes.push_back(Shape{"TextBox", ""});
+    return support::Status::Ok();
+  }
+  if (command == "pic.insert") {
+    slides_[static_cast<size_t>(current_slide_)].shapes.push_back(
+        Shape{"Image", "Inserted picture"});
+    effects_.insert("pic.insert:" + name);
+    return support::Status::Ok();
+  }
+  if (command == "font.bold") {
+    return ApplyToSelectedShape([&](Shape& sh) { sh.bold = source.toggled(); });
+  }
+  if (command == "font.set_size") {
+    const int size = std::atoi(name.c_str());
+    return ApplyToSelectedShape([&](Shape& sh) { sh.font_size = size; });
+  }
+  if (support::StartsWith(command, "pic.")) {
+    // Picture Format commands require an image selection (enforced by tab
+    // visibility, but commands double-check).
+    if (selected_shape_ < 0) {
+      return support::FailedPreconditionError("no picture is selected");
+    }
+    effects_.insert(command + ":" + name);
+    return support::Status::Ok();
+  }
+
+  effects_.insert(command + ":" + name);
+  return support::Status::Ok();
+}
+
+support::Status PpointSim::OnKeyChord(const std::string& chord) {
+  (void)chord;
+  return support::Status::Ok();
+}
+
+void PpointSim::OnSelectionChanged(gsim::Control& control) {
+  if (!control.selected()) {
+    if (support::StartsWith(control.AutomationId(), "shape_")) {
+      selected_shape_ = -1;
+      UpdatePictureTabVisibility();
+    }
+    return;
+  }
+  const std::string& aid = control.AutomationId();
+  if (support::StartsWith(aid, "thumb_")) {
+    SetCurrentSlide(std::atoi(aid.c_str() + 6));
+    return;
+  }
+  if (support::StartsWith(aid, "shape_")) {
+    int slide = 0;
+    int shape = 0;
+    if (std::sscanf(aid.c_str(), "shape_%d_%d", &slide, &shape) == 2 &&
+        slide == current_slide_) {
+      SelectShape(shape);
+    }
+  }
+}
+
+void PpointSim::OnUiReset() {
+  if (bg_basic_pane_ != nullptr && bg_advanced_pane_ != nullptr) {
+    bg_basic_pane_->SetForcedOffscreen(false);
+    bg_advanced_pane_->SetForcedOffscreen(true);
+  }
+}
+
+}  // namespace apps

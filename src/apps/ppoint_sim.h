@@ -1,0 +1,111 @@
+// PpointSim: a synthetic presentation editor with Office-scale UI.
+//
+// Reproduces the structures the paper's PowerPoint case study depends on:
+//   - the Format Background pane (Design -> Format Background -> Solid fill
+//     -> Fill Color -> palette -> Apply to All): the paper's Task 1 example
+//     of a five-step imperative chain vs a single declarative visit call;
+//   - a context-dependent "Picture Format" ribbon tab that exists only while
+//     an image shape is selected (context-aware exploration, §4.1);
+//   - a slide-thumbnail list and a scrollable slide view (Task 2's
+//     set_scrollbar_pos example);
+//   - a pane-switching "Fill Options"/"Back" pair inside the background pane
+//     (navigation-graph cycle).
+#ifndef SRC_APPS_PPOINT_SIM_H_
+#define SRC_APPS_PPOINT_SIM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/office_common.h"
+#include "src/gui/application.h"
+
+namespace apps {
+
+struct Shape {
+  std::string kind;   // "TextBox", "Rectangle", "Image", ...
+  std::string text;
+  std::string fill_color = "White";
+  std::string font_color = "Black";
+  bool bold = false;
+  int font_size = 18;
+};
+
+struct Slide {
+  std::string background_color = "White";
+  bool background_solid = false;   // true once "Solid fill" was chosen
+  std::string layout = "Title and Content";
+  std::string transition = "None";
+  std::vector<Shape> shapes;
+};
+
+class PpointSim final : public gsim::Application {
+ public:
+  explicit PpointSim(const OfficeScale& scale = OfficeScale{});
+
+  // ----- model ----------------------------------------------------------------
+  std::vector<Slide>& slides() { return slides_; }
+  const std::vector<Slide>& slides() const { return slides_; }
+
+  int current_slide() const { return current_slide_; }
+  void SetCurrentSlide(int index);
+
+  // Index of the selected shape on the current slide; -1 = none.
+  int selected_shape() const { return selected_shape_; }
+  void SelectShape(int index);
+
+  double view_scroll_percent() const { return view_scroll_; }
+  const std::string& theme() const { return theme_; }
+  bool HasEffect(const std::string& effect) const { return effects_.count(effect) > 0; }
+
+  gsim::Control* slide_view_control() const { return slide_view_; }
+  gsim::Control* picture_format_tab() const { return picture_tab_item_; }
+
+  // ----- Application overrides -------------------------------------------------
+  support::Status ExecuteCommand(gsim::Control& source, const std::string& command) override;
+  support::Status OnKeyChord(const std::string& chord) override;
+  void OnSelectionChanged(gsim::Control& control) override;
+  void OnUiReset() override;
+
+ private:
+  void BuildUi(const OfficeScale& scale);
+  void BuildHomeTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildInsertTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildDesignTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildTransitionsTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildAnimationsTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildPictureFormatTab(gsim::Control& tab_strip, const OfficeScale& scale);
+  void BuildBulkTabs(gsim::Control& tab_strip, const OfficeScale& scale);
+  void BuildSlideArea();
+  void BuildBackgroundPane();
+  void BuildDialogs(const OfficeScale& scale);
+  void RefreshThumbnails();
+  void UpdatePictureTabVisibility();
+
+  support::Status ApplyToSelectedShape(const std::function<void(Shape&)>& fn);
+  support::Status ApplyColor(gsim::Control& source);
+
+  std::vector<Slide> slides_;
+  int current_slide_ = 0;
+  int selected_shape_ = -1;
+  double view_scroll_ = 0.0;
+  std::string theme_ = "Office Theme";
+  std::set<std::string> effects_;
+
+  // Pending state of the Format Background pane.
+  std::string pending_bg_color_ = "White";
+  bool pending_bg_solid_ = false;
+
+  gsim::Control* shared_palette_ = nullptr;
+  gsim::Control* slide_view_ = nullptr;
+  gsim::Control* thumbnail_list_ = nullptr;
+  gsim::Control* picture_tab_item_ = nullptr;
+  gsim::Control* bg_pane_ = nullptr;
+  gsim::Control* bg_basic_pane_ = nullptr;
+  gsim::Control* bg_advanced_pane_ = nullptr;
+  std::vector<gsim::Control*> shape_ctrls_;  // controls for current slide's shapes
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_PPOINT_SIM_H_

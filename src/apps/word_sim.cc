@@ -1,0 +1,832 @@
+#include "src/apps/word_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <tuple>
+
+#include "src/support/strings.h"
+
+namespace apps {
+namespace {
+
+// TextPattern over the WordSim paragraph model. In WordSim one paragraph
+// renders as one line, so kLine and kParagraph coincide (documented).
+class WordTextPattern : public uia::TextPattern {
+ public:
+  explicit WordTextPattern(WordSim* app) : app_(app) {}
+
+  std::string GetText() const override {
+    std::string out;
+    for (const auto& p : app_->paragraphs()) {
+      out += p.text;
+      out += '\n';
+    }
+    return out;
+  }
+
+  int UnitCount(uia::TextUnit unit) const override {
+    (void)unit;
+    return static_cast<int>(app_->paragraphs().size());
+  }
+
+  std::string GetUnitText(uia::TextUnit unit, int index) const override {
+    (void)unit;
+    const auto& paras = app_->paragraphs();
+    if (index < 0 || index >= static_cast<int>(paras.size())) {
+      return "";
+    }
+    return paras[static_cast<size_t>(index)].text;
+  }
+
+  support::Status SelectRange(uia::TextUnit unit, int start, int end) override {
+    (void)unit;
+    const int n = static_cast<int>(app_->paragraphs().size());
+    if (start < 0 || end < start || end >= n) {
+      return support::InvalidArgumentError(
+          support::Format("selection range [%d, %d] out of bounds (document has %d "
+                          "paragraphs)", start, end, n));
+    }
+    app_->SetSelection(start, end);
+    return support::Status::Ok();
+  }
+
+  std::string GetSelectedText() const override {
+    std::string out;
+    const auto& paras = app_->paragraphs();
+    const int s = app_->selection_start();
+    const int e = app_->selection_end();
+    if (s < 0) {
+      return out;
+    }
+    for (int i = s; i <= e && i < static_cast<int>(paras.size()); ++i) {
+      out += paras[static_cast<size_t>(i)].text;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  WordSim* app_;
+};
+
+std::string SampleParagraph(int index) {
+  static const char* kSentences[] = {
+      "The quarterly report outlines revenue growth across all regions.",
+      "Our team delivered the milestone two weeks ahead of schedule.",
+      "Customer feedback highlighted the need for clearer documentation.",
+      "The committee will reconvene to review the draft proposal.",
+      "Energy consumption fell by twelve percent after the retrofit.",
+  };
+  return "Paragraph " + std::to_string(index + 1) + ": " +
+         kSentences[static_cast<size_t>(index) % 5];
+}
+
+}  // namespace
+
+WordSim::WordSim(const OfficeScale& scale) : gsim::Application("WordSim") {
+  for (int i = 0; i < 50; ++i) {
+    WordParagraph p;
+    p.text = SampleParagraph(i);
+    paragraphs_.push_back(std::move(p));
+  }
+  BuildUi(scale);
+  FinalizeMainWindow();
+}
+
+void WordSim::SetSelection(int start, int end) {
+  sel_start_ = start;
+  sel_end_ = end;
+}
+
+void WordSim::BuildUi(const OfficeScale& scale) {
+  gsim::Control& root = main_window().root();
+
+  // Shared color palette: referenced by Font Color, Underline Color, Text
+  // Outline and Page Color — four in-edges to one subtree (merge node).
+  shared_palette_ = RegisterSharedSubtree(BuildColorPalette("color.pick", "more_colors_dialog"));
+
+  // Quick Access Toolbar.
+  gsim::Control* qat = root.NewChild("Quick Access Toolbar", uia::ControlType::kToolBar);
+  AddButton(*qat, "Save", "file.save");
+  AddButton(*qat, "Undo", "edit.undo");
+  AddButton(*qat, "Redo", "edit.redo");
+
+  // File backstage as a menu; "Account" leaves the app (blocklist target).
+  gsim::Control* file_menu = AddMenuButton(root, "File", uia::ControlType::kMenuItem);
+  AddButton(*file_menu, "New Document", "file.new");
+  AddButton(*file_menu, "Open", "file.open");
+  AddButton(*file_menu, "Save As", "file.save_as");
+  AddButton(*file_menu, "Print", "file.print");
+  file_menu->NewChild("Account", uia::ControlType::kButton)
+      ->SetClickEffect(gsim::ClickEffect::kExternal);
+  file_menu->NewChild("Feedback", uia::ControlType::kButton)
+      ->SetClickEffect(gsim::ClickEffect::kExternal);
+
+  // Ribbon.
+  gsim::Control* tab_strip = root.NewChild("Ribbon Tabs", uia::ControlType::kTab);
+  BuildHomeTab(*AddRibbonTab(*tab_strip, "Home", /*active=*/true), scale);
+  BuildInsertTab(*AddRibbonTab(*tab_strip, "Insert", false), scale);
+  BuildDesignTab(*AddRibbonTab(*tab_strip, "Design", false), scale);
+  BuildLayoutTab(*AddRibbonTab(*tab_strip, "Layout", false), scale);
+  BuildBulkTabs(*tab_strip, scale);
+
+  BuildDocumentArea();
+  BuildDialogs(scale);
+
+  // Status bar.
+  gsim::Control* status = root.NewChild("Status Bar", uia::ControlType::kStatusBar);
+  status->NewChild("Page 1 of 3", uia::ControlType::kText);
+  status->NewChild("Words: 1,254", uia::ControlType::kText);
+  AddButton(*status, "Zoom In", "view.zoom_in");
+  AddButton(*status, "Zoom Out", "view.zoom_out");
+}
+
+void WordSim::BuildHomeTab(gsim::Control& panel, const OfficeScale& scale) {
+  // Clipboard.
+  gsim::Control* clipboard = AddGroup(panel, "Clipboard");
+  gsim::Control* paste = AddMenuButton(*clipboard, "Paste", uia::ControlType::kSplitButton);
+  AddButton(*paste, "Paste Default", "edit.paste");
+  AddButton(*paste, "Keep Text Only", "edit.paste_text");
+  AddButton(*paste, "Paste Special", "edit.paste_special");
+  AddButton(*clipboard, "Cut", "edit.cut");
+  AddButton(*clipboard, "Copy", "edit.copy");
+  AddButton(*clipboard, "Format Painter", "edit.format_painter");
+
+  // Font.
+  gsim::Control* font = AddGroup(panel, "Font");
+  gsim::Control* font_combo = AddMenuButton(*font, "Font Family", uia::ControlType::kComboBox);
+  font_combo->parent_control();  // (combo popup holds the large enumeration)
+  static const char* kFontSeeds[] = {"Calibri", "Arial",  "Cambria", "Georgia",
+                                     "Verdana", "Tahoma", "Garamond", "Consolas"};
+  const int font_count = scale.Scaled(420);
+  for (int i = 0; i < font_count; ++i) {
+    std::string name = std::string(kFontSeeds[i % 8]) +
+                       (i < 8 ? "" : " Variant " + std::to_string(i / 8));
+    font_combo->NewChild(name, uia::ControlType::kListItem)->SetCommand("font.set_family");
+  }
+  gsim::Control* size_combo = AddMenuButton(*font, "Font Size", uia::ControlType::kComboBox);
+  for (int s = 8; s <= 72; s += 2) {
+    size_combo->NewChild(std::to_string(s), uia::ControlType::kListItem)
+        ->SetCommand("font.set_size");
+  }
+  AddToggle(*font, "Bold", "font.bold")->SetHelpText("Toggle bold on the selection");
+  AddToggle(*font, "Italic", "font.italic");
+  gsim::Control* underline = AddMenuButton(*font, "Underline", uia::ControlType::kSplitButton);
+  static const char* kUnderlineStyles[] = {"Single Underline", "Double Underline",
+                                           "Thick Underline",  "Dotted Underline",
+                                           "Dashed Underline", "Wavy Underline"};
+  for (const char* style : kUnderlineStyles) {
+    AddButton(*underline, style, "font.underline_style");
+  }
+  AddSharedPaletteButton(*underline, "Underline Color", shared_palette_);
+  AddToggle(*font, "Strikethrough", "font.strikethrough");
+  AddToggle(*font, "Subscript", "font.subscript");
+  AddToggle(*font, "Superscript", "font.superscript");
+  gsim::Control* effects = AddMenuButton(*font, "Text Effects", uia::ControlType::kMenuItem);
+  AddGalleryItems(*effects, "Effect Preset", scale.Scaled(20), "font.effect_preset");
+  AddSharedPaletteButton(*effects, "Text Outline", shared_palette_);
+  gsim::Control* shadow = AddMenuButton(*effects, "Shadow", uia::ControlType::kMenuItem);
+  AddGalleryItems(*shadow, "Shadow Style", 9, "font.shadow");
+  gsim::Control* glow = AddMenuButton(*effects, "Glow", uia::ControlType::kMenuItem);
+  AddGalleryItems(*glow, "Glow Style", 12, "font.glow");
+  gsim::Control* highlight =
+      AddMenuButton(*font, "Text Highlight Color", uia::ControlType::kSplitButton);
+  static const char* kHighlights[] = {"Yellow Highlight", "Green Highlight",
+                                      "Cyan Highlight",   "Pink Highlight",
+                                      "Gray Highlight",   "No Highlight"};
+  for (const char* h : kHighlights) {
+    AddButton(*highlight, h, "color.highlight");
+  }
+  AddSharedPaletteButton(*font, "Font Color", shared_palette_);
+  AddButton(*font, "Clear All Formatting", "font.clear");
+  AddDialogLauncher(*font, "Font Settings", "font_dialog");
+
+  // Paragraph.
+  gsim::Control* para = AddGroup(panel, "Paragraph");
+  gsim::Control* bullets = AddMenuButton(*para, "Bullets", uia::ControlType::kSplitButton);
+  AddGalleryItems(*bullets, "Bullet Style", 12, "para.bullets");
+  gsim::Control* numbering = AddMenuButton(*para, "Numbering", uia::ControlType::kSplitButton);
+  AddGalleryItems(*numbering, "Numbering Style", 12, "para.numbering");
+  gsim::Control* multilevel = AddMenuButton(*para, "Multilevel List", uia::ControlType::kSplitButton);
+  AddGalleryItems(*multilevel, "List Level Style", 9, "para.multilevel");
+  AddButton(*para, "Decrease Indent", "para.indent_dec");
+  AddButton(*para, "Increase Indent", "para.indent_inc");
+  AddButton(*para, "Sort", "para.sort");
+  AddToggle(*para, "Show Formatting Marks", "view.marks");
+  AddButton(*para, "Align Left", "para.align:Left");
+  AddButton(*para, "Center", "para.align:Center");
+  AddButton(*para, "Align Right", "para.align:Right");
+  AddButton(*para, "Justify", "para.align:Justify");
+  gsim::Control* spacing = AddMenuButton(*para, "Line and Paragraph Spacing",
+                                         uia::ControlType::kMenuItem);
+  static const char* kSpacings[] = {"1.0", "1.15", "1.5", "2.0", "2.5", "3.0"};
+  for (const char* s : kSpacings) {
+    AddButton(*spacing, s, "para.line_spacing");
+  }
+  AddDialogLauncher(*spacing, "Line Spacing Options...", "paragraph_dialog");
+  gsim::Control* borders = AddMenuButton(*para, "Borders", uia::ControlType::kSplitButton);
+  static const char* kBorders[] = {"Bottom Border",  "Top Border",     "Left Border",
+                                   "Right Border",   "No Border",      "All Borders",
+                                   "Outside Borders","Inside Borders", "Horizontal Line"};
+  for (const char* b : kBorders) {
+    AddButton(*borders, b, "para.border");
+  }
+  AddDialogLauncher(*borders, "Borders and Shading...", "page_borders_dialog");
+
+  // Styles.
+  gsim::Control* styles = AddGroup(panel, "Styles");
+  gsim::Control* style_gallery = AddMenuButton(*styles, "Styles Gallery",
+                                               uia::ControlType::kMenuItem);
+  static const char* kStyleSeeds[] = {"Normal", "No Spacing", "Heading 1", "Heading 2",
+                                      "Title",  "Subtitle",   "Quote",     "Emphasis"};
+  const int style_count = scale.Scaled(120);
+  for (int i = 0; i < style_count; ++i) {
+    std::string name = i < 8 ? kStyleSeeds[i] : "Style " + std::to_string(i);
+    style_gallery->NewChild(name, uia::ControlType::kListItem)->SetCommand("style.apply");
+  }
+  AddButton(*styles, "Create a Style", "style.create");
+
+  // Editing.
+  gsim::Control* editing = AddGroup(panel, "Editing");
+  gsim::Control* find = AddMenuButton(*editing, "Find", uia::ControlType::kSplitButton);
+  AddButton(*find, "Find in Document", "edit.find_pane");
+  AddDialogLauncher(*find, "Advanced Find...", "find_replace_dialog");
+  AddDialogLauncher(*find, "Go To...", "find_replace_dialog");
+  AddDialogLauncher(*editing, "Replace", "find_replace_dialog");
+  gsim::Control* select = AddMenuButton(*editing, "Select", uia::ControlType::kMenuItem);
+  AddButton(*select, "Select All", "edit.select_all");
+  AddButton(*select, "Select Objects", "edit.select_objects");
+  AddButton(*select, "Selection Pane", "view.selection_pane");
+}
+
+void WordSim::BuildInsertTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* pages = AddGroup(panel, "Pages");
+  gsim::Control* cover = AddMenuButton(*pages, "Cover Page", uia::ControlType::kMenuItem);
+  AddGalleryItems(*cover, "Cover Design", scale.Scaled(60), "doc.cover_page");
+  AddButton(*pages, "Blank Page", "doc.blank_page");
+  AddButton(*pages, "Page Break", "doc.page_break");
+
+  gsim::Control* tables = AddGroup(panel, "Tables");
+  gsim::Control* table_menu = AddMenuButton(*tables, "Table", uia::ControlType::kMenuItem);
+  for (int r = 1; r <= 8; ++r) {
+    for (int c = 1; c <= 10; ++c) {
+      gsim::Control* cell = table_menu->NewChild(
+          "Table " + std::to_string(r) + " x " + std::to_string(c),
+          uia::ControlType::kListItem);
+      cell->SetCommand("table.insert_grid");
+    }
+  }
+  AddDialogLauncher(*table_menu, "Insert Table...", "insert_table_dialog");
+
+  gsim::Control* illus = AddGroup(panel, "Illustrations");
+  AddButton(*illus, "Pictures", "doc.insert_picture");
+  gsim::Control* shapes = AddMenuButton(*illus, "Shapes", uia::ControlType::kMenuItem);
+  AddGalleryItems(*shapes, "Shape", scale.Scaled(300), "doc.insert_shape");
+  gsim::Control* icons = AddMenuButton(*illus, "Icons", uia::ControlType::kMenuItem);
+  AddGalleryItems(*icons, "Icon", scale.Scaled(250), "doc.insert_icon");
+  AddDialogLauncher(*illus, "Chart", "chart_dialog");
+  AddDialogLauncher(*illus, "SmartArt", "smartart_dialog");
+
+  gsim::Control* hf = AddGroup(panel, "Header & Footer");
+  gsim::Control* header = AddMenuButton(*hf, "Header", uia::ControlType::kMenuItem);
+  AddGalleryItems(*header, "Header Design", scale.Scaled(20), "doc.header");
+  gsim::Control* footer = AddMenuButton(*hf, "Footer", uia::ControlType::kMenuItem);
+  AddGalleryItems(*footer, "Footer Design", scale.Scaled(20), "doc.footer");
+  gsim::Control* pagenum = AddMenuButton(*hf, "Page Number", uia::ControlType::kMenuItem);
+  static const char* kPageNumPlaces[] = {"Top of Page", "Bottom of Page", "Page Margins",
+                                         "Current Position"};
+  for (const char* place : kPageNumPlaces) {
+    gsim::Control* sub = AddMenuButton(*pagenum, place, uia::ControlType::kMenuItem);
+    AddGalleryItems(*sub, std::string(place) + " Number Style", 10, "doc.page_number");
+  }
+
+  gsim::Control* text = AddGroup(panel, "Text");
+  gsim::Control* textbox = AddMenuButton(*text, "Text Box", uia::ControlType::kMenuItem);
+  AddGalleryItems(*textbox, "Text Box Design", scale.Scaled(60), "doc.insert_textbox");
+  gsim::Control* quick_parts = AddMenuButton(*text, "Quick Parts", uia::ControlType::kMenuItem);
+  AddGalleryItems(*quick_parts, "Building Block", scale.Scaled(400), "doc.building_block");
+  gsim::Control* wordart = AddMenuButton(*text, "WordArt", uia::ControlType::kMenuItem);
+  AddGalleryItems(*wordart, "WordArt Style", scale.Scaled(30), "doc.wordart");
+  gsim::Control* dropcap = AddMenuButton(*text, "Drop Cap", uia::ControlType::kMenuItem);
+  AddButton(*dropcap, "Dropped", "doc.dropcap");
+  AddButton(*dropcap, "In Margin", "doc.dropcap");
+  AddButton(*dropcap, "None", "doc.dropcap_none");
+
+  gsim::Control* symbols = AddGroup(panel, "Symbols");
+  gsim::Control* equation = AddMenuButton(*symbols, "Equation", uia::ControlType::kSplitButton);
+  AddGalleryItems(*equation, "Equation Template", scale.Scaled(20), "doc.equation");
+  gsim::Control* symbol = AddMenuButton(*symbols, "Symbol", uia::ControlType::kMenuItem);
+  AddGalleryItems(*symbol, "Recent Symbol", 20, "doc.insert_symbol");
+  AddDialogLauncher(*symbol, "More Symbols...", "symbol_dialog");
+}
+
+void WordSim::BuildDesignTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* fmt = AddGroup(panel, "Document Formatting");
+  gsim::Control* themes = AddMenuButton(*fmt, "Themes", uia::ControlType::kMenuItem);
+  AddGalleryItems(*themes, "Theme", scale.Scaled(80), "theme.apply");
+  gsim::Control* doc_fmt = AddMenuButton(*fmt, "Style Sets", uia::ControlType::kMenuItem);
+  AddGalleryItems(*doc_fmt, "Style Set", scale.Scaled(30), "theme.style_set");
+  gsim::Control* colors = AddMenuButton(*fmt, "Theme Colors", uia::ControlType::kMenuItem);
+  AddGalleryItems(*colors, "Color Scheme", scale.Scaled(25), "theme.colors");
+  gsim::Control* fonts = AddMenuButton(*fmt, "Theme Fonts", uia::ControlType::kMenuItem);
+  AddGalleryItems(*fonts, "Font Scheme", scale.Scaled(25), "theme.fonts");
+  gsim::Control* para_sp = AddMenuButton(*fmt, "Paragraph Spacing", uia::ControlType::kMenuItem);
+  AddGalleryItems(*para_sp, "Spacing Preset", 6, "theme.paragraph_spacing");
+  gsim::Control* eff = AddMenuButton(*fmt, "Theme Effects", uia::ControlType::kMenuItem);
+  AddGalleryItems(*eff, "Effect Scheme", scale.Scaled(15), "theme.effects");
+
+  gsim::Control* bg = AddGroup(panel, "Page Background");
+  gsim::Control* watermark = AddMenuButton(*bg, "Watermark", uia::ControlType::kMenuItem);
+  AddGalleryItems(*watermark, "Watermark Design", 12, "page.watermark");
+  AddDialogLauncher(*watermark, "Custom Watermark...", "watermark_dialog");
+  AddSharedPaletteButton(*bg, "Page Color", shared_palette_);
+  AddDialogLauncher(*bg, "Page Borders", "page_borders_dialog");
+}
+
+void WordSim::BuildLayoutTab(gsim::Control& panel, const OfficeScale& scale) {
+  gsim::Control* setup = AddGroup(panel, "Page Setup");
+  gsim::Control* margins = AddMenuButton(*setup, "Margins", uia::ControlType::kMenuItem);
+  static const char* kMargins[] = {"Normal Margins", "Narrow Margins", "Moderate Margins",
+                                   "Wide Margins",   "Mirrored Margins"};
+  for (const char* m : kMargins) {
+    AddButton(*margins, m, "page.margins");
+  }
+  AddDialogLauncher(*margins, "Custom Margins...", "page_setup_dialog");
+  gsim::Control* orient = AddMenuButton(*setup, "Orientation", uia::ControlType::kMenuItem);
+  AddButton(*orient, "Portrait", "page.orientation");
+  AddButton(*orient, "Landscape", "page.orientation");
+  gsim::Control* size = AddMenuButton(*setup, "Size", uia::ControlType::kMenuItem);
+  AddGalleryItems(*size, "Paper Size", scale.Scaled(18), "page.size");
+  gsim::Control* cols = AddMenuButton(*setup, "Columns", uia::ControlType::kMenuItem);
+  static const char* kCols[] = {"One Column", "Two Columns", "Three Columns",
+                                "Left Column", "Right Column"};
+  for (const char* c : kCols) {
+    AddButton(*cols, c, "page.columns");
+  }
+  gsim::Control* breaks = AddMenuButton(*setup, "Breaks", uia::ControlType::kMenuItem);
+  AddGalleryItems(*breaks, "Break Kind", 10, "page.break");
+  gsim::Control* linenum = AddMenuButton(*setup, "Line Numbers", uia::ControlType::kMenuItem);
+  AddGalleryItems(*linenum, "Line Number Mode", 5, "page.line_numbers");
+  gsim::Control* hyphen = AddMenuButton(*setup, "Hyphenation", uia::ControlType::kMenuItem);
+  AddGalleryItems(*hyphen, "Hyphenation Mode", 4, "page.hyphenation");
+
+  gsim::Control* para_grp = AddGroup(panel, "Paragraph Layout");
+  para_grp->NewChild("Indent Left", uia::ControlType::kSpinner)->SetCommand("para.indent_left");
+  para_grp->NewChild("Indent Right", uia::ControlType::kSpinner)->SetCommand("para.indent_right");
+  para_grp->NewChild("Spacing Before", uia::ControlType::kSpinner)->SetCommand("para.space_before");
+  para_grp->NewChild("Spacing After", uia::ControlType::kSpinner)->SetCommand("para.space_after");
+
+  gsim::Control* arrange = AddGroup(panel, "Arrange");
+  gsim::Control* position = AddMenuButton(*arrange, "Position", uia::ControlType::kMenuItem);
+  AddGalleryItems(*position, "Position Preset", 9, "obj.position");
+  gsim::Control* wrap = AddMenuButton(*arrange, "Wrap Text", uia::ControlType::kMenuItem);
+  AddGalleryItems(*wrap, "Wrap Mode", 7, "obj.wrap");
+  AddButton(*arrange, "Bring Forward", "obj.forward");
+  AddButton(*arrange, "Send Backward", "obj.backward");
+  AddButton(*arrange, "Group Objects", "obj.group");
+  AddButton(*arrange, "Rotate Objects", "obj.rotate");
+}
+
+void WordSim::BuildBulkTabs(gsim::Control& tab_strip, const OfficeScale& scale) {
+  struct BulkTab {
+    const char* name;
+    std::vector<std::pair<const char*, std::vector<const char*>>> groups;
+  };
+  const std::vector<BulkTab> bulk = {
+      {"References",
+       {{"Table of Contents", {"Contents Style", "Update Table"}},
+        {"Footnotes", {"Footnote Kind", "Next Footnote"}},
+        {"Citations", {"Citation Style", "Manage Sources"}},
+        {"Captions", {"Caption Kind", "Cross-reference"}},
+        {"Index", {"Index Format", "Mark Entry"}}}},
+      {"Mailings",
+       {{"Create", {"Envelope Size", "Label Kind"}},
+        {"Mail Merge", {"Merge Mode", "Recipient List"}},
+        {"Fields", {"Merge Field", "Rules"}},
+        {"Finish", {"Finish Mode", "Preview Results"}}}},
+      {"Review",
+       {{"Proofing", {"Proofing Tool", "Word Count"}},
+        {"Language", {"Language Choice", "Translate Mode"}},
+        {"Comments", {"Comment Action", "Show Comments"}},
+        {"Tracking", {"Markup View", "Accept Mode"}},
+        {"Protect", {"Protection Kind", "Restrict Editing"}}}},
+      {"View",
+       {{"Views", {"View Mode", "Focus"}},
+        {"Show", {"Show Item", "Gridlines"}},
+        {"Zoom", {"Zoom Preset", "Page Width"}},
+        {"Window", {"Window Action", "Split"}},
+        {"Macros", {"Macro Action", "Record Macro"}}}},
+  };
+  for (const auto& tab : bulk) {
+    gsim::Control* panel = AddRibbonTab(tab_strip, tab.name, false);
+    for (const auto& [group_name, kinds] : tab.groups) {
+      gsim::Control* group = AddGroup(*panel, group_name);
+      // First kind becomes a gallery menu; second a pair of plain buttons.
+      gsim::Control* menu = AddMenuButton(*group, kinds[0], uia::ControlType::kMenuItem);
+      AddGalleryItems(*menu, kinds[0], scale.Scaled(32), "bulk.apply");
+      AddButton(*group, kinds[1], "bulk.action");
+      AddButton(*group, std::string(group_name) + " Options", "bulk.options");
+    }
+  }
+}
+
+void WordSim::BuildDocumentArea() {
+  gsim::Control& root = main_window().root();
+  document_ = root.NewChild("Document", uia::ControlType::kDocument);
+  document_->SetHelpText("The document editing surface");
+  document_->AttachPattern(std::make_unique<WordTextPattern>(this));
+  auto scroll = std::make_unique<SurfaceScroll>(
+      /*horizontal=*/false, /*vertical=*/true,
+      [this](double, double v) { scroll_percent_ = v; });
+  doc_scroll_ = scroll.get();
+  document_->AttachPattern(std::move(scroll));
+  gsim::Control* vbar = root.NewChild("Vertical Scroll Bar", uia::ControlType::kScrollBar);
+  vbar->NewChild("Scroll Thumb", uia::ControlType::kThumb);
+}
+
+void WordSim::BuildDialogs(const OfficeScale& scale) {
+  // Font dialog.
+  {
+    auto dialog = MakeDialog("Font", "");
+    gsim::Control& r = dialog->root();
+    gsim::Control* effects_group = r.NewChild("Effects", uia::ControlType::kGroup);
+    for (const char* opt : {"Strikethrough", "Double Strikethrough", "Superscript",
+                            "Subscript", "Small Caps", "All Caps", "Hidden"}) {
+      gsim::Control* cb = effects_group->NewChild(opt, uia::ControlType::kCheckBox);
+      cb->SetClickEffect(gsim::ClickEffect::kToggle);
+      cb->SetCommand("font.dialog_effect");
+    }
+    gsim::Control* style_list = r.NewChild("Font Style", uia::ControlType::kList);
+    for (const char* s : {"Regular", "Italic Style", "Bold Style", "Bold Italic Style"}) {
+      style_list->NewChild(s, uia::ControlType::kListItem)->SetCommand("font.dialog_style");
+    }
+    // Nested dialog with a pane-switching cycle inside.
+    AddDialogLauncher(r, "Text Effects...", "text_effects_dialog");
+    RegisterDialog("font_dialog", std::move(dialog));
+  }
+
+  // Text Effects dialog: two exclusive panes — the "Back" button re-reveals
+  // pane one, creating a genuine cycle in the navigation graph.
+  {
+    auto dialog = MakeDialog("Format Text Effects", "");
+    gsim::Control& r = dialog->root();
+    gsim::Control* fill_pane = r.NewChild("Text Fill Pane", uia::ControlType::kGroup);
+    for (const char* opt : {"No Text Fill", "Solid Text Fill", "Gradient Text Fill"}) {
+      gsim::Control* rb = fill_pane->NewChild(opt, uia::ControlType::kRadioButton);
+      rb->SetCommand("font.text_fill");
+    }
+    AddButton(*fill_pane, "Outline Options", "pane.show:te_outline");
+    gsim::Control* outline_pane = r.NewChild("Text Outline Pane", uia::ControlType::kGroup);
+    outline_pane->SetForcedOffscreen(true);
+    for (const char* opt : {"No Outline Line", "Solid Outline Line", "Gradient Outline Line"}) {
+      gsim::Control* rb = outline_pane->NewChild(opt, uia::ControlType::kRadioButton);
+      rb->SetCommand("font.text_outline");
+    }
+    AddButton(*outline_pane, "Back to Fill Options", "pane.show:te_fill");
+    RegisterDialog("text_effects_dialog", std::move(dialog));
+  }
+
+  // Find & Replace dialog.
+  {
+    auto dialog = MakeDialog("Find and Replace", "");
+    gsim::Control& r = dialog->root();
+    gsim::Control* find_edit = r.NewChild("Find what", uia::ControlType::kEdit);
+    find_edit->SetAutomationId("fr_find");
+    gsim::Control* replace_edit = r.NewChild("Replace with", uia::ControlType::kEdit);
+    replace_edit->SetAutomationId("fr_replace");
+    gsim::Control* find_next = AddButton(r, "Find Next", "edit.find_next");
+    find_next_button_ = find_next;
+    AddButton(r, "Replace One", "edit.replace_one");
+    AddButton(r, "Replace All", "edit.replace_all");
+    gsim::Control* more = AddMenuButton(r, "More Options", uia::ControlType::kButton);
+    gsim::Control* mc = more->NewChild("Match Case", uia::ControlType::kCheckBox);
+    mc->SetClickEffect(gsim::ClickEffect::kToggle);
+    mc->SetCommand("fr.match_case");
+    // The gotcha control: formats the whole "Find what" criterion, not the
+    // current document selection (§5.6 failure example).
+    gsim::Control* sub = more->NewChild("Subscript", uia::ControlType::kCheckBox);
+    sub->SetClickEffect(gsim::ClickEffect::kToggle);
+    sub->SetCommand("fr.subscript");
+    sub->SetHelpText("Search criterion: match subscript-formatted text of the Find field");
+    gsim::Control* special = AddMenuButton(*more, "Special", uia::ControlType::kMenuItem);
+    AddGalleryItems(*special, "Special Mark", 20, "fr.special");
+    RegisterDialog("find_replace_dialog", std::move(dialog));
+  }
+
+  // Insert Table dialog.
+  {
+    auto dialog = MakeDialog("Insert Table", "table.insert_dialog");
+    gsim::Control& r = dialog->root();
+    r.NewChild("Number of columns", uia::ControlType::kEdit)->SetAutomationId("tbl_cols");
+    r.NewChild("Number of rows", uia::ControlType::kEdit)->SetAutomationId("tbl_rows");
+    RegisterDialog("insert_table_dialog", std::move(dialog));
+  }
+
+  // Symbol dialog: large grid.
+  {
+    auto dialog = MakeDialog("Symbol", "");
+    gsim::Control& r = dialog->root();
+    gsim::Control* grid = r.NewChild("Symbol Grid", uia::ControlType::kList);
+    const int symbol_count = scale.Scaled(600);
+    for (int i = 0; i < symbol_count; ++i) {
+      grid->NewChild("Symbol U+" + std::to_string(0x2200 + i), uia::ControlType::kListItem)
+          ->SetCommand("doc.insert_symbol");
+    }
+    RegisterDialog("symbol_dialog", std::move(dialog));
+  }
+
+  // More Colors dialog (reached from the shared palette).
+  {
+    auto dialog = MakeDialog("Colors", "");
+    gsim::Control& r = dialog->root();
+    gsim::Control* honeycomb = r.NewChild("Custom Color Grid", uia::ControlType::kList);
+    const int cells = scale.Scaled(216);
+    for (int i = 0; i < cells; ++i) {
+      honeycomb->NewChild("Custom Color " + std::to_string(i), uia::ControlType::kListItem)
+          ->SetCommand("color.pick");
+    }
+    RegisterDialog("more_colors_dialog", std::move(dialog));
+  }
+
+  // Remaining simple dialogs.
+  for (const auto& [id, title, ok_cmd] :
+       std::vector<std::tuple<std::string, std::string, std::string>>{
+           {"paragraph_dialog", "Paragraph", "para.dialog_apply"},
+           {"page_setup_dialog", "Page Setup", "page.setup_apply"},
+           {"page_borders_dialog", "Borders and Shading", "page.borders_apply"},
+           {"chart_dialog", "Insert Chart", "doc.insert_chart"},
+           {"smartart_dialog", "Choose a SmartArt Graphic", "doc.insert_smartart"},
+           {"watermark_dialog", "Printed Watermark", "page.watermark_custom"},
+       }) {
+    auto dialog = MakeDialog(title, ok_cmd);
+    gsim::Control& r = dialog->root();
+    for (int i = 1; i <= 8; ++i) {
+      gsim::Control* opt = r.NewChild(title + " Option " + std::to_string(i),
+                                      uia::ControlType::kCheckBox);
+      opt->SetClickEffect(gsim::ClickEffect::kToggle);
+    }
+    r.NewChild(title + " Value", uia::ControlType::kEdit);
+    RegisterDialog(id, std::move(dialog));
+  }
+}
+
+support::Status WordSim::ApplyToSelection(const std::function<void(WordParagraph&)>& fn) {
+  if (sel_start_ < 0 || sel_end_ < sel_start_) {
+    return support::FailedPreconditionError("no text is selected");
+  }
+  const int hi = std::min(sel_end_, static_cast<int>(paragraphs_.size()) - 1);
+  for (int i = sel_start_; i <= hi; ++i) {
+    fn(paragraphs_[static_cast<size_t>(i)]);
+  }
+  return support::Status::Ok();
+}
+
+support::Status WordSim::ApplyColor(gsim::Control& source) {
+  const std::string color = source.TrueName();
+  const std::vector<std::string> chain = OpenAncestorNames(source);
+  auto chain_has = [&](const std::string& name) {
+    return std::find(chain.begin(), chain.end(), name) != chain.end();
+  };
+  if (chain_has("Page Color")) {
+    page_color_ = color;
+    return support::Status::Ok();
+  }
+  if (chain_has("Underline Color")) {
+    return ApplyToSelection([&](WordParagraph& p) {
+      p.fmt.underline = true;
+      p.fmt.underline_color = color;
+    });
+  }
+  if (chain_has("Text Outline")) {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.outline_color = color; });
+  }
+  // Font Color hosts (and the More Colors dialog fallback).
+  return ApplyToSelection([&](WordParagraph& p) { p.fmt.color = color; });
+}
+
+support::Status WordSim::ExecuteCommand(gsim::Control& source, const std::string& command) {
+  const std::string name = source.TrueName();
+
+  if (command == "color.pick") {
+    return ApplyColor(source);
+  }
+  if (command == "color.highlight") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.highlight = name; });
+  }
+  if (command == "font.bold") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.bold = source.toggled(); });
+  }
+  if (command == "font.italic") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.italic = source.toggled(); });
+  }
+  if (command == "font.strikethrough") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.strikethrough = source.toggled(); });
+  }
+  if (command == "font.subscript") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.subscript = source.toggled(); });
+  }
+  if (command == "font.superscript") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.superscript = source.toggled(); });
+  }
+  if (command == "font.underline_style") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.underline = true; });
+  }
+  if (command == "font.set_family") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.font = name; });
+  }
+  if (command == "font.set_size") {
+    const int size = std::atoi(name.c_str());
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt.size = size; });
+  }
+  if (command == "font.clear") {
+    return ApplyToSelection([&](WordParagraph& p) { p.fmt = CharFormat{}; });
+  }
+  if (command == "font.dialog_effect") {
+    // Font-dialog checkboxes mirror the ribbon toggles.
+    if (name == "Subscript") {
+      return ApplyToSelection([&](WordParagraph& p) { p.fmt.subscript = source.toggled(); });
+    }
+    if (name == "Superscript") {
+      return ApplyToSelection([&](WordParagraph& p) { p.fmt.superscript = source.toggled(); });
+    }
+    if (name == "Strikethrough") {
+      return ApplyToSelection(
+          [&](WordParagraph& p) { p.fmt.strikethrough = source.toggled(); });
+    }
+    effects_.insert(command + ":" + name);
+    return support::Status::Ok();
+  }
+  if (support::StartsWith(command, "para.align:")) {
+    const std::string align = command.substr(std::string("para.align:").size());
+    return ApplyToSelection([&](WordParagraph& p) { p.alignment = align; });
+  }
+  if (command == "para.line_spacing") {
+    const double spacing = std::atof(name.c_str());
+    return ApplyToSelection([&](WordParagraph& p) { p.line_spacing = spacing; });
+  }
+  if (command == "style.apply") {
+    return ApplyToSelection([&](WordParagraph& p) { p.style = name; });
+  }
+  if (command == "page.orientation") {
+    page_orientation_ = name;
+    return support::Status::Ok();
+  }
+  if (command == "table.insert_grid") {
+    // "Table R x C"
+    int r = 0;
+    int c = 0;
+    if (std::sscanf(name.c_str(), "Table %d x %d", &r, &c) == 2) {
+      table_rows_ = r;
+      table_cols_ = c;
+      return support::Status::Ok();
+    }
+    return support::InvalidArgumentError("malformed table grid cell name: " + name);
+  }
+  if (command == "table.insert_dialog") {
+    table_rows_ = std::max(1, table_rows_pending_());
+    table_cols_ = std::max(1, table_cols_pending_());
+    return support::Status::Ok();
+  }
+  if (command == "edit.select_all") {
+    SetSelection(0, static_cast<int>(paragraphs_.size()) - 1);
+    return support::Status::Ok();
+  }
+  if (command == "edit.find_next") {
+    return support::Status::Ok();
+  }
+  if (command == "edit.replace_one" || command == "edit.replace_all") {
+    if (find_text_.empty()) {
+      return support::FailedPreconditionError("'Find what' is empty");
+    }
+    int replaced = 0;
+    for (auto& p : paragraphs_) {
+      std::string target = find_text_;
+      std::string hay = p.text;
+      if (!fr_match_case_) {
+        target = support::ToLower(target);
+        hay = support::ToLower(hay);
+      }
+      const bool contains = hay.find(target) != std::string::npos;
+      if (!contains) {
+        continue;
+      }
+      if (fr_subscript_) {
+        // Gotcha semantics: the Subscript option constrains/acts on the whole
+        // matched run as a criterion — modeled as applying subscript to the
+        // matched paragraph rather than replacing within the selection.
+        p.fmt.subscript = true;
+      } else {
+        p.text = support::ReplaceAll(p.text, find_text_, replace_text_);
+      }
+      ++replaced;
+      if (command == "edit.replace_one") {
+        break;
+      }
+    }
+    replace_count_ += replaced;
+    return support::Status::Ok();
+  }
+  if (command == "fr.match_case") {
+    fr_match_case_ = source.toggled();
+    return support::Status::Ok();
+  }
+  if (command == "fr.subscript") {
+    fr_subscript_ = source.toggled();
+    return support::Status::Ok();
+  }
+  if (support::StartsWith(command, "pane.show:")) {
+    const std::string pane = command.substr(std::string("pane.show:").size());
+    gsim::Window* te = FindDialog("text_effects_dialog");
+    if (te != nullptr) {
+      gsim::Control* fill = nullptr;
+      gsim::Control* outline = nullptr;
+      te->root().WalkStatic([&](gsim::Control& c) {
+        if (c.TrueName() == "Text Fill Pane") {
+          fill = &c;
+        } else if (c.TrueName() == "Text Outline Pane") {
+          outline = &c;
+        }
+      });
+      if (fill != nullptr && outline != nullptr) {
+        fill->SetForcedOffscreen(pane != "te_fill");
+        outline->SetForcedOffscreen(pane != "te_outline");
+      }
+    }
+    return support::Status::Ok();
+  }
+
+  // Everything else (bulk galleries, themes, inserts, ...) records a generic
+  // effect keyed by command and source name, which task verifiers can query.
+  effects_.insert(command + ":" + name);
+  return support::Status::Ok();
+}
+
+int WordSim::table_rows_pending_() {
+  gsim::Window* d = FindDialog("insert_table_dialog");
+  if (d == nullptr) {
+    return 0;
+  }
+  int rows = 0;
+  d->root().WalkStatic([&](gsim::Control& c) {
+    if (c.AutomationId() == "tbl_rows") {
+      rows = std::atoi(c.text_value().c_str());
+    }
+  });
+  return rows;
+}
+
+int WordSim::table_cols_pending_() {
+  gsim::Window* d = FindDialog("insert_table_dialog");
+  if (d == nullptr) {
+    return 0;
+  }
+  int cols = 0;
+  d->root().WalkStatic([&](gsim::Control& c) {
+    if (c.AutomationId() == "tbl_cols") {
+      cols = std::atoi(c.text_value().c_str());
+    }
+  });
+  return cols;
+}
+
+support::Status WordSim::OnKeyChord(const std::string& chord) {
+  if (chord == "CTRL+A") {
+    SetSelection(0, static_cast<int>(paragraphs_.size()) - 1);
+    return support::Status::Ok();
+  }
+  if (chord == "ENTER") {
+    return support::Status::Ok();  // edits commit eagerly in WordSim
+  }
+  return support::Status::Ok();
+}
+
+void WordSim::OnValueChanged(gsim::Control& control) {
+  if (control.AutomationId() == "fr_find") {
+    find_text_ = control.text_value();
+    // The §6 modeling hazard: entering special go-to codes (+1, +2, ...)
+    // dynamically renames the "Find Next" button to "Go To" — a conditional
+    // UI change no DFS exploration captures offline.
+    if (find_next_button_ != nullptr) {
+      const bool special = !find_text_.empty() && find_text_[0] == '+';
+      find_next_button_->RenameTo(special ? "Go To" : "Find Next");
+    }
+  } else if (control.AutomationId() == "fr_replace") {
+    replace_text_ = control.text_value();
+  }
+}
+
+void WordSim::OnUiReset() {
+  gsim::Window* te = FindDialog("text_effects_dialog");
+  if (te != nullptr) {
+    te->root().WalkStatic([&](gsim::Control& c) {
+      if (c.TrueName() == "Text Fill Pane") {
+        c.SetForcedOffscreen(false);
+      } else if (c.TrueName() == "Text Outline Pane") {
+        c.SetForcedOffscreen(true);
+      }
+    });
+  }
+}
+
+}  // namespace apps

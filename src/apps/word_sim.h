@@ -1,0 +1,130 @@
+// WordSim: a synthetic word processor with Office-scale UI.
+//
+// Reproduces the structures the paper's Word case study depends on:
+//   - a ribbon with 8 tabs, nested menus and galleries (>4K controls total);
+//   - the path-dependent color picker: Font Color, Underline Color and Text
+//     Outline all open the SAME shared palette subtree (merge node), and the
+//     picked cell's meaning is resolved from the access path;
+//   - a Find & Replace dialog whose Subscript option applies to the whole
+//     "Find what" field, not the document selection (the §5.6 gotcha);
+//   - a scrollable document implementing TextPattern (lines/paragraphs) and
+//     ScrollPattern (declarative scroll).
+#ifndef SRC_APPS_WORD_SIM_H_
+#define SRC_APPS_WORD_SIM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/office_common.h"
+#include "src/gui/application.h"
+
+namespace apps {
+
+struct CharFormat {
+  bool bold = false;
+  bool italic = false;
+  bool underline = false;
+  bool strikethrough = false;
+  bool subscript = false;
+  bool superscript = false;
+  std::string color = "Black";
+  std::string underline_color = "Black";
+  std::string outline_color = "None";
+  std::string highlight = "None";
+  std::string font = "Calibri";
+  int size = 11;
+};
+
+struct WordParagraph {
+  std::string text;
+  CharFormat fmt;
+  std::string alignment = "Left";
+  double line_spacing = 1.0;
+  std::string style = "Normal";
+};
+
+class WordSim final : public gsim::Application {
+ public:
+  explicit WordSim(const OfficeScale& scale = OfficeScale{});
+
+  // ----- document model -------------------------------------------------------
+  std::vector<WordParagraph>& paragraphs() { return paragraphs_; }
+  const std::vector<WordParagraph>& paragraphs() const { return paragraphs_; }
+
+  // Selection is a paragraph range [start, end], inclusive; (-1,-1) = none.
+  void SetSelection(int start, int end);
+  int selection_start() const { return sel_start_; }
+  int selection_end() const { return sel_end_; }
+
+  double scroll_percent() const { return scroll_percent_; }
+
+  const std::string& page_color() const { return page_color_; }
+  const std::string& page_orientation() const { return page_orientation_; }
+  int table_rows() const { return table_rows_; }
+  int table_cols() const { return table_cols_; }
+
+  // Generic effects applied through bulk galleries ("theme.apply:Theme 12").
+  bool HasEffect(const std::string& effect) const { return effects_.count(effect) > 0; }
+  const std::set<std::string>& effects() const { return effects_; }
+
+  // Find & Replace state.
+  const std::string& find_text() const { return find_text_; }
+  const std::string& replace_text() const { return replace_text_; }
+  int replace_count() const { return replace_count_; }
+
+  // ----- key controls (borrowed) ----------------------------------------------
+  gsim::Control* document_control() const { return document_; }
+
+  // ----- Application overrides -------------------------------------------------
+  support::Status ExecuteCommand(gsim::Control& source, const std::string& command) override;
+  support::Status OnKeyChord(const std::string& chord) override;
+  void OnValueChanged(gsim::Control& control) override;
+  void OnUiReset() override;
+
+ private:
+  void BuildUi(const OfficeScale& scale);
+  void BuildHomeTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildInsertTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildDesignTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildLayoutTab(gsim::Control& panel, const OfficeScale& scale);
+  void BuildBulkTabs(gsim::Control& tab_strip, const OfficeScale& scale);
+  void BuildDialogs(const OfficeScale& scale);
+  void BuildDocumentArea();
+
+  // Applies `fn` to every selected paragraph; errors if nothing is selected.
+  support::Status ApplyToSelection(const std::function<void(WordParagraph&)>& fn);
+
+  // Resolves which color property a palette click sets, from the open
+  // ancestor chain of the clicked cell.
+  support::Status ApplyColor(gsim::Control& source);
+
+  // Reads the pending row/col values typed into the Insert Table dialog.
+  int table_rows_pending_();
+  int table_cols_pending_();
+
+  std::vector<WordParagraph> paragraphs_;
+  int sel_start_ = -1;
+  int sel_end_ = -1;
+  double scroll_percent_ = 0.0;
+  std::string page_color_ = "None";
+  std::string page_orientation_ = "Portrait";
+  int table_rows_ = 0;
+  int table_cols_ = 0;
+  std::set<std::string> effects_;
+
+  std::string find_text_;
+  std::string replace_text_;
+  bool fr_subscript_ = false;  // the Find&Replace subscript option
+  bool fr_match_case_ = false;
+  int replace_count_ = 0;
+
+  gsim::Control* shared_palette_ = nullptr;
+  gsim::Control* document_ = nullptr;
+  gsim::Control* find_next_button_ = nullptr;
+  SurfaceScroll* doc_scroll_ = nullptr;
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_WORD_SIM_H_

@@ -1,0 +1,92 @@
+#include "src/describe/augment.h"
+
+#include "src/support/strings.h"
+
+namespace desc {
+namespace {
+
+bool IsLeafNode(const topo::NavGraph& graph, int node) {
+  return graph.successors(node).empty();
+}
+
+}  // namespace
+
+std::vector<AugmentRule> BuiltinAugmentRules() {
+  std::vector<AugmentRule> rules;
+
+  // Edits and combo boxes: the §5.7 Name Box lesson — input may not commit
+  // until ENTER; an agent must be told explicitly.
+  rules.push_back(AugmentRule{
+      "edit-commit",
+      [](const topo::NavGraph& g, int n) {
+        const auto t = g.node(n).type;
+        return t == uia::ControlType::kEdit || t == uia::ControlType::kComboBox;
+      },
+      [](const topo::NavGraph& g, int n) {
+        return "Text input field '" + g.node(n).name +
+               "'; typed input may require ENTER to commit";
+      }});
+
+  // Navigation hosts: summarize what they lead to.
+  rules.push_back(AugmentRule{
+      "menu-host",
+      [](const topo::NavGraph& g, int n) {
+        return !IsLeafNode(g, n) && n != topo::NavGraph::kRootIndex;
+      },
+      [](const topo::NavGraph& g, int n) {
+        return support::Format("opens %zu nested control(s)", g.successors(n).size());
+      }});
+
+  // Window-disposal buttons.
+  rules.push_back(AugmentRule{
+      "dialog-button",
+      [](const topo::NavGraph& g, int n) {
+        const std::string& name = g.node(n).name;
+        return IsLeafNode(g, n) && (name == "OK" || name == "Cancel" || name == "Close");
+      },
+      [](const topo::NavGraph& g, int n) {
+        const std::string& name = g.node(n).name;
+        if (name == "OK") {
+          return std::string("commits the dialog's changes and closes it");
+        }
+        if (name == "Cancel") {
+          return std::string("discards the dialog's changes and closes it");
+        }
+        return std::string("closes the window");
+      }});
+
+  // Toggles.
+  rules.push_back(AugmentRule{
+      "toggle",
+      [](const topo::NavGraph& g, int n) {
+        return g.node(n).type == uia::ControlType::kCheckBox;
+      },
+      [](const topo::NavGraph& g, int n) {
+        return "Checkbox '" + g.node(n).name + "': flips between on and off";
+      }});
+
+  return rules;
+}
+
+AugmentStats AugmentDescriptions(topo::NavGraph& graph,
+                                 const std::vector<AugmentRule>& rules) {
+  AugmentStats stats;
+  for (size_t i = 1; i < graph.node_count(); ++i) {
+    const int node = static_cast<int>(i);
+    ++stats.visited;
+    if (!graph.node(node).description.empty()) {
+      ++stats.skipped_existing;
+      continue;
+    }
+    for (const AugmentRule& rule : rules) {
+      if (rule.applies(graph, node)) {
+        graph.mutable_node(node).description = rule.synthesize(graph, node);
+        ++stats.augmented;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace desc

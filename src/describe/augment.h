@@ -1,0 +1,49 @@
+// Description augmentation — the paper's §5.7 "Rich control descriptions"
+// lesson: "Future work can augment the textual navigation topology with
+// descriptions synthesized from documentation or curated by LLMs."
+//
+// This module implements the rule-based half of that future work: a set of
+// synthesis rules that attach operational descriptions to controls whose
+// application metadata is silent — commit requirements for edits, dialog
+// pointers for launchers, palette-role reminders for shared-subtree hosts.
+// Rules never overwrite an application-provided description.
+#ifndef SRC_DESCRIBE_AUGMENT_H_
+#define SRC_DESCRIBE_AUGMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/topology/nav_graph.h"
+
+namespace desc {
+
+// One synthesis rule: if `applies` matches the node (given the graph context),
+// `synthesize` produces a description.
+struct AugmentRule {
+  std::string name;
+  std::function<bool(const topo::NavGraph&, int node)> applies;
+  std::function<std::string(const topo::NavGraph&, int node)> synthesize;
+};
+
+// The built-in rule set:
+//   edit-commit     Edit/ComboBox controls: note that input may need ENTER;
+//   menu-host       non-leaf nodes: name how many child functions they hold;
+//   dialog-button   OK/Cancel/Close leaves: state the disposal semantics;
+//   toggle          CheckBox leaves: note on/off semantics.
+std::vector<AugmentRule> BuiltinAugmentRules();
+
+struct AugmentStats {
+  size_t visited = 0;
+  size_t augmented = 0;
+  size_t skipped_existing = 0;  // app already documented the control
+};
+
+// Applies the rules to every node missing a description; returns statistics.
+// Mutates the graph's NodeInfo::description fields in place.
+AugmentStats AugmentDescriptions(topo::NavGraph& graph,
+                                 const std::vector<AugmentRule>& rules);
+
+}  // namespace desc
+
+#endif  // SRC_DESCRIBE_AUGMENT_H_

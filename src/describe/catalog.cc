@@ -1,0 +1,121 @@
+#include "src/describe/catalog.h"
+
+#include <functional>
+#include <map>
+
+#include "src/text/tokens.h"
+
+namespace desc {
+namespace {
+
+// True if the node's children form a large homogeneous enumeration.
+bool IsLargeEnumeration(const topo::NavGraph& dag, const topo::Tree& tree,
+                        const topo::TreeNode& node, size_t limit) {
+  if (node.children.size() <= limit) {
+    return false;
+  }
+  std::map<uia::ControlType, size_t> type_counts;
+  for (int child : node.children) {
+    const topo::TreeNode& cn = tree.nodes[static_cast<size_t>(child)];
+    if (cn.is_reference) {
+      continue;
+    }
+    ++type_counts[dag.node(cn.graph_index).type];
+  }
+  size_t top = 0;
+  for (const auto& [type, count] : type_counts) {
+    top = std::max(top, count);
+  }
+  return top * 10 >= node.children.size() * 9;
+}
+
+}  // namespace
+
+TopologyCatalog::TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest,
+                                 PruneOptions prune, DescribeOptions describe)
+    : dag_(dag), forest_(std::move(forest)), describe_(describe) {
+  ComputeCore(prune);
+  core_text_ = SerializeForest(*dag_, forest_, describe_, &core_ids_);
+}
+
+void TopologyCatalog::ComputeCore(const PruneOptions& prune) {
+  // Walk every tree, keeping nodes up to max_depth, eliding large
+  // enumerations' children and manually excluded subtrees.
+  std::function<void(const topo::Tree&, int, int)> visit = [&](const topo::Tree& tree,
+                                                               int index, int depth) {
+    const topo::TreeNode& node = tree.nodes[static_cast<size_t>(index)];
+    core_ids_.insert(node.id);
+    ++core_stats_.kept;
+    if (node.is_reference) {
+      return;
+    }
+    if (depth >= prune.max_depth) {
+      core_stats_.elided += node.children.size();
+      return;
+    }
+    const topo::NodeInfo& info = dag_->node(node.graph_index);
+    if (prune.manual_exclude_names.count(info.name) > 0) {
+      core_stats_.elided += node.children.size();
+      return;
+    }
+    if (IsLargeEnumeration(*dag_, tree, node, prune.enumeration_limit)) {
+      core_stats_.elided += node.children.size();
+      ++core_stats_.elided_enumerations;
+      return;
+    }
+    for (int child : node.children) {
+      visit(tree, child, depth + 1);
+    }
+  };
+  visit(forest_.main(), 0, 0);
+  for (const topo::Tree& tree : forest_.shared()) {
+    if (!tree.nodes.empty()) {
+      visit(tree, 0, 0);
+    }
+  }
+}
+
+size_t TopologyCatalog::CoreTokens() const { return textutil::CountTokens(core_text_); }
+
+std::string TopologyCatalog::FullText() const {
+  return SerializeForest(*dag_, forest_, describe_, nullptr);
+}
+
+size_t TopologyCatalog::FullTokens() const { return textutil::CountTokens(FullText()); }
+
+support::Result<std::string> TopologyCatalog::ExpandBranch(int id) const {
+  auto loc = forest_.LocateById(id);
+  if (!loc.ok()) {
+    return loc.status();
+  }
+  const topo::TreeNode* node = forest_.NodeAt(*loc);
+  if (node->is_reference) {
+    // Expanding a reference expands the shared subtree it points at.
+    const topo::Tree& target = forest_.shared()[static_cast<size_t>(node->ref_subtree)];
+    (void)target;
+    return std::string("## Shared subtree S") + std::to_string(node->ref_subtree) + "\n" +
+           SerializeTree(*dag_, forest_, node->ref_subtree, describe_, nullptr);
+  }
+  // Serialize the branch rooted at `id` without pruning: temporary keep-set
+  // of the branch's ids.
+  const topo::Tree& tree = loc->tree < 0 ? forest_.main()
+                                         : forest_.shared()[static_cast<size_t>(loc->tree)];
+  std::set<int> branch;
+  std::function<void(int)> collect = [&](int index) {
+    const topo::TreeNode& n = tree.nodes[static_cast<size_t>(index)];
+    branch.insert(n.id);
+    for (int child : n.children) {
+      collect(child);
+    }
+  };
+  collect(loc->node);
+  // Also keep ancestors so the output is rooted and readable.
+  int cursor = loc->node;
+  while (cursor >= 0) {
+    branch.insert(tree.nodes[static_cast<size_t>(cursor)].id);
+    cursor = tree.nodes[static_cast<size_t>(cursor)].parent;
+  }
+  return SerializeTree(*dag_, forest_, loc->tree, describe_, &branch);
+}
+
+}  // namespace desc

@@ -1,0 +1,141 @@
+#include "src/describe/serialize.h"
+
+#include "src/support/strings.h"
+#include "src/text/tokens.h"
+
+namespace desc {
+namespace {
+
+const topo::Tree& TreeOf(const topo::Forest& forest, int tree) {
+  return tree < 0 ? forest.main() : forest.shared()[static_cast<size_t>(tree)];
+}
+
+void SerializeNode(const topo::NavGraph& dag, const topo::Forest& forest,
+                   const topo::Tree& tree, int node_index, const DescribeOptions& options,
+                   const std::set<int>* keep, std::string& out) {
+  const topo::TreeNode& node = tree.nodes[static_cast<size_t>(node_index)];
+  if (node.is_reference) {
+    out += "@ref->S" + std::to_string(node.ref_subtree) + "_" + std::to_string(node.id);
+    return;
+  }
+  const topo::NodeInfo& info = dag.node(node.graph_index);
+  out += info.name.empty() ? "[Unnamed]" : info.name;
+  // Type is attached for key control types and for navigation non-leaves;
+  // plain leaf items omit it to save tokens.
+  const bool non_leaf = !node.children.empty();
+  if (uia::IsKeyControlType(info.type) || non_leaf) {
+    out += "(";
+    out += uia::ControlTypeName(info.type);
+    out += ")";
+  }
+  if (options.include_descriptions && !info.description.empty() &&
+      WantsDescription(dag, forest, node)) {
+    out += "(";
+    out += textutil::TruncateToTokens(info.description, options.max_description_tokens);
+    out += ")";
+  }
+  out += "_" + std::to_string(node.id);
+
+  // Children (respecting the keep-set).
+  std::vector<int> emitted;
+  size_t elided = 0;
+  for (int child : node.children) {
+    const topo::TreeNode& cn = tree.nodes[static_cast<size_t>(child)];
+    if (keep != nullptr && keep->count(cn.id) == 0) {
+      ++elided;
+      continue;
+    }
+    emitted.push_back(child);
+  }
+  if (emitted.empty() && elided == 0) {
+    return;
+  }
+  out += "[";
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    SerializeNode(dag, forest, tree, emitted[i], options, keep, out);
+  }
+  if (elided > 0) {
+    if (!emitted.empty()) {
+      out += ",";
+    }
+    out += "+" + std::to_string(elided) + " more";
+  }
+  out += "]";
+}
+
+}  // namespace
+
+bool WantsDescription(const topo::NavGraph& dag, const topo::Forest& forest,
+                      const topo::TreeNode& node) {
+  (void)forest;
+  if (node.is_reference) {
+    return false;
+  }
+  if (!node.children.empty()) {
+    return true;  // navigation nodes are few but pivotal (§4.2)
+  }
+  return uia::IsKeyControlType(dag.node(node.graph_index).type);
+}
+
+std::string SerializeTree(const topo::NavGraph& dag, const topo::Forest& forest, int tree,
+                          const DescribeOptions& options, const std::set<int>* keep) {
+  const topo::Tree& t = TreeOf(forest, tree);
+  if (t.nodes.empty()) {
+    return "";
+  }
+  std::string out;
+  SerializeNode(dag, forest, t, 0, options, keep, out);
+  return out;
+}
+
+std::string SerializeForest(const topo::NavGraph& dag, const topo::Forest& forest,
+                            const DescribeOptions& options, const std::set<int>* keep) {
+  std::string out = "# Navigation topology\n## Main tree\n";
+  out += SerializeTree(dag, forest, -1, options, keep);
+  out += "\n";
+  for (size_t s = 0; s < forest.shared().size(); ++s) {
+    // A shared subtree whose every node is pruned away can be skipped.
+    if (keep != nullptr) {
+      const topo::TreeNode& root = forest.shared()[s].nodes[0];
+      if (keep->count(root.id) == 0) {
+        continue;
+      }
+    }
+    out += "## Shared subtree S" + std::to_string(s) + "\n";
+    out += SerializeTree(dag, forest, static_cast<int>(s), options, keep);
+    out += "\n";
+  }
+  // Entry map: reference id -> subtree root id (paper §3.3 "shared subtree
+  // entry map").
+  std::string entries;
+  auto scan = [&](const topo::Tree& t) {
+    for (const topo::TreeNode& n : t.nodes) {
+      if (!n.is_reference) {
+        continue;
+      }
+      if (keep != nullptr && keep->count(n.id) == 0) {
+        continue;
+      }
+      const topo::TreeNode& root =
+          forest.shared()[static_cast<size_t>(n.ref_subtree)].nodes[0];
+      if (!entries.empty()) {
+        entries += ",";
+      }
+      entries += std::to_string(n.id) + "->S" + std::to_string(n.ref_subtree) + ":" +
+                 std::to_string(root.id);
+    }
+  };
+  scan(forest.main());
+  for (const topo::Tree& t : forest.shared()) {
+    scan(t);
+  }
+  if (!entries.empty()) {
+    out += "## Entry map (ref_id->subtree:root_id)\n" + entries + "\n";
+  }
+  return out;
+}
+
+}  // namespace desc

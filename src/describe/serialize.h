@@ -1,0 +1,50 @@
+// Context-efficient textual descriptions of controls and navigation
+// (paper §3.3, §4.2).
+//
+// Output schema per node:
+//     name(type)(description)_id[children]
+// Parenthesized fields are optional; square brackets nest children; the id is
+// the forest's consecutive integer (compact references for the LLM). The
+// name/type/description come from the application's accessibility metadata.
+// Reference nodes serialize as  @ref->Sk_id  and the forest header carries the
+// shared-subtree entry map connecting references to subtree roots.
+#ifndef SRC_DESCRIBE_SERIALIZE_H_
+#define SRC_DESCRIBE_SERIALIZE_H_
+
+#include <set>
+#include <string>
+
+#include "src/topology/nav_graph.h"
+#include "src/topology/transform.h"
+
+namespace desc {
+
+struct DescribeOptions {
+  // Max tokens of a single control's description before truncation (§4.2
+  // "Truncating descriptions").
+  size_t max_description_tokens = 14;
+  // Attach descriptions at all (disable for minimal serializations).
+  bool include_descriptions = true;
+};
+
+// Serializes one tree of the forest. `keep` (optional) restricts output to
+// the given forest ids (the pruned core); elided sibling groups render as a
+// "+N more" marker. `tree` is -1 for the main tree, else a shared index.
+std::string SerializeTree(const topo::NavGraph& dag, const topo::Forest& forest, int tree,
+                          const DescribeOptions& options,
+                          const std::set<int>* keep = nullptr);
+
+// Serializes the whole forest: the main tree, each shared subtree, and the
+// entry map (reference id -> subtree root id).
+std::string SerializeForest(const topo::NavGraph& dag, const topo::Forest& forest,
+                            const DescribeOptions& options,
+                            const std::set<int>* keep = nullptr);
+
+// Whether the serializer would attach this node's description (key control
+// types and navigation non-leaves get them; §4.2).
+bool WantsDescription(const topo::NavGraph& dag, const topo::Forest& forest,
+                      const topo::TreeNode& node);
+
+}  // namespace desc
+
+#endif  // SRC_DESCRIBE_SERIALIZE_H_

@@ -1,0 +1,151 @@
+#include "src/dmi/command.h"
+
+#include <cstdlib>
+
+#include "src/json/json.h"
+#include "src/support/strings.h"
+
+namespace dmi {
+namespace {
+
+// Ids may arrive as "42" or 42.
+support::Result<int> ReadId(const jsonv::Value& value, const char* field) {
+  const jsonv::Value* v = value.Find(field);
+  if (v == nullptr) {
+    return support::InvalidArgumentError(std::string("missing field '") + field + "'");
+  }
+  if (v->is_int()) {
+    return static_cast<int>(v->as_int());
+  }
+  if (v->is_string()) {
+    const std::string& s = v->as_string();
+    char* end = nullptr;
+    long parsed = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') {
+      return support::InvalidArgumentError(std::string("field '") + field +
+                                           "' is not a numeric id: '" + s + "'");
+    }
+    return static_cast<int>(parsed);
+  }
+  return support::InvalidArgumentError(std::string("field '") + field +
+                                       "' must be a string or integer id");
+}
+
+}  // namespace
+
+std::string VisitCommand::ToString() const {
+  switch (kind) {
+    case Kind::kAccess: {
+      std::string out = "access(id=" + std::to_string(target_id);
+      if (!entry_ref_ids.empty()) {
+        out += ", refs=[";
+        for (size_t i = 0; i < entry_ref_ids.size(); ++i) {
+          if (i > 0) {
+            out += ",";
+          }
+          out += std::to_string(entry_ref_ids[i]);
+        }
+        out += "]";
+      }
+      if (enforced) {
+        out += ", enforced";
+      }
+      return out + ")";
+    }
+    case Kind::kAccessInput:
+      return "access_input(id=" + std::to_string(target_id) + ", text='" + text + "')";
+    case Kind::kShortcut:
+      return "shortcut(" + shortcut_key + ")";
+    case Kind::kFurtherQuery:
+      return "further_query(" + std::to_string(further_query) + ")";
+  }
+  return "?";
+}
+
+support::Result<std::vector<VisitCommand>> ParseVisitCommands(const std::string& json) {
+  auto doc = jsonv::Parse(json);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  // Tolerate a single command object instead of an array (LLMs do this).
+  jsonv::Array items;
+  if (doc->is_array()) {
+    items = doc->as_array();
+  } else if (doc->is_object()) {
+    items.push_back(*doc);
+  } else {
+    return support::InvalidArgumentError("visit expects a JSON array of command objects");
+  }
+  if (items.empty()) {
+    return support::InvalidArgumentError("visit received an empty command array");
+  }
+
+  std::vector<VisitCommand> commands;
+  bool has_further_query = false;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const jsonv::Value& item = items[i];
+    if (!item.is_object()) {
+      return support::InvalidArgumentError(
+          support::Format("command %zu is not an object", i));
+    }
+    VisitCommand cmd;
+    if (item.Find("further_query") != nullptr) {
+      auto id = ReadId(item, "further_query");
+      if (!id.ok()) {
+        return id.status();
+      }
+      cmd.kind = VisitCommand::Kind::kFurtherQuery;
+      cmd.further_query = *id;
+      has_further_query = true;
+    } else if (item.Find("shortcut_key") != nullptr) {
+      cmd.kind = VisitCommand::Kind::kShortcut;
+      cmd.shortcut_key = item.GetString("shortcut_key");
+      if (cmd.shortcut_key.empty()) {
+        return support::InvalidArgumentError(
+            support::Format("command %zu: empty shortcut_key", i));
+      }
+    } else if (item.Find("id") != nullptr) {
+      auto id = ReadId(item, "id");
+      if (!id.ok()) {
+        return id.status();
+      }
+      cmd.target_id = *id;
+      const jsonv::Value* refs = item.Find("entry_ref_id");
+      if (refs != nullptr) {
+        if (!refs->is_array()) {
+          return support::InvalidArgumentError(
+              support::Format("command %zu: entry_ref_id must be an array", i));
+        }
+        for (const jsonv::Value& r : refs->as_array()) {
+          if (r.is_int()) {
+            cmd.entry_ref_ids.push_back(static_cast<int>(r.as_int()));
+          } else if (r.is_string()) {
+            cmd.entry_ref_ids.push_back(std::atoi(r.as_string().c_str()));
+          } else {
+            return support::InvalidArgumentError(
+                support::Format("command %zu: bad entry_ref_id element", i));
+          }
+        }
+      }
+      cmd.enforced = item.GetBool("enforced", false);
+      if (item.Find("text") != nullptr) {
+        cmd.kind = VisitCommand::Kind::kAccessInput;
+        cmd.text = item.GetString("text");
+      } else {
+        cmd.kind = VisitCommand::Kind::kAccess;
+      }
+    } else {
+      return support::InvalidArgumentError(support::Format(
+          "command %zu has none of 'id', 'shortcut_key', 'further_query'", i));
+    }
+    commands.push_back(std::move(cmd));
+  }
+
+  if (has_further_query && commands.size() > 1) {
+    return support::InvalidArgumentError(
+        "further_query is exclusive and cannot be mixed with other commands");
+  }
+  return commands;
+}
+
+}  // namespace dmi

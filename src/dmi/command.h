@@ -1,0 +1,45 @@
+// The visit interface's command language (paper §3.4).
+//
+// visit accepts a JSON array of structured commands, executed sequentially in
+// a single call:
+//   {"id": "<target_id>"}                                  control access
+//   {"id": "<target_id>", "entry_ref_id": ["<ref_id>"]}    access in shared subtree
+//   {"id": "<target_id>", "text": "<text>"}                access-and-input
+//   {"id": "<target_id>", "enforced": true}                bypass non-leaf filter
+//   {"shortcut_key": "<key_combination>"}                  auxiliary shortcut
+//   {"further_query": <id> | -1}                           topology query
+// FurtherQuery is exclusive: it cannot be mixed with other commands.
+#ifndef SRC_DMI_COMMAND_H_
+#define SRC_DMI_COMMAND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace dmi {
+
+struct VisitCommand {
+  enum class Kind { kAccess, kAccessInput, kShortcut, kFurtherQuery };
+
+  Kind kind = Kind::kAccess;
+  int target_id = -1;
+  std::vector<int> entry_ref_ids;
+  std::string text;          // access-and-input payload
+  std::string shortcut_key;  // shortcut commands
+  int further_query = 0;     // node id, or -1 for the complete forest
+  // Bypasses non-leaf filtering for navigation nodes that are genuinely
+  // functional (selecting a slide thumbnail, selecting a shape) — the
+  // "enforced parameter" alternative the paper proposes in §5.7.
+  bool enforced = false;
+
+  std::string ToString() const;
+};
+
+// Parses the JSON command array. Ids are accepted as strings or integers
+// (LLMs emit both). Enforces the further_query exclusivity rule.
+support::Result<std::vector<VisitCommand>> ParseVisitCommands(const std::string& json);
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_COMMAND_H_

@@ -1,0 +1,93 @@
+// State and observation declarations (paper §3.5, Table 2).
+//
+// These interfaces wrap UIA control patterns so the LLM specifies the desired
+// *end state* instead of performing composite interactions:
+//   set_scrollbar_pos  (ScrollPattern)        scrollbar position to x%/y%
+//   select_lines       (TextPattern)          contiguous line range
+//   select_paragraphs  (TextPattern)          contiguous paragraph range
+//   select_controls    (SelectionItemPattern) single/multi control selection
+//   set_toggle_state   (TogglePattern)        checkbox on/off
+//   set_expanded       (ExpandCollapsePattern)
+//   get_texts          (Text & Value)         structured text retrieval
+//
+// Two contract rules from the paper:
+//   - controls are addressed by their *label on the current screen's
+//     accessibility tree*, never by static topology ids (§3.5 "Separating
+//     control access and complex interactions");
+//   - conservative execution: if any addressed control lacks the required
+//     pattern, nothing executes and a structured error returns (§4.4).
+#ifndef SRC_DMI_INTERACTION_H_
+#define SRC_DMI_INTERACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/gui/application.h"
+#include "src/gui/screen.h"
+#include "src/support/status.h"
+
+namespace dmi {
+
+// Structured status returned by scroll declarations (§4.4 "The executor
+// returns a structured status").
+struct ScrollStatus {
+  double horizontal_percent = -1.0;
+  double vertical_percent = -1.0;
+  std::string ToString() const;
+};
+
+struct SelectionStatus {
+  int start = -1;
+  int end = -1;
+  std::string selected_text;  // the text now selected
+};
+
+struct InteractionConfig {
+  // Passive get_texts truncation per item, in approximate tokens.
+  size_t passive_item_token_cap = 12;
+  // Cap on the number of items in the passive payload.
+  size_t passive_item_limit = 600;
+};
+
+class InteractionInterfaces {
+ public:
+  InteractionInterfaces(gsim::Application& app, gsim::ScreenView& screen,
+                        InteractionConfig config = {});
+
+  // ----- state declarations --------------------------------------------------
+  support::Result<ScrollStatus> SetScrollbarPos(const std::string& label,
+                                                double x_percent, double y_percent);
+  support::Result<SelectionStatus> SelectLines(const std::string& label, int start, int end);
+  support::Result<SelectionStatus> SelectParagraphs(const std::string& label, int start,
+                                                    int end);
+  // Selects all listed controls (first exclusive, rest additive). Verifies
+  // every control supports SelectionItemPattern before touching any.
+  support::Status SelectControls(const std::vector<std::string>& labels);
+  support::Status SetToggleState(const std::string& label, bool on);
+  // set_texts (Table 2: "set_texts builds on TextPattern"/ValuePattern):
+  // declaratively sets an edit control's content, regardless of its current
+  // value or focus state.
+  support::Status SetTexts(const std::string& label, const std::string& text);
+  // set_range_value (RangeValuePattern): sliders, spinners — declaratively
+  // jump to the target value instead of incrementing.
+  support::Status SetRangeValue(const std::string& label, double value);
+  support::Status SetExpanded(const std::string& label, bool expanded);
+
+  // ----- observation declarations ---------------------------------------------
+  // Active mode: the full text/value of one control.
+  support::Result<std::string> GetTextsActive(const std::string& label);
+  // Passive mode: a truncated, structured payload of every visible DataItem
+  // control, with empty values coalesced; prepended to each LLM prompt.
+  std::string GetTextsPassive() const;
+
+ private:
+  support::Result<gsim::Control*> Resolve(const std::string& label) const;
+
+  gsim::Application* app_;
+  gsim::ScreenView* screen_;
+  InteractionConfig config_;
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_INTERACTION_H_

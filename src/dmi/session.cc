@@ -1,0 +1,223 @@
+#include "src/dmi/session.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/describe/augment.h"
+#include "src/json/json.h"
+#include "src/support/strings.h"
+#include "src/text/tokens.h"
+
+namespace dmi {
+namespace {
+
+// Instruction header included in every prompt (counts toward DMI's token
+// overhead, §5.4).
+constexpr char kUsageHint[] =
+    "# DMI usage\n"
+    "Prefer DMI. visit([...]) accesses target controls by id; declare only\n"
+    "functional (leaf) targets — DMI performs all navigation. Targets inside\n"
+    "shared subtrees need entry_ref_id. {\"id\",\"text\"} types into an edit.\n"
+    "{\"shortcut_key\"} is auxiliary (e.g. ENTER to commit). further_query(id|-1)\n"
+    "fetches more topology and cannot be mixed with other commands. For\n"
+    "composite interactions use state declarations (set_scrollbar_pos,\n"
+    "select_lines, select_paragraphs, select_controls, set_toggle_state) and\n"
+    "observation (get_texts) on current-screen labels, never topology ids.\n";
+
+}  // namespace
+
+std::unique_ptr<DmiSession> DmiSession::Model(gsim::Application& app,
+                                              const ModelingOptions& options) {
+  ripper::GuiRipper rip(app, options.ripper_config);
+  topo::NavGraph graph = rip.Rip(options.contexts);
+  auto session = std::make_unique<DmiSession>(app, std::move(graph), options);
+  session->stats_.rip = rip.stats();
+  return session;
+}
+
+DmiSession::DmiSession(gsim::Application& app, topo::NavGraph graph,
+                       const ModelingOptions& options)
+    : app_(&app), screen_(app), interaction_(app, screen_, options.interaction) {
+  FinishConstruction(options, std::move(graph));
+}
+
+void DmiSession::FinishConstruction(const ModelingOptions& options, topo::NavGraph graph) {
+  if (options.augment_descriptions) {
+    (void)desc::AugmentDescriptions(graph, desc::BuiltinAugmentRules());
+  }
+  stats_.raw = graph.ComputeStats();
+  topo::DecycleResult decycled = topo::Decycle(graph);
+  stats_.back_edges_removed = decycled.removed_back_edges;
+  stats_.unreachable_dropped = decycled.unreachable_dropped;
+  dag_ = std::make_unique<topo::NavGraph>(std::move(decycled.dag));
+  topo::Forest forest = topo::SelectiveExternalize(*dag_, options.externalize_threshold);
+  stats_.forest_nodes = forest.total_nodes();
+  stats_.shared_subtrees = forest.shared().size();
+  stats_.references = forest.reference_count();
+  catalog_ = std::make_unique<desc::TopologyCatalog>(dag_.get(), std::move(forest),
+                                                     options.prune, options.describe);
+  stats_.core_nodes = catalog_->core_stats().kept;
+  stats_.core_tokens = catalog_->CoreTokens();
+  stats_.full_tokens = catalog_->FullTokens();
+  executor_ = std::make_unique<VisitExecutor>(*app_, *catalog_, options.visit);
+  screen_.Refresh();
+}
+
+VisitReport DmiSession::Visit(const std::string& json_commands) {
+  VisitReport report = executor_->Execute(json_commands);
+  screen_.Refresh();
+  return report;
+}
+
+VisitReport DmiSession::VisitParsed(std::vector<VisitCommand> commands) {
+  VisitReport report = executor_->ExecuteParsed(std::move(commands));
+  screen_.Refresh();
+  return report;
+}
+
+std::string DmiSession::BuildPromptContext() {
+  screen_.Refresh();
+  std::string out = kUsageHint;
+  out += catalog_->CoreText();
+  out += "\n# Current screen\n";
+  out += screen_.RenderListing();
+  const std::string payload = interaction_.GetTextsPassive();
+  if (!payload.empty()) {
+    out += "# Data items\n";
+    out += payload;
+  }
+  return out;
+}
+
+size_t DmiSession::PromptTokens() { return textutil::CountTokens(BuildPromptContext()); }
+
+support::Status DmiSession::SaveModel(const topo::NavGraph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return support::InvalidArgumentError("cannot open '" + path + "' for writing");
+  }
+  const std::string json = graph.ToJson().Dump();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return support::InternalError("short write to '" + path + "'");
+  }
+  return support::Status::Ok();
+}
+
+support::Result<topo::NavGraph> DmiSession::LoadModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return support::NotFoundError("cannot open model file '" + path + "'");
+  }
+  std::string json;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    json.append(buffer, n);
+  }
+  std::fclose(f);
+  auto doc = jsonv::Parse(json);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return topo::NavGraph::FromJson(*doc);
+}
+
+support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
+    const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return support::InvalidArgumentError("empty name chain");
+  }
+  const topo::Forest& forest = catalog_->forest();
+  const topo::NavGraph& dag = *dag_;
+
+  // Collects direct references pointing at a shared subtree.
+  auto refs_to = [&forest](int subtree) {
+    std::vector<int> refs;
+    auto scan = [&](const topo::Tree& tree) {
+      for (const topo::TreeNode& n : tree.nodes) {
+        if (n.is_reference && n.ref_subtree == subtree) {
+          refs.push_back(n.id);
+        }
+      }
+    };
+    scan(forest.main());
+    for (const topo::Tree& t : forest.shared()) {
+      scan(t);
+    }
+    return refs;
+  };
+
+  // Builds a full ref chain starting from one direct ref (greedy upward).
+  auto chain_for = [&](int ref) -> std::vector<int> {
+    std::vector<int> chain = {ref};
+    int cursor = ref;
+    for (int hop = 0; hop < 16; ++hop) {
+      auto loc = forest.LocateById(cursor);
+      if (!loc.ok() || loc->tree < 0) {
+        return chain;
+      }
+      std::vector<int> outer = refs_to(loc->tree);
+      if (outer.empty()) {
+        return {};
+      }
+      chain.push_back(outer[0]);
+      cursor = outer[0];
+    }
+    return {};
+  };
+
+  // Ordered-subsequence match of `names` against a path's node names.
+  auto matches = [&](const std::vector<int>& path) {
+    size_t want = 0;
+    for (int node : path) {
+      if (want < names.size() && dag.node(node).name == names[want]) {
+        ++want;
+      }
+    }
+    return want == names.size();
+  };
+
+  ResolvedTarget best;
+  int best_path_len = INT32_MAX;
+  for (int id : forest.AllIds()) {
+    const topo::TreeNode* node = forest.FindById(id);
+    if (node->is_reference) {
+      continue;
+    }
+    if (dag.node(node->graph_index).name != names.back()) {
+      continue;
+    }
+    auto loc = forest.LocateById(id);
+    std::vector<std::vector<int>> ref_options;
+    if (loc->tree < 0) {
+      ref_options.push_back({});
+    } else {
+      for (int ref : refs_to(loc->tree)) {
+        std::vector<int> chain = chain_for(ref);
+        if (!chain.empty()) {
+          ref_options.push_back(std::move(chain));
+        }
+      }
+    }
+    for (const std::vector<int>& refs : ref_options) {
+      auto path = forest.ResolvePath(id, refs);
+      if (!path.ok() || !matches(*path)) {
+        continue;
+      }
+      if (static_cast<int>(path->size()) < best_path_len) {
+        best_path_len = static_cast<int>(path->size());
+        best.id = id;
+        best.entry_ref_ids = refs;
+      }
+    }
+  }
+  if (best.id < 0) {
+    return support::NotFoundError("no control matches the name chain ending in '" +
+                                  names.back() + "'");
+  }
+  return best;
+}
+
+}  // namespace dmi

@@ -1,0 +1,114 @@
+// DmiSession: the end-to-end DMI facade.
+//
+// Offline (once per application build): rip the UI Navigation Graph, decycle
+// it, run cost-based selective externalization, and build the query-on-demand
+// catalog. Online (per task): serve the pruned core topology + screen labels
+// + passive data payload as prompt context, and execute visit / state /
+// observation declarations against the live application.
+#ifndef SRC_DMI_SESSION_H_
+#define SRC_DMI_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/describe/catalog.h"
+#include "src/dmi/interaction.h"
+#include "src/dmi/visit.h"
+#include "src/gui/application.h"
+#include "src/gui/screen.h"
+#include "src/ripper/ripper.h"
+#include "src/topology/nav_graph.h"
+#include "src/topology/transform.h"
+
+namespace dmi {
+
+struct ModelingOptions {
+  ripper::RipperConfig ripper_config;
+  // Synthesize descriptions for undocumented controls before serialization
+  // (§5.7 "Rich control descriptions"; rule-based, never overwrites app
+  // metadata).
+  bool augment_descriptions = false;
+  std::vector<ripper::RipContext> contexts;
+  uint64_t externalize_threshold = topo::kDefaultExternalizeThreshold;
+  desc::PruneOptions prune;
+  desc::DescribeOptions describe;
+  VisitConfig visit;
+  InteractionConfig interaction;
+};
+
+struct ModelingStats {
+  topo::GraphStats raw;
+  size_t back_edges_removed = 0;
+  size_t unreachable_dropped = 0;
+  size_t forest_nodes = 0;
+  size_t shared_subtrees = 0;
+  size_t references = 0;
+  size_t core_nodes = 0;
+  size_t core_tokens = 0;
+  size_t full_tokens = 0;
+  ripper::RipStats rip;
+};
+
+// A target resolved from human-readable names to DMI's id language.
+struct ResolvedTarget {
+  int id = -1;
+  std::vector<int> entry_ref_ids;
+};
+
+class DmiSession {
+ public:
+  // Offline modeling: rips `app` (instability should be disabled during
+  // modeling — the offline phase is a controlled environment) and builds the
+  // full pipeline.
+  static std::unique_ptr<DmiSession> Model(gsim::Application& app,
+                                           const ModelingOptions& options);
+
+  // Builds a session from a pre-ripped graph (models are reusable across
+  // machines for the same app build, §5.2).
+  DmiSession(gsim::Application& app, topo::NavGraph graph, const ModelingOptions& options);
+
+  const ModelingStats& stats() const { return stats_; }
+  const desc::TopologyCatalog& catalog() const { return *catalog_; }
+  gsim::ScreenView& screen() { return screen_; }
+  InteractionInterfaces& interaction() { return interaction_; }
+  gsim::Application& app() { return *app_; }
+
+  // ----- the three declarative primitives ------------------------------------
+  VisitReport Visit(const std::string& json_commands);
+  VisitReport VisitParsed(std::vector<VisitCommand> commands);
+  // state/observation declarations live on interaction().
+
+  // ----- prompt assembly --------------------------------------------------------
+  // Core topology + DMI usage hint + screen labels + passive data payload.
+  std::string BuildPromptContext();
+  size_t PromptTokens();
+
+  // ----- model persistence ------------------------------------------------------
+  // Ripped models are version-specific but reusable across machines for the
+  // same application build (§5.2). SaveModel writes the raw UNG as JSON;
+  // LoadModel reads it back (the session re-derives DAG/forest/catalog).
+  static support::Status SaveModel(const topo::NavGraph& graph, const std::string& path);
+  static support::Result<topo::NavGraph> LoadModel(const std::string& path);
+
+  // ----- name-based resolution (used by task ground truth and examples) --------
+  // Resolves an access chain given by human-readable names (a suffix of the
+  // full chain, e.g. {"Font Color", "Blue"}): returns the target id plus the
+  // entry references needed. Errors if no unique-enough match exists.
+  support::Result<ResolvedTarget> ResolveTargetByNames(const std::vector<std::string>& names);
+
+ private:
+  void FinishConstruction(const ModelingOptions& options, topo::NavGraph graph);
+
+  gsim::Application* app_;
+  ModelingStats stats_;
+  std::unique_ptr<topo::NavGraph> dag_;
+  std::unique_ptr<desc::TopologyCatalog> catalog_;
+  gsim::ScreenView screen_;
+  std::unique_ptr<VisitExecutor> executor_;
+  InteractionInterfaces interaction_;
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_SESSION_H_

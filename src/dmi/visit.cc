@@ -1,0 +1,310 @@
+#include "src/dmi/visit.h"
+
+#include <algorithm>
+
+#include "src/ripper/identifier.h"
+#include "src/support/strings.h"
+#include "src/text/similarity.h"
+#include "src/uia/tree.h"
+
+namespace dmi {
+namespace {
+
+// Ancestor-path token overlap in [0,1], a weak structural signal that
+// complements name similarity during fuzzy matching.
+double AncestorOverlap(const std::string& a, const std::string& b) {
+  return textutil::TokenSetRatio(a, b);
+}
+
+}  // namespace
+
+std::string VisitReport::Render() const {
+  std::string out;
+  if (was_further_query) {
+    return further_query_text;
+  }
+  for (const CommandReport& cr : commands) {
+    out += cr.command.ToString();
+    if (cr.filtered) {
+      out += " -> filtered (navigation node; DMI handles navigation)";
+    } else {
+      out += " -> " + cr.status.ToString();
+      if (!cr.detail.empty()) {
+        out += " (" + cr.detail + ")";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+VisitExecutor::VisitExecutor(gsim::Application& app, const desc::TopologyCatalog& catalog,
+                             VisitConfig config)
+    : app_(&app), catalog_(&catalog), config_(config) {}
+
+VisitReport VisitExecutor::Execute(const std::string& json_commands) {
+  auto parsed = ParseVisitCommands(json_commands);
+  if (!parsed.ok()) {
+    VisitReport report;
+    report.overall = parsed.status();
+    return report;
+  }
+  return ExecuteParsed(std::move(*parsed));
+}
+
+gsim::Control* VisitExecutor::LocateControl(const topo::NodeInfo& info) {
+  // The executor fetches the topmost valid window and all descendant
+  // controls (§4.3) — lower windows are blocked while a dialog is up.
+  gsim::Window* top = app_->TopWindow();
+  if (top == nullptr) {
+    return nullptr;
+  }
+  // Exact identifier match first, best fuzzy candidate as fallback.
+  gsim::Control* exact = nullptr;
+  gsim::Control* best_fuzzy = nullptr;
+  double best_score = 0.0;
+  uia::Walk(top->root(), [&](uia::Element& e, int) {
+    if (exact != nullptr) {
+      return false;
+    }
+    if (e.IsOffscreen()) {
+      return false;
+    }
+    if (e.RuntimeId() == 0) {
+      return true;
+    }
+    if (ripper::SynthesizeControlId(e) == info.control_id) {
+      exact = static_cast<gsim::Control*>(&e);
+      return false;
+    }
+    if (config_.enable_fuzzy_match && e.Type() == info.type) {
+      // Combine name similarity (dominant) and ancestor-path overlap.
+      const ripper::ParsedControlId parsed = ripper::ParseControlId(info.control_id);
+      double score = 0.8 * textutil::DecorationAwareScore(info.name, e.Name()) +
+                     0.2 * AncestorOverlap(uia::AncestorPath(e), parsed.ancestor_path);
+      if (score > best_score) {
+        best_score = score;
+        best_fuzzy = static_cast<gsim::Control*>(&e);
+      }
+    }
+    return true;
+  });
+  if (exact != nullptr) {
+    return exact;
+  }
+  if (best_fuzzy != nullptr && best_score >= config_.fuzzy_threshold) {
+    return best_fuzzy;
+  }
+  return nullptr;
+}
+
+gsim::Control* VisitExecutor::LocateControlWithRetry(const topo::NodeInfo& info,
+                                                     std::string& detail) {
+  gsim::Control* control = LocateControl(info);
+  if (control != nullptr || !config_.enable_retry) {
+    return control;
+  }
+  // Deterministically expected controls can load slowly; retry a few times,
+  // advancing the application's logical clock (paper §3.4 failure retry).
+  for (int attempt = 0; attempt < config_.max_retries && control == nullptr; ++attempt) {
+    app_->Tick();
+    control = LocateControl(info);
+  }
+  if (control != nullptr) {
+    detail += "[located after retry] ";
+  }
+  return control;
+}
+
+support::Status VisitExecutor::NavigatePath(const std::vector<int>& path,
+                                            std::string& detail) {
+  if (path.empty()) {
+    return support::InvalidArgumentError("empty navigation path");
+  }
+  const topo::NavGraph& dag = catalog_->dag();
+
+  // Backward matching: find the deepest path element currently visible,
+  // closing foreign windows if nothing matches (§4.3 "Path navigation").
+  int start_index = -1;
+  int closes = 0;
+  while (start_index < 0) {
+    for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+      if (LocateControl(dag.node(path[static_cast<size_t>(i)])) != nullptr) {
+        start_index = i;
+        break;
+      }
+    }
+    if (start_index >= 0) {
+      break;
+    }
+    gsim::Window* top = app_->TopWindow();
+    if (top == nullptr || top == &app_->main_window() ||
+        closes >= config_.max_window_closes) {
+      return support::NotFoundError(
+          "no element of the navigation path is visible in the current UI state");
+    }
+    // Close the topmost window, favoring OK > Close > Cancel.
+    gsim::Control* dispose = top->FindDisposeButton();
+    if (dispose == nullptr) {
+      return support::FailedPreconditionError("window '" + top->title() +
+                                              "' has no close button");
+    }
+    support::Status s = app_->Click(*dispose);
+    if (!s.ok()) {
+      return s;
+    }
+    ++closes;
+    detail += "[closed window via " + dispose->TrueName() + "] ";
+  }
+
+  // Forward traversal: click each path node from the match point onward.
+  for (size_t i = static_cast<size_t>(start_index); i < path.size(); ++i) {
+    const topo::NodeInfo& info = dag.node(path[i]);
+    gsim::Control* control = LocateControlWithRetry(info, detail);
+    if (control == nullptr) {
+      return support::NotFoundError(
+          support::Format("control '%s' (%s) expected on the path is not present; "
+                          "the UI may have diverged from the model",
+                          info.name.c_str(),
+                          std::string(uia::ControlTypeName(info.type)).c_str()));
+    }
+    if (!control->IsEnabled()) {
+      return support::FailedPreconditionError(support::Format(
+          "control '%s' (%s) was located but is disabled in the current state",
+          info.name.c_str(), std::string(uia::ControlTypeName(info.type)).c_str()));
+    }
+    support::Status s = app_->Click(*control);
+    if (s.ok() && config_.enable_retry && i + 1 < path.size()) {
+      // If the click silently failed (next node absent), retry the click.
+      const topo::NodeInfo& next = dag.node(path[i + 1]);
+      for (int attempt = 0;
+           attempt < config_.max_retries && LocateControl(next) == nullptr; ++attempt) {
+        app_->Tick();
+        if (LocateControl(next) != nullptr) {
+          break;
+        }
+        s = app_->Click(*control);
+        if (!s.ok()) {
+          break;
+        }
+      }
+    }
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return support::Status::Ok();
+}
+
+VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
+  VisitReport report;
+
+  // further_query short-circuits (exclusivity enforced by the parser).
+  if (commands.size() == 1 && commands[0].kind == VisitCommand::Kind::kFurtherQuery) {
+    report.was_further_query = true;
+    CommandReport cr;
+    cr.command = commands[0];
+    if (commands[0].further_query == -1) {
+      report.further_query_text = catalog_->FullText();
+      cr.status = support::Status::Ok();
+    } else {
+      auto text = catalog_->ExpandBranch(commands[0].further_query);
+      if (text.ok()) {
+        report.further_query_text = *text;
+        cr.status = support::Status::Ok();
+      } else {
+        cr.status = text.status();
+        report.overall = text.status();
+      }
+    }
+    report.commands.push_back(std::move(cr));
+    return report;
+  }
+
+  // Non-leaf filtering (§3.4 "Handling improper LLM instruction-following"):
+  // navigation nodes are non-leaves; drop commands targeting them, plus any
+  // shortcut commands immediately following a dropped command.
+  std::vector<CommandReport> prepared;
+  bool previous_dropped = false;
+  for (VisitCommand& cmd : commands) {
+    CommandReport cr;
+    cr.command = cmd;
+    if (config_.enable_nonleaf_filter) {
+      if ((cmd.kind == VisitCommand::Kind::kAccess ||
+           cmd.kind == VisitCommand::Kind::kAccessInput) &&
+          !cmd.enforced) {
+        const topo::TreeNode* node = catalog_->forest().FindById(cmd.target_id);
+        if (node != nullptr && (node->is_reference || !node->children.empty())) {
+          cr.filtered = true;
+          cr.status = support::Status::Ok();
+          previous_dropped = true;
+          ++report.filtered_count;
+          prepared.push_back(std::move(cr));
+          continue;
+        }
+        previous_dropped = false;
+      } else if (cmd.kind == VisitCommand::Kind::kShortcut && previous_dropped) {
+        // A shortcut meant to follow a filtered command is dropped too.
+        cr.filtered = true;
+        cr.status = support::Status::Ok();
+        ++report.filtered_count;
+        prepared.push_back(std::move(cr));
+        continue;
+      } else {
+        previous_dropped = false;
+      }
+    }
+    prepared.push_back(std::move(cr));
+  }
+
+  // Sequential execution; the first failure aborts the remainder (their
+  // preconditions are gone) but the report covers everything.
+  const gsim::ActionStats before = app_->stats();
+  bool aborted = false;
+  for (CommandReport& cr : prepared) {
+    if (cr.filtered) {
+      report.commands.push_back(std::move(cr));
+      continue;
+    }
+    if (aborted) {
+      cr.status = support::FailedPreconditionError("skipped: an earlier command failed");
+      report.commands.push_back(std::move(cr));
+      continue;
+    }
+    switch (cr.command.kind) {
+      case VisitCommand::Kind::kShortcut: {
+        cr.status = app_->PressKey(cr.command.shortcut_key);
+        break;
+      }
+      case VisitCommand::Kind::kAccess:
+      case VisitCommand::Kind::kAccessInput: {
+        auto path = catalog_->forest().ResolvePath(cr.command.target_id,
+                                                   cr.command.entry_ref_ids);
+        if (!path.ok()) {
+          cr.status = path.status();
+          break;
+        }
+        cr.status = NavigatePath(*path, cr.detail);
+        if (cr.status.ok() && cr.command.kind == VisitCommand::Kind::kAccessInput) {
+          // The access click focused the edit; now type.
+          cr.status = app_->TypeText(cr.command.text);
+        }
+        break;
+      }
+      case VisitCommand::Kind::kFurtherQuery:
+        cr.status = support::InternalError("further_query mixed into execution");
+        break;
+    }
+    if (!cr.status.ok()) {
+      report.overall = cr.status;
+      aborted = true;
+    }
+    report.commands.push_back(std::move(cr));
+  }
+  const gsim::ActionStats after = app_->stats();
+  report.ui_actions = (after.clicks - before.clicks) + (after.key_chords - before.key_chords) +
+                      (after.text_inputs - before.text_inputs);
+  return report;
+}
+
+}  // namespace dmi

@@ -1,0 +1,87 @@
+// The visit executor: access declaration (paper §3.4, §4.3).
+//
+// Pipeline per call:
+//   1. Parse the JSON command array.
+//   2. Filter: commands targeting non-leaf (navigation) nodes are discarded —
+//      DMI entirely takes over navigation — and shortcut commands immediately
+//      following a discarded command are dropped too.
+//   3. Resolve each retained target to its unique root-to-target path.
+//   4. Navigate: fetch the topmost valid window, match the path from the end
+//      backward against the visible hierarchy; if nothing matches, close the
+//      window (OK > Close > Cancel); then proceed forward, clicking each path
+//      node, with fuzzy matching and bounded retries for slow controls.
+//   5. Interact: the final click (plus text input for access-and-input).
+// Shortcut commands are executed verbatim and never retried (repeating an
+// ENTER has side effects).
+#ifndef SRC_DMI_VISIT_H_
+#define SRC_DMI_VISIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/describe/catalog.h"
+#include "src/dmi/command.h"
+#include "src/gui/application.h"
+#include "src/support/status.h"
+
+namespace dmi {
+
+struct VisitConfig {
+  // Robustness toggles (ablated in bench_ablation_robustness).
+  bool enable_nonleaf_filter = true;
+  bool enable_fuzzy_match = true;
+  bool enable_retry = true;
+  int max_retries = 3;
+  double fuzzy_threshold = 0.72;
+  // How many windows the executor may close while searching for the path.
+  int max_window_closes = 4;
+};
+
+struct CommandReport {
+  VisitCommand command;
+  support::Status status;
+  bool filtered = false;  // dropped by non-leaf filtering
+  // Structured feedback for the LLM (control state, close actions, ...).
+  std::string detail;
+};
+
+struct VisitReport {
+  std::vector<CommandReport> commands;
+  support::Status overall;  // OK iff every executed command succeeded
+  bool was_further_query = false;
+  std::string further_query_text;
+  size_t filtered_count = 0;
+  size_t ui_actions = 0;  // clicks + keys + text inputs performed
+
+  // Rendered feedback for the LLM prompt.
+  std::string Render() const;
+};
+
+class VisitExecutor {
+ public:
+  VisitExecutor(gsim::Application& app, const desc::TopologyCatalog& catalog,
+                VisitConfig config);
+
+  // Full pipeline from raw JSON.
+  VisitReport Execute(const std::string& json_commands);
+
+  // Pipeline from parsed commands (used by the simulated agent directly).
+  VisitReport ExecuteParsed(std::vector<VisitCommand> commands);
+
+ private:
+  // Navigates along the resolved graph-node path and clicks each step.
+  support::Status NavigatePath(const std::vector<int>& path, std::string& detail);
+
+  // Finds the visible control matching the graph node, exact-first then
+  // fuzzy. Returns nullptr when not found.
+  gsim::Control* LocateControl(const topo::NodeInfo& info);
+  gsim::Control* LocateControlWithRetry(const topo::NodeInfo& info, std::string& detail);
+
+  gsim::Application* app_;
+  const desc::TopologyCatalog* catalog_;
+  VisitConfig config_;
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_VISIT_H_

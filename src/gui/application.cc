@@ -1,0 +1,478 @@
+#include "src/gui/application.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/gui/instability.h"
+#include "src/support/logging.h"
+
+namespace gsim {
+
+// Desktop root element: children are the roots of open windows, bottom-most
+// first. Window roots report a null Parent(), so upward walks stop at the
+// window — matching UIA, where top-level windows are desktop children.
+class Application::DesktopRoot final : public uia::Element {
+ public:
+  explicit DesktopRoot(Application* app) : app_(app) {}
+
+  std::string Name() const override { return app_->name() + " Desktop"; }
+  std::string AutomationId() const override { return "desktop"; }
+  uia::ControlType Type() const override { return uia::ControlType::kPane; }
+  std::string HelpText() const override { return ""; }
+  bool IsEnabled() const override { return true; }
+  bool IsOffscreen() const override { return false; }
+  std::vector<uia::Element*> Children() const override {
+    std::vector<uia::Element*> out;
+    for (Window* w : app_->open_window_stack_) {
+      out.push_back(&w->root());
+    }
+    return out;
+  }
+  uia::Element* Parent() const override { return nullptr; }
+  uint64_t RuntimeId() const override { return 0; }
+  uia::Pattern* GetPattern(uia::PatternId) override { return nullptr; }
+
+ private:
+  Application* app_;
+};
+
+Application::Application(std::string name)
+    : name_(std::move(name)),
+      main_window_(std::make_unique<Window>(name_, /*modal=*/false)),
+      desktop_root_(std::make_unique<DesktopRoot>(this)) {
+  main_window_->SetOpen(true);
+  main_window_->SetApplication(this);
+  open_window_stack_.push_back(main_window_.get());
+}
+
+Application::~Application() = default;
+
+void Application::FinalizeMainWindow() { main_window_->SetApplication(this); }
+
+Window* Application::RegisterDialog(const std::string& dialog_id,
+                                    std::unique_ptr<Window> window) {
+  assert(window != nullptr);
+  Window* raw = window.get();
+  raw->SetApplication(this);
+  dialogs_[dialog_id] = std::move(window);
+  return raw;
+}
+
+Window* Application::FindDialog(const std::string& dialog_id) {
+  auto it = dialogs_.find(dialog_id);
+  return it == dialogs_.end() ? nullptr : it->second.get();
+}
+
+Control* Application::RegisterSharedSubtree(std::unique_ptr<Control> root) {
+  assert(root != nullptr);
+  Control* raw = root.get();
+  raw->SetFloating(true);
+  raw->PropagateContext(nullptr, this);
+  shared_subtrees_.push_back(std::move(root));
+  return raw;
+}
+
+uia::Element& Application::AccessibilityRoot() { return *desktop_root_; }
+
+Window* Application::TopWindow() {
+  if (open_window_stack_.empty()) {
+    return nullptr;
+  }
+  return open_window_stack_.back();
+}
+
+std::vector<Window*> Application::OpenWindows() { return open_window_stack_; }
+
+bool Application::IsAttached(const Control& control) const {
+  const Control* node = &control;
+  while (true) {
+    Control* parent = node->parent_control();
+    if (parent == nullptr) {
+      // Reached a root; it must be the root of an open window.
+      Window* w = node->window();
+      return w != nullptr && w->is_open() && node == &w->root();
+    }
+    // If we are the parent's popup subtree root, the popup must be open and
+    // must currently point at us (shared popups can be re-parented).
+    if (parent->popup() == node) {
+      if (!parent->popup_open()) {
+        return false;
+      }
+    } else {
+      // Must be a static child.
+      const auto& kids = parent->StaticChildren();
+      if (std::find(kids.begin(), kids.end(), node) == kids.end()) {
+        return false;
+      }
+    }
+    node = parent;
+  }
+}
+
+bool Application::PopupChainContains(Control* host, const Control& c) const {
+  // True if `c` is the host itself or lives inside the host's popup subtree
+  // (following nested popups).
+  if (host == &c) {
+    return true;
+  }
+  for (const Control* node = &c; node != nullptr; node = node->parent_control()) {
+    if (node == host) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Application::ClosePopupsNotContaining(const Control* keep) {
+  while (!open_popup_hosts_.empty()) {
+    Control* top = open_popup_hosts_.back();
+    if (keep != nullptr && PopupChainContains(top, *keep)) {
+      break;
+    }
+    top->SetPopupOpen(false);
+    open_popup_hosts_.pop_back();
+  }
+}
+
+void Application::ClosePopupsFrom(Control& host) {
+  // Close popups from the innermost down to (and including) host's popup.
+  while (!open_popup_hosts_.empty()) {
+    Control* top = open_popup_hosts_.back();
+    top->SetPopupOpen(false);
+    open_popup_hosts_.pop_back();
+    if (top == &host) {
+      break;
+    }
+  }
+}
+
+void Application::CloseAllPopups() { ClosePopupsNotContaining(nullptr); }
+
+void Application::CloseWindow(Window& window, bool commit) {
+  (void)commit;  // command side effects ran from the button's command_ already
+  if (&window == main_window_.get()) {
+    return;  // the main window never closes in our scenarios
+  }
+  auto it = std::find(open_window_stack_.begin(), open_window_stack_.end(), &window);
+  if (it == open_window_stack_.end()) {
+    return;
+  }
+  window.SetOpen(false);
+  open_window_stack_.erase(it);
+  if (focused_ != nullptr && focused_->window() == &window) {
+    focused_ = nullptr;
+  }
+  for (const WindowListener& listener : window_listeners_) {
+    listener(window, /*opened=*/false);
+  }
+}
+
+void Application::ResetUiState() {
+  CloseAllPopups();
+  // Persistent panes are not on the transient stack; close them explicitly.
+  main_window_->root().WalkStatic([](Control& c) {
+    if (c.popup_persistent() && c.popup_open()) {
+      c.SetPopupOpen(false);
+    }
+  });
+  while (open_window_stack_.size() > 1) {
+    Window* top = open_window_stack_.back();
+    top->SetOpen(false);
+    open_window_stack_.pop_back();
+  }
+  focused_ = nullptr;
+  external_state_ = false;
+  OnUiReset();
+}
+
+void Application::SetFocus(Control* control) { focused_ = control; }
+
+std::string Application::DecorateName(const Control& control) const {
+  if (instability_ == nullptr) {
+    return control.TrueName();
+  }
+  return instability_->DecorateName(control);
+}
+
+support::Status Application::Click(Control& control) {
+  if (external_state_) {
+    return support::FailedPreconditionError(
+        "application is in an external state (a previous click left the app)");
+  }
+  if (!IsAttached(control)) {
+    return support::NotFoundError("control '" + control.TrueName() +
+                                  "' is not currently visible");
+  }
+  // Modal dialogs block interaction with lower windows (Windows semantics).
+  Window* top = TopWindow();
+  if (top != nullptr && top->modal() && control.window() != top) {
+    return support::FailedPreconditionError(
+        "control '" + control.TrueName() + "' is blocked by the modal dialog '" +
+        top->title() + "'");
+  }
+  if (IsPendingReveal(control)) {
+    return support::UnavailableError("control '" + control.TrueName() +
+                                     "' is still loading");
+  }
+  if (!control.IsEnabled()) {
+    return support::FailedPreconditionError(
+        "control '" + control.TrueName() + "' (" +
+        std::string(uia::ControlTypeName(control.Type())) + ") is disabled");
+  }
+  if (instability_ != nullptr && instability_->ClickSilentlyFails(control)) {
+    ++stats_.clicks;
+    return support::Status::Ok();  // the hazard: click "succeeds" but does nothing
+  }
+  ++stats_.clicks;
+  return ClickImpl(control);
+}
+
+support::Status Application::ClickImpl(Control& control) {
+  switch (control.click_effect()) {
+    case ClickEffect::kNone: {
+      ClosePopupsNotContaining(&control);
+      if (control.Type() == uia::ControlType::kEdit ||
+          control.Type() == uia::ControlType::kComboBox) {
+        SetFocus(&control);
+      }
+      return support::Status::Ok();
+    }
+    case ClickEffect::kRevealPopup: {
+      ClosePopupsNotContaining(&control);
+      if (control.popup_open()) {
+        return support::Status::Ok();
+      }
+      control.SetPopupOpen(true);
+      // Persistent panes survive unrelated clicks; only transient menus go
+      // on the auto-close stack.
+      if (!control.popup_persistent()) {
+        open_popup_hosts_.push_back(&control);
+      }
+      if (instability_ != nullptr) {
+        uint64_t delay = instability_->PopupRevealDelay(control);
+        if (delay > 0 && control.popup() != nullptr) {
+          SetRevealTick(*control.popup(), tick_ + delay);
+        }
+      }
+      return support::Status::Ok();
+    }
+    case ClickEffect::kSwitchTab: {
+      ClosePopupsNotContaining(nullptr);
+      Control* parent = control.parent_control();
+      if (parent != nullptr) {
+        for (Control* sib : parent->StaticChildren()) {
+          if (sib != &control && sib->Type() == uia::ControlType::kTabItem) {
+            sib->set_selected(false);
+            sib->SetPopupOpen(false);
+          }
+        }
+      }
+      control.set_selected(true);
+      control.SetPopupOpen(true);
+      return support::Status::Ok();
+    }
+    case ClickEffect::kOpenDialog: {
+      CloseAllPopups();
+      Window* dialog = FindDialog(control.dialog_id());
+      if (dialog == nullptr) {
+        return support::InternalError("no dialog registered under id '" +
+                                      control.dialog_id() + "'");
+      }
+      if (!dialog->is_open()) {
+        dialog->SetOpen(true);
+        open_window_stack_.push_back(dialog);
+        for (const WindowListener& listener : window_listeners_) {
+          listener(*dialog, /*opened=*/true);
+        }
+      }
+      return support::Status::Ok();
+    }
+    case ClickEffect::kCloseWindow: {
+      Window* w = control.window();
+      if (w == nullptr) {
+        return support::InternalError("close button outside any window");
+      }
+      support::Status status = support::Status::Ok();
+      if (!control.command().empty()) {
+        ++stats_.commands;
+        status = ExecuteCommand(control, control.command());
+      }
+      CloseWindow(*w, control.close_disposition() == CloseDisposition::kCommit);
+      return status;
+    }
+    case ClickEffect::kToggle: {
+      control.set_toggled(!control.toggled());
+      if (!control.command().empty()) {
+        ++stats_.commands;
+        return ExecuteCommand(control, control.command());
+      }
+      return support::Status::Ok();
+    }
+    case ClickEffect::kSelect: {
+      return SelectControl(control, /*additive=*/false);
+    }
+    case ClickEffect::kCommand: {
+      ++stats_.commands;
+      support::Status status = ExecuteCommand(control, control.command());
+      // Menu semantics: invoking a functional item dismisses transient menus.
+      ClosePopupsNotContaining(nullptr);
+      return status;
+    }
+    case ClickEffect::kExternal: {
+      external_state_ = true;
+      return support::Status::Ok();
+    }
+    case ClickEffect::kClosePane: {
+      // Close the nearest enclosing persistent pane.
+      for (Control* node = control.parent_control(); node != nullptr;
+           node = node->parent_control()) {
+        Control* host = node->parent_control();
+        if (host != nullptr && host->popup() == node && host->popup_persistent()) {
+          host->SetPopupOpen(false);
+          return support::Status::Ok();
+        }
+      }
+      return support::FailedPreconditionError("no enclosing pane to close");
+    }
+    case ClickEffect::kRevealExisting: {
+      Control* target = control.reveal_target();
+      if (target == nullptr) {
+        return support::InternalError("reveal target missing");
+      }
+      // Open every popup host on the target's ancestor chain.
+      std::vector<Control*> chain;
+      for (Control* node = target; node != nullptr; node = node->parent_control()) {
+        chain.push_back(node);
+      }
+      std::reverse(chain.begin(), chain.end());
+      for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        Control* parent = chain[i];
+        Control* child = chain[i + 1];
+        if (parent->popup() == child && !parent->popup_open()) {
+          parent->SetPopupOpen(true);
+          open_popup_hosts_.push_back(parent);
+        }
+      }
+      return support::Status::Ok();
+    }
+  }
+  return support::InternalError("unhandled click effect");
+}
+
+support::Status Application::SelectControl(Control& control, bool additive) {
+  if (!IsAttached(control)) {
+    return support::NotFoundError("control '" + control.TrueName() +
+                                  "' is not currently visible");
+  }
+  if (!additive) {
+    // Exclusive selection clears every same-type item within the nearest
+    // selection container (List / DataGrid / Tab / Tree / Table), so a grid
+    // click deselects cells in other rows too. Falls back to the parent.
+    auto is_selection_container = [](uia::ControlType t) {
+      return t == uia::ControlType::kList || t == uia::ControlType::kDataGrid ||
+             t == uia::ControlType::kTable || t == uia::ControlType::kTree ||
+             t == uia::ControlType::kTab;
+    };
+    Control* scope = control.parent_control();
+    while (scope != nullptr && !is_selection_container(scope->Type())) {
+      scope = scope->parent_control();
+    }
+    if (scope == nullptr) {
+      scope = control.parent_control();
+    }
+    if (scope != nullptr) {
+      scope->WalkStatic([&](Control& c) {
+        if (&c != &control && c.Type() == control.Type()) {
+          c.set_selected(false);
+        }
+      });
+    }
+  }
+  control.set_selected(true);
+  OnSelectionChanged(control);
+  return support::Status::Ok();
+}
+
+support::Status Application::DeselectControl(Control& control) {
+  control.set_selected(false);
+  OnSelectionChanged(control);
+  return support::Status::Ok();
+}
+
+support::Status Application::PressKey(const std::string& chord) {
+  if (external_state_) {
+    return support::FailedPreconditionError("application is in an external state");
+  }
+  ++stats_.key_chords;
+  if (chord == "ESC") {
+    if (!open_popup_hosts_.empty()) {
+      Control* top = open_popup_hosts_.back();
+      top->SetPopupOpen(false);
+      open_popup_hosts_.pop_back();
+      return support::Status::Ok();
+    }
+    if (open_window_stack_.size() > 1) {
+      CloseWindow(*open_window_stack_.back(), /*commit=*/false);
+      return support::Status::Ok();
+    }
+    return support::Status::Ok();
+  }
+  return OnKeyChord(chord);
+}
+
+support::Status Application::TypeText(const std::string& text) {
+  if (external_state_) {
+    return support::FailedPreconditionError("application is in an external state");
+  }
+  if (focused_ == nullptr) {
+    return support::FailedPreconditionError("no edit control is focused");
+  }
+  ++stats_.text_inputs;
+  focused_->set_text_value(text);
+  OnValueChanged(*focused_);
+  return support::Status::Ok();
+}
+
+std::vector<std::string> Application::OpenAncestorNames(const Control& control) const {
+  std::vector<std::string> names;
+  for (const Control* node = control.parent_control(); node != nullptr;
+       node = node->parent_control()) {
+    names.push_back(node->TrueName());
+  }
+  std::reverse(names.begin(), names.end());
+  return names;
+}
+
+void Application::SetRevealTick(Control& control, uint64_t tick) {
+  reveal_ticks_[control.RuntimeId()] = tick;
+}
+
+bool Application::IsPendingReveal(const Control& control) const {
+  // A control is pending if it or any ancestor popup root is still loading.
+  for (const Control* node = &control; node != nullptr; node = node->parent_control()) {
+    auto it = reveal_ticks_.find(node->RuntimeId());
+    if (it != reveal_ticks_.end() && tick_ < it->second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+support::Status Application::ExecuteCommand(Control& source, const std::string& command) {
+  (void)source;
+  DMI_LOG(kDebug) << "unhandled command: " << command;
+  return support::Status::Ok();
+}
+
+support::Status Application::OnKeyChord(const std::string& chord) {
+  (void)chord;
+  return support::Status::Ok();
+}
+
+void Application::OnValueChanged(Control& control) { (void)control; }
+
+void Application::OnSelectionChanged(Control& control) { (void)control; }
+
+void Application::OnUiReset() {}
+
+}  // namespace gsim

@@ -1,0 +1,195 @@
+// Application: the simulated desktop application runtime.
+//
+// Owns the main window, eagerly-registered dialog windows, and shared popup
+// subtrees (e.g. a color palette referenced from several menus — the source of
+// merge nodes in the UI Navigation Graph). Interprets clicks, key chords and
+// text input; dispatches functional commands to the concrete app subclass
+// (WordSim / ExcelSim / PpointSim), which mutates its document model.
+#ifndef SRC_GUI_APPLICATION_H_
+#define SRC_GUI_APPLICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gui/control.h"
+#include "src/gui/window.h"
+#include "src/support/status.h"
+#include "src/uia/element.h"
+
+namespace gsim {
+
+class InstabilityInjector;
+
+// Interaction statistics, used for modeling-cost and step accounting.
+struct ActionStats {
+  uint64_t clicks = 0;
+  uint64_t key_chords = 0;
+  uint64_t text_inputs = 0;
+  uint64_t drags = 0;
+  uint64_t commands = 0;
+};
+
+class Application {
+ public:
+  explicit Application(std::string name);
+  virtual ~Application();
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // ----- structure -----------------------------------------------------------
+  Window& main_window() { return *main_window_; }
+
+  // Registers a dialog window under `dialog_id`; controls with
+  // SetDialogId(dialog_id) open it. The window is owned by the application.
+  Window* RegisterDialog(const std::string& dialog_id, std::unique_ptr<Window> window);
+  Window* FindDialog(const std::string& dialog_id);
+
+  // Registers a subtree shared between several popup hosts (merge node).
+  Control* RegisterSharedSubtree(std::unique_ptr<Control> root);
+
+  // ----- accessibility --------------------------------------------------------
+  // The desktop root: its children are the roots of all open windows, topmost
+  // last. This is what the ripper, the DMI executor and the baseline labeler
+  // capture.
+  uia::Element& AccessibilityRoot();
+
+  // Topmost open window (modal dialogs stack above the main window).
+  Window* TopWindow();
+  std::vector<Window*> OpenWindows();
+
+  // True if the control sits on an open window with every popup host on its
+  // ancestor chain open (i.e. it can actually be clicked right now).
+  bool IsAttached(const Control& control) const;
+
+  // ----- interaction (the imperative mechanism) -------------------------------
+  // Interprets one click on `control` per its ClickEffect.
+  support::Status Click(Control& control);
+
+  // Key chord: "ESC", "ENTER", "CTRL+A", ... ESC is handled generically
+  // (closes the top transient popup, else cancels the top dialog); everything
+  // else goes to OnKeyChord.
+  support::Status PressKey(const std::string& chord);
+
+  // Replaces the focused edit control's value (a keyboard "type-over").
+  support::Status TypeText(const std::string& text);
+
+  // Selection plumbing used by SelectionItem adapters and by Click(kSelect).
+  support::Status SelectControl(Control& control, bool additive);
+  support::Status DeselectControl(Control& control);
+
+  // Closes the popup opened from `host` and everything above it.
+  void ClosePopupsFrom(Control& host);
+  void CloseAllPopups();
+
+  // Closes `window` (dialogs only; the main window stays). `commit` tells
+  // whether OK-semantics were used.
+  void CloseWindow(Window& window, bool commit);
+
+  // Restores the initial UI state: closes dialogs and popups, clears focus
+  // and the external-state flag. (The ripper uses this as its cheap
+  // "restart"; it does not reset the document model.)
+  void ResetUiState();
+
+  // ----- state ---------------------------------------------------------------
+  Control* focused() const { return focused_; }
+  void SetFocus(Control* control);
+
+  // True after a kExternal control was clicked; every further interaction
+  // fails until ResetUiState() (the app "left" to a browser).
+  bool in_external_state() const { return external_state_; }
+
+  const ActionStats& stats() const { return stats_; }
+  ActionStats& mutable_stats() { return stats_; }
+
+  // Logical clock advanced by event-loop turns; slow-loading popups become
+  // visible only at a later tick.
+  uint64_t current_tick() const { return tick_; }
+  void Tick() { ++tick_; }
+
+  // ----- window events ---------------------------------------------------------
+  // UIA-style window listeners (§4.1: "New top-level or modal windows are
+  // detected via process_id and window listeners"). Fired on dialog open and
+  // close; the main window never fires.
+  using WindowListener = std::function<void(Window&, bool opened)>;
+  void AddWindowListener(WindowListener listener) {
+    window_listeners_.push_back(std::move(listener));
+  }
+
+  // ----- instability -----------------------------------------------------------
+  // The injector is borrowed; pass nullptr to disable (default).
+  void SetInstability(InstabilityInjector* injector) { instability_ = injector; }
+  InstabilityInjector* instability() const { return instability_; }
+
+  // Name as seen through the accessibility API right now (may be decorated
+  // by the injector: suffixes, shortcut hints, ellipses).
+  std::string DecorateName(const Control& control) const;
+
+  // ----- hooks for concrete applications --------------------------------------
+  // Functional endpoint dispatch. `source` is the clicked control; concrete
+  // apps use its open ancestor chain for path-dependent semantics.
+  virtual support::Status ExecuteCommand(Control& source, const std::string& command);
+
+  // Non-ESC key chords (ENTER commits, shortcuts, ...).
+  virtual support::Status OnKeyChord(const std::string& chord);
+
+  // An edit control's value changed (typing or ValuePattern::SetValue).
+  virtual void OnValueChanged(Control& control);
+
+  // A control was (de)selected; apps use this for context-dependent UI
+  // (e.g. PowerPoint's Picture Format tab appears when an image is selected).
+  virtual void OnSelectionChanged(Control& control);
+
+  // Called at the end of ResetUiState(); apps restore default pane
+  // visibility and other app-managed UI state here.
+  virtual void OnUiReset();
+
+  // Names of open popup hosts / windows containing `control`, outermost
+  // first. Lets commands resolve path-dependent meaning ("Font Color" vs
+  // "Underline Color" hosting the same palette).
+  std::vector<std::string> OpenAncestorNames(const Control& control) const;
+
+  // Slow-load support: the control is invisible until this tick.
+  void SetRevealTick(Control& control, uint64_t tick);
+  bool IsPendingReveal(const Control& control) const;
+
+ protected:
+  // Subclasses call this once their main window tree is built.
+  void FinalizeMainWindow();
+
+ private:
+  class DesktopRoot;
+
+  // Closes transient popups that do not contain `keep`; pass nullptr to
+  // close all.
+  void ClosePopupsNotContaining(const Control* keep);
+  bool PopupChainContains(Control* host, const Control& c) const;
+
+  support::Status ClickImpl(Control& control);
+
+  std::string name_;
+  std::unique_ptr<Window> main_window_;
+  std::map<std::string, std::unique_ptr<Window>> dialogs_;
+  std::vector<std::unique_ptr<Control>> shared_subtrees_;
+  std::vector<Window*> open_window_stack_;  // main window first
+  std::vector<Control*> open_popup_hosts_;  // transient menus, innermost last
+
+  std::unique_ptr<DesktopRoot> desktop_root_;
+  Control* focused_ = nullptr;
+  bool external_state_ = false;
+  uint64_t tick_ = 0;
+  ActionStats stats_;
+  InstabilityInjector* instability_ = nullptr;
+  std::vector<WindowListener> window_listeners_;
+  std::map<uint64_t, uint64_t> reveal_ticks_;  // runtime id -> visible-at tick
+};
+
+}  // namespace gsim
+
+#endif  // SRC_GUI_APPLICATION_H_

@@ -1,0 +1,33 @@
+// Screen geometry for the GUI simulator. Coordinates are virtual pixels in a
+// fixed 1280x800 desktop; the imperative input path (used by the GUI-only
+// baseline) addresses controls by these coordinates and is therefore exposed
+// to grounding noise, exactly like a vision-based agent.
+#ifndef SRC_GUI_GEOMETRY_H_
+#define SRC_GUI_GEOMETRY_H_
+
+namespace gsim {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  bool Contains(Point p) const {
+    return p.x >= x && p.x < x + width && p.y >= y && p.y < y + height;
+  }
+  Point Center() const { return Point{x + width / 2, y + height / 2}; }
+  bool Empty() const { return width <= 0 || height <= 0; }
+};
+
+inline constexpr int kDesktopWidth = 1280;
+inline constexpr int kDesktopHeight = 800;
+
+}  // namespace gsim
+
+#endif  // SRC_GUI_GEOMETRY_H_

@@ -1,0 +1,95 @@
+#include "src/gui/instability.h"
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "src/gui/control.h"
+
+namespace gsim {
+namespace {
+
+// Stable 64-bit mix for per-control deterministic decisions.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+InstabilityConfig InstabilityConfig::Typical() {
+  InstabilityConfig c;
+  c.name_variation_rate = 0.06;
+  c.click_fail_rate = 0.01;
+  c.slow_load_rate = 0.08;
+  c.slow_load_ticks = 2;
+  c.misclick_sigma_px = 6.0;
+  return c;
+}
+
+InstabilityConfig InstabilityConfig::Harsh() {
+  InstabilityConfig c;
+  c.name_variation_rate = 0.20;
+  c.click_fail_rate = 0.05;
+  c.slow_load_rate = 0.25;
+  c.slow_load_ticks = 4;
+  c.misclick_sigma_px = 14.0;
+  return c;
+}
+
+InstabilityInjector::InstabilityInjector(const InstabilityConfig& config, uint64_t seed)
+    : config_(config), seed_(seed), rng_(seed ^ 0xabcdef1234567890ULL) {}
+
+std::string InstabilityInjector::DecorateName(const Control& control) const {
+  const std::string& base = control.TrueName();
+  if (base.empty() || config_.name_variation_rate <= 0.0) {
+    return base;
+  }
+  // Keyed on the stable name (not the per-instance runtime id) so identical
+  // app builds decorate identically — runs are reproducible per seed.
+  const uint64_t h = Mix(seed_, std::hash<std::string>{}(base));
+  const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (u >= config_.name_variation_rate) {
+    return base;
+  }
+  // Pick a deterministic decoration variant.
+  switch ((h >> 3) % 4) {
+    case 0:
+      return base + "...";          // truncation marker variant
+    case 1:
+      return base + " ";            // stray trailing whitespace
+    case 2:
+      return base + " (Ctrl+" + static_cast<char>('A' + (h % 26)) + std::string(")");
+    default:
+      return base + " control";     // verbose accessibility phrasing
+  }
+}
+
+bool InstabilityInjector::ClickSilentlyFails(const Control& control) {
+  (void)control;
+  return rng_.Bernoulli(config_.click_fail_rate);
+}
+
+uint64_t InstabilityInjector::PopupRevealDelay(const Control& control) {
+  (void)control;
+  if (!rng_.Bernoulli(config_.slow_load_rate)) {
+    return 0;
+  }
+  return 1 + rng_.NextBelow(config_.slow_load_ticks);
+}
+
+Point InstabilityInjector::PerturbPoint(Point p) {
+  if (config_.misclick_sigma_px <= 0.0) {
+    return p;
+  }
+  p.x += static_cast<int>(std::lround(rng_.Gaussian(0.0, config_.misclick_sigma_px)));
+  p.y += static_cast<int>(std::lround(rng_.Gaussian(0.0, config_.misclick_sigma_px)));
+  return p;
+}
+
+}  // namespace gsim

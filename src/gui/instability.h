@@ -1,0 +1,69 @@
+// Instability injection: the real-world GUI hazards that make imperative
+// interaction fragile (paper §2.4 Challenge #3 and §3.4 "Handling unstable UI
+// interaction"):
+//   - name variation: the accessibility name differs from the modeled name
+//     (localization suffixes, shortcut hints, trailing whitespace);
+//   - silent click failure: a click lands but the app drops it;
+//   - slow loading: popup content appears only after a delay;
+//   - coordinate noise: imperative clicks at coordinates drift.
+// The offline modeling phase runs with injection disabled (a controlled
+// environment); the online phase runs with it enabled, so both the baseline
+// and DMI face the same hazards. DMI's fuzzy matcher and retry machinery are
+// exercised by exactly these.
+#ifndef SRC_GUI_INSTABILITY_H_
+#define SRC_GUI_INSTABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/gui/geometry.h"
+#include "src/support/rng.h"
+
+namespace gsim {
+
+class Control;
+
+struct InstabilityConfig {
+  // Fraction of controls whose accessibility name is decorated.
+  double name_variation_rate = 0.0;
+  // Probability a click is silently dropped by the application.
+  double click_fail_rate = 0.0;
+  // Probability an opened popup loads slowly.
+  double slow_load_rate = 0.0;
+  // How many ticks a slow popup takes to materialize.
+  uint64_t slow_load_ticks = 2;
+  // Stddev (virtual pixels) of imperative click-coordinate noise.
+  double misclick_sigma_px = 0.0;
+
+  static InstabilityConfig None() { return {}; }
+  // A calibrated "typical desktop" hazard level used by the end-to-end runs.
+  static InstabilityConfig Typical();
+  // A harsher level used by the robustness ablation sweep.
+  static InstabilityConfig Harsh();
+};
+
+class InstabilityInjector {
+ public:
+  InstabilityInjector(const InstabilityConfig& config, uint64_t seed);
+
+  const InstabilityConfig& config() const { return config_; }
+
+  // Deterministic per control: a control either always or never carries a
+  // decorated name within one run (names are unstable across *builds*, not
+  // across frames).
+  std::string DecorateName(const Control& control) const;
+
+  // Stochastic per call.
+  bool ClickSilentlyFails(const Control& control);
+  uint64_t PopupRevealDelay(const Control& control);
+  Point PerturbPoint(Point p);
+
+ private:
+  InstabilityConfig config_;
+  uint64_t seed_;
+  support::Rng rng_;
+};
+
+}  // namespace gsim
+
+#endif  // SRC_GUI_INSTABILITY_H_

@@ -1,0 +1,107 @@
+#include "src/gui/screen.h"
+
+#include "src/support/strings.h"
+#include "src/uia/tree.h"
+
+namespace gsim {
+
+std::string IndexToLabel(size_t index) {
+  std::string label;
+  size_t n = index;
+  while (true) {
+    label.insert(label.begin(), static_cast<char>('A' + n % 26));
+    if (n < 26) {
+      break;
+    }
+    n = n / 26 - 1;
+  }
+  return label;
+}
+
+void ScreenView::Refresh() {
+  labeled_.clear();
+  // Collect all visible (attached, onscreen) controls across open windows,
+  // topmost window last so hit-testing prefers it.
+  std::vector<Control*> visible;
+  for (Window* w : app_->OpenWindows()) {
+    uia::Walk(w->root(), [&](uia::Element& e, int) {
+      if (e.IsOffscreen()) {
+        return false;  // offscreen subtree is invisible entirely
+      }
+      visible.push_back(static_cast<Control*>(&e));
+      return true;
+    });
+  }
+  // Deterministic grid layout: 14 columns x 28 rows across the desktop.
+  constexpr int kCellWidth = kDesktopWidth / 14;
+  constexpr int kCellHeight = 26;
+  labeled_.reserve(visible.size());
+  for (size_t i = 0; i < visible.size(); ++i) {
+    Control* c = visible[i];
+    const int col = static_cast<int>(i % 14);
+    const int row = static_cast<int>((i / 14) % 28);
+    c->SetRect(Rect{col * kCellWidth, row * kCellHeight, kCellWidth - 4, kCellHeight - 4});
+    labeled_.push_back(LabeledControl{IndexToLabel(i), c});
+  }
+}
+
+Control* ScreenView::FindByLabel(const std::string& label) const {
+  for (const auto& lc : labeled_) {
+    if (lc.label == label) {
+      return lc.control;
+    }
+  }
+  return nullptr;
+}
+
+std::string ScreenView::LabelOf(const Control& control) const {
+  for (const auto& lc : labeled_) {
+    if (lc.control == &control) {
+      return lc.label;
+    }
+  }
+  return "";
+}
+
+Control* ScreenView::HitTest(Point p) const {
+  // Later entries belong to windows higher in the z-order; scan backward.
+  for (auto it = labeled_.rbegin(); it != labeled_.rend(); ++it) {
+    if (it->control->rect().Contains(p)) {
+      return it->control;
+    }
+  }
+  return nullptr;
+}
+
+std::string ScreenView::RenderListing(size_t max_entries) const {
+  std::string out;
+  size_t n = labeled_.size();
+  if (max_entries > 0 && max_entries < n) {
+    n = max_entries;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& lc = labeled_[i];
+    out += lc.label;
+    out += ' ';
+    out += lc.control->Name();
+    out += " (";
+    out += uia::ControlTypeName(lc.control->Type());
+    out += ")";
+    if (!lc.control->IsEnabled()) {
+      out += " [disabled]";
+    }
+    if (lc.control->selected()) {
+      out += " [selected]";
+    }
+    if (lc.control->toggled()) {
+      out += " [on]";
+    }
+    out += '\n';
+  }
+  if (n < labeled_.size()) {
+    out += support::Format("... (%zu more controls)\n", labeled_.size() - n);
+  }
+  return out;
+}
+
+}  // namespace gsim

@@ -1,0 +1,59 @@
+// Screen view: synthetic layout, hit-testing and control labeling.
+//
+// The baseline agent (UFO-2-like) perceives the UI as a labeled list of the
+// controls currently visible on screen — alphabetic labels ("A", "B", ...,
+// "HF") exactly as the paper's baseline does (§5.1), distinct from DMI's
+// numeric topology ids. The layout engine assigns deterministic rectangles so
+// the imperative input path can click by coordinate (with grounding noise).
+#ifndef SRC_GUI_SCREEN_H_
+#define SRC_GUI_SCREEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/gui/application.h"
+#include "src/gui/control.h"
+
+namespace gsim {
+
+struct LabeledControl {
+  std::string label;   // "A", "B", ..., "Z", "AA", ...
+  Control* control = nullptr;
+};
+
+// Converts 0 -> "A", 25 -> "Z", 26 -> "AA", ...
+std::string IndexToLabel(size_t index);
+
+class ScreenView {
+ public:
+  explicit ScreenView(Application& app) : app_(&app) {}
+
+  // Re-derives the visible control set, assigns labels and lays out rects.
+  // Call after every UI mutation before reading labels or hit-testing.
+  void Refresh();
+
+  const std::vector<LabeledControl>& labeled() const { return labeled_; }
+
+  // Control carrying the given label, or nullptr.
+  Control* FindByLabel(const std::string& label) const;
+
+  // Label of the control, or "" if not visible.
+  std::string LabelOf(const Control& control) const;
+
+  // Topmost visible control whose rect contains p, or nullptr.
+  Control* HitTest(Point p) const;
+
+  // Textual listing passed to the (simulated) LLM as the screen observation:
+  // one line per control, "label name (type) [state]".
+  std::string RenderListing(size_t max_entries = 0) const;
+
+  size_t VisibleCount() const { return labeled_.size(); }
+
+ private:
+  Application* app_;
+  std::vector<LabeledControl> labeled_;
+};
+
+}  // namespace gsim
+
+#endif  // SRC_GUI_SCREEN_H_

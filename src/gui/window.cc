@@ -1,0 +1,38 @@
+#include "src/gui/window.h"
+
+#include "src/gui/application.h"
+
+namespace gsim {
+
+Window::Window(std::string title, bool modal)
+    : title_(std::move(title)),
+      modal_(modal),
+      root_(std::make_unique<Control>(title_, uia::ControlType::kWindow)) {
+  root_->SetWindow(this);
+}
+
+void Window::SetApplication(Application* app) { root_->PropagateContext(this, app); }
+
+Control* Window::FindButton(CloseDisposition disposition) {
+  Control* found = nullptr;
+  root_->WalkStatic([&](Control& c) {
+    if (found == nullptr && c.click_effect() == ClickEffect::kCloseWindow &&
+        c.close_disposition() == disposition) {
+      found = &c;
+    }
+  });
+  return found;
+}
+
+Control* Window::FindDisposeButton() {
+  // OK (commit) first, then Close (dismiss), then Cancel.
+  if (Control* ok = FindButton(CloseDisposition::kCommit)) {
+    return ok;
+  }
+  if (Control* close = FindButton(CloseDisposition::kDismiss)) {
+    return close;
+  }
+  return FindButton(CloseDisposition::kCancel);
+}
+
+}  // namespace gsim

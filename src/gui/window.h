@@ -1,0 +1,54 @@
+// Window: a top-level surface (main window, dialog, child window) owning a
+// control tree. Dialog windows are created eagerly at application build time
+// and toggled open/closed, so control runtime ids are stable across openings —
+// matching how UIA elements persist for the life of a dialog instance.
+#ifndef SRC_GUI_WINDOW_H_
+#define SRC_GUI_WINDOW_H_
+
+#include <memory>
+#include <string>
+
+#include "src/gui/control.h"
+
+namespace gsim {
+
+class Application;
+
+class Window {
+ public:
+  // Creates a window whose root control has type kWindow and the given title.
+  Window(std::string title, bool modal);
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  Control& root() { return *root_; }
+  const Control& root() const { return *root_; }
+
+  const std::string& title() const { return title_; }
+  bool modal() const { return modal_; }
+  bool is_open() const { return open_; }
+
+  // Open/close bookkeeping is driven by Application; these only flip state.
+  void SetOpen(bool open) { open_ = open; }
+
+  void SetApplication(Application* app);
+
+  // Finds the button the executor should press to dispose of this window,
+  // honoring the paper's priority OK > Close > Cancel (§4.3), "favoring the
+  // saving of modifications". Returns nullptr if the window has none.
+  Control* FindDisposeButton();
+
+  // Finds a close button with the given disposition, or nullptr.
+  Control* FindButton(CloseDisposition disposition);
+
+ private:
+  std::string title_;
+  bool modal_;
+  bool open_ = false;
+  std::unique_ptr<Control> root_;
+};
+
+}  // namespace gsim
+
+#endif  // SRC_GUI_WINDOW_H_

@@ -1,0 +1,47 @@
+#include "src/ripper/identifier.h"
+
+namespace ripper {
+namespace {
+
+std::string Primary(const std::string& automation_id, const std::string& name) {
+  if (!automation_id.empty()) {
+    return automation_id;
+  }
+  if (!name.empty()) {
+    return name;
+  }
+  return "[Unnamed]";
+}
+
+}  // namespace
+
+std::string SynthesizeControlId(const uia::SnapshotEntry& entry) {
+  return Primary(entry.automation_id, entry.name) + "|" +
+         std::string(uia::ControlTypeName(entry.type)) + "|" + entry.ancestor_path;
+}
+
+std::string SynthesizeControlId(const uia::Element& element) {
+  return Primary(element.AutomationId(), element.Name()) + "|" +
+         std::string(uia::ControlTypeName(element.Type())) + "|" +
+         uia::AncestorPath(element);
+}
+
+ParsedControlId ParseControlId(const std::string& control_id) {
+  ParsedControlId parsed;
+  const size_t first = control_id.find('|');
+  if (first == std::string::npos) {
+    parsed.primary_id = control_id;
+    return parsed;
+  }
+  parsed.primary_id = control_id.substr(0, first);
+  const size_t second = control_id.find('|', first + 1);
+  if (second == std::string::npos) {
+    parsed.control_type = control_id.substr(first + 1);
+    return parsed;
+  }
+  parsed.control_type = control_id.substr(first + 1, second - first - 1);
+  parsed.ancestor_path = control_id.substr(second + 1);
+  return parsed;
+}
+
+}  // namespace ripper

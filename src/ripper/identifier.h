@@ -1,0 +1,35 @@
+// Control identifier synthesis (paper §4.1).
+//
+// UIA gives no globally unique id, so nodes in the UI Navigation Graph are
+// labeled with an XPath-like identifier:
+//     primary_id|control_type|ancestor_path
+// primary_id is the AutomationId, falling back to the control name, falling
+// back to "[Unnamed]". Index-based addressing is deliberately avoided —
+// dynamic menus shift indices unpredictably.
+#ifndef SRC_RIPPER_IDENTIFIER_H_
+#define SRC_RIPPER_IDENTIFIER_H_
+
+#include <string>
+
+#include "src/uia/tree.h"
+
+namespace ripper {
+
+struct ParsedControlId {
+  std::string primary_id;
+  std::string control_type;
+  std::string ancestor_path;
+};
+
+// Builds the identifier from a snapshot entry.
+std::string SynthesizeControlId(const uia::SnapshotEntry& entry);
+
+// Builds the identifier directly from a live element.
+std::string SynthesizeControlId(const uia::Element& element);
+
+// Splits an identifier back into its three fields.
+ParsedControlId ParseControlId(const std::string& control_id);
+
+}  // namespace ripper
+
+#endif  // SRC_RIPPER_IDENTIFIER_H_

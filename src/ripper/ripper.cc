@@ -1,0 +1,254 @@
+#include "src/ripper/ripper.h"
+
+#include <deque>
+
+#include "src/ripper/identifier.h"
+#include "src/support/logging.h"
+#include "src/uia/tree.h"
+
+namespace ripper {
+namespace {
+
+// Simulated real-world latencies (milliseconds) for cost accounting; see
+// RipStats::simulated_ms.
+constexpr double kClickMs = 120.0;
+constexpr double kCaptureMs = 80.0;
+constexpr double kExternalRecoveryMs = 30000.0;
+
+// One DFS work item: a control to explore and the click path that reveals it.
+struct WorkItem {
+  std::string control_id;
+  std::vector<std::string> path;  // control ids to click, in order
+};
+
+}  // namespace
+
+GuiRipper::GuiRipper(gsim::Application& app, RipperConfig config)
+    : app_(&app), config_(std::move(config)) {
+  // Window listener (§4.1): new top-level/modal windows are surfaced as
+  // events; the explorer counts them (captures pick up their contents).
+  app_->AddWindowListener([this](gsim::Window&, bool) { ++stats_.window_events; });
+}
+
+std::vector<GuiRipper::VisibleEntry> GuiRipper::CaptureVisible() {
+  ++stats_.captures;
+  stats_.simulated_ms += kCaptureMs;
+  std::vector<VisibleEntry> out;
+  uia::Walk(app_->AccessibilityRoot(), [&](uia::Element& e, int) {
+    if (e.IsOffscreen()) {
+      return false;
+    }
+    if (e.RuntimeId() == 0) {
+      return true;  // the synthetic desktop root itself
+    }
+    out.push_back(VisibleEntry{SynthesizeControlId(e), static_cast<gsim::Control*>(&e)});
+    return true;
+  });
+  return out;
+}
+
+bool GuiRipper::IsExplorable(const gsim::Control& control) const {
+  if (config_.blocklist.count(control.TrueName()) > 0) {
+    return false;
+  }
+  switch (control.Type()) {
+    case uia::ControlType::kButton:
+    case uia::ControlType::kMenuItem:
+    case uia::ControlType::kTabItem:
+    case uia::ControlType::kSplitButton:
+    case uia::ControlType::kListItem:
+    case uia::ControlType::kCheckBox:
+    case uia::ControlType::kComboBox:
+    case uia::ControlType::kRadioButton:
+    case uia::ControlType::kHyperlink:
+      return true;
+    default:
+      return false;  // content (DataItem, Text, Edit, ...) is not navigation
+  }
+}
+
+topo::NodeInfo GuiRipper::MakeNodeInfo(const gsim::Control& control) const {
+  topo::NodeInfo info;
+  info.control_id = SynthesizeControlId(control);
+  info.name = control.TrueName();
+  info.type = control.Type();
+  info.description = control.HelpText();
+  info.automation_id = control.AutomationId();
+  return info;
+}
+
+gsim::Control* GuiRipper::FindVisibleById(const std::string& control_id) {
+  gsim::Control* found = nullptr;
+  uia::Walk(app_->AccessibilityRoot(), [&](uia::Element& e, int) {
+    if (found != nullptr) {
+      return false;
+    }
+    if (e.IsOffscreen()) {
+      return false;
+    }
+    if (e.RuntimeId() != 0 && SynthesizeControlId(e) == control_id) {
+      found = static_cast<gsim::Control*>(&e);
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+void GuiRipper::AddRevealedEdges(topo::NavGraph& graph, int from_node,
+                                 const std::vector<VisibleEntry>& fresh,
+                                 const std::set<std::string>& prior_ids) {
+  // Index the fresh set by element pointer so containment can be checked.
+  std::set<const gsim::Control*> fresh_controls;
+  for (const auto& e : fresh) {
+    fresh_controls.insert(e.control);
+  }
+  // First materialize all nodes, then wire edges.
+  for (const auto& e : fresh) {
+    graph.AddNode(MakeNodeInfo(*e.control));
+  }
+  (void)prior_ids;
+  for (const auto& e : fresh) {
+    const int node = graph.FindNode(e.control_id);
+    // Walk up the accessibility parent chain to the nearest *also fresh*
+    // ancestor; containment edge from it. Without one, this element roots a
+    // revealed subtree: the click points at it.
+    const gsim::Control* parent = nullptr;
+    for (const uia::Element* p = e.control->Parent(); p != nullptr; p = p->Parent()) {
+      const auto* pc = static_cast<const gsim::Control*>(p);
+      if (fresh_controls.count(pc) > 0) {
+        parent = pc;
+        break;
+      }
+    }
+    if (parent != nullptr) {
+      graph.AddEdge(graph.FindNode(SynthesizeControlId(*parent)), node);
+    } else {
+      graph.AddEdge(from_node, node);
+    }
+  }
+}
+
+bool GuiRipper::ReplayPath(const std::vector<std::string>& path, const RipContext& context) {
+  app_->ResetUiState();
+  if (context.setup) {
+    context.setup(*app_);
+  }
+  for (const std::string& step : path) {
+    gsim::Control* control = FindVisibleById(step);
+    if (control == nullptr) {
+      return false;
+    }
+    ++stats_.clicks;
+    stats_.simulated_ms += kClickMs;
+    if (!app_->Click(*control).ok()) {
+      return false;
+    }
+    if (app_->in_external_state()) {
+      // A blocklist miss: the app left; recover expensively.
+      ++stats_.external_recoveries;
+      stats_.simulated_ms += kExternalRecoveryMs;
+      app_->ResetUiState();
+      return false;
+    }
+  }
+  return true;
+}
+
+void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& context) {
+  ++stats_.contexts;
+  app_->ResetUiState();
+  if (context.setup) {
+    context.setup(*app_);
+  }
+
+  // Root-node initialization (§4.1): the initial screen attaches beneath the
+  // virtual root. Edges follow the revealed hierarchy — the click (here: the
+  // virtual root) points at the roots of newly revealed subtrees; within a
+  // revealed subtree, parent-child containment forms the edges. This
+  // reconstructs the deep navigation structure (Figure 4's merge-node
+  // substructures) instead of a flat fan-out; controls under the active tab's
+  // panel automatically scope beneath that TabItem via containment.
+  std::vector<VisibleEntry> initial = CaptureVisible();
+  std::deque<WorkItem> work;
+  AddRevealedEdges(graph, topo::NavGraph::kRootIndex, initial, /*prior_ids=*/{});
+  for (const auto& entry : initial) {
+    if (IsExplorable(*entry.control) && explored_.count(entry.control_id) == 0) {
+      work.push_back(WorkItem{entry.control_id, {}});
+    }
+  }
+
+  // DFS (stack discipline via front-insertion).
+  while (!work.empty() && explored_.size() < config_.max_explored) {
+    WorkItem item = work.front();
+    work.pop_front();
+    if (explored_.count(item.control_id) > 0) {
+      continue;
+    }
+    explored_.insert(item.control_id);
+    ++stats_.explored;
+
+    if (!ReplayPath(item.path, context)) {
+      continue;  // state drifted; skip this branch
+    }
+    gsim::Control* target = FindVisibleById(item.control_id);
+    if (target == nullptr) {
+      continue;
+    }
+    std::vector<VisibleEntry> before = CaptureVisible();
+    ++stats_.clicks;
+    stats_.simulated_ms += kClickMs;
+    if (!app_->Click(*target).ok()) {
+      continue;
+    }
+    if (app_->in_external_state()) {
+      ++stats_.external_recoveries;
+      stats_.simulated_ms += kExternalRecoveryMs;
+      app_->ResetUiState();
+      continue;
+    }
+    std::vector<VisibleEntry> after = CaptureVisible();
+
+    std::set<std::string> before_ids;
+    for (const auto& e : before) {
+      before_ids.insert(e.control_id);
+    }
+    const int from_node = graph.FindNode(item.control_id);
+    if (from_node < 0) {
+      continue;  // should not happen: node added when first seen
+    }
+    std::vector<std::string> next_path = item.path;
+    next_path.push_back(item.control_id);
+    const int next_depth = static_cast<int>(next_path.size());
+
+    std::vector<VisibleEntry> fresh;
+    for (const auto& e : after) {
+      if (before_ids.count(e.control_id) == 0) {
+        fresh.push_back(e);
+      }
+    }
+    AddRevealedEdges(graph, from_node, fresh, before_ids);
+    for (const auto& e : fresh) {
+      if (next_depth <= config_.max_depth && IsExplorable(*e.control) &&
+          explored_.count(e.control_id) == 0) {
+        work.push_front(WorkItem{e.control_id, next_path});
+      }
+    }
+  }
+  app_->ResetUiState();
+}
+
+topo::NavGraph GuiRipper::Rip(const std::vector<RipContext>& extra_contexts) {
+  topo::NavGraph graph;
+  RipContext default_context;
+  default_context.name = "default";
+  RipContextInternal(graph, default_context);
+  for (const RipContext& context : extra_contexts) {
+    RipContextInternal(graph, context);
+  }
+  DMI_LOG(kInfo) << "ripped " << graph.node_count() << " controls, " << graph.edge_count()
+                 << " edges in " << stats_.explored << " explorations";
+  return graph;
+}
+
+}  // namespace ripper

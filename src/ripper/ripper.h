@@ -1,0 +1,104 @@
+// GUI ripping: automated construction of the UI Navigation Graph (paper §4.1).
+//
+// Differential capture with DFS exploration: capture the visible accessibility
+// set, click a candidate control, capture again; newly visible controls define
+// navigation edges. State is restored between explorations by resetting the UI
+// and replaying the recorded access path (cheap for an in-process app; the
+// paper avoids full restarts the same way via Esc/Close).
+//
+// Semi-automation mirrors the paper:
+//   - an access *blocklist* for controls that leave the application or wedge
+//     it (e.g. "Account" opening a browser); hitting one without the
+//     blocklist costs an expensive recovery, which the stats record;
+//   - *context-aware exploration*: some controls only exist in specific
+//     contexts (an image selected); contexts are small setup callbacks and the
+//     per-context graphs merge by control id.
+#ifndef SRC_RIPPER_RIPPER_H_
+#define SRC_RIPPER_RIPPER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/gui/application.h"
+#include "src/topology/nav_graph.h"
+
+namespace ripper {
+
+struct RipperConfig {
+  // Control names never clicked during exploration (§4.1 "Access blocklist").
+  std::set<std::string> blocklist;
+  // Exploration depth cap (root's children are depth 1).
+  int max_depth = 14;
+  // Safety cap on distinct explored controls.
+  size_t max_explored = 50000;
+};
+
+struct RipContext {
+  std::string name;
+  // Puts the application into the context (e.g. select an image). Replayed
+  // after every state reset while exploring this context.
+  std::function<void(gsim::Application&)> setup;
+};
+
+struct RipStats {
+  uint64_t clicks = 0;
+  uint64_t captures = 0;
+  uint64_t explored = 0;
+  uint64_t external_recoveries = 0;  // blocklist misses: expensive restarts
+  uint64_t window_events = 0;        // dialog open/close events observed
+  uint64_t contexts = 0;
+  // Simulated wall-time cost in milliseconds: clicks and captures have
+  // real-world latency on a live UI even though the simulator is instant.
+  // Calibrated to UIA costs: ~120 ms per click, ~80 ms per capture, 30 s per
+  // external recovery (app restart).
+  double simulated_ms = 0.0;
+};
+
+class GuiRipper {
+ public:
+  GuiRipper(gsim::Application& app, RipperConfig config);
+
+  // Rips the default context plus each extra context; returns the merged UNG.
+  topo::NavGraph Rip(const std::vector<RipContext>& extra_contexts = {});
+
+  const RipStats& stats() const { return stats_; }
+
+ private:
+  struct VisibleEntry {
+    std::string control_id;
+    gsim::Control* control;
+  };
+
+  // All currently visible (attached, on-screen) controls, by identifier.
+  std::vector<VisibleEntry> CaptureVisible();
+
+  // Whether exploration should click this control.
+  bool IsExplorable(const gsim::Control& control) const;
+
+  void RipContextInternal(topo::NavGraph& graph, const RipContext& context);
+
+  // Adds nodes and edges for a set of newly revealed controls: the click
+  // (from_node) points at subtree roots; containment wires the rest.
+  void AddRevealedEdges(topo::NavGraph& graph, int from_node,
+                        const std::vector<VisibleEntry>& fresh,
+                        const std::set<std::string>& prior_ids);
+
+  // Navigates to the state where `path` (control ids) has been clicked.
+  // Returns false if replay failed (UI changed under us).
+  bool ReplayPath(const std::vector<std::string>& path, const RipContext& context);
+
+  gsim::Control* FindVisibleById(const std::string& control_id);
+
+  topo::NodeInfo MakeNodeInfo(const gsim::Control& control) const;
+
+  gsim::Application* app_;
+  RipperConfig config_;
+  RipStats stats_;
+  std::set<std::string> explored_;
+};
+
+}  // namespace ripper
+
+#endif  // SRC_RIPPER_RIPPER_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Defaults to warnings-and-above so tests and benches
+// stay quiet; verbose modeling/navigation traces are enabled on demand.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr: "[LEVEL] message".
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style helper: LogStream(kInfo) << "ripped " << n << " controls";
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace support
+
+#define DMI_LOG(level) ::support::LogStream(::support::LogLevel::level)
+
+#endif  // SRC_SUPPORT_LOGGING_H_

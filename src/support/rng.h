@@ -1,0 +1,61 @@
+// Deterministic PRNG used everywhere randomness is needed (instability
+// injection, simulated-LLM error sampling, latency sampling). All experiment
+// runs are reproducible from a single seed.
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace support {
+
+// xoshiro256** with a SplitMix64 seeding stage.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Normal(mean, stddev) via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  // Log-normal sample with the given underlying mu/sigma; used for
+  // LLM-latency modeling (heavy right tail).
+  double LogNormal(double mu, double sigma);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent child stream (stable across platforms).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,123 @@
+// Lightweight status / result types used across the DMI reproduction.
+//
+// Error handling convention (per C++ Core Guidelines E.*): recoverable,
+// expected failures travel as `Status` / `Result<T>` values; programming
+// errors are asserted. No exceptions cross library boundaries.
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace support {
+
+// Broad error taxonomy. Mirrors the structured error feedback DMI returns to
+// the LLM (e.g. "target control located but disabled").
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // control / node / key absent
+  kInvalidArgument, // malformed command, bad id, bad JSON
+  kFailedPrecondition, // control disabled, pattern unsupported, wrong state
+  kUnavailable,     // transient: control not yet loaded, window busy
+  kDeadlineExceeded,// retry budget exhausted
+  kInternal,        // invariant violation inside the executor
+  kUnimplemented,
+};
+
+// Human-readable name for a status code ("NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A status value: a code plus an optional diagnostic message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no control named 'Apply to All'"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status. Minimal expected<T, Status>.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return SomeError();`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() {
+    assert(ok() && "value() on errored Result");
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok() && "value() on errored Result");
+    return std::get<T>(data_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_STATUS_H_

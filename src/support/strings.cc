@@ -1,0 +1,115 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace support {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string Trim(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) {
+    --e;
+  }
+  return std::string(text.substr(b, e - b));
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) {
+    return true;
+  }
+  const std::string h = ToLower(haystack);
+  const std::string n = ToLower(needle);
+  return h.find(n) != std::string::npos;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) {
+    return std::string(text);
+  }
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += text.substr(pos);
+      break;
+    }
+    out += text.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string Truncate(std::string_view text, size_t max_chars) {
+  if (text.size() <= max_chars) {
+    return std::string(text);
+  }
+  if (max_chars <= 3) {
+    return std::string(text.substr(0, max_chars));
+  }
+  return std::string(text.substr(0, max_chars - 3)) + "...";
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace support

@@ -1,0 +1,37 @@
+// Small string utilities shared by serialization, identifiers and matching.
+#ifndef SRC_SUPPORT_STRINGS_H_
+#define SRC_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace support {
+
+// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Joins pieces with the separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+// Truncates to at most `max_chars` characters, appending "..." when cut.
+std::string Truncate(std::string_view text, size_t max_chars);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_STRINGS_H_

@@ -1,0 +1,121 @@
+#include "src/text/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace textutil {
+namespace {
+
+std::string ToLowerCopy(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::set<std::string> WordSet(std::string_view text) {
+  std::set<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.insert(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    words.insert(current);
+  }
+  return words;
+}
+
+}  // namespace
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) {
+    std::swap(a, b);
+  }
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  const size_t longest = std::max(a.size(), b.size());
+  const size_t dist = EditDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+double TokenSetRatio(std::string_view a, std::string_view b) {
+  const auto wa = WordSet(a);
+  const auto wb = WordSet(b);
+  if (wa.empty() && wb.empty()) {
+    return 1.0;
+  }
+  if (wa.empty() || wb.empty()) {
+    return 0.0;
+  }
+  size_t inter = 0;
+  for (const auto& w : wa) {
+    if (wb.count(w) > 0) {
+      ++inter;
+    }
+  }
+  const size_t uni = wa.size() + wb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+// True if `prefix` is a whole-word prefix of `full` (case-insensitive).
+bool IsWholeWordPrefix(std::string_view prefix, std::string_view full) {
+  const std::string lo = ToLowerCopy(prefix);
+  const std::string hi = ToLowerCopy(full);
+  if (lo.empty() || hi.size() <= lo.size() || hi.compare(0, lo.size(), lo) != 0) {
+    return false;
+  }
+  return std::isalnum(static_cast<unsigned char>(hi[lo.size()])) == 0;
+}
+
+}  // namespace
+
+double FuzzyScore(std::string_view a, std::string_view b) {
+  double score = std::max(NameSimilarity(a, b), TokenSetRatio(a, b));
+  // Decoration rule: UI name variations are nearly always suffix decorations
+  // ("Bold" -> "Bold (Ctrl+B)", "Bold...", "Bold ").
+  if (IsWholeWordPrefix(a, b) || IsWholeWordPrefix(b, a)) {
+    score = std::max(score, 0.93);
+  }
+  return score;
+}
+
+double DecorationAwareScore(std::string_view model_name, std::string_view screen_name) {
+  double score = std::max(NameSimilarity(model_name, screen_name),
+                          TokenSetRatio(model_name, screen_name));
+  if (IsWholeWordPrefix(model_name, screen_name)) {
+    score = std::max(score, 0.93);
+  }
+  return score;
+}
+
+}  // namespace textutil

@@ -1,0 +1,133 @@
+#include "src/text/tokens.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace textutil {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '\'';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Splits a long word into ~4-character BPE-like chunks.
+void EmitWordPieces(std::string_view word, std::vector<std::string>& out) {
+  constexpr size_t kChunk = 4;
+  if (word.size() <= 6) {  // common short words: one token
+    out.emplace_back(word);
+    return;
+  }
+  for (size_t i = 0; i < word.size(); i += kChunk) {
+    out.emplace_back(word.substr(i, kChunk));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizePieces(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      // Whitespace fuses into the following word in BPE; it is free here.
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < n && IsWordChar(text[j])) {
+        ++j;
+      }
+      EmitWordPieces(text.substr(i, j - i), pieces);
+      i = j;
+      continue;
+    }
+    if (IsDigit(c)) {
+      // o200k groups digit runs roughly in threes.
+      size_t j = i;
+      while (j < n && IsDigit(text[j])) {
+        ++j;
+      }
+      for (size_t k = i; k < j; k += 3) {
+        pieces.emplace_back(text.substr(k, std::min<size_t>(3, j - k)));
+      }
+      i = j;
+      continue;
+    }
+    // Punctuation / symbol: one token each, but runs of identical separators
+    // (e.g. "----") compress into chunks of up to 4.
+    size_t j = i;
+    while (j < n && text[j] == c) {
+      ++j;
+    }
+    for (size_t k = i; k < j; k += 4) {
+      pieces.emplace_back(text.substr(k, std::min<size_t>(4, j - k)));
+    }
+    i = j;
+  }
+  return pieces;
+}
+
+size_t CountTokens(std::string_view text) { return TokenizePieces(text).size(); }
+
+std::string TruncateToTokens(std::string_view text, size_t max_tokens) {
+  if (max_tokens == 0) {
+    return "";
+  }
+  std::vector<std::string> pieces;
+  size_t used = 0;
+  size_t end_offset = 0;
+  size_t i = 0;
+  const size_t n = text.size();
+  // Re-run the segmentation, tracking byte offsets, so we can cut at a
+  // token boundary.
+  while (i < n && used < max_tokens) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    if (IsWordChar(c)) {
+      while (j < n && IsWordChar(text[j])) {
+        ++j;
+      }
+      const size_t len = j - i;
+      const size_t cost = len <= 6 ? 1 : (len + 3) / 4;
+      if (used + cost > max_tokens) {
+        break;
+      }
+      used += cost;
+    } else if (IsDigit(c)) {
+      while (j < n && IsDigit(text[j])) {
+        ++j;
+      }
+      const size_t cost = (j - i + 2) / 3;
+      if (used + cost > max_tokens) {
+        break;
+      }
+      used += cost;
+    } else {
+      while (j < n && text[j] == c) {
+        ++j;
+      }
+      const size_t cost = (j - i + 3) / 4;
+      if (used + cost > max_tokens) {
+        break;
+      }
+      used += cost;
+    }
+    end_offset = j;
+    i = j;
+  }
+  if (end_offset >= n) {
+    return std::string(text);
+  }
+  return std::string(text.substr(0, end_offset)) + "…";
+}
+
+}  // namespace textutil

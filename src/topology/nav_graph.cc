@@ -1,0 +1,182 @@
+#include "src/topology/nav_graph.h"
+
+#include <cassert>
+#include <deque>
+
+namespace topo {
+
+NavGraph::NavGraph() {
+  NodeInfo root;
+  root.control_id = "[Root]|Pane|";
+  root.name = "[Root]";
+  root.type = uia::ControlType::kPane;
+  nodes_.push_back(root);
+  adjacency_.emplace_back();
+  index_by_id_[nodes_[0].control_id] = 0;
+}
+
+int NavGraph::AddNode(const NodeInfo& info) {
+  assert(!info.control_id.empty());
+  auto it = index_by_id_.find(info.control_id);
+  if (it != index_by_id_.end()) {
+    return it->second;
+  }
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(info);
+  adjacency_.emplace_back();
+  index_by_id_[info.control_id] = index;
+  return index;
+}
+
+int NavGraph::FindNode(const std::string& control_id) const {
+  auto it = index_by_id_.find(control_id);
+  return it == index_by_id_.end() ? -1 : it->second;
+}
+
+void NavGraph::AddEdge(int from, int to) {
+  assert(from >= 0 && from < static_cast<int>(nodes_.size()));
+  assert(to >= 0 && to < static_cast<int>(nodes_.size()));
+  if (from == to) {
+    return;
+  }
+  auto& succ = adjacency_[static_cast<size_t>(from)];
+  for (int existing : succ) {
+    if (existing == to) {
+      return;
+    }
+  }
+  succ.push_back(to);
+}
+
+size_t NavGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& succ : adjacency_) {
+    n += succ.size();
+  }
+  return n;
+}
+
+std::vector<int> NavGraph::InDegrees() const {
+  std::vector<int> indeg(nodes_.size(), 0);
+  for (const auto& succ : adjacency_) {
+    for (int to : succ) {
+      ++indeg[static_cast<size_t>(to)];
+    }
+  }
+  return indeg;
+}
+
+std::vector<bool> NavGraph::Reachable() const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<int> queue = {kRootIndex};
+  seen[kRootIndex] = true;
+  while (!queue.empty()) {
+    int n = queue.front();
+    queue.pop_front();
+    for (int to : adjacency_[static_cast<size_t>(n)]) {
+      if (!seen[static_cast<size_t>(to)]) {
+        seen[static_cast<size_t>(to)] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+GraphStats NavGraph::ComputeStats() const {
+  GraphStats stats;
+  stats.nodes = nodes_.size();
+  stats.edges = edge_count();
+  for (int d : InDegrees()) {
+    if (d > 1) {
+      ++stats.merge_nodes;
+    }
+  }
+  // BFS depth from the root.
+  std::vector<int> depth(nodes_.size(), -1);
+  std::deque<int> queue = {kRootIndex};
+  depth[kRootIndex] = 0;
+  while (!queue.empty()) {
+    int n = queue.front();
+    queue.pop_front();
+    stats.max_depth = std::max(stats.max_depth, depth[static_cast<size_t>(n)]);
+    for (int to : adjacency_[static_cast<size_t>(n)]) {
+      if (depth[static_cast<size_t>(to)] < 0) {
+        depth[static_cast<size_t>(to)] = depth[static_cast<size_t>(n)] + 1;
+        queue.push_back(to);
+      }
+    }
+  }
+  return stats;
+}
+
+jsonv::Value NavGraph::ToJson() const {
+  jsonv::Array nodes;
+  for (const auto& n : nodes_) {
+    jsonv::Object obj;
+    obj["id"] = n.control_id;
+    obj["name"] = n.name;
+    obj["type"] = std::string(uia::ControlTypeName(n.type));
+    if (!n.description.empty()) {
+      obj["desc"] = n.description;
+    }
+    if (!n.automation_id.empty()) {
+      obj["aid"] = n.automation_id;
+    }
+    nodes.push_back(jsonv::Value(std::move(obj)));
+  }
+  jsonv::Array edges;
+  for (size_t from = 0; from < adjacency_.size(); ++from) {
+    for (int to : adjacency_[from]) {
+      edges.push_back(jsonv::Value(jsonv::Array{jsonv::Value(static_cast<int64_t>(from)),
+                                                jsonv::Value(static_cast<int64_t>(to))}));
+    }
+  }
+  jsonv::Object doc;
+  doc["nodes"] = jsonv::Value(std::move(nodes));
+  doc["edges"] = jsonv::Value(std::move(edges));
+  return jsonv::Value(std::move(doc));
+}
+
+support::Result<NavGraph> NavGraph::FromJson(const jsonv::Value& value) {
+  const jsonv::Value* nodes = value.Find("nodes");
+  const jsonv::Value* edges = value.Find("edges");
+  if (nodes == nullptr || !nodes->is_array() || edges == nullptr || !edges->is_array()) {
+    return support::InvalidArgumentError("UNG JSON must have 'nodes' and 'edges' arrays");
+  }
+  NavGraph graph;
+  // Node 0 in the serialized form is the root; skip re-adding it.
+  for (size_t i = 1; i < nodes->as_array().size(); ++i) {
+    const jsonv::Value& n = nodes->as_array()[i];
+    NodeInfo info;
+    info.control_id = n.GetString("id");
+    info.name = n.GetString("name");
+    auto type = uia::ControlTypeFromName(n.GetString("type"));
+    if (info.control_id.empty() || !type.has_value()) {
+      return support::InvalidArgumentError("malformed UNG node at index " + std::to_string(i));
+    }
+    info.type = *type;
+    info.description = n.GetString("desc");
+    info.automation_id = n.GetString("aid");
+    int index = graph.AddNode(info);
+    if (index != static_cast<int>(i)) {
+      return support::InvalidArgumentError("duplicate control id in UNG JSON: " +
+                                           info.control_id);
+    }
+  }
+  for (const jsonv::Value& e : edges->as_array()) {
+    if (!e.is_array() || e.as_array().size() != 2) {
+      return support::InvalidArgumentError("malformed UNG edge");
+    }
+    const int from = static_cast<int>(e.as_array()[0].as_int());
+    const int to = static_cast<int>(e.as_array()[1].as_int());
+    if (from < 0 || to < 0 || from >= static_cast<int>(graph.node_count()) ||
+        to >= static_cast<int>(graph.node_count())) {
+      return support::InvalidArgumentError("UNG edge index out of range");
+    }
+    graph.AddEdge(from, to);
+  }
+  return graph;
+}
+
+}  // namespace topo

@@ -1,0 +1,399 @@
+#include "src/topology/transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "src/support/strings.h"
+
+namespace topo {
+namespace {
+
+// Iterative DFS classifying back-edges (edge to a node on the current stack).
+struct DfsClassification {
+  std::vector<std::pair<int, int>> back_edges;
+  std::vector<bool> reachable;
+};
+
+DfsClassification ClassifyEdges(const NavGraph& graph) {
+  const size_t n = graph.node_count();
+  DfsClassification out;
+  out.reachable.assign(n, false);
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  // Explicit stack of (node, next-successor-index).
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(NavGraph::kRootIndex, 0);
+  color[NavGraph::kRootIndex] = Color::kGray;
+  out.reachable[NavGraph::kRootIndex] = true;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto& succ = graph.successors(node);
+    if (next >= succ.size()) {
+      color[static_cast<size_t>(node)] = Color::kBlack;
+      stack.pop_back();
+      continue;
+    }
+    const int to = succ[next++];
+    switch (color[static_cast<size_t>(to)]) {
+      case Color::kWhite:
+        color[static_cast<size_t>(to)] = Color::kGray;
+        out.reachable[static_cast<size_t>(to)] = true;
+        stack.emplace_back(to, 0);
+        break;
+      case Color::kGray:
+        out.back_edges.emplace_back(node, to);
+        break;
+      case Color::kBlack:
+        break;  // forward/cross edge: fine in a DAG
+    }
+  }
+  return out;
+}
+
+// Topological order of a DAG (root first). Assumes acyclic input.
+std::vector<int> TopoOrder(const NavGraph& dag) {
+  std::vector<int> indeg = dag.InDegrees();
+  std::vector<int> order;
+  order.reserve(dag.node_count());
+  std::vector<int> ready;
+  for (size_t i = 0; i < dag.node_count(); ++i) {
+    if (indeg[i] == 0) {
+      ready.push_back(static_cast<int>(i));
+    }
+  }
+  while (!ready.empty()) {
+    int n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (int to : dag.successors(n)) {
+      if (--indeg[static_cast<size_t>(to)] == 0) {
+        ready.push_back(to);
+      }
+    }
+  }
+  assert(order.size() == dag.node_count() && "TopoOrder called on cyclic graph");
+  return order;
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > kCloneCountSaturated - b ? kCloneCountSaturated : a + b;
+}
+
+}  // namespace
+
+DecycleResult Decycle(const NavGraph& graph) {
+  DfsClassification cls = ClassifyEdges(graph);
+  // Build a back-edge lookup.
+  auto is_back_edge = [&cls](int from, int to) {
+    for (const auto& [f, t] : cls.back_edges) {
+      if (f == from && t == to) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  DecycleResult result;
+  result.removed_back_edges = cls.back_edges.size();
+  // Re-add reachable nodes (order-preserving), then non-back edges.
+  std::vector<int> remap(graph.node_count(), -1);
+  remap[NavGraph::kRootIndex] = NavGraph::kRootIndex;
+  for (size_t i = 1; i < graph.node_count(); ++i) {
+    if (cls.reachable[i]) {
+      remap[i] = result.dag.AddNode(graph.node(static_cast<int>(i)));
+    } else {
+      ++result.unreachable_dropped;
+    }
+  }
+  for (size_t from = 0; from < graph.node_count(); ++from) {
+    if (!cls.reachable[from]) {
+      continue;
+    }
+    for (int to : graph.successors(static_cast<int>(from))) {
+      if (!cls.reachable[static_cast<size_t>(to)]) {
+        continue;
+      }
+      if (is_back_edge(static_cast<int>(from), to)) {
+        continue;
+      }
+      result.dag.AddEdge(remap[from], remap[static_cast<size_t>(to)]);
+    }
+  }
+  return result;
+}
+
+uint64_t NaiveCloneCount(const NavGraph& dag) {
+  // f(n) = 1 + sum f(child): the number of nodes in the full expansion of the
+  // subtree rooted at n when every DAG diamond is duplicated.
+  const std::vector<int> order = TopoOrder(dag);
+  std::vector<uint64_t> f(dag.node_count(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint64_t total = 1;
+    for (int to : dag.successors(*it)) {
+      total = SaturatingAdd(total, f[static_cast<size_t>(to)]);
+    }
+    f[static_cast<size_t>(*it)] = total;
+  }
+  return f[NavGraph::kRootIndex];
+}
+
+Forest SelectiveExternalize(const NavGraph& dag, uint64_t cost_threshold) {
+  const std::vector<int> order = TopoOrder(dag);
+  const std::vector<int> indeg = dag.InDegrees();
+  const size_t n = dag.node_count();
+
+  // Pass 1 (reverse topological): decide externalization and compute the
+  // *effective* subtree size of each node — externalized children count as a
+  // single reference node.
+  std::vector<bool> externalized(n, false);
+  std::vector<uint64_t> eff_size(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int node = *it;
+    uint64_t size = 1;
+    for (int to : dag.successors(node)) {
+      if (externalized[static_cast<size_t>(to)]) {
+        size = SaturatingAdd(size, 1);  // reference node
+      } else {
+        size = SaturatingAdd(size, eff_size[static_cast<size_t>(to)]);
+      }
+    }
+    eff_size[static_cast<size_t>(node)] = size;
+    const int d = indeg[static_cast<size_t>(node)];
+    if (d > 1) {
+      const uint64_t clone_cost = static_cast<uint64_t>(d - 1) * size;
+      if (clone_cost > cost_threshold) {
+        externalized[static_cast<size_t>(node)] = true;
+      }
+    }
+  }
+
+  // Shared-subtree index per externalized node, in topological order so the
+  // serialized output is stable.
+  Forest forest;
+  std::vector<int> subtree_index(n, -1);
+  for (int node : order) {
+    if (externalized[static_cast<size_t>(node)]) {
+      subtree_index[static_cast<size_t>(node)] = static_cast<int>(forest.shared_.size());
+      forest.shared_.emplace_back();
+    }
+  }
+
+  // Pass 2: materialize trees. Cloning is a DFS that duplicates non-
+  // externalized children and emits reference nodes for externalized ones.
+  int next_id = 1;
+  std::function<void(Tree&, int, int)> emit = [&](Tree& tree, int graph_node, int parent) {
+    const int my_index = static_cast<int>(tree.nodes.size());
+    TreeNode tn;
+    tn.graph_index = graph_node;
+    tn.id = next_id++;
+    tn.parent = parent;
+    tree.nodes.push_back(tn);
+    if (parent >= 0) {
+      tree.nodes[static_cast<size_t>(parent)].children.push_back(my_index);
+    }
+    for (int to : dag.successors(graph_node)) {
+      if (externalized[static_cast<size_t>(to)]) {
+        const int ref_index = static_cast<int>(tree.nodes.size());
+        TreeNode ref;
+        ref.graph_index = to;  // resolves to the shared subtree's root control
+        ref.id = next_id++;
+        ref.parent = my_index;
+        ref.is_reference = true;
+        ref.ref_subtree = subtree_index[static_cast<size_t>(to)];
+        tree.nodes.push_back(ref);
+        tree.nodes[static_cast<size_t>(my_index)].children.push_back(ref_index);
+      } else {
+        emit(tree, to, my_index);
+      }
+    }
+  };
+
+  emit(forest.main_, NavGraph::kRootIndex, -1);
+  for (int node : order) {
+    if (externalized[static_cast<size_t>(node)]) {
+      Tree& tree = forest.shared_[static_cast<size_t>(subtree_index[static_cast<size_t>(node)])];
+      emit(tree, node, -1);
+    }
+  }
+
+  // Index ids.
+  auto index_tree = [&forest](const Tree& tree, int tree_idx) {
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      forest.loc_by_id_[tree.nodes[i].id] = ForestLocation{tree_idx, static_cast<int>(i)};
+      forest.max_id_ = std::max(forest.max_id_, tree.nodes[i].id);
+    }
+  };
+  index_tree(forest.main_, -1);
+  for (size_t s = 0; s < forest.shared_.size(); ++s) {
+    index_tree(forest.shared_[s], static_cast<int>(s));
+  }
+  return forest;
+}
+
+size_t Forest::total_nodes() const {
+  size_t total = main_.nodes.size();
+  for (const Tree& t : shared_) {
+    total += t.nodes.size();
+  }
+  return total;
+}
+
+size_t Forest::reference_count() const {
+  size_t total = 0;
+  auto count = [&total](const Tree& t) {
+    for (const TreeNode& n : t.nodes) {
+      if (n.is_reference) {
+        ++total;
+      }
+    }
+  };
+  count(main_);
+  for (const Tree& t : shared_) {
+    count(t);
+  }
+  return total;
+}
+
+const TreeNode* Forest::NodeAt(ForestLocation loc) const {
+  const Tree& tree = loc.tree < 0 ? main_ : shared_[static_cast<size_t>(loc.tree)];
+  if (loc.node < 0 || loc.node >= static_cast<int>(tree.nodes.size())) {
+    return nullptr;
+  }
+  return &tree.nodes[static_cast<size_t>(loc.node)];
+}
+
+support::Result<ForestLocation> Forest::LocateById(int id) const {
+  auto it = loc_by_id_.find(id);
+  if (it == loc_by_id_.end()) {
+    return support::NotFoundError(
+        support::Format("no control with id %d in the navigation topology", id));
+  }
+  return it->second;
+}
+
+const TreeNode* Forest::FindById(int id) const {
+  auto it = loc_by_id_.find(id);
+  if (it == loc_by_id_.end()) {
+    return nullptr;
+  }
+  return NodeAt(it->second);
+}
+
+bool Forest::IsLeaf(int id) const {
+  const TreeNode* node = FindById(id);
+  return node != nullptr && !node->is_reference && node->children.empty();
+}
+
+int Forest::GraphIndexOf(int id) const {
+  const TreeNode* node = FindById(id);
+  return node == nullptr ? -1 : node->graph_index;
+}
+
+int Forest::DepthOf(int id) const {
+  auto loc = LocateById(id);
+  if (!loc.ok()) {
+    return -1;
+  }
+  const Tree& tree = loc->tree < 0 ? main_ : shared_[static_cast<size_t>(loc->tree)];
+  int depth = 0;
+  int cursor = loc->node;
+  while (tree.nodes[static_cast<size_t>(cursor)].parent >= 0) {
+    cursor = tree.nodes[static_cast<size_t>(cursor)].parent;
+    ++depth;
+  }
+  return depth;
+}
+
+std::vector<int> Forest::AllIds() const {
+  std::vector<int> ids;
+  ids.reserve(loc_by_id_.size());
+  for (const auto& [id, loc] : loc_by_id_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+support::Result<std::vector<int>> Forest::ResolvePath(
+    int target_id, const std::vector<int>& entry_ref_ids) const {
+  auto target_loc = LocateById(target_id);
+  if (!target_loc.ok()) {
+    return target_loc.status();
+  }
+  const TreeNode* target = NodeAt(*target_loc);
+  if (target->is_reference) {
+    return support::InvalidArgumentError(
+        support::Format("id %d is a reference node, not a control; declare the target "
+                        "inside the shared subtree instead", target_id));
+  }
+
+  // Path within the target's own tree, root..target (graph indices).
+  auto path_in_tree = [this](ForestLocation loc) {
+    const Tree& tree = loc.tree < 0 ? main_ : shared_[static_cast<size_t>(loc.tree)];
+    std::vector<int> chain;
+    int cursor = loc.node;
+    while (cursor >= 0) {
+      chain.push_back(tree.nodes[static_cast<size_t>(cursor)].graph_index);
+      cursor = tree.nodes[static_cast<size_t>(cursor)].parent;
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+  };
+
+  std::vector<int> path = path_in_tree(*target_loc);
+
+  // Climb out of shared subtrees via the provided entry references. Several
+  // provided refs can point at the same subtree (with different viability),
+  // so this is a small backtracking search over the provided set.
+  std::function<bool(int, std::vector<bool>&, std::vector<int>&)> climb =
+      [&](int current_tree, std::vector<bool>& used, std::vector<int>& prefix_out) {
+        if (current_tree < 0) {
+          return true;  // reached the main tree
+        }
+        for (size_t i = 0; i < entry_ref_ids.size(); ++i) {
+          if (used[i]) {
+            continue;
+          }
+          const TreeNode* ref = FindById(entry_ref_ids[i]);
+          if (ref == nullptr || !ref->is_reference || ref->ref_subtree != current_tree) {
+            continue;
+          }
+          auto ref_loc = LocateById(entry_ref_ids[i]);
+          if (!ref_loc.ok()) {
+            continue;
+          }
+          used[i] = true;
+          // Path to the reference node's parent (the host control); the
+          // reference duplicates the subtree root already present in `path`.
+          std::vector<int> hop = path_in_tree(*ref_loc);
+          hop.pop_back();
+          std::vector<int> upper;
+          if (climb(ref_loc->tree, used, upper)) {
+            prefix_out = std::move(upper);
+            prefix_out.insert(prefix_out.end(), hop.begin(), hop.end());
+            return true;
+          }
+          used[i] = false;
+        }
+        return false;
+      };
+
+  if (target_loc->tree >= 0) {
+    std::vector<bool> used(entry_ref_ids.size(), false);
+    std::vector<int> prefix;
+    if (!climb(target_loc->tree, used, prefix)) {
+      return support::FailedPreconditionError(support::Format(
+          "target id %d lives in shared subtree %d; provide its entry_ref_id chain "
+          "(reference nodes leading to that subtree)", target_id, target_loc->tree));
+    }
+    path.insert(path.begin(), prefix.begin(), prefix.end());
+  }
+
+  // Drop the virtual root at the front.
+  if (!path.empty() && path.front() == NavGraph::kRootIndex) {
+    path.erase(path.begin());
+  }
+  return path;
+}
+
+}  // namespace topo

@@ -1,0 +1,42 @@
+// Validation of the path-unambiguous topology invariants (paper §3.2):
+//   - uniqueness: every forest id resolves to exactly one root-to-target path;
+//   - completeness: every DAG node reachable from the root appears in the
+//     forest at least once (reachability is preserved);
+//   - boundedness: forest size stays linear where naive cloning explodes.
+#ifndef SRC_TOPOLOGY_VALIDATE_H_
+#define SRC_TOPOLOGY_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/topology/nav_graph.h"
+#include "src/topology/transform.h"
+
+namespace topo {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void Fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+// Checks that every non-reference forest node's resolved path is a valid walk
+// in the DAG ending at that node's graph index, and that each id resolves to
+// one unique path. For targets in shared subtrees, resolution is attempted
+// through every reference pointing at the subtree — each must give a valid
+// (distinct) walk.
+ValidationReport ValidatePaths(const NavGraph& dag, const Forest& forest);
+
+// Checks every reachable DAG node is represented in the forest.
+ValidationReport ValidateCompleteness(const NavGraph& dag, const Forest& forest);
+
+// Convenience: all checks.
+ValidationReport ValidateForest(const NavGraph& dag, const Forest& forest);
+
+}  // namespace topo
+
+#endif  // SRC_TOPOLOGY_VALIDATE_H_

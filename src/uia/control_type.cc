@@ -1,0 +1,80 @@
+#include "src/uia/control_type.h"
+
+#include <array>
+
+namespace uia {
+namespace {
+
+constexpr std::array<std::string_view, kNumControlTypes> kControlTypeNames = {
+    "AppBar",      "Button",    "Calendar",  "CheckBox",    "ComboBox",     "Custom",
+    "DataGrid",    "DataItem",  "Document",  "Edit",        "Group",        "Header",
+    "HeaderItem",  "Hyperlink", "Image",     "List",        "ListItem",     "Menu",
+    "MenuBar",     "MenuItem",  "Pane",      "ProgressBar", "RadioButton",  "ScrollBar",
+    "SemanticZoom","Separator", "Slider",    "Spinner",     "SplitButton",  "StatusBar",
+    "Tab",         "TabItem",   "Table",     "Text",        "Thumb",        "TitleBar",
+    "ToolBar",     "ToolTip",   "Tree",      "TreeItem",    "Window",
+};
+
+constexpr std::array<std::string_view, kNumPatterns> kPatternNames = {
+    "Annotation",     "CustomNavigation", "Dock",          "Drag",         "DropTarget",
+    "ExpandCollapse", "GridItem",         "Grid",          "Invoke",       "ItemContainer",
+    "LegacyIAccessible", "MultipleView",  "ObjectModel",   "RangeValue",   "ScrollItem",
+    "Scroll",         "SelectionItem",    "Selection",     "SpreadsheetItem", "Spreadsheet",
+    "Styles",         "SynchronizedInput","TableItem",     "Table",        "TextChild",
+    "TextEdit",       "Text",             "Text2",         "Toggle",       "Transform",
+    "Transform2",     "Value",            "VirtualizedItem", "Window",
+};
+
+}  // namespace
+
+std::string_view ControlTypeName(ControlType type) {
+  return kControlTypeNames[static_cast<size_t>(type)];
+}
+
+std::optional<ControlType> ControlTypeFromName(std::string_view name) {
+  for (size_t i = 0; i < kControlTypeNames.size(); ++i) {
+    if (kControlTypeNames[i] == name) {
+      return static_cast<ControlType>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsKeyControlType(ControlType type) {
+  switch (type) {
+    case ControlType::kMenu:
+    case ControlType::kMenuBar:
+    case ControlType::kMenuItem:
+    case ControlType::kTabItem:
+    case ControlType::kComboBox:
+    case ControlType::kGroup:
+    case ControlType::kButton:
+    case ControlType::kSplitButton:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsContainerControlType(ControlType type) {
+  switch (type) {
+    case ControlType::kMenu:
+    case ControlType::kMenuBar:
+    case ControlType::kTab:
+    case ControlType::kToolBar:
+    case ControlType::kPane:
+    case ControlType::kGroup:
+    case ControlType::kWindow:
+    case ControlType::kList:
+    case ControlType::kTree:
+    case ControlType::kTable:
+    case ControlType::kDataGrid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view PatternName(PatternId id) { return kPatternNames[static_cast<size_t>(id)]; }
+
+}  // namespace uia

@@ -1,0 +1,119 @@
+// The 41 UI Automation control types (paper §2.2 Insight #3) and the pattern
+// taxonomy they support. This mirrors the Windows UIA contract that DMI's
+// state/observation declarations are built on.
+#ifndef SRC_UIA_CONTROL_TYPE_H_
+#define SRC_UIA_CONTROL_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace uia {
+
+// All 41 UIA control types (UIA_*ControlTypeId).
+enum class ControlType {
+  kAppBar = 0,
+  kButton,
+  kCalendar,
+  kCheckBox,
+  kComboBox,
+  kCustom,
+  kDataGrid,
+  kDataItem,
+  kDocument,
+  kEdit,
+  kGroup,
+  kHeader,
+  kHeaderItem,
+  kHyperlink,
+  kImage,
+  kList,
+  kListItem,
+  kMenu,
+  kMenuBar,
+  kMenuItem,
+  kPane,
+  kProgressBar,
+  kRadioButton,
+  kScrollBar,
+  kSemanticZoom,
+  kSeparator,
+  kSlider,
+  kSpinner,
+  kSplitButton,
+  kStatusBar,
+  kTab,
+  kTabItem,
+  kTable,
+  kText,
+  kThumb,
+  kTitleBar,
+  kToolBar,
+  kToolTip,
+  kTree,
+  kTreeItem,
+  kWindow,
+};
+
+inline constexpr int kNumControlTypes = 41;
+
+// Canonical UIA-style name ("Button", "TabItem", ...).
+std::string_view ControlTypeName(ControlType type);
+
+// Parses a canonical name back to the enum; nullopt if unknown.
+std::optional<ControlType> ControlTypeFromName(std::string_view name);
+
+// "Key types" get full descriptions in the serialized topology (paper §4.2):
+// Menu, TabItem, ComboBox, Group, Button and their close kin.
+bool IsKeyControlType(ControlType type);
+
+// Types that typically act as navigation containers rather than functional
+// endpoints (used only for heuristics; real leaf-ness comes from topology).
+bool IsContainerControlType(ControlType type);
+
+// The 34 UIA control patterns (UIA_*PatternId). A control advertises the
+// subset it implements; the DMI interaction interfaces dispatch on these.
+enum class PatternId {
+  kAnnotation = 0,
+  kCustomNavigation,
+  kDock,
+  kDrag,
+  kDropTarget,
+  kExpandCollapse,
+  kGridItem,
+  kGrid,
+  kInvoke,
+  kItemContainer,
+  kLegacyIAccessible,
+  kMultipleView,
+  kObjectModel,
+  kRangeValue,
+  kScrollItem,
+  kScroll,
+  kSelectionItem,
+  kSelection,
+  kSpreadsheetItem,
+  kSpreadsheet,
+  kStyles,
+  kSynchronizedInput,
+  kTableItem,
+  kTable,
+  kTextChild,
+  kTextEdit,
+  kText,
+  kText2,
+  kToggle,
+  kTransform,
+  kTransform2,
+  kValue,
+  kVirtualizedItem,
+  kWindow,
+};
+
+inline constexpr int kNumPatterns = 34;
+
+std::string_view PatternName(PatternId id);
+
+}  // namespace uia
+
+#endif  // SRC_UIA_CONTROL_TYPE_H_

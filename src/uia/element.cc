@@ -1,0 +1,5 @@
+#include "src/uia/element.h"
+
+// Element is a pure interface; this translation unit exists so the library has
+// a home for future non-inline helpers and to anchor vtable emission.
+namespace uia {}  // namespace uia

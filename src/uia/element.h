@@ -1,0 +1,65 @@
+// The accessibility element interface — our analogue of IUIAutomationElement.
+//
+// Everything above the GUI simulator (the ripper, the DMI executor, the
+// baseline agent's screen labeler) sees applications exclusively through this
+// interface, exactly as the paper's implementation sees Windows apps through
+// UIA via pywinauto.
+#ifndef SRC_UIA_ELEMENT_H_
+#define SRC_UIA_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/uia/control_type.h"
+#include "src/uia/patterns.h"
+
+namespace uia {
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  // Visible name ("Bold", "Apply to All"). May vary between captures — UIA
+  // gives no stability guarantee, which is why DMI needs fuzzy matching.
+  virtual std::string Name() const = 0;
+
+  // AutomationId. Frequently empty and NOT guaranteed globally unique
+  // (paper §5.7 "Global unique identifier").
+  virtual std::string AutomationId() const = 0;
+
+  virtual ControlType Type() const = 0;
+
+  // Help/description text drawn from application-provided metadata.
+  virtual std::string HelpText() const = 0;
+
+  virtual bool IsEnabled() const = 0;
+
+  // True when the control exists in the tree but is not currently shown
+  // (collapsed menu content, off-viewport rows, ...).
+  virtual bool IsOffscreen() const = 0;
+
+  // Structural navigation. Children are in z/layout order. Pointers are
+  // borrowed; they remain valid until the owning application mutates its UI.
+  virtual std::vector<Element*> Children() const = 0;
+  virtual Element* Parent() const = 0;
+
+  // Per-instance runtime id, unique within one application run.
+  virtual uint64_t RuntimeId() const = 0;
+
+  // Pattern access; nullptr when the control does not implement the pattern.
+  virtual Pattern* GetPattern(PatternId id) = 0;
+};
+
+template <typename T>
+T* PatternCast(Element& element) {
+  Pattern* p = element.GetPattern(T::kId);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  return static_cast<T*>(p);
+}
+
+}  // namespace uia
+
+#endif  // SRC_UIA_ELEMENT_H_

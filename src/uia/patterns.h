@@ -1,0 +1,171 @@
+// UIA control-pattern interfaces.
+//
+// A control advertises functionality through a finite set of patterns (paper
+// §2.2 Insight #3, §3.5). DMI's state/observation declarations are implemented
+// exclusively against these interfaces — never against pixels — which is what
+// makes interaction deterministic. The GUI simulator's controls implement the
+// subset of patterns appropriate to their type.
+#ifndef SRC_UIA_PATTERNS_H_
+#define SRC_UIA_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/uia/control_type.h"
+
+namespace uia {
+
+class Element;
+
+// Base for all pattern interfaces. Retrieved via Element::GetPattern(id) and
+// downcast with PatternCast<T>().
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+  virtual PatternId id() const = 0;
+};
+
+// ----- Action patterns --------------------------------------------------
+
+// InvokePattern: single-action controls (Button, MenuItem, ...).
+class InvokePattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kInvoke;
+  PatternId id() const override { return kId; }
+  virtual support::Status Invoke() = 0;
+};
+
+enum class ToggleState { kOff = 0, kOn = 1, kIndeterminate = 2 };
+
+// TogglePattern: CheckBox and toggle buttons.
+class TogglePattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kToggle;
+  PatternId id() const override { return kId; }
+  virtual ToggleState State() const = 0;
+  virtual support::Status Toggle() = 0;
+};
+
+enum class ExpandCollapseState { kCollapsed = 0, kExpanded = 1, kLeafNode = 2 };
+
+// ExpandCollapsePattern: ComboBox, TreeItem, SplitButton drop-downs.
+class ExpandCollapsePattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kExpandCollapse;
+  PatternId id() const override { return kId; }
+  virtual ExpandCollapseState State() const = 0;
+  virtual support::Status Expand() = 0;
+  virtual support::Status Collapse() = 0;
+};
+
+// ----- Scroll patterns ----------------------------------------------------
+
+// ScrollPattern: scrollable containers. Percentages are in [0,100];
+// kNoScroll (-1) marks an unscrollable axis.
+class ScrollPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kScroll;
+  static constexpr double kNoScroll = -1.0;
+  PatternId id() const override { return kId; }
+  virtual double HorizontalPercent() const = 0;
+  virtual double VerticalPercent() const = 0;
+  virtual bool HorizontallyScrollable() const = 0;
+  virtual bool VerticallyScrollable() const = 0;
+  // Declarative: jump straight to a target position.
+  virtual support::Status SetScrollPercent(double horizontal, double vertical) = 0;
+  // Imperative: one notch of scrolling (what a human drag/wheel step does);
+  // the GUI-only baseline must iterate this.
+  virtual support::Status ScrollIncrement(double horizontal_delta, double vertical_delta) = 0;
+};
+
+// ----- Selection patterns ---------------------------------------------------
+
+// SelectionItemPattern: selectable items (ListItem, TabItem, RadioButton,...).
+class SelectionItemPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kSelectionItem;
+  PatternId id() const override { return kId; }
+  virtual bool IsSelected() const = 0;
+  virtual support::Status Select() = 0;            // exclusive select
+  virtual support::Status AddToSelection() = 0;    // multi-select add
+  virtual support::Status RemoveFromSelection() = 0;
+};
+
+// SelectionPattern: containers of selectable items.
+class SelectionPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kSelection;
+  PatternId id() const override { return kId; }
+  virtual bool CanSelectMultiple() const = 0;
+  virtual std::vector<Element*> GetSelection() const = 0;
+};
+
+// ----- Text / value patterns -----------------------------------------------
+
+enum class TextUnit { kCharacter, kLine, kParagraph };
+
+// TextPattern: documents and rich edit controls. Line/paragraph indices are
+// zero-based and inclusive.
+class TextPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kText;
+  PatternId id() const override { return kId; }
+  virtual std::string GetText() const = 0;
+  virtual int UnitCount(TextUnit unit) const = 0;
+  virtual std::string GetUnitText(TextUnit unit, int index) const = 0;
+  // Select [start, end] in the given unit (declarative selection).
+  virtual support::Status SelectRange(TextUnit unit, int start, int end) = 0;
+  // Currently selected text ("" when nothing is selected).
+  virtual std::string GetSelectedText() const = 0;
+};
+
+// ValuePattern: single-value controls (Edit, some cells).
+class ValuePattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kValue;
+  PatternId id() const override { return kId; }
+  virtual std::string GetValue() const = 0;
+  virtual bool IsReadOnly() const = 0;
+  virtual support::Status SetValue(const std::string& value) = 0;
+};
+
+// RangeValuePattern: Slider, Spinner, ProgressBar.
+class RangeValuePattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kRangeValue;
+  PatternId id() const override { return kId; }
+  virtual double Value() const = 0;
+  virtual double Minimum() const = 0;
+  virtual double Maximum() const = 0;
+  virtual support::Status SetValue(double value) = 0;
+};
+
+// ----- Structure patterns ----------------------------------------------------
+
+// GridPattern: DataGrid / Table containers.
+class GridPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kGrid;
+  PatternId id() const override { return kId; }
+  virtual int RowCount() const = 0;
+  virtual int ColumnCount() const = 0;
+  virtual Element* GetItem(int row, int column) const = 0;
+};
+
+// WindowPattern: top-level windows.
+class WindowPattern : public Pattern {
+ public:
+  static constexpr PatternId kId = PatternId::kWindow;
+  PatternId id() const override { return kId; }
+  virtual bool IsModal() const = 0;
+  virtual support::Status Close() = 0;
+};
+
+// Downcast helper: PatternCast<ScrollPattern>(element) -> pattern or nullptr.
+template <typename T>
+T* PatternCast(Element& element);
+
+}  // namespace uia
+
+#endif  // SRC_UIA_PATTERNS_H_

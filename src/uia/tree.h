@@ -1,0 +1,60 @@
+// Accessibility-tree utilities: traversal, search, and lightweight snapshots
+// used for differential capture during GUI ripping (paper §4.1).
+#ifndef SRC_UIA_TREE_H_
+#define SRC_UIA_TREE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/uia/element.h"
+
+namespace uia {
+
+// Pre-order traversal. The visitor returns false to prune the subtree.
+void Walk(Element& root, const std::function<bool(Element&, int depth)>& visitor);
+
+// All elements matching the predicate, in pre-order.
+std::vector<Element*> FindAll(Element& root, const std::function<bool(Element&)>& pred);
+
+// First element whose Name() equals `name`, or nullptr.
+Element* FindByName(Element& root, const std::string& name);
+
+// First element with the given runtime id, or nullptr.
+Element* FindByRuntimeId(Element& root, uint64_t runtime_id);
+
+// Number of elements in the subtree (including root).
+size_t CountNodes(Element& root);
+
+// Maximum depth (root = 1).
+int MaxDepth(Element& root);
+
+// Slash-joined names of ancestors from the root down to (excluding) the
+// element itself. Used in XPath-like identifiers.
+std::string AncestorPath(const Element& element);
+
+// One captured element: enough to identify a control across captures.
+struct SnapshotEntry {
+  uint64_t runtime_id = 0;
+  std::string name;
+  std::string automation_id;
+  ControlType type = ControlType::kCustom;
+  std::string ancestor_path;
+  bool enabled = true;
+  bool offscreen = false;
+};
+
+// Flattened capture of a tree; order is pre-order.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+};
+
+Snapshot Capture(Element& root);
+
+// Elements present in `after` but not in `before`, keyed by runtime id.
+// These define navigation edges during ripping.
+std::vector<SnapshotEntry> NewEntries(const Snapshot& before, const Snapshot& after);
+
+}  // namespace uia
+
+#endif  // SRC_UIA_TREE_H_

@@ -1,0 +1,675 @@
+#include "src/workload/tasks.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+
+namespace workload {
+namespace {
+
+using apps::ExcelSim;
+using apps::PpointSim;
+using apps::WordSim;
+
+// ----- plan-building helpers ---------------------------------------------------
+
+VisitTarget T(std::vector<std::string> chain, std::string text = "",
+              std::string shortcut = "") {
+  VisitTarget t;
+  t.name_chain = std::move(chain);
+  t.input_text = std::move(text);
+  t.shortcut_after = std::move(shortcut);
+  return t;
+}
+
+// Enforced access for functional navigation nodes (§5.7).
+VisitTarget TE(std::vector<std::string> chain) {
+  VisitTarget t;
+  t.name_chain = std::move(chain);
+  t.enforced = true;
+  return t;
+}
+
+DmiStep Visit(std::vector<VisitTarget> targets) {
+  DmiStep s;
+  s.kind = DmiStep::Kind::kVisitBatch;
+  s.targets = std::move(targets);
+  return s;
+}
+
+DmiStep Scroll(std::string surface, double vertical) {
+  DmiStep s;
+  s.kind = DmiStep::Kind::kSetScrollbar;
+  s.surface_name = std::move(surface);
+  s.scroll_vertical = vertical;
+  return s;
+}
+
+DmiStep SelectParas(std::string surface, int start, int end) {
+  DmiStep s;
+  s.kind = DmiStep::Kind::kSelectParagraphs;
+  s.surface_name = std::move(surface);
+  s.range_start = start;
+  s.range_end = end;
+  return s;
+}
+
+DmiStep SelectCellRange(int row0, int row1, int col0, int col1) {
+  DmiStep s;
+  s.kind = DmiStep::Kind::kSelectCells;
+  s.range_start = row0;
+  s.range_end = row1;
+  s.cell_col_start = col0;
+  s.cell_col_end = col1;
+  return s;
+}
+
+GuiAction Click(std::string target, bool functional = false) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kClick;
+  a.target = std::move(target);
+  a.functional = functional;
+  return a;
+}
+
+GuiAction Type(std::string text) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kType;
+  a.text = std::move(text);
+  a.functional = true;
+  return a;
+}
+
+GuiAction Key(std::string chord, bool functional = true) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kKey;
+  a.text = std::move(chord);
+  a.functional = functional;
+  return a;
+}
+
+GuiAction DragScroll(std::string surface, double target) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kDragScroll;
+  a.target = std::move(surface);
+  a.scroll_target = target;
+  return a;
+}
+
+GuiAction SelectText(int start, int end) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kSelectText;
+  a.range_start = start;
+  a.range_end = end;
+  return a;
+}
+
+GuiAction SelectCells(int row0, int row1, int col0, int col1) {
+  GuiAction a;
+  a.kind = GuiAction::Kind::kSelectCells;
+  a.range_start = row0;
+  a.range_end = row1;
+  a.col_start = col0;
+  a.col_end = col1;
+  return a;
+}
+
+template <typename App>
+std::function<std::unique_ptr<gsim::Application>()> Factory() {
+  return [] { return std::make_unique<App>(); };
+}
+
+// ----- Word tasks ----------------------------------------------------------------
+
+std::vector<Task> WordTasks() {
+  std::vector<Task> tasks;
+
+  {
+    Task t;
+    t.id = "W1";
+    t.app = AppKind::kWord;
+    t.description = "Make paragraphs 3 to 5 bold.";
+    t.dmi_plan = {SelectParas("Document", 2, 4), Visit({T({"Font", "Bold"})})};
+    t.gui_plan = {SelectText(2, 4), Click("Bold", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& w = static_cast<WordSim&>(a);
+      for (int i = 2; i <= 4; ++i) {
+        if (!w.paragraphs()[static_cast<size_t>(i)].fmt.bold) {
+          return false;
+        }
+      }
+      return !w.paragraphs()[1].fmt.bold && !w.paragraphs()[5].fmt.bold;
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W2";
+    t.app = AppKind::kWord;
+    t.description = "Set the font color of paragraphs 1 to 3 to Blue.";
+    t.dmi_plan = {SelectParas("Document", 0, 2), Visit({T({"Font Color", "Blue"})})};
+    t.gui_plan = {SelectText(0, 2), Click("Font Color"), Click("Blue", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& w = static_cast<WordSim&>(a);
+      for (int i = 0; i <= 2; ++i) {
+        if (w.paragraphs()[static_cast<size_t>(i)].fmt.color != "Blue") {
+          return false;
+        }
+      }
+      return w.paragraphs()[3].fmt.color == "Black";
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W3";
+    t.app = AppKind::kWord;
+    t.description = "Replace every occurrence of 'committee' with 'board'.";
+    t.ambiguous = true;  // match-case? whole words? the spec doesn't say
+    t.dmi_plan = {Visit({T({"Find and Replace", "Find what"}, "committee"),
+                         T({"Find and Replace", "Replace with"}, "board"),
+                         T({"Find and Replace", "Replace All"})})};
+    t.gui_plan = {Click("Replace"), Click("Find what"), Type("committee"),
+                  Click("Replace with"), Type("board"), Click("Replace All", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& w = static_cast<WordSim&>(a);
+      bool any_board = false;
+      for (const auto& p : w.paragraphs()) {
+        if (p.text.find("committee") != std::string::npos) {
+          return false;
+        }
+        any_board |= p.text.find("board") != std::string::npos;
+      }
+      return any_board;
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W4";
+    t.app = AppKind::kWord;
+    t.description = "Insert a table with 3 rows and 4 columns.";
+    t.dmi_plan = {Visit({T({"Table", "Table 3 x 4"})})};
+    t.gui_plan = {Click("Insert"), Click("Table"), Click("Table 3 x 4", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& w = static_cast<WordSim&>(a);
+      return w.table_rows() == 3 && w.table_cols() == 4;
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W5";
+    t.app = AppKind::kWord;
+    t.description = "Change the page orientation to Landscape.";
+    t.dmi_plan = {Visit({T({"Orientation", "Landscape"})})};
+    t.gui_plan = {Click("Layout"), Click("Orientation"), Click("Landscape", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<WordSim&>(a).page_orientation() == "Landscape";
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W6";
+    t.app = AppKind::kWord;
+    t.description = "Apply the Heading 1 style to the first paragraph.";
+    t.dmi_plan = {SelectParas("Document", 0, 0),
+                  Visit({T({"Styles Gallery", "Heading 1"})})};
+    t.gui_plan = {SelectText(0, 0), Click("Styles Gallery"), Click("Heading 1", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<WordSim&>(a).paragraphs()[0].style == "Heading 1";
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W7";
+    t.app = AppKind::kWord;
+    t.description = "Set the page color to Gold.";
+    t.subtle_semantics = true;  // page color vs font color vs highlight
+    t.dmi_plan = {Visit({T({"Page Color", "Gold"})})};
+    t.gui_plan = {Click("Design"), Click("Page Color"), Click("Gold", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<WordSim&>(a).page_color() == "Gold";
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W8";
+    t.app = AppKind::kWord;
+    t.description = "Show the area close to the end of the document (about 80%).";
+    t.visual_heavy = true;
+    t.dmi_plan = {Scroll("Document", 80.0)};
+    t.gui_plan = {DragScroll("Document", 80.0)};
+    t.verify = [](gsim::Application& a) {
+      double p = static_cast<WordSim&>(a).scroll_percent();
+      return p >= 70.0 && p <= 95.0;
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "W9";
+    t.app = AppKind::kWord;
+    t.description = "Underline paragraph 2 with a Standard Red underline color.";
+    t.subtle_semantics = true;  // underline color vs font color (same palette)
+    t.dmi_plan = {SelectParas("Document", 1, 1),
+                  Visit({T({"Underline Color", "Standard Red"})})};
+    t.gui_plan = {SelectText(1, 1), Click("Underline"), Click("Underline Color"),
+                  Click("Standard Red", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& w = static_cast<WordSim&>(a);
+      return w.paragraphs()[1].fmt.underline &&
+             w.paragraphs()[1].fmt.underline_color == "Standard Red" &&
+             w.paragraphs()[1].fmt.color == "Black";
+    };
+    t.make_app = Factory<WordSim>();
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+// ----- Excel tasks ---------------------------------------------------------------
+
+std::vector<Task> ExcelTasks() {
+  std::vector<Task> tasks;
+
+  {
+    Task t;
+    t.id = "E1";
+    t.app = AppKind::kExcel;
+    t.description = "Go to cell C7 using the Name Box and enter the value 42.";
+    t.subtle_semantics = true;  // the Name Box commits only on ENTER
+    t.dmi_plan = {Visit({T({"Name Box"}, "C7", "ENTER"),
+                         T({"Formula Bar"}, "42", "ENTER")})};
+    t.gui_plan = {Click("Name Box"), Type("C7"), Key("ENTER", false),
+                  Click("Formula Bar"), Type("42"), Key("ENTER")};
+    t.verify = [](gsim::Application& a) {
+      const apps::ExcelCell* c = static_cast<ExcelSim&>(a).find_cell(6, 2);
+      return c != nullptr && c->value == "42";
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E2";
+    t.app = AppKind::kExcel;
+    t.description = "Set B14 to the sum of B2:B13.";
+    t.dmi_plan = {Visit({T({"B14"}), T({"Formula Bar"}, "=SUM(B2:B13)", "ENTER")})};
+    t.gui_plan = {Click("B14"), Click("Formula Bar"), Type("=SUM(B2:B13)"), Key("ENTER")};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      const apps::ExcelCell* c = e.find_cell(13, 1);
+      if (c == nullptr || c->formula != "=SUM(B2:B13)") {
+        return false;
+      }
+      double sum = 0;
+      for (int r = 1; r <= 12; ++r) {
+        const apps::ExcelCell* v = e.find_cell(r, 1);
+        if (v != nullptr) {
+          sum += std::atof(v->value.c_str());
+        }
+      }
+      return std::abs(std::atof(c->value.c_str()) - sum) < 1e-9;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E3";
+    t.app = AppKind::kExcel;
+    t.description =
+        "Highlight cells in B2:C13 with values greater than 100 using conditional "
+        "formatting.";
+    t.ambiguous = true;  // the rule applies to blanks in the region too
+    t.dmi_plan = {
+        SelectCellRange(1, 12, 1, 2),
+        Visit({T({"Greater Than", "Format cells that are Greater Than"}, "100"),
+               T({"Greater Than", "OK"})})};
+    t.gui_plan = {SelectCells(1, 12, 1, 2), Click("Conditional Formatting"),
+                  Click("Highlight Cells Rules"), Click("Greater Than..."),
+                  Click("Format cells that are Greater Than"), Type("100"),
+                  Click("OK", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      for (const apps::CfRule& r : e.cf_rules()) {
+        if (r.kind == "GreaterThan" && r.threshold == 100.0 && r.row0 == 1 &&
+            r.row1 == 12 && r.col0 == 1 && r.col1 == 2) {
+          return true;
+        }
+      }
+      return false;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E4";
+    t.app = AppKind::kExcel;
+    t.description = "Sort the data rows ascending by the Q1 column.";
+    t.dmi_plan = {Visit({T({"B2"}), T({"Sort and Filter", "Sort A to Z"})})};
+    t.gui_plan = {Click("B2"), Click("Sort and Filter"), Click("Sort A to Z", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      if (!e.sorted_ascending()) {
+        return false;
+      }
+      double prev = -1e18;
+      for (int r = 1; r <= 12; ++r) {
+        const apps::ExcelCell* c = e.find_cell(r, 1);
+        double v = c == nullptr ? 0 : std::atof(c->value.c_str());
+        if (v < prev) {
+          return false;
+        }
+        prev = v;
+      }
+      return true;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E5";
+    t.app = AppKind::kExcel;
+    t.description = "Make the header row A1:D1 bold with a Gold fill color.";
+    t.dmi_plan = {SelectCellRange(0, 0, 0, 3),
+                  Visit({T({"Font", "Bold"}), T({"Fill Color", "Gold"})})};
+    t.gui_plan = {SelectCells(0, 0, 0, 3), Click("Bold", true), Click("Fill Color"),
+                  Click("Gold", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      for (int c = 0; c <= 3; ++c) {
+        const apps::ExcelCell* cell = e.find_cell(0, c);
+        if (cell == nullptr || !cell->bold || cell->fill_color != "Gold") {
+          return false;
+        }
+      }
+      return true;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E6";
+    t.app = AppKind::kExcel;
+    t.description = "Format C2:C13 as Percentage.";
+    t.dmi_plan = {SelectCellRange(1, 12, 2, 2),
+                  Visit({T({"Number Format", "Percentage"})})};
+    t.gui_plan = {SelectCells(1, 12, 2, 2), Click("Number Format"),
+                  Click("Percentage", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      for (int r = 1; r <= 12; ++r) {
+        const apps::ExcelCell* c = e.find_cell(r, 2);
+        if (c == nullptr || c->number_format != "Percentage") {
+          return false;
+        }
+      }
+      return true;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E7";
+    t.app = AppKind::kExcel;
+    t.description = "Scroll down to row 121 and select cell A121.";
+    t.visual_heavy = true;
+    t.dmi_plan = {Scroll("Sheet Grid", 82.0), SelectCellRange(120, 120, 0, 0)};
+    t.gui_plan = {DragScroll("Sheet Grid", 82.0), Click("A121", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& e = static_cast<ExcelSim&>(a);
+      return e.active_row() == 120 && e.active_col() == 0;
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E8";
+    t.app = AppKind::kExcel;
+    t.description = "Turn on the data filter.";
+    t.dmi_plan = {Visit({T({"Sort and Filter", "Filter"})})};
+    t.gui_plan = {Click("Sort and Filter"), Click("Filter", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<ExcelSim&>(a).filter_enabled();
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "E9";
+    t.app = AppKind::kExcel;
+    t.description = "Insert a pie chart (subtype 3).";
+    t.dmi_plan = {Visit({T({"Pie Chart", "Pie Chart Subtype 3"})})};
+    t.gui_plan = {Click("Insert"), Click("Pie Chart"), Click("Pie Chart Subtype 3", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<ExcelSim&>(a).HasEffect("chart.insert:Pie Chart Subtype 3");
+    };
+    t.make_app = Factory<ExcelSim>();
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+// ----- PowerPoint tasks -------------------------------------------------------------
+
+std::vector<Task> PpointTasks() {
+  std::vector<Task> tasks;
+
+  {
+    Task t;
+    t.id = "P1";
+    t.app = AppKind::kPpoint;
+    t.description = "Make the background blue on all slides.";
+    t.dmi_plan = {Visit({T({"Format Background Pane", "Solid fill"}),
+                         T({"Fill Color", "Blue"}),
+                         T({"Format Background Pane", "Apply to All"})})};
+    t.gui_plan = {Click("Design"), Click("Format Background"), Click("Solid fill", true),
+                  Click("Fill Color"), Click("Blue", true), Click("Apply to All", true)};
+    t.verify = [](gsim::Application& a) {
+      for (const auto& s : static_cast<PpointSim&>(a).slides()) {
+        if (s.background_color != "Blue" || !s.background_solid) {
+          return false;
+        }
+      }
+      return true;
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P2";
+    t.app = AppKind::kPpoint;
+    t.description = "Show the area close to the end of the slide view (about 80%).";
+    t.visual_heavy = true;
+    t.dmi_plan = {Scroll("Slide View", 80.0)};
+    t.gui_plan = {DragScroll("Slide View", 80.0)};
+    t.verify = [](gsim::Application& a) {
+      double p = static_cast<PpointSim&>(a).view_scroll_percent();
+      return p >= 70.0 && p <= 95.0;
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P3";
+    t.app = AppKind::kPpoint;
+    t.description = "Apply Theme 12 to the presentation.";
+    t.dmi_plan = {Visit({T({"Themes Gallery", "Theme 12"})})};
+    t.gui_plan = {Click("Design"), Click("Themes Gallery"), Click("Theme 12", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<PpointSim&>(a).theme() == "Theme 12";
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P4";
+    t.app = AppKind::kPpoint;
+    t.description = "Apply Transition 7 to all slides.";
+    t.dmi_plan = {Visit({T({"Transition Gallery", "Transition 7"}),
+                         T({"Timing", "Apply To All Slides"})})};
+    t.gui_plan = {Click("Transitions"), Click("Transition Gallery"),
+                  Click("Transition 7", true), Click("Apply To All Slides", true)};
+    t.verify = [](gsim::Application& a) {
+      for (const auto& s : static_cast<PpointSim&>(a).slides()) {
+        if (s.transition != "Transition 7") {
+          return false;
+        }
+      }
+      return true;
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P5";
+    t.app = AppKind::kPpoint;
+    t.description = "Go to slide 5 and apply Layout Preset 4.";
+    t.dmi_plan = {Visit({TE({"Slide Thumbnails", "Slide 5"}),
+                         T({"Layout", "Layout Preset 4"})})};
+    t.gui_plan = {Click("Slide 5"), Click("Layout"), Click("Layout Preset 4", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<PpointSim&>(a).slides()[4].layout == "Layout Preset 4";
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P6";
+    t.app = AppKind::kPpoint;
+    t.description = "Insert Shape 10 on the current slide.";
+    t.dmi_plan = {Visit({T({"Shapes", "Shape 10"})})};
+    t.gui_plan = {Click("Shapes"), Click("Shape 10", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<PpointSim&>(a).HasEffect("shape.insert:Shape 10");
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P7";
+    t.app = AppKind::kPpoint;
+    t.description = "Apply Correction Preset 3 to the picture on slide 3.";
+    t.visual_heavy = true;  // requires finding the picture among shapes
+    t.dmi_plan = {
+        Visit({TE({"Slide Thumbnails", "Slide 3"}),
+               TE({"Slide 3 Canvas", "Image: Quarterly chart screenshot"}),
+               T({"Corrections", "Correction Preset 3"})})};
+    t.gui_plan = {Click("Slide 3"), Click("Image: Quarterly chart screenshot"),
+                  Click("Picture Format"), Click("Corrections"),
+                  Click("Correction Preset 3", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<PpointSim&>(a).HasEffect("pic.correction:Correction Preset 3");
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P8";
+    t.app = AppKind::kPpoint;
+    t.description = "Set the font color of the title on slide 1 to Gold.";
+    t.dmi_plan = {Visit({T({"Slide 1 Canvas", "Title: Slide 1 Title"}),
+                         T({"Font Color", "Gold"})})};
+    t.gui_plan = {Click("Title: Slide 1 Title"), Click("Font Color"),
+                  Click("Gold", true)};
+    t.verify = [](gsim::Application& a) {
+      return static_cast<PpointSim&>(a).slides()[0].shapes[0].font_color == "Gold";
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  {
+    Task t;
+    t.id = "P9";
+    t.app = AppKind::kPpoint;
+    t.description = "Enable the second option in the Header and Footer dialog.";
+    t.ambiguous = true;  // which of the six options is "the second"?
+    t.dmi_plan = {Visit({T({"Header and Footer", "Header and Footer Option 2"}),
+                         T({"Header and Footer", "OK"})})};
+    t.gui_plan = {Click("Insert"), Click("Header and Footer"),
+                  Click("Header and Footer Option 2", true), Click("OK", true)};
+    t.verify = [](gsim::Application& a) {
+      auto& p = static_cast<PpointSim&>(a);
+      gsim::Window* dialog = p.FindDialog("header_footer_dialog");
+      if (dialog == nullptr) {
+        return false;
+      }
+      bool on = false;
+      dialog->root().WalkStatic([&](gsim::Control& c) {
+        if (c.TrueName() == "Header and Footer Option 2" && c.toggled()) {
+          on = true;
+        }
+      });
+      return on && p.HasEffect("slide.header_footer:OK");
+    };
+    t.make_app = Factory<PpointSim>();
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+const char* AppKindName(AppKind kind) {
+  switch (kind) {
+    case AppKind::kWord:
+      return "WordSim";
+    case AppKind::kExcel:
+      return "ExcelSim";
+    case AppKind::kPpoint:
+      return "PpointSim";
+  }
+  return "?";
+}
+
+std::vector<Task> BuildOsworldWSuite() {
+  std::vector<Task> suite = WordTasks();
+  for (auto& t : ExcelTasks()) {
+    suite.push_back(std::move(t));
+  }
+  for (auto& t : PpointTasks()) {
+    suite.push_back(std::move(t));
+  }
+  return suite;
+}
+
+std::vector<Task> TasksForApp(const std::vector<Task>& suite, AppKind app) {
+  std::vector<Task> out;
+  for (const Task& t : suite) {
+    if (t.app == app) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace workload

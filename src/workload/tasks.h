@@ -1,0 +1,118 @@
+// The OSWorld-W-like task suite (paper §5.1).
+//
+// 27 single-app tasks — 9 each for WordSim, ExcelSim, PpointSim — mirroring
+// the benchmark's categories: formatting, navigation, data entry, selection,
+// dialog-driven edits, composite interactions, ambiguous specifications.
+// Each task carries:
+//   - a ground-truth *DMI plan*: the declarative steps (visit batches with
+//     name-chain targets, state declarations, observations);
+//   - a ground-truth *GUI plan*: the full imperative action chain (every
+//     navigation click spelled out, composite drags, typed text);
+//   - a state verifier over the live application.
+// The simulated LLM perturbs these plans according to its capability profile;
+// the plans themselves encode what a perfect policy would do through each
+// interface, which is exactly what the paper holds constant.
+#ifndef SRC_WORKLOAD_TASKS_H_
+#define SRC_WORKLOAD_TASKS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gui/application.h"
+
+namespace workload {
+
+enum class AppKind { kWord, kExcel, kPpoint };
+
+const char* AppKindName(AppKind kind);
+
+// ----- DMI plan -----------------------------------------------------------------
+
+// One target inside a visit batch, addressed by a human-readable name chain
+// (resolved to forest ids at runtime via DmiSession::ResolveTargetByNames).
+struct VisitTarget {
+  std::vector<std::string> name_chain;
+  std::string input_text;      // non-empty -> access-and-input
+  std::string shortcut_after;  // non-empty -> shortcut command follows
+  // Navigation-node targets that are genuinely functional (slide thumbnails,
+  // shape selection) declare enforced access (§5.7).
+  bool enforced = false;
+};
+
+struct DmiStep {
+  enum class Kind {
+    kVisitBatch,       // one visit() call with >=1 targets
+    kSetScrollbar,     // set_scrollbar_pos on a named surface
+    kSelectParagraphs, // select_paragraphs on a named surface
+    kSelectCells,      // select_controls over a cell range (Excel)
+    kObserve,          // get_texts (active) on a named control
+    kGuiFallback,      // outside DMI coverage: run the matching GUI actions
+  };
+  Kind kind = Kind::kVisitBatch;
+  std::vector<VisitTarget> targets;   // kVisitBatch
+  std::string surface_name;           // control name for state/observe steps
+  double scroll_vertical = -1.0;      // kSetScrollbar
+  int range_start = 0;                // selections (paragraphs or cell rows)
+  int range_end = 0;
+  int cell_col_start = 0;             // kSelectCells
+  int cell_col_end = 0;
+  int gui_fallback_begin = -1;        // kGuiFallback: range into the GUI plan
+  int gui_fallback_end = -1;
+};
+
+// ----- GUI plan -----------------------------------------------------------------
+
+struct GuiAction {
+  enum class Kind {
+    kClick,        // click a named control (must be currently visible)
+    kType,         // type into the focused edit
+    kKey,          // key chord
+    kDragScroll,   // one drag-observe iteration toward scroll_target
+    kSelectText,   // visually select a paragraph range (composite)
+    kSelectCells,  // click + ctrl-click cells (composite)
+  };
+  Kind kind = Kind::kClick;
+  std::string target;         // control name (kClick / surfaces)
+  std::string text;           // kType / kKey
+  double scroll_target = -1;  // kDragScroll: desired vertical percent
+  int range_start = 0;        // kSelectText / kSelectCells
+  int range_end = 0;
+  int col_start = 0;
+  int col_end = 0;
+  // Functional actions mutate the document; navigation actions only steer
+  // the UI. Recovery replays navigation but never repeats functional ones.
+  bool functional = false;
+};
+
+// ----- task ---------------------------------------------------------------------
+
+struct Task {
+  std::string id;            // "W3", "E7", "P1", ...
+  AppKind app = AppKind::kWord;
+  std::string description;   // the natural-language instruction
+
+  // Failure-mode flags (drive policy-level error sampling, Figure 6).
+  bool ambiguous = false;        // under-specified instruction
+  bool subtle_semantics = false; // easy-to-misread control semantics
+  bool visual_heavy = false;     // needs reading on-screen content
+
+  std::vector<DmiStep> dmi_plan;
+  std::vector<GuiAction> gui_plan;
+
+  std::function<bool(gsim::Application&)> verify;
+
+  // Fresh application instance for one run of this task.
+  std::function<std::unique_ptr<gsim::Application>()> make_app;
+};
+
+// The full 27-task suite.
+std::vector<Task> BuildOsworldWSuite();
+
+// Subset helpers.
+std::vector<Task> TasksForApp(const std::vector<Task>& suite, AppKind app);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_TASKS_H_

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "src/describe/augment.h"
+#include "src/describe/catalog.h"
+#include "src/describe/serialize.h"
+#include "src/text/tokens.h"
+#include "src/topology/transform.h"
+
+namespace {
+
+topo::NodeInfo Node(const std::string& name, uia::ControlType type,
+                    const std::string& desc = "") {
+  topo::NodeInfo info;
+  info.control_id = name + "|" + std::string(uia::ControlTypeName(type)) + "|t";
+  info.name = name;
+  info.type = type;
+  info.description = desc;
+  return info;
+}
+
+// root -> Menu(Host) -> [Leaf1, Leaf2]; root -> Gallery -> 40 items.
+topo::NavGraph SmallGraph() {
+  topo::NavGraph g;
+  int host = g.AddNode(Node("Host", uia::ControlType::kMenuItem, "opens the host menu"));
+  g.AddEdge(0, host);
+  int l1 = g.AddNode(Node("Leaf One", uia::ControlType::kButton, "does one"));
+  int l2 = g.AddNode(Node("Leaf Two", uia::ControlType::kText));
+  g.AddEdge(host, l1);
+  g.AddEdge(host, l2);
+  int gal = g.AddNode(Node("Gallery", uia::ControlType::kComboBox));
+  g.AddEdge(0, gal);
+  for (int i = 0; i < 40; ++i) {
+    int item = g.AddNode(Node("Item " + std::to_string(i), uia::ControlType::kListItem));
+    g.AddEdge(gal, item);
+  }
+  return g;
+}
+
+// Diamond for shared-subtree serialization.
+topo::NavGraph SharedGraph() {
+  topo::NavGraph g;
+  int a = g.AddNode(Node("Host A", uia::ControlType::kMenuItem));
+  int b = g.AddNode(Node("Host B", uia::ControlType::kMenuItem));
+  int m = g.AddNode(Node("Palette", uia::ControlType::kList));
+  int x = g.AddNode(Node("Blue", uia::ControlType::kListItem));
+  g.AddEdge(0, a);
+  g.AddEdge(0, b);
+  g.AddEdge(a, m);
+  g.AddEdge(b, m);
+  g.AddEdge(m, x);
+  return g;
+}
+
+TEST(SerializeTest, SchemaShape) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  std::string text = desc::SerializeTree(g, f, -1, desc::DescribeOptions{});
+  // name(type)(description)_id[children]
+  EXPECT_NE(text.find("Host(MenuItem)(opens the host menu)_"), std::string::npos);
+  EXPECT_NE(text.find("Leaf One(Button)(does one)_"), std::string::npos);
+  // Plain text leaf: no type annotation.
+  EXPECT_NE(text.find("Leaf Two_"), std::string::npos);
+  EXPECT_EQ(text.find("Leaf Two(Text)"), std::string::npos);
+  // Nesting brackets present.
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find(']'), std::string::npos);
+}
+
+TEST(SerializeTest, DescriptionsTruncateToTokenBudget) {
+  topo::NavGraph g;
+  std::string long_desc;
+  for (int i = 0; i < 100; ++i) {
+    long_desc += "verbose accessibility documentation segment ";
+  }
+  int n = g.AddNode(Node("Wordy", uia::ControlType::kButton, long_desc));
+  g.AddEdge(0, n);
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::DescribeOptions opts;
+  opts.max_description_tokens = 6;
+  std::string text = desc::SerializeTree(g, f, -1, opts);
+  EXPECT_LT(text.size(), 200u);
+  EXPECT_NE(text.find("…"), std::string::npos);
+}
+
+TEST(SerializeTest, DescriptionsCanBeDisabled) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::DescribeOptions opts;
+  opts.include_descriptions = false;
+  std::string text = desc::SerializeTree(g, f, -1, opts);
+  EXPECT_EQ(text.find("opens the host menu"), std::string::npos);
+}
+
+TEST(SerializeTest, ForestCarriesSharedSubtreesAndEntryMap) {
+  topo::NavGraph g = SharedGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  ASSERT_EQ(f.shared().size(), 1u);
+  std::string text = desc::SerializeForest(g, f, desc::DescribeOptions{});
+  EXPECT_NE(text.find("## Main tree"), std::string::npos);
+  EXPECT_NE(text.find("## Shared subtree S0"), std::string::npos);
+  EXPECT_NE(text.find("## Entry map"), std::string::npos);
+  EXPECT_NE(text.find("@ref->S0_"), std::string::npos);
+  EXPECT_NE(text.find("->S0:"), std::string::npos);
+}
+
+TEST(SerializeTest, KeepSetElidesWithMarker) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  // Keep only the root and Host (drop everything else).
+  std::set<int> keep;
+  for (int id : f.AllIds()) {
+    const topo::TreeNode* n = f.FindById(id);
+    const std::string& name = g.node(n->graph_index).name;
+    if (name == "[Root]" || name == "Host" || name == "Gallery") {
+      keep.insert(id);
+    }
+  }
+  std::string text = desc::SerializeTree(g, f, -1, desc::DescribeOptions{}, &keep);
+  EXPECT_NE(text.find("+2 more"), std::string::npos);   // Host's two leaves
+  EXPECT_NE(text.find("+40 more"), std::string::npos);  // gallery items
+  EXPECT_EQ(text.find("Item 3"), std::string::npos);
+}
+
+// ----- catalog / query-on-demand ---------------------------------------------------
+
+TEST(CatalogTest, CoreElidesLargeEnumerations) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::PruneOptions prune;
+  prune.enumeration_limit = 24;
+  desc::TopologyCatalog catalog(&g, std::move(f), prune, desc::DescribeOptions{});
+  EXPECT_EQ(catalog.core_stats().elided_enumerations, 1u);
+  EXPECT_EQ(catalog.CoreText().find("Item 7"), std::string::npos);
+  // But the gallery node itself remains reachable.
+  EXPECT_NE(catalog.CoreText().find("Gallery"), std::string::npos);
+  EXPECT_LT(catalog.CoreTokens(), catalog.FullTokens());
+}
+
+TEST(CatalogTest, CoreDepthLimit) {
+  // Deep chain: only max_depth levels survive in the core.
+  topo::NavGraph g;
+  int prev = 0;
+  for (int i = 0; i < 12; ++i) {
+    int n = g.AddNode(Node("Level " + std::to_string(i), uia::ControlType::kMenuItem));
+    g.AddEdge(prev, n);
+    prev = n;
+  }
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::PruneOptions prune;
+  prune.max_depth = 6;
+  desc::TopologyCatalog catalog(&g, std::move(f), prune, desc::DescribeOptions{});
+  EXPECT_NE(catalog.CoreText().find("Level 4"), std::string::npos);
+  EXPECT_EQ(catalog.CoreText().find("Level 9"), std::string::npos);
+}
+
+TEST(CatalogTest, ManualExcludePrunesSubtree) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::PruneOptions prune;
+  prune.manual_exclude_names = {"Host"};
+  desc::TopologyCatalog catalog(&g, std::move(f), prune, desc::DescribeOptions{});
+  EXPECT_EQ(catalog.CoreText().find("Leaf One"), std::string::npos);
+  EXPECT_NE(catalog.CoreText().find("Host"), std::string::npos);
+}
+
+TEST(CatalogTest, ExpandBranchReturnsElidedContent) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  // Find the gallery's id.
+  int gallery_id = -1;
+  for (int id : catalog.forest().AllIds()) {
+    const topo::TreeNode* n = catalog.forest().FindById(id);
+    if (!n->is_reference && g.node(n->graph_index).name == "Gallery") {
+      gallery_id = id;
+    }
+  }
+  ASSERT_GT(gallery_id, 0);
+  auto branch = catalog.ExpandBranch(gallery_id);
+  ASSERT_TRUE(branch.ok());
+  EXPECT_NE(branch->find("Item 17"), std::string::npos);
+  EXPECT_FALSE(catalog.ExpandBranch(99999).ok());
+}
+
+TEST(CatalogTest, FullTextIsGlobalQuery) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  EXPECT_NE(catalog.FullText().find("Item 33"), std::string::npos);
+}
+
+TEST(CatalogTest, PerControlTokenCostNearPaperEstimate) {
+  // §5.4: each control contributes ~15 tokens on average. Check the full
+  // serialization of a realistic mixed graph lands in a sane band (5-30).
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  size_t total = f.total_nodes();
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  double per_control = static_cast<double>(catalog.FullTokens()) / static_cast<double>(total);
+  EXPECT_GT(per_control, 3.0);
+  EXPECT_LT(per_control, 30.0);
+}
+
+
+TEST(SerializeTest, WantsDescriptionRules) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  for (int id : f.AllIds()) {
+    const topo::TreeNode* n = f.FindById(id);
+    if (n->is_reference) {
+      continue;
+    }
+    const topo::NodeInfo& info = g.node(n->graph_index);
+    const bool wants = desc::WantsDescription(g, f, *n);
+    if (!n->children.empty()) {
+      EXPECT_TRUE(wants) << info.name << " (navigation nodes always get one)";
+    } else if (uia::IsKeyControlType(info.type)) {
+      EXPECT_TRUE(wants) << info.name;
+    } else {
+      EXPECT_FALSE(wants) << info.name;
+    }
+  }
+}
+
+TEST(SerializeTest, EntryMapRespectsKeepSet) {
+  topo::NavGraph g = SharedGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  // Keep everything except the reference nodes: the entry map must be empty.
+  std::set<int> keep;
+  for (int id : f.AllIds()) {
+    if (!f.FindById(id)->is_reference) {
+      keep.insert(id);
+    }
+  }
+  std::string text = desc::SerializeForest(g, f, desc::DescribeOptions{}, &keep);
+  EXPECT_EQ(text.find("## Entry map"), std::string::npos);
+}
+
+TEST(CatalogTest, InCoreMatchesSerializedContent) {
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  for (int id : catalog.forest().AllIds()) {
+    const std::string marker = "_" + std::to_string(id) + "[";
+    const std::string marker2 = "_" + std::to_string(id) + ",";
+    const std::string marker3 = "_" + std::to_string(id) + "]";
+    const std::string& core = catalog.CoreText();
+    const bool serialized = core.find(marker) != std::string::npos ||
+                            core.find(marker2) != std::string::npos ||
+                            core.find(marker3) != std::string::npos ||
+                            core.rfind("_" + std::to_string(id)) == core.size() - 1 -
+                                std::to_string(id).size();
+    if (catalog.InCore(id)) {
+      EXPECT_TRUE(serialized) << "core id " << id << " missing from core text";
+    }
+  }
+}
+
+
+// ----- description augmentation (§5.7 future work) ----------------------------------
+
+TEST(AugmentTest, RulesFillOnlyMissingDescriptions) {
+  topo::NavGraph g;
+  int host = g.AddNode(Node("Menu Host", uia::ControlType::kMenuItem, "app-provided"));
+  g.AddEdge(0, host);
+  int edit = g.AddNode(Node("Name Box", uia::ControlType::kEdit));
+  g.AddEdge(host, edit);
+  int ok = g.AddNode(Node("OK", uia::ControlType::kButton));
+  g.AddEdge(host, ok);
+  int cb = g.AddNode(Node("Verbose", uia::ControlType::kCheckBox));
+  g.AddEdge(host, cb);
+  int plain = g.AddNode(Node("Just Text", uia::ControlType::kText));
+  g.AddEdge(host, plain);
+
+  desc::AugmentStats stats = desc::AugmentDescriptions(g, desc::BuiltinAugmentRules());
+  EXPECT_EQ(stats.skipped_existing, 1u);  // the host keeps its app metadata
+  EXPECT_EQ(g.node(host).description, "app-provided");
+  EXPECT_NE(g.node(edit).description.find("ENTER"), std::string::npos);
+  EXPECT_NE(g.node(ok).description.find("commits"), std::string::npos);
+  EXPECT_NE(g.node(cb).description.find("Checkbox"), std::string::npos);
+  EXPECT_TRUE(g.node(plain).description.empty());  // no rule matched
+  EXPECT_EQ(stats.augmented, 3u);
+}
+
+TEST(AugmentTest, CancelAndCloseSemantics) {
+  topo::NavGraph g;
+  int cancel = g.AddNode(Node("Cancel", uia::ControlType::kButton));
+  g.AddEdge(0, cancel);
+  int close = g.AddNode(Node("Close", uia::ControlType::kButton));
+  g.AddEdge(0, close);
+  desc::AugmentDescriptions(g, desc::BuiltinAugmentRules());
+  EXPECT_NE(g.node(cancel).description.find("discards"), std::string::npos);
+  EXPECT_NE(g.node(close).description.find("closes"), std::string::npos);
+}
+
+TEST(AugmentTest, AugmentedDescriptionsReachTheSerializedTopology) {
+  topo::NavGraph g;
+  int edit = g.AddNode(Node("Value Field", uia::ControlType::kEdit));
+  g.AddEdge(0, edit);
+  desc::AugmentDescriptions(g, desc::BuiltinAugmentRules());
+  topo::Forest f = topo::SelectiveExternalize(g, 8);
+  // Leaf edits are not key types; force descriptions by marking navigation…
+  // the rule-based text still reaches serialization when the node is a
+  // non-leaf or key type. Check via a ComboBox (key type).
+  topo::NavGraph g2;
+  int combo = g2.AddNode(Node("Font Picker", uia::ControlType::kComboBox));
+  g2.AddEdge(0, combo);
+  desc::AugmentDescriptions(g2, desc::BuiltinAugmentRules());
+  topo::Forest f2 = topo::SelectiveExternalize(g2, 8);
+  std::string text = desc::SerializeTree(g2, f2, -1, desc::DescribeOptions{});
+  EXPECT_NE(text.find("ENTER"), std::string::npos);
+  (void)f;
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/gui/application.h"
+#include "src/ripper/identifier.h"
+#include "src/ripper/ripper.h"
+#include "src/topology/transform.h"
+#include "src/topology/validate.h"
+#include "src/uia/tree.h"
+
+namespace {
+
+// ----- identifier synthesis --------------------------------------------------------
+
+TEST(IdentifierTest, PrefersAutomationId) {
+  uia::SnapshotEntry entry;
+  entry.automation_id = "btnSave";
+  entry.name = "Save";
+  entry.type = uia::ControlType::kButton;
+  entry.ancestor_path = "App/Toolbar";
+  EXPECT_EQ(ripper::SynthesizeControlId(entry), "btnSave|Button|App/Toolbar");
+}
+
+TEST(IdentifierTest, FallsBackToNameThenUnnamed) {
+  uia::SnapshotEntry entry;
+  entry.name = "Save";
+  entry.type = uia::ControlType::kButton;
+  entry.ancestor_path = "App";
+  EXPECT_EQ(ripper::SynthesizeControlId(entry), "Save|Button|App");
+  entry.name = "";
+  EXPECT_EQ(ripper::SynthesizeControlId(entry), "[Unnamed]|Button|App");
+}
+
+TEST(IdentifierTest, ParseRoundTrip) {
+  auto parsed = ripper::ParseControlId("Blue|ListItem|Color Palette");
+  EXPECT_EQ(parsed.primary_id, "Blue");
+  EXPECT_EQ(parsed.control_type, "ListItem");
+  EXPECT_EQ(parsed.ancestor_path, "Color Palette");
+}
+
+TEST(IdentifierTest, ParseDegenerateForms) {
+  EXPECT_EQ(ripper::ParseControlId("justname").primary_id, "justname");
+  EXPECT_EQ(ripper::ParseControlId("a|b").control_type, "b");
+}
+
+// ----- ripping a small controlled app ----------------------------------------------
+
+class SmallApp : public gsim::Application {
+ public:
+  SmallApp() : gsim::Application("SmallApp") {
+    gsim::Control& root = main_window().root();
+    shared_ = RegisterSharedSubtree(
+        std::make_unique<gsim::Control>("Shared Panel", uia::ControlType::kList));
+    shared_->NewChild("Cell One", uia::ControlType::kListItem)->SetCommand("pick");
+    shared_->NewChild("Cell Two", uia::ControlType::kListItem)->SetCommand("pick");
+
+    gsim::Control* bar = root.NewChild("Bar", uia::ControlType::kToolBar);
+    gsim::Control* m1 = bar->NewChild("Host A", uia::ControlType::kMenuItem);
+    m1->SetSharedPopup(shared_);
+    gsim::Control* m2 = bar->NewChild("Host B", uia::ControlType::kMenuItem);
+    m2->SetSharedPopup(shared_);
+
+    gsim::Control* menu = bar->NewChild("Plain Menu", uia::ControlType::kMenuItem);
+    auto popup = std::make_unique<gsim::Control>("Plain Popup", uia::ControlType::kMenu);
+    popup->NewChild("Leaf Action", uia::ControlType::kButton)->SetCommand("x");
+    menu->SetPopup(std::move(popup));
+
+    root.NewChild("Trap", uia::ControlType::kHyperlink)
+        ->SetClickEffect(gsim::ClickEffect::kExternal);
+  }
+
+  gsim::Control* shared_;
+};
+
+TEST(RipperTest, DiscoversMergeNodeViaSharedPopup) {
+  SmallApp app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Trap"};
+  ripper::GuiRipper r(app, config);
+  topo::NavGraph graph = r.Rip();
+  // The shared panel root must be a single node with two in-edges.
+  int panel = graph.FindNode("Shared Panel|List|");
+  ASSERT_GE(panel, 0) << "shared panel not found as a floating surface";
+  EXPECT_EQ(graph.InDegrees()[static_cast<size_t>(panel)], 2);
+  // Its cells exist once.
+  EXPECT_GE(graph.FindNode("Cell One|ListItem|Shared Panel"), 0);
+}
+
+TEST(RipperTest, DiscoversOwnedMenuContents) {
+  SmallApp app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Trap"};
+  ripper::GuiRipper r(app, config);
+  topo::NavGraph graph = r.Rip();
+  bool found_leaf = false;
+  for (size_t i = 0; i < graph.node_count(); ++i) {
+    if (graph.node(static_cast<int>(i)).name == "Leaf Action") {
+      found_leaf = true;
+    }
+  }
+  EXPECT_TRUE(found_leaf);
+}
+
+TEST(RipperTest, BlocklistPreventsExternalRecoveries) {
+  SmallApp app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Trap"};
+  ripper::GuiRipper r(app, config);
+  (void)r.Rip();
+  EXPECT_EQ(r.stats().external_recoveries, 0u);
+}
+
+TEST(RipperTest, MissingBlocklistCostsRecoveries) {
+  SmallApp app;
+  ripper::GuiRipper r(app, ripper::RipperConfig{});
+  (void)r.Rip();
+  EXPECT_GE(r.stats().external_recoveries, 1u);
+}
+
+TEST(RipperTest, GraphValidatesThroughPipeline) {
+  SmallApp app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Trap"};
+  ripper::GuiRipper r(app, config);
+  topo::NavGraph graph = r.Rip();
+  auto dag = topo::Decycle(graph).dag;
+  topo::Forest forest = topo::SelectiveExternalize(dag, 0);
+  auto report = topo::ValidateForest(dag, forest);
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+// ----- context-aware exploration -----------------------------------------------------
+
+TEST(RipperTest, ContextRevealsContextualControls) {
+  apps::PpointSim app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Account"};
+  config.max_depth = 4;  // keep this test fast
+  ripper::GuiRipper r(app, config);
+
+  // Without the image context, the Picture Format tab is invisible.
+  topo::NavGraph without = r.Rip();
+  bool tab_without = false;
+  for (size_t i = 0; i < without.node_count(); ++i) {
+    tab_without |= without.node(static_cast<int>(i)).name == "Picture Format";
+  }
+  EXPECT_FALSE(tab_without);
+
+  apps::PpointSim app2;
+  ripper::GuiRipper r2(app2, config);
+  ripper::RipContext image_context;
+  image_context.name = "image-selected";
+  image_context.setup = [](gsim::Application& a) {
+    auto& pp = static_cast<apps::PpointSim&>(a);
+    pp.SetCurrentSlide(2);
+    gsim::Control* image = nullptr;
+    pp.main_window().root().WalkStatic([&](gsim::Control& c) {
+      if (image == nullptr && c.Type() == uia::ControlType::kImage && !c.IsOffscreen()) {
+        image = &c;
+      }
+    });
+    if (image != nullptr) {
+      (void)a.Click(*image);
+    }
+  };
+  topo::NavGraph with = r2.Rip({image_context});
+  bool tab_with = false;
+  for (size_t i = 0; i < with.node_count(); ++i) {
+    tab_with |= with.node(static_cast<int>(i)).name == "Picture Format";
+  }
+  EXPECT_TRUE(tab_with);
+  EXPECT_EQ(r2.stats().contexts, 2u);
+}
+
+// ----- full-app rip (Word) -----------------------------------------------------------
+
+TEST(RipperTest, WordRipReachesPaperScale) {
+  apps::WordSim app;
+  ripper::RipperConfig config;
+  config.blocklist = {"Account", "Feedback"};
+  ripper::GuiRipper r(app, config);
+  topo::NavGraph graph = r.Rip();
+  // §5.2: raw modeled graphs exceed 4K controls.
+  EXPECT_GT(graph.node_count(), 4000u) << graph.node_count();
+  topo::GraphStats stats = graph.ComputeStats();
+  EXPECT_GT(stats.merge_nodes, 0u);
+  // Word's UI has cycles (the Text Effects pane pair).
+  auto decycled = topo::Decycle(graph);
+  EXPECT_GT(decycled.removed_back_edges, 0u);
+  // And the full pipeline validates.
+  topo::Forest forest =
+      topo::SelectiveExternalize(decycled.dag, topo::kDefaultExternalizeThreshold);
+  auto report = topo::ValidateForest(decycled.dag, forest);
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Property and stress tests: the DMI executor must never crash, corrupt the
+// application, or return anything but a structured status — no matter what
+// command stream it receives or how unstable the UI is.
+#include <gtest/gtest.h>
+
+#include "src/apps/word_sim.h"
+#include "src/dmi/session.h"
+#include "src/gui/instability.h"
+#include "src/ripper/ripper.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace {
+
+const topo::NavGraph& WordGraph() {
+  static const topo::NavGraph* graph = [] {
+    apps::WordSim scratch;
+    ripper::RipperConfig config;
+    config.blocklist = {"Account", "Feedback"};
+    ripper::GuiRipper rip(scratch, config);
+    return new topo::NavGraph(rip.Rip());
+  }();
+  return *graph;
+}
+
+dmi::ModelingOptions Options() {
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account", "Feedback"};
+  return options;
+}
+
+// ----- fuzzed visit command streams -------------------------------------------------
+
+class VisitFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VisitFuzz, RandomCommandStreamsNeverCrashAndAlwaysReport) {
+  apps::WordSim app;
+  dmi::DmiSession session(app, WordGraph(), Options());
+  support::Rng rng(GetParam());
+  const int max_id = session.catalog().forest().max_id();
+
+  for (int round = 0; round < 40; ++round) {
+    std::vector<dmi::VisitCommand> commands;
+    const int n = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int k = 0; k < n; ++k) {
+      dmi::VisitCommand cmd;
+      switch (rng.NextBelow(4)) {
+        case 0:
+          cmd.kind = dmi::VisitCommand::Kind::kAccess;
+          cmd.target_id = static_cast<int>(rng.NextInRange(-5, max_id + 50));
+          if (rng.Bernoulli(0.3)) {
+            cmd.entry_ref_ids.push_back(static_cast<int>(rng.NextInRange(0, max_id)));
+          }
+          cmd.enforced = rng.Bernoulli(0.2);
+          break;
+        case 1:
+          cmd.kind = dmi::VisitCommand::Kind::kAccessInput;
+          cmd.target_id = static_cast<int>(rng.NextInRange(1, max_id));
+          cmd.text = "fuzz " + std::to_string(rng.Next() % 1000);
+          break;
+        case 2:
+          cmd.kind = dmi::VisitCommand::Kind::kShortcut;
+          cmd.shortcut_key = rng.Bernoulli(0.5) ? "ENTER" : "ESC";
+          break;
+        default:
+          cmd.kind = dmi::VisitCommand::Kind::kAccess;
+          cmd.target_id = static_cast<int>(rng.NextInRange(1, max_id));
+          break;
+      }
+      commands.push_back(std::move(cmd));
+    }
+    dmi::VisitReport report = session.VisitParsed(std::move(commands));
+    // Every command must carry a terminal status or a filter mark.
+    for (const auto& cr : report.commands) {
+      if (!cr.filtered) {
+        (void)cr.status.ToString();
+      }
+    }
+    // The application must stay drivable (invariant: one open main window or
+    // dialogs above it, never zero).
+    ASSERT_GE(app.OpenWindows().size(), 1u);
+    // Random ids may hit external-jump leaves ("Account"); the app flags the
+    // state and every further command errors structurally until reset — the
+    // recoverability invariant.
+    if (app.in_external_state()) {
+      dmi::VisitCommand probe;
+      probe.kind = dmi::VisitCommand::Kind::kShortcut;
+      probe.shortcut_key = "ENTER";
+      dmi::VisitReport blocked = session.VisitParsed({probe});
+      EXPECT_FALSE(blocked.overall.ok());
+      app.ResetUiState();
+      ASSERT_FALSE(app.in_external_state());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VisitFuzz, ::testing::Values(1, 7, 42, 1337, 9999));
+
+// ----- fuzzed raw JSON ------------------------------------------------------------
+
+class JsonFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzz, MutatedJsonNeverCrashesTheParserOrExecutor) {
+  apps::WordSim app;
+  dmi::DmiSession session(app, WordGraph(), Options());
+  support::Rng rng(GetParam());
+  const std::string base =
+      R"([{"id": "42"}, {"id": "7", "entry_ref_id": ["3"]}, {"shortcut_key": "ENTER"}])";
+  for (int round = 0; round < 60; ++round) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextInRange(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.NextInRange(32, 126)));
+          break;
+      }
+    }
+    dmi::VisitReport report = session.Visit(mutated);
+    (void)report.overall.ToString();  // must always be a structured status
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(11, 23, 31));
+
+// ----- instability sweep: the executor's guarantees under hazards ------------------
+
+struct HazardCase {
+  const char* name;
+  gsim::InstabilityConfig config;
+};
+
+class HazardSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HazardSweep, BoldTaskSurvivesOrFailsStructurally) {
+  static const HazardCase kCases[] = {
+      {"none", gsim::InstabilityConfig::None()},
+      {"typical", gsim::InstabilityConfig::Typical()},
+      {"harsh", gsim::InstabilityConfig::Harsh()},
+  };
+  const HazardCase& hazard = kCases[GetParam()];
+  int successes = 0;
+  constexpr int kTrials = 15;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    apps::WordSim app;
+    gsim::InstabilityInjector injector(hazard.config, 1000 + trial);
+    app.SetInstability(&injector);
+    dmi::DmiSession session(app, WordGraph(), Options());
+    app.SetSelection(0, 1);
+    auto bold = session.ResolveTargetByNames({"Font", "Bold"});
+    ASSERT_TRUE(bold.ok());
+    dmi::VisitCommand cmd;
+    cmd.target_id = bold->id;
+    cmd.entry_ref_ids = bold->entry_ref_ids;
+    dmi::VisitReport report = session.VisitParsed({cmd});
+    if (report.overall.ok() && app.paragraphs()[0].fmt.bold) {
+      ++successes;
+    } else if (!report.overall.ok()) {
+      // A failure must be structured, never silent.
+      EXPECT_FALSE(report.overall.message().empty());
+    }
+  }
+  // Even under harsh instability the robust executor lands most attempts.
+  EXPECT_GE(successes, kTrials * 2 / 3) << hazard.name;
+  if (std::string(hazard.name) == "none") {
+    EXPECT_EQ(successes, kTrials);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hazards, HazardSweep, ::testing::Range(0, 3));
+
+// ----- deep navigation property ------------------------------------------------------
+
+TEST(NavigationProperty, ExecutorReachesSampledLeavesFromColdState) {
+  apps::WordSim app;
+  dmi::DmiSession session(app, WordGraph(), Options());
+  const topo::Forest& forest = session.catalog().forest();
+  support::Rng rng(77);
+  std::vector<int> leaves;
+  for (int id : forest.AllIds()) {
+    if (forest.IsLeaf(id) && forest.LocateById(id)->tree < 0) {
+      leaves.push_back(id);
+    }
+  }
+  ASSERT_GT(leaves.size(), 500u);
+  int executed = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int id = leaves[rng.NextBelow(leaves.size())];
+    app.ResetUiState();
+    app.SetSelection(0, 0);  // many commands need a selection
+    dmi::VisitCommand cmd;
+    cmd.target_id = id;
+    dmi::VisitReport report = session.VisitParsed({cmd});
+    // Some leaves are dialog OK/Cancel buttons whose dialog is not open —
+    // those legitimately report structured errors. Everything else must
+    // navigate from the cold state (backward match -> forward clicks).
+    if (report.overall.ok()) {
+      ++executed;
+    } else {
+      EXPECT_FALSE(report.overall.message().empty());
+    }
+  }
+  EXPECT_GE(executed, 24);  // the overwhelming majority reachable cold
+}
+
+}  // namespace

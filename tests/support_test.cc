@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+
+namespace {
+
+using support::Rng;
+using support::Status;
+using support::StatusCode;
+
+// ----- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = support::NotFoundError("no control named 'Blue'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no control named 'Blue'");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    names.insert(support::StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  support::Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  support::Result<int> r(support::InvalidArgumentError("bad id"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  support::Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 5);
+}
+
+// ----- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyNearP) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  double freq = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kTrials;
+  double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+// ----- strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = support::Split("a/b/c", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = support::Split("a//b/", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  auto parts = support::Split("", '/');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"Home", "Font", "Font Color"};
+  EXPECT_EQ(support::Join(pieces, "/"), "Home/Font/Font Color");
+  EXPECT_EQ(support::Split(support::Join(pieces, "/"), '/'), pieces);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(support::Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(support::Trim(""), "");
+  EXPECT_EQ(support::Trim("   "), "");
+}
+
+TEST(StringsTest, CasePredicates) {
+  EXPECT_TRUE(support::StartsWith("font.bold", "font."));
+  EXPECT_FALSE(support::StartsWith("font", "font."));
+  EXPECT_TRUE(support::EndsWith("Apply to All", "All"));
+  EXPECT_TRUE(support::ContainsIgnoreCase("Apply To All", "to all"));
+  EXPECT_FALSE(support::ContainsIgnoreCase("Apply", "applyx"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(support::ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(support::ReplaceAll("no hits", "zz", "x"), "no hits");
+  EXPECT_EQ(support::ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, Truncate) {
+  EXPECT_EQ(support::Truncate("hello world", 8), "hello...");
+  EXPECT_EQ(support::Truncate("short", 10), "short");
+  EXPECT_EQ(support::Truncate("abcdef", 2), "ab");
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(support::Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(support::Format("%.2f", 1.005), "1.00");
+}
+
+}  // namespace

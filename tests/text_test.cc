@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/text/similarity.h"
+#include "src/text/tokens.h"
+
+namespace {
+
+// ----- tokens ------------------------------------------------------------------
+
+TEST(TokensTest, EmptyIsZero) { EXPECT_EQ(textutil::CountTokens(""), 0u); }
+
+TEST(TokensTest, ShortWordsOneTokenEach) {
+  EXPECT_EQ(textutil::CountTokens("bold"), 1u);
+  EXPECT_EQ(textutil::CountTokens("font color"), 2u);
+}
+
+TEST(TokensTest, LongWordsSplit) {
+  // "internationalization" = 20 chars -> 5 chunks of 4.
+  EXPECT_EQ(textutil::CountTokens("internationalization"), 5u);
+}
+
+TEST(TokensTest, DigitsGroupInThrees) {
+  EXPECT_EQ(textutil::CountTokens("123456"), 2u);
+  EXPECT_EQ(textutil::CountTokens("1234567"), 3u);
+}
+
+TEST(TokensTest, PunctuationCounts) {
+  EXPECT_EQ(textutil::CountTokens("a,b"), 3u);
+  EXPECT_EQ(textutil::CountTokens("(x)"), 3u);
+}
+
+TEST(TokensTest, RepeatedSeparatorRunsCompress) {
+  EXPECT_EQ(textutil::CountTokens("----"), 1u);
+  EXPECT_EQ(textutil::CountTokens("--------"), 2u);
+}
+
+TEST(TokensTest, WhitespaceIsFree) {
+  EXPECT_EQ(textutil::CountTokens("  a   b  "), textutil::CountTokens("a b"));
+}
+
+TEST(TokensTest, ControlDescriptionAveragesNearPaperEstimate) {
+  // Paper §5.4: ~15 tokens per serialized control. A representative
+  // serialized control line should land in a plausible band around that.
+  const std::string line =
+      "Font Color(SplitButton)(Opens the color palette for text color)_214"
+      "[Blue_87,Dark Red_88]";
+  size_t tokens = textutil::CountTokens(line);
+  EXPECT_GE(tokens, 10u);
+  EXPECT_LE(tokens, 40u);
+}
+
+TEST(TokensTest, TruncateToTokensNoCutWhenUnderBudget) {
+  EXPECT_EQ(textutil::TruncateToTokens("a b c", 10), "a b c");
+}
+
+TEST(TokensTest, TruncateToTokensCutsAtBoundary) {
+  std::string out = textutil::TruncateToTokens("alpha beta gamma delta", 2);
+  EXPECT_EQ(out, std::string("alpha beta") + "…");
+}
+
+TEST(TokensTest, TruncateToZero) {
+  EXPECT_EQ(textutil::TruncateToTokens("anything", 0), "");
+}
+
+TEST(TokensTest, TruncatedTextTokenCountWithinBudget) {
+  const std::string text =
+      "The quick brown fox jumps over the lazy dog repeatedly and often";
+  for (size_t budget : {1u, 3u, 5u, 8u}) {
+    std::string cut = textutil::TruncateToTokens(text, budget);
+    // Remove the ellipsis marker before recounting.
+    if (cut.size() >= 3 && cut.substr(cut.size() - 3) == "…") {
+      cut = cut.substr(0, cut.size() - 3);
+    }
+    EXPECT_LE(textutil::CountTokens(cut), budget);
+  }
+}
+
+// ----- similarity ----------------------------------------------------------------
+
+TEST(SimilarityTest, EditDistanceBasics) {
+  EXPECT_EQ(textutil::EditDistance("", ""), 0u);
+  EXPECT_EQ(textutil::EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(textutil::EditDistance("abc", "abd"), 1u);
+  EXPECT_EQ(textutil::EditDistance("abc", ""), 3u);
+  EXPECT_EQ(textutil::EditDistance("kitten", "sitting"), 3u);
+}
+
+TEST(SimilarityTest, EditDistanceSymmetric) {
+  EXPECT_EQ(textutil::EditDistance("Bold", "Bold (Ctrl+B)"),
+            textutil::EditDistance("Bold (Ctrl+B)", "Bold"));
+}
+
+TEST(SimilarityTest, NameSimilarityIdentical) {
+  EXPECT_DOUBLE_EQ(textutil::NameSimilarity("Apply to All", "Apply to All"), 1.0);
+  EXPECT_DOUBLE_EQ(textutil::NameSimilarity("", ""), 1.0);
+}
+
+TEST(SimilarityTest, NameSimilarityBounds) {
+  double s = textutil::NameSimilarity("Font Color", "Underline Color");
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(SimilarityTest, TokenSetIgnoresDecoration) {
+  // The exact hazard the fuzzy matcher must survive: decorated names.
+  EXPECT_GT(textutil::TokenSetRatio("Bold", "Bold (Ctrl+B)"), 0.3);
+  EXPECT_DOUBLE_EQ(textutil::TokenSetRatio("Apply to All", "all apply TO"), 1.0);
+}
+
+TEST(SimilarityTest, TokenSetDisjoint) {
+  EXPECT_DOUBLE_EQ(textutil::TokenSetRatio("alpha", "beta"), 0.0);
+}
+
+TEST(SimilarityTest, FuzzyScoreAcceptsTypicalVariations) {
+  // Every decoration variant the instability injector produces must stay
+  // above the matcher threshold (0.72) against the true name.
+  const std::string base = "Apply to All";
+  for (const std::string& variant :
+       {base + "...", base + " ", base + " (Ctrl+K)", base + " control"}) {
+    EXPECT_GT(textutil::FuzzyScore(base, variant), 0.72) << variant;
+  }
+}
+
+TEST(SimilarityTest, FuzzyScoreRejectsDifferentControls) {
+  EXPECT_LT(textutil::FuzzyScore("Font Color", "Page Color"), 0.72);
+  EXPECT_LT(textutil::FuzzyScore("OK", "Cancel"), 0.5);
+}
+
+}  // namespace

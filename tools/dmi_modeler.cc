@@ -1,0 +1,129 @@
+// dmi_modeler: command-line offline modeler.
+//
+// Rips one of the bundled applications into a UI Navigation Graph, runs the
+// decycle/externalize pipeline, prints the modeling statistics, and
+// optionally saves the portable model JSON (reusable across machines for the
+// same app build, §5.2).
+//
+// Usage:
+//   dmi_modeler --app word|excel|ppoint [--out model.json]
+//               [--threshold N] [--depth N] [--print-core]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/agent/task_runner.h"
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: dmi_modeler --app word|excel|ppoint [--out model.json]\n"
+      "                   [--threshold N] [--depth N] [--print-core]\n");
+}
+
+std::unique_ptr<gsim::Application> MakeApp(const std::string& name,
+                                           workload::AppKind* kind) {
+  if (name == "word") {
+    *kind = workload::AppKind::kWord;
+    return std::make_unique<apps::WordSim>();
+  }
+  if (name == "excel") {
+    *kind = workload::AppKind::kExcel;
+    return std::make_unique<apps::ExcelSim>();
+  }
+  if (name == "ppoint") {
+    *kind = workload::AppKind::kPpoint;
+    return std::make_unique<apps::PpointSim>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  std::string out_path;
+  uint64_t threshold = topo::kDefaultExternalizeThreshold;
+  int depth = desc::PruneOptions{}.max_depth;
+  bool print_core = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      app_name = next("--app");
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--threshold") {
+      threshold = static_cast<uint64_t>(std::strtoull(next("--threshold"), nullptr, 10));
+    } else if (arg == "--depth") {
+      depth = std::atoi(next("--depth"));
+    } else if (arg == "--print-core") {
+      print_core = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  workload::AppKind kind;
+  std::unique_ptr<gsim::Application> scratch = MakeApp(app_name, &kind);
+  if (scratch == nullptr) {
+    Usage();
+    return 2;
+  }
+
+  dmi::ModelingOptions options = agentsim::TaskRunner::DefaultModelingOptions(kind);
+  options.externalize_threshold = threshold;
+  options.prune.max_depth = depth;
+
+  std::printf("ripping %s ...\n", app_name.c_str());
+  ripper::GuiRipper rip(*scratch, options.ripper_config);
+  topo::NavGraph graph = rip.Rip(options.contexts);
+  const ripper::RipStats& rs = rip.stats();
+  std::printf("  %zu controls, %zu edges | %llu clicks, %llu captures, %llu explored, "
+              "%.1f min simulated UIA time\n",
+              graph.node_count(), graph.edge_count(),
+              static_cast<unsigned long long>(rs.clicks),
+              static_cast<unsigned long long>(rs.captures),
+              static_cast<unsigned long long>(rs.explored), rs.simulated_ms / 60000.0);
+
+  std::unique_ptr<gsim::Application> probe = MakeApp(app_name, &kind);
+  dmi::DmiSession session(*probe, graph, options);
+  const dmi::ModelingStats& s = session.stats();
+  std::printf("pipeline: %zu back-edges removed | forest %zu nodes, %zu shared subtrees, "
+              "%zu refs | core %zu nodes / %zu tokens (full %zu tokens)\n",
+              s.back_edges_removed, s.forest_nodes, s.shared_subtrees, s.references,
+              s.core_nodes, s.core_tokens, s.full_tokens);
+
+  if (print_core) {
+    std::printf("\n%s\n", session.catalog().CoreText().c_str());
+  }
+  if (!out_path.empty()) {
+    support::Status st = dmi::DmiSession::SaveModel(graph, out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("model saved to %s\n", out_path.c_str());
+  }
+  return 0;
+}

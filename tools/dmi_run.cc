@@ -1,0 +1,132 @@
+// dmi_run: command-line experiment runner.
+//
+// Runs the OSWorld-W-like suite (or one task) under a chosen interface and
+// model profile, printing per-task results and the aggregate metrics — the
+// same machinery behind the Table 3 bench, exposed for exploration.
+//
+// Usage:
+//   dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
+//           [--task W3] [--repeats 3] [--seed 1]
+//           [--instability none|typical|harsh]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/agent/task_runner.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
+      "               [--task <id>] [--repeats N] [--seed N]\n"
+      "               [--instability none|typical|harsh]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  agentsim::RunConfig config;
+  config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
+  std::string task_filter;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const std::string m = next("--mode");
+      if (m == "gui") {
+        config.mode = agentsim::InterfaceMode::kGuiOnly;
+      } else if (m == "forest") {
+        config.mode = agentsim::InterfaceMode::kGuiOnlyForest;
+      } else if (m == "dmi") {
+        config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--model") {
+      const std::string m = next("--model");
+      if (m == "gpt5") {
+        config.profile = agentsim::LlmProfile::Gpt5Medium();
+      } else if (m == "gpt5min") {
+        config.profile = agentsim::LlmProfile::Gpt5Minimal();
+      } else if (m == "mini") {
+        config.profile = agentsim::LlmProfile::Gpt5MiniMedium();
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--task") {
+      task_filter = next("--task");
+    } else if (arg == "--repeats") {
+      config.repeats = std::atoi(next("--repeats"));
+    } else if (arg == "--seed") {
+      config.seed = static_cast<uint64_t>(std::strtoull(next("--seed"), nullptr, 10));
+    } else if (arg == "--instability") {
+      const std::string level = next("--instability");
+      if (level == "none") {
+        config.instability = gsim::InstabilityConfig::None();
+      } else if (level == "typical") {
+        config.instability = gsim::InstabilityConfig::Typical();
+      } else if (level == "harsh") {
+        config.instability = gsim::InstabilityConfig::Harsh();
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  agentsim::TaskRunner runner;
+  std::vector<workload::Task> tasks = workload::BuildOsworldWSuite();
+  if (!task_filter.empty()) {
+    std::vector<workload::Task> filtered;
+    for (auto& t : tasks) {
+      if (t.id == task_filter) {
+        filtered.push_back(t);
+      }
+    }
+    if (filtered.empty()) {
+      std::fprintf(stderr, "no task with id '%s'\n", task_filter.c_str());
+      return 2;
+    }
+    tasks = std::move(filtered);
+  }
+
+  std::printf("running %zu task(s), mode=%s, model=%s %s, repeats=%d\n\n", tasks.size(),
+              agentsim::InterfaceModeName(config.mode), config.profile.model.c_str(),
+              config.profile.reasoning.c_str(), config.repeats);
+  agentsim::SuiteResult result = runner.RunSuite(tasks, config);
+
+  for (const auto& record : result.records) {
+    std::printf("  %-4s", record.task_id.c_str());
+    for (const auto& run : record.runs) {
+      if (run.success) {
+        std::printf("  [ok %2d steps %5.0fs]", run.llm_calls, run.sim_time_s);
+      } else {
+        std::printf("  [FAIL: %s]",
+                    std::string(agentsim::FailureCauseName(run.cause)).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nSR=%.1f%%  steps=%.2f  time=%.0fs  one-shot=%.0f%%  (successful runs)\n",
+              100.0 * result.SuccessRate(), result.AvgStepsSuccessful(),
+              result.AvgTimeSuccessful(), 100.0 * result.OneShotShare());
+  return 0;
+}
