@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_topology"
+  "../bench/bench_fig4_topology.pdb"
+  "CMakeFiles/bench_fig4_topology.dir/bench_fig4_topology.cc.o"
+  "CMakeFiles/bench_fig4_topology.dir/bench_fig4_topology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

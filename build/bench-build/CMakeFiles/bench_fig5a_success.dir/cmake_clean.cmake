@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_success"
+  "../bench/bench_fig5a_success.pdb"
+  "CMakeFiles/bench_fig5a_success.dir/bench_fig5a_success.cc.o"
+  "CMakeFiles/bench_fig5a_success.dir/bench_fig5a_success.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

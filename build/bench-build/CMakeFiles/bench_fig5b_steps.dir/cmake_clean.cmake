@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_steps"
+  "../bench/bench_fig5b_steps.pdb"
+  "CMakeFiles/bench_fig5b_steps.dir/bench_fig5b_steps.cc.o"
+  "CMakeFiles/bench_fig5b_steps.dir/bench_fig5b_steps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

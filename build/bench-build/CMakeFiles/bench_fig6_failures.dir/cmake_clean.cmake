@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_failures"
+  "../bench/bench_fig6_failures.pdb"
+  "CMakeFiles/bench_fig6_failures.dir/bench_fig6_failures.cc.o"
+  "CMakeFiles/bench_fig6_failures.dir/bench_fig6_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

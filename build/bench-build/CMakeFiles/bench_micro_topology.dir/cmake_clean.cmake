@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_topology"
+  "../bench/bench_micro_topology.pdb"
+  "CMakeFiles/bench_micro_topology.dir/bench_micro_topology.cc.o"
+  "CMakeFiles/bench_micro_topology.dir/bench_micro_topology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_s52_modeling.cc" "bench-build/CMakeFiles/bench_s52_modeling.dir/bench_s52_modeling.cc.o" "gcc" "bench-build/CMakeFiles/bench_s52_modeling.dir/bench_s52_modeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/dmi_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/dmi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dmi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/describe/CMakeFiles/dmi_describe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ripper/CMakeFiles/dmi_ripper.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dmi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dmi_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/dmi_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/uia/CMakeFiles/dmi_uia.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s52_modeling"
+  "../bench/bench_s52_modeling.pdb"
+  "CMakeFiles/bench_s52_modeling.dir/bench_s52_modeling.cc.o"
+  "CMakeFiles/bench_s52_modeling.dir/bench_s52_modeling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s52_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

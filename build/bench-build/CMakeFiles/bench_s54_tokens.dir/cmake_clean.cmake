@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s54_tokens"
+  "../bench/bench_s54_tokens.pdb"
+  "CMakeFiles/bench_s54_tokens.dir/bench_s54_tokens.cc.o"
+  "CMakeFiles/bench_s54_tokens.dir/bench_s54_tokens.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s54_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s55_ablation"
+  "../bench/bench_s55_ablation.pdb"
+  "CMakeFiles/bench_s55_ablation.dir/bench_s55_ablation.cc.o"
+  "CMakeFiles/bench_s55_ablation.dir/bench_s55_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s55_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_examples"
+  "../bench/bench_table1_examples.pdb"
+  "CMakeFiles/bench_table1_examples.dir/bench_table1_examples.cc.o"
+  "CMakeFiles/bench_table1_examples.dir/bench_table1_examples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_endtoend"
+  "../bench/bench_table3_endtoend.pdb"
+  "CMakeFiles/bench_table3_endtoend.dir/bench_table3_endtoend.cc.o"
+  "CMakeFiles/bench_table3_endtoend.dir/bench_table3_endtoend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_showdown.dir/agent_showdown.cpp.o"
+  "CMakeFiles/agent_showdown.dir/agent_showdown.cpp.o.d"
+  "agent_showdown"
+  "agent_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excel_report.dir/excel_report.cpp.o"
+  "CMakeFiles/excel_report.dir/excel_report.cpp.o.d"
+  "excel_report"
+  "excel_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excel_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppt_batch_format.dir/ppt_batch_format.cpp.o"
+  "CMakeFiles/ppt_batch_format.dir/ppt_batch_format.cpp.o.d"
+  "ppt_batch_format"
+  "ppt_batch_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppt_batch_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

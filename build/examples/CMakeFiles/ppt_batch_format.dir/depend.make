@@ -1,0 +1,2 @@
+# Empty dependencies file for ppt_batch_format.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_automation.dir/word_automation.cpp.o"
+  "CMakeFiles/word_automation.dir/word_automation.cpp.o.d"
+  "word_automation"
+  "word_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

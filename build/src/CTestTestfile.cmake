@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("json")
+subdirs("text")
+subdirs("uia")
+subdirs("gui")
+subdirs("apps")
+subdirs("ripper")
+subdirs("topology")
+subdirs("describe")
+subdirs("dmi")
+subdirs("agent")
+subdirs("workload")

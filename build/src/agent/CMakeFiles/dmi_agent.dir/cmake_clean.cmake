@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_agent.dir/baseline_agent.cc.o"
+  "CMakeFiles/dmi_agent.dir/baseline_agent.cc.o.d"
+  "CMakeFiles/dmi_agent.dir/dmi_agent.cc.o"
+  "CMakeFiles/dmi_agent.dir/dmi_agent.cc.o.d"
+  "CMakeFiles/dmi_agent.dir/failure.cc.o"
+  "CMakeFiles/dmi_agent.dir/failure.cc.o.d"
+  "CMakeFiles/dmi_agent.dir/llm_profile.cc.o"
+  "CMakeFiles/dmi_agent.dir/llm_profile.cc.o.d"
+  "CMakeFiles/dmi_agent.dir/sim_llm.cc.o"
+  "CMakeFiles/dmi_agent.dir/sim_llm.cc.o.d"
+  "CMakeFiles/dmi_agent.dir/task_runner.cc.o"
+  "CMakeFiles/dmi_agent.dir/task_runner.cc.o.d"
+  "libdmi_agent.a"
+  "libdmi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

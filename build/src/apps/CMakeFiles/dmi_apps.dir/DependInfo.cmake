@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/excel_sim.cc" "src/apps/CMakeFiles/dmi_apps.dir/excel_sim.cc.o" "gcc" "src/apps/CMakeFiles/dmi_apps.dir/excel_sim.cc.o.d"
+  "/root/repo/src/apps/office_common.cc" "src/apps/CMakeFiles/dmi_apps.dir/office_common.cc.o" "gcc" "src/apps/CMakeFiles/dmi_apps.dir/office_common.cc.o.d"
+  "/root/repo/src/apps/ppoint_sim.cc" "src/apps/CMakeFiles/dmi_apps.dir/ppoint_sim.cc.o" "gcc" "src/apps/CMakeFiles/dmi_apps.dir/ppoint_sim.cc.o.d"
+  "/root/repo/src/apps/word_sim.cc" "src/apps/CMakeFiles/dmi_apps.dir/word_sim.cc.o" "gcc" "src/apps/CMakeFiles/dmi_apps.dir/word_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gui/CMakeFiles/dmi_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/uia/CMakeFiles/dmi_uia.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

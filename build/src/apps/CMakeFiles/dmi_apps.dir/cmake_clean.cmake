@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_apps.dir/excel_sim.cc.o"
+  "CMakeFiles/dmi_apps.dir/excel_sim.cc.o.d"
+  "CMakeFiles/dmi_apps.dir/office_common.cc.o"
+  "CMakeFiles/dmi_apps.dir/office_common.cc.o.d"
+  "CMakeFiles/dmi_apps.dir/ppoint_sim.cc.o"
+  "CMakeFiles/dmi_apps.dir/ppoint_sim.cc.o.d"
+  "CMakeFiles/dmi_apps.dir/word_sim.cc.o"
+  "CMakeFiles/dmi_apps.dir/word_sim.cc.o.d"
+  "libdmi_apps.a"
+  "libdmi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_describe.dir/augment.cc.o"
+  "CMakeFiles/dmi_describe.dir/augment.cc.o.d"
+  "CMakeFiles/dmi_describe.dir/catalog.cc.o"
+  "CMakeFiles/dmi_describe.dir/catalog.cc.o.d"
+  "CMakeFiles/dmi_describe.dir/serialize.cc.o"
+  "CMakeFiles/dmi_describe.dir/serialize.cc.o.d"
+  "libdmi_describe.a"
+  "libdmi_describe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_describe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

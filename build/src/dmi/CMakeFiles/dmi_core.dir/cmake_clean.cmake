@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_core.dir/command.cc.o"
+  "CMakeFiles/dmi_core.dir/command.cc.o.d"
+  "CMakeFiles/dmi_core.dir/interaction.cc.o"
+  "CMakeFiles/dmi_core.dir/interaction.cc.o.d"
+  "CMakeFiles/dmi_core.dir/session.cc.o"
+  "CMakeFiles/dmi_core.dir/session.cc.o.d"
+  "CMakeFiles/dmi_core.dir/visit.cc.o"
+  "CMakeFiles/dmi_core.dir/visit.cc.o.d"
+  "libdmi_core.a"
+  "libdmi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

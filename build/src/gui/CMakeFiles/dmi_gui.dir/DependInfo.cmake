@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gui/application.cc" "src/gui/CMakeFiles/dmi_gui.dir/application.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/application.cc.o.d"
+  "/root/repo/src/gui/control.cc" "src/gui/CMakeFiles/dmi_gui.dir/control.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/control.cc.o.d"
+  "/root/repo/src/gui/input.cc" "src/gui/CMakeFiles/dmi_gui.dir/input.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/input.cc.o.d"
+  "/root/repo/src/gui/instability.cc" "src/gui/CMakeFiles/dmi_gui.dir/instability.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/instability.cc.o.d"
+  "/root/repo/src/gui/screen.cc" "src/gui/CMakeFiles/dmi_gui.dir/screen.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/screen.cc.o.d"
+  "/root/repo/src/gui/window.cc" "src/gui/CMakeFiles/dmi_gui.dir/window.cc.o" "gcc" "src/gui/CMakeFiles/dmi_gui.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uia/CMakeFiles/dmi_uia.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

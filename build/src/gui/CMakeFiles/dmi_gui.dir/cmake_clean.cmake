@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_gui.dir/application.cc.o"
+  "CMakeFiles/dmi_gui.dir/application.cc.o.d"
+  "CMakeFiles/dmi_gui.dir/control.cc.o"
+  "CMakeFiles/dmi_gui.dir/control.cc.o.d"
+  "CMakeFiles/dmi_gui.dir/input.cc.o"
+  "CMakeFiles/dmi_gui.dir/input.cc.o.d"
+  "CMakeFiles/dmi_gui.dir/instability.cc.o"
+  "CMakeFiles/dmi_gui.dir/instability.cc.o.d"
+  "CMakeFiles/dmi_gui.dir/screen.cc.o"
+  "CMakeFiles/dmi_gui.dir/screen.cc.o.d"
+  "CMakeFiles/dmi_gui.dir/window.cc.o"
+  "CMakeFiles/dmi_gui.dir/window.cc.o.d"
+  "libdmi_gui.a"
+  "libdmi_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmi_gui.
+# This may be replaced when dependencies are built.

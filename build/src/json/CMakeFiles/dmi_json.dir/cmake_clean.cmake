@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_json.dir/json.cc.o"
+  "CMakeFiles/dmi_json.dir/json.cc.o.d"
+  "libdmi_json.a"
+  "libdmi_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_ripper.dir/identifier.cc.o"
+  "CMakeFiles/dmi_ripper.dir/identifier.cc.o.d"
+  "CMakeFiles/dmi_ripper.dir/ripper.cc.o"
+  "CMakeFiles/dmi_ripper.dir/ripper.cc.o.d"
+  "libdmi_ripper.a"
+  "libdmi_ripper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_ripper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

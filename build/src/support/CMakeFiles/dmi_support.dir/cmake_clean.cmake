@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_support.dir/logging.cc.o"
+  "CMakeFiles/dmi_support.dir/logging.cc.o.d"
+  "CMakeFiles/dmi_support.dir/rng.cc.o"
+  "CMakeFiles/dmi_support.dir/rng.cc.o.d"
+  "CMakeFiles/dmi_support.dir/status.cc.o"
+  "CMakeFiles/dmi_support.dir/status.cc.o.d"
+  "CMakeFiles/dmi_support.dir/strings.cc.o"
+  "CMakeFiles/dmi_support.dir/strings.cc.o.d"
+  "libdmi_support.a"
+  "libdmi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/dmi_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/dmi_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/tokens.cc" "src/text/CMakeFiles/dmi_text.dir/tokens.cc.o" "gcc" "src/text/CMakeFiles/dmi_text.dir/tokens.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

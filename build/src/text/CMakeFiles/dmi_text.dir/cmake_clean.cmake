@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_text.dir/similarity.cc.o"
+  "CMakeFiles/dmi_text.dir/similarity.cc.o.d"
+  "CMakeFiles/dmi_text.dir/tokens.cc.o"
+  "CMakeFiles/dmi_text.dir/tokens.cc.o.d"
+  "libdmi_text.a"
+  "libdmi_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/nav_graph.cc" "src/topology/CMakeFiles/dmi_topology.dir/nav_graph.cc.o" "gcc" "src/topology/CMakeFiles/dmi_topology.dir/nav_graph.cc.o.d"
+  "/root/repo/src/topology/transform.cc" "src/topology/CMakeFiles/dmi_topology.dir/transform.cc.o" "gcc" "src/topology/CMakeFiles/dmi_topology.dir/transform.cc.o.d"
+  "/root/repo/src/topology/validate.cc" "src/topology/CMakeFiles/dmi_topology.dir/validate.cc.o" "gcc" "src/topology/CMakeFiles/dmi_topology.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dmi_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/uia/CMakeFiles/dmi_uia.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

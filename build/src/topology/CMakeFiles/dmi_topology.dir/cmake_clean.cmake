@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_topology.dir/nav_graph.cc.o"
+  "CMakeFiles/dmi_topology.dir/nav_graph.cc.o.d"
+  "CMakeFiles/dmi_topology.dir/transform.cc.o"
+  "CMakeFiles/dmi_topology.dir/transform.cc.o.d"
+  "CMakeFiles/dmi_topology.dir/validate.cc.o"
+  "CMakeFiles/dmi_topology.dir/validate.cc.o.d"
+  "libdmi_topology.a"
+  "libdmi_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

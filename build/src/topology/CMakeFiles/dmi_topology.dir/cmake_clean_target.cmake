@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmi_topology.a"
+)

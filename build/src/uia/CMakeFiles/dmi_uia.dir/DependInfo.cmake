@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uia/control_type.cc" "src/uia/CMakeFiles/dmi_uia.dir/control_type.cc.o" "gcc" "src/uia/CMakeFiles/dmi_uia.dir/control_type.cc.o.d"
+  "/root/repo/src/uia/element.cc" "src/uia/CMakeFiles/dmi_uia.dir/element.cc.o" "gcc" "src/uia/CMakeFiles/dmi_uia.dir/element.cc.o.d"
+  "/root/repo/src/uia/tree.cc" "src/uia/CMakeFiles/dmi_uia.dir/tree.cc.o" "gcc" "src/uia/CMakeFiles/dmi_uia.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

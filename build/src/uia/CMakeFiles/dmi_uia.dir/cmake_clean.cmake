@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_uia.dir/control_type.cc.o"
+  "CMakeFiles/dmi_uia.dir/control_type.cc.o.d"
+  "CMakeFiles/dmi_uia.dir/element.cc.o"
+  "CMakeFiles/dmi_uia.dir/element.cc.o.d"
+  "CMakeFiles/dmi_uia.dir/tree.cc.o"
+  "CMakeFiles/dmi_uia.dir/tree.cc.o.d"
+  "libdmi_uia.a"
+  "libdmi_uia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_uia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_workload.dir/tasks.cc.o"
+  "CMakeFiles/dmi_workload.dir/tasks.cc.o.d"
+  "libdmi_workload.a"
+  "libdmi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/describe_test.dir/describe_test.cc.o"
+  "CMakeFiles/describe_test.dir/describe_test.cc.o.d"
+  "describe_test"
+  "describe_test.pdb"
+  "describe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

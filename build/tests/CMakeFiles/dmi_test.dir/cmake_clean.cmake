@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_test.dir/dmi_test.cc.o"
+  "CMakeFiles/dmi_test.dir/dmi_test.cc.o.d"
+  "dmi_test"
+  "dmi_test.pdb"
+  "dmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gui_test.cc" "tests/CMakeFiles/gui_test.dir/gui_test.cc.o" "gcc" "tests/CMakeFiles/gui_test.dir/gui_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gui/CMakeFiles/dmi_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/uia/CMakeFiles/dmi_uia.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dmi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dmi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gui_test.dir/gui_test.cc.o"
+  "CMakeFiles/gui_test.dir/gui_test.cc.o.d"
+  "gui_test"
+  "gui_test.pdb"
+  "gui_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interaction_test.dir/interaction_test.cc.o"
+  "CMakeFiles/interaction_test.dir/interaction_test.cc.o.d"
+  "interaction_test"
+  "interaction_test.pdb"
+  "interaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

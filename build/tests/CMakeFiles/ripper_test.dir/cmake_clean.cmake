@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripper_test.dir/ripper_test.cc.o"
+  "CMakeFiles/ripper_test.dir/ripper_test.cc.o.d"
+  "ripper_test"
+  "ripper_test.pdb"
+  "ripper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uia_test.dir/uia_test.cc.o"
+  "CMakeFiles/uia_test.dir/uia_test.cc.o.d"
+  "uia_test"
+  "uia_test.pdb"
+  "uia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_modeler.dir/dmi_modeler.cc.o"
+  "CMakeFiles/dmi_modeler.dir/dmi_modeler.cc.o.d"
+  "dmi_modeler"
+  "dmi_modeler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_modeler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

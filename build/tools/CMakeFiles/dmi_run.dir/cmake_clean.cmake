@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmi_run.dir/dmi_run.cc.o"
+  "CMakeFiles/dmi_run.dir/dmi_run.cc.o.d"
+  "dmi_run"
+  "dmi_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmi_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
