@@ -27,19 +27,25 @@ int main() {
   std::printf("  (paper: raw >4K controls/app; cores Excel~2K, Word~1K, PPoint~1K)\n");
 
   std::printf("\nModeling cost (simulated UIA latencies: 120ms/click, 80ms/capture):\n");
-  std::printf("  %-10s %9s %9s %9s %10s %12s\n", "app", "clicks", "captures", "explored",
-              "contexts", "wall-time");
+  std::printf("  %-10s %9s %9s %9s %10s %9s %12s\n", "app", "clicks", "captures",
+              "explored", "contexts", "cache-hit", "wall-time");
   bench::PrintRule();
+  bench::PerfRecorder recorder;
+  jsonv::Object rip_section;
   for (auto kind : {workload::AppKind::kWord, workload::AppKind::kExcel,
                     workload::AppKind::kPpoint}) {
     const ripper::RipStats& s = runner.rip_stats(kind);
-    std::printf("  %-10s %9llu %9llu %9llu %10llu %9.1f min\n",
+    std::printf("  %-10s %9llu %9llu %9llu %10llu %8.1f%% %9.1f min\n",
                 workload::AppKindName(kind),
                 static_cast<unsigned long long>(s.clicks),
                 static_cast<unsigned long long>(s.captures),
                 static_cast<unsigned long long>(s.explored),
-                static_cast<unsigned long long>(s.contexts), s.simulated_ms / 60000.0);
+                static_cast<unsigned long long>(s.contexts), 100.0 * s.CaptureHitRate(),
+                s.simulated_ms / 60000.0);
+    rip_section[workload::AppKindName(kind)] = bench::PerfRecorder::RipStatsJson(s);
   }
+  recorder.Set("s52_modeling_rip", jsonv::Value(std::move(rip_section)));
+  recorder.Write();
   std::printf("  (paper: automated modeling < 3 hours per application)\n");
 
   // Blocklist value: rip WordSim without the blocklist and count recoveries.

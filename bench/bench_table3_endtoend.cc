@@ -5,11 +5,20 @@
 // GUI+DMI} x {GPT-5-mini medium}. 27 tasks, 3 trials each, metrics averaged
 // over successful runs (the paper's convention).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional worker count for the suite fan-out: `bench_table3_endtoend [N]`
+  // (0 = one worker per hardware thread). Results are identical for any N;
+  // only the wall clock changes.
+  int workers = 1;
+  if (argc > 1) {
+    workers = std::atoi(argv[1]);
+  }
   bench::PrintHeader("Table 3: results across interfaces and models");
+  std::printf("  suite workers: %d%s\n", workers, workers == 0 ? " (hardware)" : "");
   agentsim::TaskRunner runner;
   auto tasks = workload::BuildOsworldWSuite();
 
@@ -29,13 +38,18 @@ int main() {
   bench::PrintRule();
 
   auto settings = bench::Table3Settings();
+  bench::WallTimer suite_timer;
+  jsonv::Array setting_rows;
   for (size_t i = 0; i < settings.size(); ++i) {
     const bench::Setting& s = settings[i];
     agentsim::RunConfig config;
     config.mode = s.mode;
     config.profile = s.profile;
     config.repeats = 3;
+    config.workers = workers;
+    bench::WallTimer t;
     agentsim::SuiteResult r = runner.RunSuite(tasks, config);
+    const double wall_ms = t.ElapsedMs();
     std::printf("  %-10s %-11s %-10s %-9s | %6.1f %6.2f %8.0f | %6.1f %6.2f %8.0f\n",
                 s.label, s.knowledge, s.profile.model.c_str(),
                 s.profile.reasoning.c_str(), 100.0 * r.SuccessRate(),
@@ -44,6 +58,32 @@ int main() {
     if (i == 2 || i == 4) {
       bench::PrintRule();
     }
+    jsonv::Object row;
+    row["interface"] = std::string(s.label);
+    row["model"] = s.profile.model;
+    row["reasoning"] = s.profile.reasoning;
+    row["success_rate"] = jsonv::Value(r.SuccessRate());
+    row["avg_steps"] = jsonv::Value(r.AvgStepsSuccessful());
+    row["avg_time_s"] = jsonv::Value(r.AvgTimeSuccessful());
+    row["wall_ms"] = jsonv::Value(wall_ms);
+    setting_rows.push_back(jsonv::Value(std::move(row)));
+  }
+
+  {
+    bench::PerfRecorder recorder;
+    jsonv::Object section;
+    section["workers"] = jsonv::Value(static_cast<int64_t>(workers));
+    section["total_wall_ms"] = jsonv::Value(suite_timer.ElapsedMs());
+    section["settings"] = jsonv::Value(std::move(setting_rows));
+    jsonv::Object rips;
+    for (workload::AppKind kind : {workload::AppKind::kWord, workload::AppKind::kExcel,
+                                   workload::AppKind::kPpoint}) {
+      rips[workload::AppKindName(kind)] =
+          bench::PerfRecorder::RipStatsJson(runner.rip_stats(kind));
+    }
+    section["rip"] = jsonv::Value(std::move(rips));
+    recorder.Set("table3_endtoend", jsonv::Value(std::move(section)));
+    recorder.Write();
   }
 
   std::printf("\nshape check: within each model tier, GUI+DMI raises SR (paper: 1.67x for\n"

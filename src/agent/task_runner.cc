@@ -1,11 +1,13 @@
 #include "src/agent/task_runner.h"
 
 #include <algorithm>
+#include <future>
 
 #include "src/apps/excel_sim.h"
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 
 namespace agentsim {
 namespace {
@@ -80,6 +82,10 @@ dmi::ModelingOptions TaskRunner::DefaultModelingOptions(workload::AppKind kind) 
 }
 
 TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
+  // Coarse lock: concurrent callers of an already-built model pay one probe;
+  // a cold build holds the lock (RunSuite prebuilds before fanning out, so
+  // workers never build).
+  std::lock_guard<std::mutex> lock(models_mutex_);
   auto it = models_.find(kind);
   if (it != models_.end()) {
     return *it->second;
@@ -144,17 +150,53 @@ RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& confi
 
 SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
                                  const RunConfig& config) {
+  // Trial seeds depend only on (suite seed, task id, trial index), never on
+  // execution order, so serial and parallel suites produce identical records.
+  auto trial_seed = [&config](const workload::Task& task, int trial) {
+    return config.seed * 1000003ULL + std::hash<std::string>{}(task.id) * 31ULL +
+           static_cast<uint64_t>(trial) * 7919ULL;
+  };
+
   SuiteResult result;
-  for (const workload::Task& task : tasks) {
-    TaskRecord record;
-    record.task_id = task.id;
-    for (int trial = 0; trial < config.repeats; ++trial) {
-      const uint64_t seed =
-          config.seed * 1000003ULL + std::hash<std::string>{}(task.id) * 31ULL +
-          static_cast<uint64_t>(trial) * 7919ULL;
-      record.runs.push_back(RunOnce(task, config, seed));
+  result.records.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    result.records[i].task_id = tasks[i].id;
+    result.records[i].runs.resize(static_cast<size_t>(config.repeats));
+  }
+
+  const int workers =
+      config.workers == 0 ? static_cast<int>(support::ThreadPool::DefaultThreads())
+                          : config.workers;
+  if (workers <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      for (int trial = 0; trial < config.repeats; ++trial) {
+        result.records[i].runs[static_cast<size_t>(trial)] =
+            RunOnce(tasks[i], config, trial_seed(tasks[i], trial));
+      }
     }
-    result.records.push_back(std::move(record));
+    return result;
+  }
+
+  // Parallel fan-out over (task, trial) cells into preallocated slots. Models
+  // are built up front so workers only ever read them; every run owns a fresh
+  // app instance confined to its worker.
+  for (const workload::Task& task : tasks) {
+    ModelFor(task.app);
+  }
+  support::ThreadPool pool(static_cast<size_t>(workers));
+  std::vector<std::future<void>> pending;
+  pending.reserve(tasks.size() * static_cast<size_t>(config.repeats));
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (int trial = 0; trial < config.repeats; ++trial) {
+      RunResult* slot = &result.records[i].runs[static_cast<size_t>(trial)];
+      const workload::Task* task = &tasks[i];
+      const uint64_t seed = trial_seed(*task, trial);
+      pending.push_back(pool.Submit(
+          [this, slot, task, &config, seed] { *slot = RunOnce(*task, config, seed); }));
+    }
+  }
+  for (std::future<void>& f : pending) {
+    f.get();
   }
   return result;
 }

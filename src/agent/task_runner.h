@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,6 +40,10 @@ struct RunConfig {
   int step_cap = 30;
   gsim::InstabilityConfig instability = gsim::InstabilityConfig::Typical();
   dmi::VisitConfig visit;  // robustness toggles (ablation bench)
+  // Worker threads for RunSuite: 1 = serial (default), 0 = one per hardware
+  // thread, N = exactly N. Each (task, trial) run is seeded independently of
+  // execution order, so the suite result is identical for any worker count.
+  int workers = 1;
 };
 
 struct TaskRecord {
@@ -100,6 +105,10 @@ class TaskRunner {
 
   AppModel& ModelFor(workload::AppKind kind);
 
+  // Guards models_ when RunSuite fans runs out across workers. Models are
+  // immutable once built (RunSuite prebuilds them before the fan-out), so
+  // only the map lookup needs the lock.
+  std::mutex models_mutex_;
   std::map<workload::AppKind, std::unique_ptr<AppModel>> models_;
 };
 

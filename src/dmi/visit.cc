@@ -40,7 +40,7 @@ std::string VisitReport::Render() const {
 
 VisitExecutor::VisitExecutor(gsim::Application& app, const desc::TopologyCatalog& catalog,
                              VisitConfig config)
-    : app_(&app), catalog_(&catalog), config_(config) {}
+    : app_(&app), catalog_(&catalog), config_(config), index_(app) {}
 
 VisitReport VisitExecutor::Execute(const std::string& json_commands) {
   auto parsed = ParseVisitCommands(json_commands);
@@ -58,6 +58,20 @@ gsim::Control* VisitExecutor::LocateControl(const topo::NodeInfo& info) {
   gsim::Window* top = app_->TopWindow();
   if (top == nullptr) {
     return nullptr;
+  }
+  if (config_.enable_visible_index) {
+    // O(1) exact-id fast path; the window filter reproduces the legacy
+    // "search only the topmost valid window" scope (controls carry their
+    // containing window, including adopted popups).
+    gsim::Control* exact = index_.FindByIdInWindow(info.control_id, top);
+    if (exact != nullptr) {
+      return exact;
+    }
+    if (!config_.enable_fuzzy_match) {
+      return nullptr;  // no exact match and no fuzzy fallback: nothing to find
+    }
+    // Fall through to the walk below for fuzzy scoring (its exact check is
+    // now guaranteed not to fire, so behaviour matches the legacy path).
   }
   // Exact identifier match first, best fuzzy candidate as fallback.
   gsim::Control* exact = nullptr;

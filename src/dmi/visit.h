@@ -22,6 +22,7 @@
 #include "src/describe/catalog.h"
 #include "src/dmi/command.h"
 #include "src/gui/application.h"
+#include "src/ripper/visible_index.h"
 #include "src/support/status.h"
 
 namespace dmi {
@@ -35,6 +36,9 @@ struct VisitConfig {
   double fuzzy_threshold = 0.72;
   // How many windows the executor may close while searching for the path.
   int max_window_closes = 4;
+  // Serve exact-id control location from the generation-stamped VisibleIndex
+  // (O(1) per step on an unchanged UI). Fuzzy fallback still walks the tree.
+  bool enable_visible_index = true;
 };
 
 struct CommandReport {
@@ -80,6 +84,7 @@ class VisitExecutor {
   gsim::Application* app_;
   const desc::TopologyCatalog* catalog_;
   VisitConfig config_;
+  ripper::VisibleIndex index_;
 };
 
 }  // namespace dmi

@@ -159,6 +159,7 @@ void Application::CloseWindow(Window& window, bool commit) {
   }
   window.SetOpen(false);
   open_window_stack_.erase(it);
+  BumpUiGeneration();
   if (focused_ != nullptr && focused_->window() == &window) {
     focused_ = nullptr;
   }
@@ -182,6 +183,7 @@ void Application::ResetUiState() {
   }
   focused_ = nullptr;
   external_state_ = false;
+  BumpUiGeneration();
   OnUiReset();
 }
 
@@ -281,6 +283,7 @@ support::Status Application::ClickImpl(Control& control) {
       if (!dialog->is_open()) {
         dialog->SetOpen(true);
         open_window_stack_.push_back(dialog);
+        BumpUiGeneration();
         for (const WindowListener& listener : window_listeners_) {
           listener(*dialog, /*opened=*/true);
         }
@@ -445,6 +448,7 @@ std::vector<std::string> Application::OpenAncestorNames(const Control& control) 
 
 void Application::SetRevealTick(Control& control, uint64_t tick) {
   reveal_ticks_[control.RuntimeId()] = tick;
+  BumpUiGeneration();  // the control is offscreen until the tick passes
 }
 
 bool Application::IsPendingReveal(const Control& control) const {

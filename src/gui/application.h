@@ -111,7 +111,20 @@ class Application {
   // Logical clock advanced by event-loop turns; slow-loading popups become
   // visible only at a later tick.
   uint64_t current_tick() const { return tick_; }
-  void Tick() { ++tick_; }
+  void Tick() {
+    ++tick_;
+    BumpUiGeneration();  // reveal ticks change what is on screen
+  }
+
+  // ----- UI-state generation -----------------------------------------------
+  // Monotonic counter bumped by every mutation that can change the visible
+  // accessibility tree or any synthesized control identifier (clicks, key
+  // chords, popup/window open/close, renames, scroll-driven occlusion, logical
+  // ticks). Capture caches (ripper::VisibleIndex) are valid exactly while the
+  // generation is unchanged. Not thread-safe: an Application instance is
+  // confined to one thread (see DESIGN.md "Performance architecture").
+  uint64_t ui_generation() const { return ui_generation_; }
+  void BumpUiGeneration() { ++ui_generation_; }
 
   // ----- window events ---------------------------------------------------------
   // UIA-style window listeners (§4.1: "New top-level or modal windows are
@@ -124,7 +137,10 @@ class Application {
 
   // ----- instability -----------------------------------------------------------
   // The injector is borrowed; pass nullptr to disable (default).
-  void SetInstability(InstabilityInjector* injector) { instability_ = injector; }
+  void SetInstability(InstabilityInjector* injector) {
+    instability_ = injector;
+    BumpUiGeneration();  // decoration changes every accessibility name
+  }
   InstabilityInjector* instability() const { return instability_; }
 
   // Name as seen through the accessibility API right now (may be decorated
@@ -184,6 +200,7 @@ class Application {
   Control* focused_ = nullptr;
   bool external_state_ = false;
   uint64_t tick_ = 0;
+  uint64_t ui_generation_ = 0;
   ActionStats stats_;
   InstabilityInjector* instability_ = nullptr;
   std::vector<WindowListener> window_listeners_;

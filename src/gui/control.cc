@@ -285,6 +285,9 @@ Control* Control::AddChild(std::unique_ptr<Control> child) {
   Control* raw = child.get();
   children_.push_back(std::move(child));
   child_ptrs_.push_back(raw);
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // dynamic structure growth
+  }
   return raw;
 }
 
@@ -368,6 +371,9 @@ void Control::AttachPattern(std::unique_ptr<uia::Pattern> pattern) {
 
 void Control::SetPopupOpen(bool open) {
   popup_open_ = open;
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();
+  }
   Control* p = popup();
   if (p == nullptr) {
     return;
@@ -377,6 +383,20 @@ void Control::SetPopupOpen(bool open) {
     // paths reflect the actual access path.
     p->parent_ = this;
     p->PropagateContext(window_, app_);
+  }
+}
+
+void Control::SetForcedOffscreen(bool offscreen) {
+  forced_offscreen_ = offscreen;
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();
+  }
+}
+
+void Control::RenameTo(std::string new_name) {
+  name_ = std::move(new_name);
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // names feed synthesized control ids
   }
 }
 

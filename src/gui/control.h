@@ -97,7 +97,7 @@ class Control final : public uia::Element {
   // Dynamic renaming: some applications relabel controls at runtime in ways
   // no offline model can predict (paper §6 "(In)accurate navigation
   // topology", e.g. Word's Find-and-Replace "Next" becoming "Go To").
-  void RenameTo(std::string new_name) { name_ = std::move(new_name); }
+  void RenameTo(std::string new_name);
 
   Control* parent_control() const { return parent_; }
 
@@ -141,7 +141,7 @@ class Control final : public uia::Element {
   Rect rect() const { return rect_; }
 
   // Explicit offscreen override (e.g. rows scrolled out of a viewport).
-  void SetForcedOffscreen(bool offscreen) { forced_offscreen_ = offscreen; }
+  void SetForcedOffscreen(bool offscreen);
 
   // Text value for Edit-type controls (backs the generic ValuePattern).
   const std::string& text_value() const { return text_value_; }

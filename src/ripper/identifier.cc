@@ -1,5 +1,9 @@
 #include "src/ripper/identifier.h"
 
+#include <vector>
+
+#include "src/uia/control_type.h"
+
 namespace ripper {
 namespace {
 
@@ -28,19 +32,42 @@ std::string SynthesizeControlId(const uia::Element& element) {
 
 ParsedControlId ParseControlId(const std::string& control_id) {
   ParsedControlId parsed;
-  const size_t first = control_id.find('|');
-  if (first == std::string::npos) {
+  std::vector<size_t> seps;
+  for (size_t pos = control_id.find('|'); pos != std::string::npos;
+       pos = control_id.find('|', pos + 1)) {
+    seps.push_back(pos);
+  }
+  if (seps.empty()) {
     parsed.primary_id = control_id;
     return parsed;
   }
-  parsed.primary_id = control_id.substr(0, first);
-  const size_t second = control_id.find('|', first + 1);
-  if (second == std::string::npos) {
-    parsed.control_type = control_id.substr(first + 1);
+  if (seps.size() == 1) {
+    parsed.primary_id = control_id.substr(0, seps[0]);
+    parsed.control_type = control_id.substr(seps[0] + 1);
     return parsed;
   }
-  parsed.control_type = control_id.substr(first + 1, second - first - 1);
-  parsed.ancestor_path = control_id.substr(second + 1);
+  // Control names may themselves contain '|' (they are user data), so with
+  // more than two separators the field boundaries are ambiguous. The type
+  // field, however, is always one of the known UIA control type names and
+  // never contains '|': pick the *rightmost* consecutive separator pair whose
+  // middle text is a valid type name (rightmost, because a '|' inside the
+  // primary id shifts the true pair right, whereas a spurious type-looking
+  // token inside the primary would sit to its left). If no pair validates,
+  // the '|'s most plausibly belong to the primary id: fall back to the last
+  // two separators.
+  size_t lo = seps[seps.size() - 2];
+  size_t hi = seps[seps.size() - 1];
+  for (size_t k = seps.size() - 1; k-- > 0;) {
+    const std::string middle = control_id.substr(seps[k] + 1, seps[k + 1] - seps[k] - 1);
+    if (uia::ControlTypeFromName(middle).has_value()) {
+      lo = seps[k];
+      hi = seps[k + 1];
+      break;
+    }
+  }
+  parsed.primary_id = control_id.substr(0, lo);
+  parsed.control_type = control_id.substr(lo + 1, hi - lo - 1);
+  parsed.ancestor_path = control_id.substr(hi + 1);
   return parsed;
 }
 

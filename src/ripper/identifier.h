@@ -27,7 +27,11 @@ std::string SynthesizeControlId(const uia::SnapshotEntry& entry);
 // Builds the identifier directly from a live element.
 std::string SynthesizeControlId(const uia::Element& element);
 
-// Splits an identifier back into its three fields.
+// Splits an identifier back into its three fields. Robust to '|' inside
+// control names: among the separator pairs, the pair delimiting a valid UIA
+// control type name (rightmost such pair) wins; without one, the last two
+// separators are used. Degenerate one-field / two-field forms parse as
+// primary-only / primary+type.
 ParsedControlId ParseControlId(const std::string& control_id);
 
 }  // namespace ripper

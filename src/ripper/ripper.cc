@@ -1,6 +1,9 @@
 #include "src/ripper/ripper.h"
 
 #include <deque>
+#include <future>
+#include <unordered_map>
+#include <utility>
 
 #include "src/ripper/identifier.h"
 #include "src/support/logging.h"
@@ -23,17 +26,41 @@ struct WorkItem {
 
 }  // namespace
 
+void RipStats::Accumulate(const RipStats& other) {
+  clicks += other.clicks;
+  captures += other.captures;
+  explored += other.explored;
+  external_recoveries += other.external_recoveries;
+  window_events += other.window_events;
+  contexts += other.contexts;
+  capture_rebuilds += other.capture_rebuilds;
+  capture_cache_hits += other.capture_cache_hits;
+  indexed_lookups += other.indexed_lookups;
+  simulated_ms += other.simulated_ms;
+}
+
 GuiRipper::GuiRipper(gsim::Application& app, RipperConfig config)
-    : app_(&app), config_(std::move(config)) {
+    : app_(&app), config_(std::move(config)), index_(app) {
   // Window listener (§4.1): new top-level/modal windows are surfaced as
   // events; the explorer counts them (captures pick up their contents).
   app_->AddWindowListener([this](gsim::Window&, bool) { ++stats_.window_events; });
 }
 
-std::vector<GuiRipper::VisibleEntry> GuiRipper::CaptureVisible() {
+const std::vector<VisibleEntry>& GuiRipper::CaptureVisible() {
   ++stats_.captures;
   stats_.simulated_ms += kCaptureMs;
-  std::vector<VisibleEntry> out;
+  if (config_.use_visible_index) {
+    bool rebuilt = false;
+    const std::vector<VisibleEntry>& entries = index_.Visible(&rebuilt);
+    if (rebuilt) {
+      ++stats_.capture_rebuilds;
+    } else {
+      ++stats_.capture_cache_hits;
+    }
+    return entries;
+  }
+  ++stats_.capture_rebuilds;
+  scratch_entries_.clear();
   uia::Walk(app_->AccessibilityRoot(), [&](uia::Element& e, int) {
     if (e.IsOffscreen()) {
       return false;
@@ -41,10 +68,11 @@ std::vector<GuiRipper::VisibleEntry> GuiRipper::CaptureVisible() {
     if (e.RuntimeId() == 0) {
       return true;  // the synthetic desktop root itself
     }
-    out.push_back(VisibleEntry{SynthesizeControlId(e), static_cast<gsim::Control*>(&e)});
+    scratch_entries_.push_back(
+        VisibleEntry{SynthesizeControlId(e), static_cast<gsim::Control*>(&e)});
     return true;
   });
-  return out;
+  return scratch_entries_;
 }
 
 bool GuiRipper::IsExplorable(const gsim::Control& control) const {
@@ -67,9 +95,10 @@ bool GuiRipper::IsExplorable(const gsim::Control& control) const {
   }
 }
 
-topo::NodeInfo GuiRipper::MakeNodeInfo(const gsim::Control& control) const {
+topo::NodeInfo GuiRipper::MakeNodeInfo(const VisibleEntry& entry) const {
+  const gsim::Control& control = *entry.control;
   topo::NodeInfo info;
-  info.control_id = SynthesizeControlId(control);
+  info.control_id = entry.control_id;  // already synthesized at capture time
   info.name = control.TrueName();
   info.type = control.Type();
   info.description = control.HelpText();
@@ -77,7 +106,15 @@ topo::NodeInfo GuiRipper::MakeNodeInfo(const gsim::Control& control) const {
   return info;
 }
 
-gsim::Control* GuiRipper::FindVisibleById(const std::string& control_id) {
+gsim::Control* GuiRipper::FindVisibleById(const std::string& control_id, bool ensure_fresh) {
+  if (config_.use_visible_index) {
+    ++stats_.indexed_lookups;
+    const uint64_t rebuilds_before = index_.stats().rebuilds;
+    gsim::Control* found = ensure_fresh ? index_.FindByIdEnsureFresh(control_id)
+                                        : index_.FindById(control_id);
+    stats_.capture_rebuilds += index_.stats().rebuilds - rebuilds_before;
+    return found;
+  }
   gsim::Control* found = nullptr;
   uia::Walk(app_->AccessibilityRoot(), [&](uia::Element& e, int) {
     if (found != nullptr) {
@@ -96,33 +133,33 @@ gsim::Control* GuiRipper::FindVisibleById(const std::string& control_id) {
 }
 
 void GuiRipper::AddRevealedEdges(topo::NavGraph& graph, int from_node,
-                                 const std::vector<VisibleEntry>& fresh,
-                                 const std::set<std::string>& prior_ids) {
-  // Index the fresh set by element pointer so containment can be checked.
-  std::set<const gsim::Control*> fresh_controls;
+                                 const std::vector<VisibleEntry>& fresh) {
+  // Index the fresh set by element pointer so containment can be checked and
+  // the already-synthesized id of a fresh ancestor can be reused.
+  std::unordered_map<const gsim::Control*, const std::string*> fresh_ids;
+  fresh_ids.reserve(fresh.size());
   for (const auto& e : fresh) {
-    fresh_controls.insert(e.control);
+    fresh_ids.emplace(e.control, &e.control_id);
   }
   // First materialize all nodes, then wire edges.
   for (const auto& e : fresh) {
-    graph.AddNode(MakeNodeInfo(*e.control));
+    graph.AddNode(MakeNodeInfo(e));
   }
-  (void)prior_ids;
   for (const auto& e : fresh) {
     const int node = graph.FindNode(e.control_id);
     // Walk up the accessibility parent chain to the nearest *also fresh*
     // ancestor; containment edge from it. Without one, this element roots a
     // revealed subtree: the click points at it.
-    const gsim::Control* parent = nullptr;
+    const std::string* parent_id = nullptr;
     for (const uia::Element* p = e.control->Parent(); p != nullptr; p = p->Parent()) {
-      const auto* pc = static_cast<const gsim::Control*>(p);
-      if (fresh_controls.count(pc) > 0) {
-        parent = pc;
+      auto it = fresh_ids.find(static_cast<const gsim::Control*>(p));
+      if (it != fresh_ids.end()) {
+        parent_id = it->second;
         break;
       }
     }
-    if (parent != nullptr) {
-      graph.AddEdge(graph.FindNode(SynthesizeControlId(*parent)), node);
+    if (parent_id != nullptr) {
+      graph.AddEdge(graph.FindNode(*parent_id), node);
     } else {
       graph.AddEdge(from_node, node);
     }
@@ -169,9 +206,11 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
   // reconstructs the deep navigation structure (Figure 4's merge-node
   // substructures) instead of a flat fan-out; controls under the active tab's
   // panel automatically scope beneath that TabItem via containment.
-  std::vector<VisibleEntry> initial = CaptureVisible();
+  // The capture reference stays valid here: nothing mutates the UI between
+  // the capture and its uses.
+  const std::vector<VisibleEntry>& initial = CaptureVisible();
   std::deque<WorkItem> work;
-  AddRevealedEdges(graph, topo::NavGraph::kRootIndex, initial, /*prior_ids=*/{});
+  AddRevealedEdges(graph, topo::NavGraph::kRootIndex, initial);
   for (const auto& entry : initial) {
     if (IsExplorable(*entry.control) && explored_.count(entry.control_id) == 0) {
       work.push_back(WorkItem{entry.control_id, {}});
@@ -191,11 +230,18 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
     if (!ReplayPath(item.path, context)) {
       continue;  // state drifted; skip this branch
     }
-    gsim::Control* target = FindVisibleById(item.control_id);
+    // The pre-click capture of this same state follows immediately, so let
+    // this lookup rebuild the index and the capture comes for free.
+    gsim::Control* target = FindVisibleById(item.control_id, /*ensure_fresh=*/true);
     if (target == nullptr) {
       continue;
     }
-    std::vector<VisibleEntry> before = CaptureVisible();
+    // Snapshot only the id *set* of the pre-click capture — the entry buffer
+    // itself is recycled by the post-click capture.
+    std::set<std::string> before_ids;
+    for (const auto& e : CaptureVisible()) {
+      before_ids.insert(e.control_id);
+    }
     ++stats_.clicks;
     stats_.simulated_ms += kClickMs;
     if (!app_->Click(*target).ok()) {
@@ -207,12 +253,8 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
       app_->ResetUiState();
       continue;
     }
-    std::vector<VisibleEntry> after = CaptureVisible();
+    const std::vector<VisibleEntry>& after = CaptureVisible();
 
-    std::set<std::string> before_ids;
-    for (const auto& e : before) {
-      before_ids.insert(e.control_id);
-    }
     const int from_node = graph.FindNode(item.control_id);
     if (from_node < 0) {
       continue;  // should not happen: node added when first seen
@@ -227,7 +269,7 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
         fresh.push_back(e);
       }
     }
-    AddRevealedEdges(graph, from_node, fresh, before_ids);
+    AddRevealedEdges(graph, from_node, fresh);
     for (const auto& e : fresh) {
       if (next_depth <= config_.max_depth && IsExplorable(*e.control) &&
           explored_.count(e.control_id) == 0) {
@@ -249,6 +291,66 @@ topo::NavGraph GuiRipper::Rip(const std::vector<RipContext>& extra_contexts) {
   DMI_LOG(kInfo) << "ripped " << graph.node_count() << " controls, " << graph.edge_count()
                  << " edges in " << stats_.explored << " explorations";
   return graph;
+}
+
+topo::NavGraph GuiRipper::RipSingleContext(const RipContext& context) {
+  explored_.clear();
+  topo::NavGraph graph;
+  RipContextInternal(graph, context);
+  return graph;
+}
+
+RipResult RipAppContexts(const RipperConfig& config,
+                         const std::vector<RipContext>& extra_contexts,
+                         const ParallelRipOptions& options) {
+  std::vector<RipContext> contexts;
+  contexts.reserve(extra_contexts.size() + 1);
+  RipContext default_context;
+  default_context.name = "default";
+  contexts.push_back(default_context);
+  for (const RipContext& context : extra_contexts) {
+    contexts.push_back(context);
+  }
+
+  // One fresh app + ripper per context; contexts never share state, so each
+  // per-context result is a pure function of (config, context).
+  auto rip_one = [&config, &options](const RipContext& context) {
+    std::unique_ptr<gsim::Application> app = options.app_factory();
+    GuiRipper ripper(*app, config);
+    RipResult result;
+    result.graph = ripper.RipSingleContext(context);
+    result.stats = ripper.stats();
+    return result;
+  };
+
+  std::vector<RipResult> per_context(contexts.size());
+  if (options.pool != nullptr) {
+    std::vector<std::future<RipResult>> futures;
+    futures.reserve(contexts.size());
+    for (const RipContext& context : contexts) {
+      futures.push_back(options.pool->Submit([&rip_one, &context] { return rip_one(context); }));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      per_context[i] = futures[i].get();
+    }
+  } else {
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      per_context[i] = rip_one(contexts[i]);
+    }
+  }
+
+  // Merge in fixed context order, then canonicalize by control id; the
+  // combination makes the output independent of execution interleaving.
+  RipResult merged;
+  for (RipResult& result : per_context) {
+    merged.graph.MergeFrom(result.graph);
+    merged.stats.Accumulate(result.stats);
+  }
+  merged.graph = merged.graph.Canonicalized();
+  DMI_LOG(kInfo) << "parallel-ripped " << contexts.size() << " contexts into "
+                 << merged.graph.node_count() << " controls, " << merged.graph.edge_count()
+                 << " edges";
+  return merged;
 }
 
 }  // namespace ripper

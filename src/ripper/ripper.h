@@ -13,15 +13,24 @@
 //   - *context-aware exploration*: some controls only exist in specific
 //     contexts (an image selected); contexts are small setup callbacks and the
 //     per-context graphs merge by control id.
+//
+// Performance: captures and id lookups run through a generation-stamped
+// ripper::VisibleIndex (one tree walk per UI-state generation, O(1) lookups) —
+// see visible_index.h. RipAppContexts() additionally rips independent contexts
+// in parallel on separate app instances and merges the graphs
+// deterministically.
 #ifndef SRC_RIPPER_RIPPER_H_
 #define SRC_RIPPER_RIPPER_H_
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/gui/application.h"
+#include "src/ripper/visible_index.h"
+#include "src/support/thread_pool.h"
 #include "src/topology/nav_graph.h"
 
 namespace ripper {
@@ -33,6 +42,10 @@ struct RipperConfig {
   int max_depth = 14;
   // Safety cap on distinct explored controls.
   size_t max_explored = 50000;
+  // Serve captures/lookups from the generation-stamped VisibleIndex. Off
+  // reproduces the uncached full-walk behaviour (the determinism tests assert
+  // both modes rip identical graphs).
+  bool use_visible_index = true;
 };
 
 struct RipContext {
@@ -44,16 +57,32 @@ struct RipContext {
 
 struct RipStats {
   uint64_t clicks = 0;
-  uint64_t captures = 0;
+  uint64_t captures = 0;  // logical captures requested (cached or not)
   uint64_t explored = 0;
   uint64_t external_recoveries = 0;  // blocklist misses: expensive restarts
   uint64_t window_events = 0;        // dialog open/close events observed
   uint64_t contexts = 0;
+  // Index effectiveness: tree walks actually performed vs. served warm, and
+  // O(1) id lookups that replaced full-tree searches.
+  uint64_t capture_rebuilds = 0;
+  uint64_t capture_cache_hits = 0;
+  uint64_t indexed_lookups = 0;
   // Simulated wall-time cost in milliseconds: clicks and captures have
   // real-world latency on a live UI even though the simulator is instant.
   // Calibrated to UIA costs: ~120 ms per click, ~80 ms per capture, 30 s per
-  // external recovery (app restart).
+  // external recovery (app restart). Charged per *logical* capture, so the
+  // metric is comparable across cached and uncached rips (the index speeds up
+  // the real wall-clock, which the micro-bench measures separately).
   double simulated_ms = 0.0;
+
+  // Cache hit-rate over logical captures, in [0,1].
+  double CaptureHitRate() const {
+    const uint64_t total = capture_rebuilds + capture_cache_hits;
+    return total == 0 ? 0.0 : static_cast<double>(capture_cache_hits) / total;
+  }
+
+  // Elementwise sum (used when merging per-context parallel rips).
+  void Accumulate(const RipStats& other);
 };
 
 class GuiRipper {
@@ -63,16 +92,17 @@ class GuiRipper {
   // Rips the default context plus each extra context; returns the merged UNG.
   topo::NavGraph Rip(const std::vector<RipContext>& extra_contexts = {});
 
+  // Rips exactly one context into a fresh graph. Unlike Rip(), no exploration
+  // state is shared with other contexts, so the result depends only on
+  // (app build, config, context) — the unit of work for parallel ripping.
+  topo::NavGraph RipSingleContext(const RipContext& context);
+
   const RipStats& stats() const { return stats_; }
 
  private:
-  struct VisibleEntry {
-    std::string control_id;
-    gsim::Control* control;
-  };
-
   // All currently visible (attached, on-screen) controls, by identifier.
-  std::vector<VisibleEntry> CaptureVisible();
+  // The reference stays valid only until the next capture or UI mutation.
+  const std::vector<VisibleEntry>& CaptureVisible();
 
   // Whether exploration should click this control.
   bool IsExplorable(const gsim::Control& control) const;
@@ -82,22 +112,53 @@ class GuiRipper {
   // Adds nodes and edges for a set of newly revealed controls: the click
   // (from_node) points at subtree roots; containment wires the rest.
   void AddRevealedEdges(topo::NavGraph& graph, int from_node,
-                        const std::vector<VisibleEntry>& fresh,
-                        const std::set<std::string>& prior_ids);
+                        const std::vector<VisibleEntry>& fresh);
 
   // Navigates to the state where `path` (control ids) has been clicked.
   // Returns false if replay failed (UI changed under us).
   bool ReplayPath(const std::vector<std::string>& path, const RipContext& context);
 
-  gsim::Control* FindVisibleById(const std::string& control_id);
+  // `ensure_fresh` forces an index rebuild on a stale generation — worth it
+  // only when a capture of the same state follows immediately.
+  gsim::Control* FindVisibleById(const std::string& control_id, bool ensure_fresh = false);
 
-  topo::NodeInfo MakeNodeInfo(const gsim::Control& control) const;
+  topo::NodeInfo MakeNodeInfo(const VisibleEntry& entry) const;
 
   gsim::Application* app_;
   RipperConfig config_;
   RipStats stats_;
   std::set<std::string> explored_;
+  VisibleIndex index_;
+  // Backing storage for uncached captures (mirrors the index's entry buffer).
+  std::vector<VisibleEntry> scratch_entries_;
 };
+
+// ----- parallel multi-context ripping ---------------------------------------
+
+struct ParallelRipOptions {
+  // Builds one fresh application instance per context. Applications are
+  // procedurally generated, so independent instances expose identical UIs;
+  // each instance is confined to the worker that rips it (one app per thread,
+  // never shared).
+  std::function<std::unique_ptr<gsim::Application>()> app_factory;
+  // Workers to rip on; nullptr rips the contexts serially (same output).
+  support::ThreadPool* pool = nullptr;
+};
+
+struct RipResult {
+  topo::NavGraph graph;
+  RipStats stats;
+};
+
+// Rips the default context plus each extra context *independently* (each on
+// its own app instance with its own exploration state) and merges the
+// per-context graphs in context order, then canonicalizes node ordering by
+// control id. Because every per-context rip is deterministic and the merge
+// order is fixed, the result is bit-identical whether contexts run serially
+// or on a thread pool.
+RipResult RipAppContexts(const RipperConfig& config,
+                         const std::vector<RipContext>& extra_contexts,
+                         const ParallelRipOptions& options);
 
 }  // namespace ripper
 

@@ -1,0 +1,188 @@
+#include "src/ripper/visible_index.h"
+
+#include <functional>
+
+#include "src/ripper/identifier.h"
+#include "src/uia/element.h"
+
+namespace ripper {
+namespace {
+
+// Mirrors identifier.cc's Primary(): AutomationId > Name > "[Unnamed]".
+const std::string& PrimaryOf(const std::string& automation_id, const std::string& name) {
+  static const std::string kUnnamed = "[Unnamed]";
+  if (!automation_id.empty()) {
+    return automation_id;
+  }
+  if (!name.empty()) {
+    return name;
+  }
+  return kUnnamed;
+}
+
+}  // namespace
+
+bool VisibleIndex::Refresh() {
+  const uint64_t generation = app_->ui_generation();
+  if (valid_ && generation == cached_generation_) {
+    return false;
+  }
+  // by_id_ holds views into entries_; drop it before touching the strings.
+  by_id_.clear();
+  const size_t last_size = entries_.size();
+  entries_.clear();
+  entries_.reserve(last_size);
+
+  // One pre-order walk with incremental ancestor-path synthesis. The visit
+  // order, pruning and id strings are identical to the legacy
+  // Walk + SynthesizeControlId capture; only the cost differs.
+  std::function<void(uia::Element&, const std::string&)> descend =
+      [&](uia::Element& e, const std::string& ancestor_path) {
+        if (e.IsOffscreen()) {
+          return;  // prune, exactly as the legacy capture walk does
+        }
+        std::string name = e.Name();
+        if (e.RuntimeId() != 0) {  // the synthetic desktop root is skipped
+          VisibleEntry entry;
+          entry.control_id = PrimaryOf(e.AutomationId(), name) + "|" +
+                             std::string(uia::ControlTypeName(e.Type())) + "|" +
+                             ancestor_path;
+          entry.control = static_cast<gsim::Control*>(&e);
+          entries_.push_back(std::move(entry));
+        }
+        // A child whose public Parent() is null (window roots, floating
+        // shared surfaces) restarts its path at "" — matching
+        // uia::AncestorPath, which stops at the first null parent.
+        std::string child_path;
+        bool child_path_built = false;
+        for (uia::Element* child : e.Children()) {
+          const std::string* path = &child_path;
+          if (child->Parent() == nullptr) {
+            static const std::string kEmpty;
+            path = &kEmpty;
+          } else if (!child_path_built) {
+            child_path = ancestor_path;
+            if (!child_path.empty()) {
+              child_path += '/';
+            }
+            child_path += name.empty() ? "[Unnamed]" : name;
+            child_path_built = true;
+          }
+          descend(*child, *path);
+        }
+      };
+  // The desktop root itself has a null Parent(), so its windows' paths start
+  // empty; the root's own path argument is unused.
+  descend(app_->AccessibilityRoot(), "");
+
+  // Second pass: entries_ no longer reallocates, so views into its id
+  // strings are stable for the lifetime of this generation.
+  by_id_.reserve(entries_.size());
+  for (VisibleEntry& entry : entries_) {
+    by_id_[std::string_view(entry.control_id)].push_back(entry.control);
+  }
+
+  valid_ = true;
+  cached_generation_ = generation;
+  ++stats_.rebuilds;
+  return true;
+}
+
+const std::vector<VisibleEntry>& VisibleIndex::Visible(bool* rebuilt) {
+  const bool did = Refresh();
+  if (!did) {
+    ++stats_.capture_hits;
+  }
+  if (rebuilt != nullptr) {
+    *rebuilt = did;
+  }
+  return entries_;
+}
+
+gsim::Control* VisibleIndex::FindById(const std::string& control_id) {
+  ++stats_.lookups;
+  const uint64_t generation = app_->ui_generation();
+  if (valid_ && generation == cached_generation_) {
+    ++stats_.capture_hits;
+    auto it = by_id_.find(std::string_view(control_id));
+    if (it == by_id_.end() || it->second.empty()) {
+      return nullptr;
+    }
+    return it->second.front();
+  }
+  // Cold single lookup: an early-terminating walk beats paying for a full
+  // rebuild that the next mutation would discard anyway (replay-heavy rip
+  // loops look up exactly once per UI state). The cache stays stale; the
+  // next capture rebuilds it.
+  ++stats_.cold_walks;
+  gsim::Control* found = nullptr;
+  std::function<void(uia::Element&, const std::string&)> descend =
+      [&](uia::Element& e, const std::string& ancestor_path) {
+        if (found != nullptr || e.IsOffscreen()) {
+          return;
+        }
+        std::string name = e.Name();
+        if (e.RuntimeId() != 0) {
+          std::string id = PrimaryOf(e.AutomationId(), name) + "|" +
+                           std::string(uia::ControlTypeName(e.Type())) + "|" + ancestor_path;
+          if (id == control_id) {
+            found = static_cast<gsim::Control*>(&e);
+            return;
+          }
+        }
+        std::string child_path;
+        bool child_path_built = false;
+        for (uia::Element* child : e.Children()) {
+          if (found != nullptr) {
+            return;
+          }
+          const std::string* path = &child_path;
+          if (child->Parent() == nullptr) {
+            static const std::string kEmpty;
+            path = &kEmpty;
+          } else if (!child_path_built) {
+            child_path = ancestor_path;
+            if (!child_path.empty()) {
+              child_path += '/';
+            }
+            child_path += name.empty() ? "[Unnamed]" : name;
+            child_path_built = true;
+          }
+          descend(*child, *path);
+        }
+      };
+  descend(app_->AccessibilityRoot(), "");
+  return found;
+}
+
+gsim::Control* VisibleIndex::FindByIdEnsureFresh(const std::string& control_id) {
+  if (!Refresh()) {
+    ++stats_.capture_hits;
+  }
+  ++stats_.lookups;
+  auto it = by_id_.find(std::string_view(control_id));
+  if (it == by_id_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  return it->second.front();
+}
+
+gsim::Control* VisibleIndex::FindByIdInWindow(const std::string& control_id,
+                                              const gsim::Window* window) {
+  if (!Refresh()) {
+    ++stats_.capture_hits;
+  }
+  ++stats_.lookups;
+  auto it = by_id_.find(std::string_view(control_id));
+  if (it == by_id_.end()) {
+    return nullptr;
+  }
+  for (gsim::Control* control : it->second) {
+    if (control->window() == window) {
+      return control;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ripper

@@ -1,0 +1,69 @@
+// A small fixed-size thread pool used by the parallel ripper and the bench
+// harness. Work items are enqueued with Submit() and return std::futures;
+// the pool drains and joins on destruction.
+//
+// Concurrency contract (see DESIGN.md "Performance architecture"): the GUI
+// simulator is single-threaded by design — one gsim::Application instance per
+// worker, never shared. The pool itself is only a task queue; determinism is
+// achieved by the *callers* fixing seeds and aggregation order up front, so
+// results are independent of scheduling.
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace support {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t threads);
+
+  // Waits for queued work to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Hardware concurrency with a sane floor (hardware_concurrency() may be 0).
+  static size_t DefaultThreads();
+
+  // Enqueues a callable; the returned future yields its result (or rethrows
+  // its exception).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "src/topology/nav_graph.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -108,6 +109,44 @@ GraphStats NavGraph::ComputeStats() const {
     }
   }
   return stats;
+}
+
+void NavGraph::MergeFrom(const NavGraph& other) {
+  std::vector<int> remap(other.nodes_.size());
+  for (size_t i = 0; i < other.nodes_.size(); ++i) {
+    remap[i] = AddNode(other.nodes_[i]);  // root dedups onto our root
+  }
+  for (size_t from = 0; from < other.adjacency_.size(); ++from) {
+    for (int to : other.adjacency_[from]) {
+      AddEdge(remap[from], remap[static_cast<size_t>(to)]);
+    }
+  }
+}
+
+NavGraph NavGraph::Canonicalized() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return nodes_[static_cast<size_t>(a)].control_id < nodes_[static_cast<size_t>(b)].control_id;
+  });
+
+  NavGraph out;
+  std::vector<int> remap(nodes_.size(), kRootIndex);
+  for (int old_index : order) {
+    remap[static_cast<size_t>(old_index)] = out.AddNode(nodes_[static_cast<size_t>(old_index)]);
+  }
+  for (size_t from = 0; from < adjacency_.size(); ++from) {
+    for (int to : adjacency_[from]) {
+      out.AddEdge(remap[from], remap[static_cast<size_t>(to)]);
+    }
+  }
+  for (auto& succ : out.adjacency_) {
+    std::sort(succ.begin(), succ.end());
+  }
+  return out;
 }
 
 jsonv::Value NavGraph::ToJson() const {

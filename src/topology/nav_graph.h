@@ -69,6 +69,17 @@ class NavGraph {
 
   GraphStats ComputeStats() const;
 
+  // Adds every node and edge of `other` into this graph (deduplicated by
+  // control_id; edge endpoints remapped). Used to combine per-context rips.
+  void MergeFrom(const NavGraph& other);
+
+  // A copy with a canonical layout: the root stays at index 0, all other
+  // nodes are ordered by control_id, and each adjacency list is sorted.
+  // Graphs built from the same node/edge *sets* in any insertion order
+  // canonicalize to identical objects, which is what makes serial and
+  // parallel multi-context rips comparable bit-for-bit.
+  NavGraph Canonicalized() const;
+
   // Serialization (ripped models are version-specific but reusable, §5.2).
   jsonv::Value ToJson() const;
   static support::Result<NavGraph> FromJson(const jsonv::Value& value);

@@ -58,6 +58,40 @@ TEST(RunnerTest, SameSeedSameOutcome) {
   EXPECT_EQ(a.cause, b.cause);
 }
 
+TEST(RunnerTest, ParallelSuiteMatchesSerialElementwise) {
+  // RunSuite's worker count must not change any run: seeds are a pure
+  // function of (suite seed, task id, trial), and every run owns its app.
+  auto all = workload::BuildOsworldWSuite();
+  // A slice keeps this test quick while covering all three apps.
+  std::vector<workload::Task> tasks;
+  for (size_t i = 0; i < all.size(); i += 4) {
+    tasks.push_back(all[i]);
+  }
+  RunConfig cfg;
+  cfg.mode = InterfaceMode::kGuiPlusDmi;
+  cfg.profile = LlmProfile::Gpt5Medium();
+  cfg.repeats = 2;
+  cfg.workers = 1;
+  SuiteResult serial = Runner().RunSuite(tasks, cfg);
+  cfg.workers = 4;
+  SuiteResult parallel = Runner().RunSuite(tasks, cfg);
+
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].task_id, parallel.records[i].task_id);
+    ASSERT_EQ(serial.records[i].runs.size(), parallel.records[i].runs.size());
+    for (size_t t = 0; t < serial.records[i].runs.size(); ++t) {
+      const RunResult& a = serial.records[i].runs[t];
+      const RunResult& b = parallel.records[i].runs[t];
+      EXPECT_EQ(a.success, b.success) << tasks[i].id << " trial " << t;
+      EXPECT_EQ(a.llm_calls, b.llm_calls) << tasks[i].id << " trial " << t;
+      EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s) << tasks[i].id << " trial " << t;
+      EXPECT_EQ(a.prompt_tokens, b.prompt_tokens) << tasks[i].id << " trial " << t;
+      EXPECT_EQ(a.cause, b.cause) << tasks[i].id << " trial " << t;
+    }
+  }
+}
+
 // ----- perfect-policy ground truth ----------------------------------------------------
 // Both ground-truth plans must succeed through their interface when the
 // policy makes no mistakes and the UI is stable: the plans are correct.

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/apps/excel_sim.h"
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
 #include "src/gui/application.h"
@@ -42,6 +45,43 @@ TEST(IdentifierTest, ParseRoundTrip) {
 TEST(IdentifierTest, ParseDegenerateForms) {
   EXPECT_EQ(ripper::ParseControlId("justname").primary_id, "justname");
   EXPECT_EQ(ripper::ParseControlId("a|b").control_type, "b");
+}
+
+TEST(IdentifierTest, ParsePrimaryContainingSeparator) {
+  // A control named "A|B": the type field anchors the split.
+  auto parsed = ripper::ParseControlId("A|B|Button|App");
+  EXPECT_EQ(parsed.primary_id, "A|B");
+  EXPECT_EQ(parsed.control_type, "Button");
+  EXPECT_EQ(parsed.ancestor_path, "App");
+}
+
+TEST(IdentifierTest, ParseAncestorContainingSeparator) {
+  // An ancestor named "Weird|Name": the valid type pair sits left of the
+  // stray separator.
+  auto parsed = ripper::ParseControlId("Save|Button|App/Weird|Name");
+  EXPECT_EQ(parsed.primary_id, "Save");
+  EXPECT_EQ(parsed.control_type, "Button");
+  EXPECT_EQ(parsed.ancestor_path, "App/Weird|Name");
+}
+
+TEST(IdentifierTest, ParseNoValidTypeFallsBackToLastTwoSeparators) {
+  auto parsed = ripper::ParseControlId("a|b|c|d");
+  EXPECT_EQ(parsed.primary_id, "a|b");
+  EXPECT_EQ(parsed.control_type, "c");
+  EXPECT_EQ(parsed.ancestor_path, "d");
+}
+
+TEST(IdentifierTest, SynthesizeParseRoundTripWithPathologicalName) {
+  uia::SnapshotEntry entry;
+  entry.name = "We|ird";
+  entry.type = uia::ControlType::kButton;
+  entry.ancestor_path = "App/Toolbar";
+  const std::string id = ripper::SynthesizeControlId(entry);
+  EXPECT_EQ(id, "We|ird|Button|App/Toolbar");
+  auto parsed = ripper::ParseControlId(id);
+  EXPECT_EQ(parsed.primary_id, "We|ird");
+  EXPECT_EQ(parsed.control_type, "Button");
+  EXPECT_EQ(parsed.ancestor_path, "App/Toolbar");
 }
 
 // ----- ripping a small controlled app ----------------------------------------------
@@ -171,6 +211,121 @@ TEST(RipperTest, ContextRevealsContextualControls) {
   }
   EXPECT_TRUE(tab_with);
   EXPECT_EQ(r2.stats().contexts, 2u);
+}
+
+// ----- determinism: index caching and parallel context ripping ----------------------
+
+namespace determinism {
+
+ripper::RipContext ImageContext() {
+  ripper::RipContext context;
+  context.name = "image-selected";
+  context.setup = [](gsim::Application& a) {
+    auto& pp = static_cast<apps::PpointSim&>(a);
+    pp.SetCurrentSlide(2);
+    gsim::Control* image = nullptr;
+    pp.main_window().root().WalkStatic([&](gsim::Control& c) {
+      if (image == nullptr && c.Type() == uia::ControlType::kImage && !c.IsOffscreen()) {
+        image = &c;
+      }
+    });
+    if (image != nullptr) {
+      (void)a.Click(*image);
+    }
+  };
+  return context;
+}
+
+// Rips one app family with the index on and off; the graphs must be
+// byte-identical (node order, ids, edges — everything).
+template <typename App>
+void ExpectCachedMatchesUncached(const std::vector<ripper::RipContext>& contexts,
+                                 int max_depth) {
+  ripper::RipperConfig config;
+  config.blocklist = {"Account", "Feedback"};
+  config.max_depth = max_depth;
+
+  config.use_visible_index = true;
+  App cached_app;
+  ripper::GuiRipper cached(cached_app, config);
+  const std::string cached_json = cached.Rip(contexts).ToJson().Dump();
+
+  config.use_visible_index = false;
+  App uncached_app;
+  ripper::GuiRipper uncached(uncached_app, config);
+  const std::string uncached_json = uncached.Rip(contexts).ToJson().Dump();
+
+  EXPECT_EQ(cached_json, uncached_json);
+  // Logical rip metrics must be unchanged by caching too.
+  EXPECT_EQ(cached.stats().clicks, uncached.stats().clicks);
+  EXPECT_EQ(cached.stats().captures, uncached.stats().captures);
+  EXPECT_EQ(cached.stats().explored, uncached.stats().explored);
+  EXPECT_DOUBLE_EQ(cached.stats().simulated_ms, uncached.stats().simulated_ms);
+  // And the cache must actually have been exercised.
+  EXPECT_GT(cached.stats().capture_cache_hits, 0u);
+  EXPECT_EQ(uncached.stats().capture_cache_hits, 0u);
+}
+
+}  // namespace determinism
+
+TEST(RipperDeterminismTest, CachedMatchesUncachedWord) {
+  determinism::ExpectCachedMatchesUncached<apps::WordSim>({}, 4);
+}
+
+TEST(RipperDeterminismTest, CachedMatchesUncachedExcel) {
+  determinism::ExpectCachedMatchesUncached<apps::ExcelSim>({}, 4);
+}
+
+TEST(RipperDeterminismTest, CachedMatchesUncachedPpointWithContext) {
+  determinism::ExpectCachedMatchesUncached<apps::PpointSim>({determinism::ImageContext()},
+                                                            4);
+}
+
+TEST(RipperDeterminismTest, ParallelContextsMatchSerial) {
+  ripper::RipperConfig config;
+  config.blocklist = {"Account", "Feedback"};
+  config.max_depth = 4;
+
+  ripper::ParallelRipOptions serial_options;
+  serial_options.app_factory = [] { return std::make_unique<apps::PpointSim>(); };
+  serial_options.pool = nullptr;
+  ripper::RipResult serial =
+      ripper::RipAppContexts(config, {determinism::ImageContext()}, serial_options);
+
+  support::ThreadPool pool(3);
+  ripper::ParallelRipOptions parallel_options = serial_options;
+  parallel_options.pool = &pool;
+  ripper::RipResult parallel =
+      ripper::RipAppContexts(config, {determinism::ImageContext()}, parallel_options);
+
+  EXPECT_EQ(serial.graph.ToJson().Dump(), parallel.graph.ToJson().Dump());
+  EXPECT_EQ(serial.stats.clicks, parallel.stats.clicks);
+  EXPECT_EQ(serial.stats.captures, parallel.stats.captures);
+  EXPECT_EQ(serial.stats.explored, parallel.stats.explored);
+  // The contextual tab reached through the image context must be present.
+  bool tab = false;
+  for (size_t i = 0; i < parallel.graph.node_count(); ++i) {
+    tab |= parallel.graph.node(static_cast<int>(i)).name == "Picture Format";
+  }
+  EXPECT_TRUE(tab);
+}
+
+TEST(RipperDeterminismTest, SingleContextParallelMatchesClassicRipCanonicalized) {
+  // With no extra contexts there is no shared-exploration divergence, so the
+  // independent-context rip equals the classic Rip() up to node ordering.
+  ripper::RipperConfig config;
+  config.blocklist = {"Account", "Feedback"};
+  config.max_depth = 4;
+
+  apps::WordSim app;
+  ripper::GuiRipper classic(app, config);
+  const std::string classic_json = classic.Rip().Canonicalized().ToJson().Dump();
+
+  ripper::ParallelRipOptions options;
+  options.app_factory = [] { return std::make_unique<apps::WordSim>(); };
+  ripper::RipResult independent = ripper::RipAppContexts(config, {}, options);
+
+  EXPECT_EQ(classic_json, independent.graph.ToJson().Dump());
 }
 
 // ----- full-app rip (Word) -----------------------------------------------------------

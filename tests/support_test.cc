@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace {
 
@@ -216,6 +221,47 @@ TEST(StringsTest, Truncate) {
 TEST(StringsTest, Format) {
   EXPECT_EQ(support::Format("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(support::Format("%.2f", 1.005), "1.00");
+}
+
+// ----- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedWorkAndReturnsResults) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  support::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  support::ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    support::ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.Submit([&done] { ++done; });
+    }
+  }  // destructor must wait for all 32
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(support::ThreadPool::DefaultThreads(), 1u);
 }
 
 }  // namespace
