@@ -12,6 +12,8 @@
 
 #include "src/agent/task_runner.h"
 #include "src/json/json.h"
+#include "src/support/metrics.h"
+#include "src/support/trace_export.h"
 
 namespace bench {
 
@@ -87,6 +89,13 @@ class PerfRecorder {
     o["explored"] = jsonv::Value(static_cast<int64_t>(stats.explored));
     o["simulated_ms"] = jsonv::Value(stats.simulated_ms);
     return jsonv::Value(std::move(o));
+  }
+
+  // Folds the process-wide metrics registry (counters, histograms, derived
+  // rates like the capture-cache hit rate and visit fast-path rate) into the
+  // "metrics" section. Call after the workload so the registry is populated.
+  void SetMetricsSnapshot() {
+    Set("metrics", support::MetricsJson(support::MetricsRegistry::Global().Snapshot()));
   }
 
   // Loads the existing file (if parseable), overlays this run's sections,

@@ -259,6 +259,7 @@ int main() {
   section["warm_find_speedup_gate"] = jsonv::Value(5.0);
   section["gate_passed"] = jsonv::Value(gate_ok && match_ok && rip_ok);
   recorder.Set("micro_capture", jsonv::Value(std::move(section)));
+  recorder.SetMetricsSnapshot();
   recorder.Write();
 
   std::printf("\ncapture equivalence: %s\n", match_ok ? "PASS" : "FAIL");

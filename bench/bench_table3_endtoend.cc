@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
     }
     section["rip"] = jsonv::Value(std::move(rips));
     recorder.Set("table3_endtoend", jsonv::Value(std::move(section)));
+    recorder.SetMetricsSnapshot();
     recorder.Write();
   }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/apps/excel_sim.h"
+#include "src/support/trace.h"
 #include "src/text/tokens.h"
 #include "src/uia/tree.h"
 
@@ -27,6 +28,8 @@ bool NameMatches(const std::string& shown, const std::string& wanted) {
 
 RunResult BaselineGuiAgent::Run(const workload::Task& task, gsim::Application& app,
                                 SimLlm& llm, gsim::InstabilityInjector* injector) {
+  support::TraceSpan span("agent.baseline", "agent");
+  span.AddArg("task", task.id);
   RunResult rr;
   gsim::ScreenView screen(app);
   screen.Refresh();

@@ -4,6 +4,7 @@
 
 #include "src/apps/excel_sim.h"
 #include "src/gui/input.h"
+#include "src/support/trace.h"
 #include "src/uia/tree.h"
 #include "src/text/tokens.h"
 
@@ -32,6 +33,8 @@ std::vector<std::vector<const DmiStep*>> GroupIntoTurns(const std::vector<DmiSte
 }  // namespace
 
 RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, SimLlm& llm) {
+  support::TraceSpan run_span("agent.dmi", "agent");
+  run_span.AddArg("task", task.id);
   RunResult rr;
   gsim::Application& app = session.app();
 

@@ -7,7 +7,9 @@
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
 #include "src/support/logging.h"
+#include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace agentsim {
 namespace {
@@ -22,6 +24,24 @@ std::unique_ptr<gsim::Application> MakeScratch(workload::AppKind kind) {
       return std::make_unique<apps::PpointSim>();
   }
   return nullptr;
+}
+
+// "control localization / navigation error" -> agent.failure.control_localization_navigation_error
+std::string FailureMetricName(FailureCause cause) {
+  std::string name = "agent.failure.";
+  bool pending_sep = false;
+  for (char c : FailureCauseName(cause)) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      if (pending_sep && name.back() != '.') {
+        name += '_';
+      }
+      pending_sep = false;
+      name += c;
+    } else {
+      pending_sep = true;
+    }
+  }
+  return name;
 }
 
 }  // namespace
@@ -124,6 +144,32 @@ size_t TaskRunner::CoreTopologyTokens(workload::AppKind kind) {
 
 RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& config,
                               uint64_t seed) {
+  support::TraceSpan span("agent.run", "agent");
+  span.AddArg("task", task.id);
+  span.AddArg("mode", InterfaceModeName(config.mode));
+  span.AddArg("seed", static_cast<int64_t>(seed));
+  const int64_t run_start_us = support::TraceNowUs();
+  RunResult result = RunOnceInternal(task, config, seed);
+  span.AddArg("success", result.success ? int64_t{1} : int64_t{0});
+  // The counters are straight sums over runs, so suite totals equal the
+  // SuiteResult aggregates regardless of worker count or interleaving.
+  support::CountMetric("agent.runs");
+  support::CountMetric(result.success ? "agent.successes" : "agent.failures");
+  support::CountMetric("agent.llm_calls", static_cast<uint64_t>(result.llm_calls));
+  support::CountMetric("agent.core_calls", static_cast<uint64_t>(result.core_calls));
+  support::CountMetric("agent.prompt_tokens", result.prompt_tokens);
+  support::CountMetric("agent.output_tokens", result.output_tokens);
+  support::CountMetric("agent.ui_actions", result.ui_actions);
+  if (!result.success) {
+    support::CountMetric(FailureMetricName(result.cause));
+  }
+  support::ObserveMetric("agent.run_ms",
+                         static_cast<double>(support::TraceNowUs() - run_start_us) / 1000.0);
+  return result;
+}
+
+RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfig& config,
+                                      uint64_t seed) {
   AppModel& model = ModelFor(task.app);
   std::unique_ptr<gsim::Application> app = task.make_app();
   gsim::InstabilityInjector injector(config.instability, seed ^ 0x5eedf00dULL);
@@ -150,6 +196,10 @@ RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& confi
 
 SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
                                  const RunConfig& config) {
+  support::TraceSpan span("agent.suite", "agent");
+  span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
+  span.AddArg("repeats", static_cast<int64_t>(config.repeats));
+  span.AddArg("mode", InterfaceModeName(config.mode));
   // Trial seeds depend only on (suite seed, task id, trial index), never on
   // execution order, so serial and parallel suites produce identical records.
   auto trial_seed = [&config](const workload::Task& task, int trial) {

@@ -105,6 +105,11 @@ class TaskRunner {
 
   AppModel& ModelFor(workload::AppKind kind);
 
+  // The uninstrumented run body; RunOnce wraps it in a span and publishes the
+  // result onto the agent.* counters/histograms.
+  RunResult RunOnceInternal(const workload::Task& task, const RunConfig& config,
+                            uint64_t seed);
+
   // Guards models_ when RunSuite fans runs out across workers. Models are
   // immutable once built (RunSuite prebuilds them before the fan-out), so
   // only the map lookup needs the lock.

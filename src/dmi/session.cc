@@ -5,7 +5,9 @@
 
 #include "src/describe/augment.h"
 #include "src/json/json.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 #include "src/text/tokens.h"
 
 namespace dmi {
@@ -28,8 +30,10 @@ constexpr char kUsageHint[] =
 
 std::unique_ptr<DmiSession> DmiSession::Model(gsim::Application& app,
                                               const ModelingOptions& options) {
+  support::TraceSpan span("model.rip", "model");
   ripper::GuiRipper rip(app, options.ripper_config);
   topo::NavGraph graph = rip.Rip(options.contexts);
+  span.AddArg("ripped_nodes", static_cast<int64_t>(graph.node_count()));
   auto session = std::make_unique<DmiSession>(app, std::move(graph), options);
   session->stats_.rip = rip.stats();
   return session;
@@ -42,6 +46,8 @@ DmiSession::DmiSession(gsim::Application& app, topo::NavGraph graph,
 }
 
 void DmiSession::FinishConstruction(const ModelingOptions& options, topo::NavGraph graph) {
+  support::TraceSpan span("model.build", "model");
+  const int64_t build_start_us = support::TraceNowUs();
   if (options.augment_descriptions) {
     (void)desc::AugmentDescriptions(graph, desc::BuiltinAugmentRules());
   }
@@ -61,6 +67,17 @@ void DmiSession::FinishConstruction(const ModelingOptions& options, topo::NavGra
   stats_.full_tokens = catalog_->FullTokens();
   executor_ = std::make_unique<VisitExecutor>(*app_, *catalog_, options.visit);
   screen_.Refresh();
+  // Mirror the modeling summary onto the registry (ModelingStats remains the
+  // per-session record; the registry is the process-wide aggregate).
+  support::CountMetric("model.builds");
+  support::CountMetric("model.raw_nodes", stats_.raw.nodes);
+  support::CountMetric("model.core_nodes", stats_.core_nodes);
+  support::CountMetric("model.core_tokens", stats_.core_tokens);
+  support::CountMetric("model.full_tokens", stats_.full_tokens);
+  support::ObserveMetric("model.build_ms",
+                         static_cast<double>(support::TraceNowUs() - build_start_us) / 1000.0);
+  span.AddArg("core_nodes", static_cast<int64_t>(stats_.core_nodes));
+  span.AddArg("core_tokens", static_cast<int64_t>(stats_.core_tokens));
 }
 
 VisitReport DmiSession::Visit(const std::string& json_commands) {

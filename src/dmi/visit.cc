@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/ripper/identifier.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 #include "src/text/similarity.h"
 #include "src/uia/tree.h"
 
@@ -59,12 +61,18 @@ gsim::Control* VisitExecutor::LocateControl(const topo::NodeInfo& info) {
   if (top == nullptr) {
     return nullptr;
   }
+  // Registry references resolved once; the increments are relaxed adds.
+  static support::Counter& fast_path_hits =
+      support::MetricsRegistry::Global().GetCounter("visit.locate_fast_path");
+  static support::Counter& fallback_walks =
+      support::MetricsRegistry::Global().GetCounter("visit.locate_fallback_walks");
   if (config_.enable_visible_index) {
     // O(1) exact-id fast path; the window filter reproduces the legacy
     // "search only the topmost valid window" scope (controls carry their
     // containing window, including adopted popups).
     gsim::Control* exact = index_.FindByIdInWindow(info.control_id, top);
     if (exact != nullptr) {
+      fast_path_hits.Increment();
       return exact;
     }
     if (!config_.enable_fuzzy_match) {
@@ -73,6 +81,7 @@ gsim::Control* VisitExecutor::LocateControl(const topo::NodeInfo& info) {
     // Fall through to the walk below for fuzzy scoring (its exact check is
     // now guaranteed not to fire, so behaviour matches the legacy path).
   }
+  fallback_walks.Increment();
   // Exact identifier match first, best fuzzy candidate as fallback.
   gsim::Control* exact = nullptr;
   gsim::Control* best_fuzzy = nullptr;
@@ -121,6 +130,7 @@ gsim::Control* VisitExecutor::LocateControlWithRetry(const topo::NodeInfo& info,
   // Deterministically expected controls can load slowly; retry a few times,
   // advancing the application's logical clock (paper §3.4 failure retry).
   for (int attempt = 0; attempt < config_.max_retries && control == nullptr; ++attempt) {
+    support::CountMetric("visit.locate_retries");
     app_->Tick();
     control = LocateControl(info);
   }
@@ -132,6 +142,8 @@ gsim::Control* VisitExecutor::LocateControlWithRetry(const topo::NodeInfo& info,
 
 support::Status VisitExecutor::NavigatePath(const std::vector<int>& path,
                                             std::string& detail) {
+  support::TraceSpan span("visit.navigate", "visit");
+  span.AddArg("path_len", static_cast<int64_t>(path.size()));
   if (path.empty()) {
     return support::InvalidArgumentError("empty navigation path");
   }
@@ -211,10 +223,16 @@ support::Status VisitExecutor::NavigatePath(const std::vector<int>& path,
 }
 
 VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
+  support::TraceSpan span("visit.execute", "visit");
+  span.AddArg("commands", static_cast<int64_t>(commands.size()));
+  support::CountMetric("visit.calls");
+  support::CountMetric("visit.commands", commands.size());
+  const int64_t execute_start_us = support::TraceNowUs();
   VisitReport report;
 
   // further_query short-circuits (exclusivity enforced by the parser).
   if (commands.size() == 1 && commands[0].kind == VisitCommand::Kind::kFurtherQuery) {
+    support::CountMetric("visit.further_queries");
     report.was_further_query = true;
     CommandReport cr;
     cr.command = commands[0];
@@ -318,6 +336,12 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
   const gsim::ActionStats after = app_->stats();
   report.ui_actions = (after.clicks - before.clicks) + (after.key_chords - before.key_chords) +
                       (after.text_inputs - before.text_inputs);
+  if (report.filtered_count > 0) {
+    support::CountMetric("visit.filtered", report.filtered_count);
+  }
+  support::ObserveMetric(
+      "visit.execute_ms",
+      static_cast<double>(support::TraceNowUs() - execute_start_us) / 1000.0);
   return report;
 }
 

@@ -7,6 +7,8 @@
 
 #include "src/ripper/identifier.h"
 #include "src/support/logging.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 #include "src/uia/tree.h"
 
 namespace ripper {
@@ -44,6 +46,30 @@ GuiRipper::GuiRipper(gsim::Application& app, RipperConfig config)
   // Window listener (§4.1): new top-level/modal windows are surfaced as
   // events; the explorer counts them (captures pick up their contents).
   app_->AddWindowListener([this](gsim::Window&, bool) { ++stats_.window_events; });
+}
+
+GuiRipper::~GuiRipper() {
+  if (stats_.clicks != 0) {
+    support::CountMetric("rip.clicks", stats_.clicks);
+  }
+  if (stats_.captures != 0) {
+    support::CountMetric("rip.captures", stats_.captures);
+  }
+  if (stats_.explored != 0) {
+    support::CountMetric("rip.explored", stats_.explored);
+  }
+  if (stats_.external_recoveries != 0) {
+    support::CountMetric("rip.external_recoveries", stats_.external_recoveries);
+  }
+  if (stats_.capture_rebuilds != 0) {
+    support::CountMetric("rip.capture_rebuilds", stats_.capture_rebuilds);
+  }
+  if (stats_.capture_cache_hits != 0) {
+    support::CountMetric("rip.capture_cache_hits", stats_.capture_cache_hits);
+  }
+  if (stats_.indexed_lookups != 0) {
+    support::CountMetric("rip.indexed_lookups", stats_.indexed_lookups);
+  }
 }
 
 const std::vector<VisibleEntry>& GuiRipper::CaptureVisible() {
@@ -109,11 +135,16 @@ topo::NodeInfo GuiRipper::MakeNodeInfo(const VisibleEntry& entry) const {
 gsim::Control* GuiRipper::FindVisibleById(const std::string& control_id, bool ensure_fresh) {
   if (config_.use_visible_index) {
     ++stats_.indexed_lookups;
-    const uint64_t rebuilds_before = index_.stats().rebuilds;
-    gsim::Control* found = ensure_fresh ? index_.FindByIdEnsureFresh(control_id)
-                                        : index_.FindById(control_id);
-    stats_.capture_rebuilds += index_.stats().rebuilds - rebuilds_before;
-    return found;
+    if (ensure_fresh) {
+      bool rebuilt = false;
+      gsim::Control* found = index_.FindByIdEnsureFresh(control_id, &rebuilt);
+      if (rebuilt) {
+        ++stats_.capture_rebuilds;
+      }
+      return found;
+    }
+    // FindById never rebuilds: warm generations probe, stale ones cold-walk.
+    return index_.FindById(control_id);
   }
   gsim::Control* found = nullptr;
   uia::Walk(app_->AccessibilityRoot(), [&](uia::Element& e, int) {
@@ -193,6 +224,9 @@ bool GuiRipper::ReplayPath(const std::vector<std::string>& path, const RipContex
 }
 
 void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& context) {
+  support::TraceSpan span("rip.context", "rip");
+  span.AddArg("context", context.name);
+  const int64_t context_start_us = support::TraceNowUs();
   ++stats_.contexts;
   app_->ResetUiState();
   if (context.setup) {
@@ -278,9 +312,13 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
     }
   }
   app_->ResetUiState();
+  support::ObserveMetric("rip.context_ms",
+                         static_cast<double>(support::TraceNowUs() - context_start_us) / 1000.0);
 }
 
 topo::NavGraph GuiRipper::Rip(const std::vector<RipContext>& extra_contexts) {
+  support::TraceSpan span("rip.rip", "rip");
+  span.AddArg("contexts", static_cast<int64_t>(extra_contexts.size() + 1));
   topo::NavGraph graph;
   RipContext default_context;
   default_context.name = "default";
@@ -303,6 +341,8 @@ topo::NavGraph GuiRipper::RipSingleContext(const RipContext& context) {
 RipResult RipAppContexts(const RipperConfig& config,
                          const std::vector<RipContext>& extra_contexts,
                          const ParallelRipOptions& options) {
+  support::TraceSpan span("rip.app_contexts", "rip");
+  span.AddArg("parallel", options.pool != nullptr ? int64_t{1} : int64_t{0});
   std::vector<RipContext> contexts;
   contexts.reserve(extra_contexts.size() + 1);
   RipContext default_context;

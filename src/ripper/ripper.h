@@ -89,6 +89,10 @@ class GuiRipper {
  public:
   GuiRipper(gsim::Application& app, RipperConfig config);
 
+  // Publishes the lifetime RipStats onto the global MetricsRegistry as rip.*
+  // counters (one registry touch per ripper, off the exploration hot path).
+  ~GuiRipper();
+
   // Rips the default context plus each extra context; returns the merged UNG.
   topo::NavGraph Rip(const std::vector<RipContext>& extra_contexts = {});
 

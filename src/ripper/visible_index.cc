@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "src/ripper/identifier.h"
+#include "src/support/metrics.h"
 #include "src/uia/element.h"
 
 namespace ripper {
@@ -21,6 +22,23 @@ const std::string& PrimaryOf(const std::string& automation_id, const std::string
 }
 
 }  // namespace
+
+VisibleIndex::~VisibleIndex() {
+  // One registry touch per index lifetime; zero tallies stay off the registry
+  // so unused indexes don't mint counters.
+  if (rebuilds_ != 0) {
+    support::CountMetric("visible_index.rebuilds", rebuilds_);
+  }
+  if (capture_hits_ != 0) {
+    support::CountMetric("visible_index.capture_hits", capture_hits_);
+  }
+  if (lookups_ != 0) {
+    support::CountMetric("visible_index.lookups", lookups_);
+  }
+  if (cold_walks_ != 0) {
+    support::CountMetric("visible_index.cold_walks", cold_walks_);
+  }
+}
 
 bool VisibleIndex::Refresh() {
   const uint64_t generation = app_->ui_generation();
@@ -84,14 +102,14 @@ bool VisibleIndex::Refresh() {
 
   valid_ = true;
   cached_generation_ = generation;
-  ++stats_.rebuilds;
+  ++rebuilds_;
   return true;
 }
 
 const std::vector<VisibleEntry>& VisibleIndex::Visible(bool* rebuilt) {
   const bool did = Refresh();
   if (!did) {
-    ++stats_.capture_hits;
+    ++capture_hits_;
   }
   if (rebuilt != nullptr) {
     *rebuilt = did;
@@ -100,10 +118,10 @@ const std::vector<VisibleEntry>& VisibleIndex::Visible(bool* rebuilt) {
 }
 
 gsim::Control* VisibleIndex::FindById(const std::string& control_id) {
-  ++stats_.lookups;
+  ++lookups_;
   const uint64_t generation = app_->ui_generation();
   if (valid_ && generation == cached_generation_) {
-    ++stats_.capture_hits;
+    ++capture_hits_;
     auto it = by_id_.find(std::string_view(control_id));
     if (it == by_id_.end() || it->second.empty()) {
       return nullptr;
@@ -114,7 +132,7 @@ gsim::Control* VisibleIndex::FindById(const std::string& control_id) {
   // rebuild that the next mutation would discard anyway (replay-heavy rip
   // loops look up exactly once per UI state). The cache stays stale; the
   // next capture rebuilds it.
-  ++stats_.cold_walks;
+  ++cold_walks_;
   gsim::Control* found = nullptr;
   std::function<void(uia::Element&, const std::string&)> descend =
       [&](uia::Element& e, const std::string& ancestor_path) {
@@ -155,11 +173,16 @@ gsim::Control* VisibleIndex::FindById(const std::string& control_id) {
   return found;
 }
 
-gsim::Control* VisibleIndex::FindByIdEnsureFresh(const std::string& control_id) {
-  if (!Refresh()) {
-    ++stats_.capture_hits;
+gsim::Control* VisibleIndex::FindByIdEnsureFresh(const std::string& control_id,
+                                                 bool* rebuilt) {
+  const bool did = Refresh();
+  if (!did) {
+    ++capture_hits_;
   }
-  ++stats_.lookups;
+  if (rebuilt != nullptr) {
+    *rebuilt = did;
+  }
+  ++lookups_;
   auto it = by_id_.find(std::string_view(control_id));
   if (it == by_id_.end() || it->second.empty()) {
     return nullptr;
@@ -170,9 +193,9 @@ gsim::Control* VisibleIndex::FindByIdEnsureFresh(const std::string& control_id) 
 gsim::Control* VisibleIndex::FindByIdInWindow(const std::string& control_id,
                                               const gsim::Window* window) {
   if (!Refresh()) {
-    ++stats_.capture_hits;
+    ++capture_hits_;
   }
-  ++stats_.lookups;
+  ++lookups_;
   auto it = by_id_.find(std::string_view(control_id));
   if (it == by_id_.end()) {
     return nullptr;

@@ -35,16 +35,15 @@ struct VisibleEntry {
   gsim::Control* control = nullptr;
 };
 
-struct VisibleIndexStats {
-  uint64_t rebuilds = 0;      // capture walks actually performed
-  uint64_t capture_hits = 0;  // captures/lookups served from a warm generation
-  uint64_t lookups = 0;       // FindById / FindByIdInWindow calls
-  uint64_t cold_walks = 0;    // stale FindById early-exit walks (no rebuild)
-};
-
 class VisibleIndex {
  public:
   explicit VisibleIndex(gsim::Application& app) : app_(&app) {}
+
+  // Flushes the lifetime tallies (rebuilds / capture hits / lookups / cold
+  // walks) onto the global MetricsRegistry as visible_index.* counters. The
+  // hot path keeps plain (non-atomic) fields; the one-time flush here is what
+  // keeps warm lookups free of clocks and atomics.
+  ~VisibleIndex();
 
   // All visible controls in desktop pre-order (identical order and content to
   // the legacy uncached capture). `rebuilt`, when non-null, reports whether
@@ -60,8 +59,10 @@ class VisibleIndex {
   // Like FindById, but on a stale generation performs the full rebuild and
   // probes the fresh index. Use when a capture of the same UI state follows
   // immediately (the rip loop's pre-click target lookup): the rebuild is paid
-  // once and the capture is then served warm.
-  gsim::Control* FindByIdEnsureFresh(const std::string& control_id);
+  // once and the capture is then served warm. `rebuilt`, when non-null,
+  // reports whether this call performed the capture walk.
+  gsim::Control* FindByIdEnsureFresh(const std::string& control_id,
+                                     bool* rebuilt = nullptr);
 
   // First visible control with this id whose containing window is `window`
   // (the visit executor searches only the topmost valid window), or nullptr.
@@ -70,8 +71,6 @@ class VisibleIndex {
 
   // Drops the cache; the next access rebuilds regardless of generation.
   void Invalidate() { valid_ = false; }
-
-  const VisibleIndexStats& stats() const { return stats_; }
 
  private:
   // Rebuilds if the cached generation is stale; returns true if it rebuilt.
@@ -86,7 +85,12 @@ class VisibleIndex {
   // into entries_' id strings, built in a second pass once entries_ is
   // final — no per-rebuild key copies.
   std::unordered_map<std::string_view, std::vector<gsim::Control*>> by_id_;
-  VisibleIndexStats stats_;
+  // Lifetime tallies, flushed to the metrics registry by the destructor.
+  // Plain fields on purpose: the warm lookup path must stay atomics-free.
+  uint64_t rebuilds_ = 0;      // capture walks actually performed
+  uint64_t capture_hits_ = 0;  // captures/lookups served from a warm generation
+  uint64_t lookups_ = 0;       // FindById / FindByIdInWindow / EnsureFresh calls
+  uint64_t cold_walks_ = 0;    // stale FindById early-exit walks (no rebuild)
 };
 
 }  // namespace ripper

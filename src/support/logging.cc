@@ -1,11 +1,13 @@
 #include "src/support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace support {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Relaxed is enough: the level is configuration, not synchronization.
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,14 +25,32 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (!LogEnabled(level)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  // One buffer, one write: concurrent workers' lines never interleave
+  // (POSIX stderr is unbuffered, so a single fwrite is a single write).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace support

@@ -1,5 +1,12 @@
 // Minimal leveled logger. Defaults to warnings-and-above so tests and benches
 // stay quiet; verbose modeling/navigation traces are enabled on demand.
+//
+// Concurrency: the level gate is a relaxed atomic, and LogMessage composes
+// the complete line ("[LEVEL] message\n") in one buffer before a single
+// stderr write, so lines from ThreadPool workers never interleave
+// mid-message. DMI_LOG / DMI_LOG_IF check the level *before* evaluating the
+// streamed arguments — a disabled log line costs one atomic load and never
+// runs its operands.
 #ifndef SRC_SUPPORT_LOGGING_H_
 #define SRC_SUPPORT_LOGGING_H_
 
@@ -14,7 +21,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one line to stderr: "[LEVEL] message".
+// Whether a message at `level` would be emitted (the macro fast path).
+bool LogEnabled(LogLevel level);
+
+// Emits one line to stderr: "[LEVEL] message". The full line is built in one
+// buffer and written with a single call (interleaving-safe).
 void LogMessage(LogLevel level, const std::string& message);
 
 // Stream-style helper: LogStream(kInfo) << "ripped " << n << " controls";
@@ -36,8 +47,23 @@ class LogStream {
   std::ostringstream stream_;
 };
 
+// Swallows the stream expression so the ternary in DMI_LOG_IF type-checks;
+// the message is emitted by ~LogStream at the end of the full expression.
+class LogVoidify {
+ public:
+  void operator&(const LogStream&) {}
+};
+
 }  // namespace support
 
-#define DMI_LOG(level) ::support::LogStream(::support::LogLevel::level)
+// Level- (and condition-) gated logging that skips argument evaluation when
+// disabled: DMI_LOG_IF(kDebug, retries > 0) << ExpensiveDump();
+#define DMI_LOG_IF(level, condition)                                       \
+  (!(::support::LogEnabled(::support::LogLevel::level) && (condition)))    \
+      ? (void)0                                                            \
+      : ::support::LogVoidify() &                                          \
+            ::support::LogStream(::support::LogLevel::level)
+
+#define DMI_LOG(level) DMI_LOG_IF(level, true)
 
 #endif  // SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,136 @@
+// Process-wide metrics registry: named monotonic counters and fixed-bucket
+// histograms (DESIGN.md §8 "Observability").
+//
+// Unlike tracing, metrics are always on: an increment is one relaxed atomic
+// add, an observation is a handful — cheap enough for every pipeline stage.
+// Instrument a hot path by resolving the instrument once (the registry lookup
+// takes a mutex) and incrementing the returned reference, which stays valid
+// for the process lifetime:
+//
+//   static support::Counter& hits =
+//       support::MetricsRegistry::Global().GetCounter("visit.locate_fast_path");
+//   hits.Increment();
+//
+// Snapshots are consistent-enough (each cell read is atomic; the set is not
+// a point-in-time cut) and carry everything an exporter needs; JSON rendering
+// lives in trace_export.h so this header stays dependency-free for base libs.
+#ifndef SRC_SUPPORT_METRICS_H_
+#define SRC_SUPPORT_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace support {
+
+class MetricsRegistry;
+
+// A monotonic counter. All operations use relaxed atomics: totals are exact
+// (adds commute), ordering against other metrics is not guaranteed.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+// A fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+// (first matching bound); one extra overflow bucket catches the rest.
+// Bounds are fixed at registration; Observe is lock-free.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  // Bucket counts, overflow last (bounds().size() + 1 entries).
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  // overflow last
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  // Upper bound of the bucket holding the q-quantile observation (clamped to
+  // the last finite bound for the overflow bucket) — bucketed, not
+  // interpolated.
+  double QuantileUpperBound(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  // 0 / nullptr when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. References stay valid forever. A histogram's bounds are set by the
+  // first registration; later calls ignore their `bounds` argument.
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered instrument (references stay valid). Test/bench
+  // isolation only — production code never resets.
+  void ResetAllForTest();
+
+  // Wall-latency default: exponential-ish 10µs .. 30s, in milliseconds.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Shorthand used throughout the pipeline instrumentation.
+inline void CountMetric(std::string_view name, uint64_t delta = 1) {
+  MetricsRegistry::Global().GetCounter(name).Increment(delta);
+}
+inline void ObserveMetric(std::string_view name, double value) {
+  MetricsRegistry::Global().GetHistogram(name).Observe(value);
+}
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_METRICS_H_

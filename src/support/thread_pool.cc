@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
 namespace support {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -40,8 +43,26 @@ void ThreadPool::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    TraceSpan span("pool.task", "pool");
     job();
   }
+}
+
+int64_t ThreadPool::NowUs() { return TraceNowUs(); }
+
+void ThreadPool::NoteSubmit(size_t queue_depth) {
+  static Counter& submitted = MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  static Histogram& depth = MetricsRegistry::Global().GetHistogram(
+      "pool.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  submitted.Increment();
+  depth.Observe(static_cast<double>(queue_depth));
+}
+
+void ThreadPool::NoteTaskDone(int64_t enqueue_us, int64_t start_us, int64_t end_us) {
+  static Counter& completed = MetricsRegistry::Global().GetCounter("pool.tasks_completed");
+  completed.Increment();
+  ObserveMetric("pool.wait_ms", static_cast<double>(start_us - enqueue_us) / 1000.0);
+  ObserveMetric("pool.task_ms", static_cast<double>(end_us - start_us) / 1000.0);
 }
 
 }  // namespace support

@@ -11,6 +11,7 @@
 #define SRC_SUPPORT_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -40,15 +41,23 @@ class ThreadPool {
   static size_t DefaultThreads();
 
   // Enqueues a callable; the returned future yields its result (or rethrows
-  // its exception).
+  // its exception). Each task reports pool.wait_ms (enqueue -> start) and
+  // pool.task_ms to the metrics registry; queue depth is observed at submit
+  // time under the queue lock already being held.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    const int64_t enqueue_us = NowUs();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back([task]() { (*task)(); });
+      queue_.push_back([task, enqueue_us]() {
+        const int64_t start_us = NowUs();
+        (*task)();
+        NoteTaskDone(enqueue_us, start_us, NowUs());
+      });
+      NoteSubmit(queue_.size());
     }
     cv_.notify_one();
     return future;
@@ -56,6 +65,12 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  // Metrics plumbing, defined in the .cc so the Submit template stays free of
+  // trace/metrics includes. NowUs is the tracing monotonic clock.
+  static int64_t NowUs();
+  static void NoteSubmit(size_t queue_depth);
+  static void NoteTaskDone(int64_t enqueue_us, int64_t start_us, int64_t end_us);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

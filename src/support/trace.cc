@@ -1,0 +1,154 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace support {
+
+namespace trace_internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t TraceNowUs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - TraceEpoch())
+                                   .count());
+}
+
+// Per-thread event buffer. The owning thread appends under its own (almost
+// always uncontended) mutex; Drain() from any thread takes the same mutex
+// briefly. On thread exit the destructor moves the remaining events into the
+// recorder's retired list, so nothing is lost when pool workers join.
+struct ThreadTraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  int depth = 0;  // owning thread only (span open/close nesting counter)
+
+  ThreadTraceBuffer();
+  ~ThreadTraceBuffer();
+};
+
+struct TraceRecorder::Impl {
+  std::mutex mu;
+  std::vector<ThreadTraceBuffer*> live;
+  std::vector<TraceEvent> retired;
+  uint32_t next_tid = 1;
+};
+
+TraceRecorder::Impl& TraceRecorder::impl() {
+  // Leaked on purpose: thread buffers may flush during static teardown.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+namespace {
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local ThreadTraceBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+ThreadTraceBuffer::ThreadTraceBuffer() {
+  auto& impl = TraceRecorder::Global().impl();
+  std::lock_guard<std::mutex> lock(impl.mu);
+  tid = impl.next_tid++;
+  impl.live.push_back(this);
+}
+
+ThreadTraceBuffer::~ThreadTraceBuffer() {
+  auto& impl = TraceRecorder::Global().impl();
+  std::lock_guard<std::mutex> lock(impl.mu);
+  {
+    std::lock_guard<std::mutex> self(mu);
+    impl.retired.insert(impl.retired.end(), std::make_move_iterator(events.begin()),
+                        std::make_move_iterator(events.end()));
+    events.clear();
+  }
+  impl.live.erase(std::remove(impl.live.begin(), impl.live.end(), this), impl.live.end());
+}
+
+void TraceRecorder::Emit(TraceEvent event) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  Impl& i = impl();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    out = std::move(i.retired);
+    i.retired.clear();
+    for (ThreadTraceBuffer* buffer : i.live) {
+      std::lock_guard<std::mutex> self(buffer->mu);
+      out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
+                 std::make_move_iterator(buffer->events.end()));
+      buffer->events.clear();
+    }
+  }
+  // Emit order is completion order (children before parents); normalize to
+  // chronological-with-nesting so consumers see parent-before-child.
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) {
+      return a.start_us < b.start_us;
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+size_t TraceRecorder::ApproxEventCount() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  size_t n = i.retired.size();
+  for (ThreadTraceBuffer* buffer : i.live) {
+    std::lock_guard<std::mutex> self(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void TraceSpan::Open() {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  depth_ = buffer.depth++;
+  start_us_ = TraceNowUs();
+}
+
+void TraceSpan::Close() {
+  const uint64_t end_us = TraceNowUs();
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  --buffer.depth;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.depth = depth_;
+  event.args = std::move(args_);
+  TraceRecorder::Global().Emit(std::move(event));
+}
+
+}  // namespace support

@@ -1,0 +1,145 @@
+// Span tracing for the rip → model → visit → agent pipeline.
+//
+// A TraceSpan is an RAII scope: construction stamps a monotonic-clock start,
+// destruction emits one completed TraceEvent into a per-thread buffer.
+// Buffers drain into the global TraceRecorder either when their thread exits
+// or when Drain() collects everything (exporters run at end of a tool/bench).
+// Spans nest naturally — each carries the thread-local nesting depth at the
+// time it opened — and may attach key/value attributes.
+//
+// Cost contract (DESIGN.md §8): tracing is compiled in but must be invisible
+// when disabled. A disabled TraceSpan performs exactly one relaxed atomic
+// load and touches nothing else — no clock read, no allocation, no lock —
+// so hot paths can carry spans unconditionally. Enabled spans pay two clock
+// reads plus one short uncontended lock on their own thread's buffer.
+//
+// Thread-safety: everything here may be used from any thread. Event order
+// within Drain() is normalized to (start time, thread, depth), so nested
+// spans sort parent-before-child even though they are *emitted* child-first
+// (LIFO destruction).
+#ifndef SRC_SUPPORT_TRACE_H_
+#define SRC_SUPPORT_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace support {
+
+namespace trace_internal {
+// The enable gate, exposed so TraceSpan's disabled path inlines to a single
+// relaxed load (the overhead budget for disabled tracing).
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace trace_internal
+
+// One completed span. Times are microseconds since the process trace epoch
+// (the first touch of the tracing subsystem).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // small stable per-thread id, assigned on first emit
+  int depth = 0;     // nesting depth on the emitting thread when opened
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  // The process-wide recorder. Never destroyed (threads may flush buffers
+  // during late teardown).
+  static TraceRecorder& Global();
+
+  static bool Enabled() {
+    return trace_internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+  void SetEnabled(bool on) {
+    trace_internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  // Flushes every live thread buffer plus the events of already-exited
+  // threads and returns them sorted by (start_us, tid, depth). The recorder
+  // is empty afterwards.
+  std::vector<TraceEvent> Drain();
+
+  // Drain and discard (test isolation).
+  void Discard() { (void)Drain(); }
+
+  // Events currently held (live buffers + retired), without draining.
+  size_t ApproxEventCount();
+
+ private:
+  friend class TraceSpan;
+  friend struct ThreadTraceBuffer;
+
+  TraceRecorder() = default;
+
+  // Appends to the calling thread's buffer, registering it on first use.
+  void Emit(TraceEvent event);
+
+  struct Impl;
+  Impl& impl();
+};
+
+// Microseconds since the trace epoch (monotonic clock).
+uint64_t TraceNowUs();
+
+class TraceSpan {
+ public:
+  // `name` and `category` must outlive the span (string literals in
+  // practice); nothing is copied until the span closes.
+  explicit TraceSpan(const char* name, const char* category = "span")
+      : name_(name), category_(category), armed_(TraceRecorder::Enabled()) {
+    if (armed_) {
+      Open();
+    }
+  }
+  ~TraceSpan() {
+    if (armed_) {
+      Close();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a key/value attribute; no-op (and no allocation) when disabled.
+  void AddArg(const char* key, std::string value) {
+    if (armed_) {
+      args_.emplace_back(key, std::move(value));
+    }
+  }
+  void AddArg(const char* key, int64_t value) {
+    if (armed_) {
+      args_.emplace_back(key, std::to_string(value));
+    }
+  }
+
+  // Whether this span is recording (tracing was enabled when it opened).
+  bool armed() const { return armed_; }
+
+ private:
+  void Open();   // stamps start, bumps the thread depth counter
+  void Close();  // emits the completed event
+
+  const char* name_;
+  const char* category_;
+  bool armed_;
+  int depth_ = 0;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace support
+
+// Spell the span variable with the line number so several can coexist in one
+// scope without naming ceremony.
+#define DMI_TRACE_CONCAT_INNER(a, b) a##b
+#define DMI_TRACE_CONCAT(a, b) DMI_TRACE_CONCAT_INNER(a, b)
+#define DMI_TRACE_SPAN(name, category) \
+  ::support::TraceSpan DMI_TRACE_CONCAT(dmi_trace_span_, __LINE__)(name, category)
+
+#endif  // SRC_SUPPORT_TRACE_H_

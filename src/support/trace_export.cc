@@ -1,0 +1,129 @@
+#include "src/support/trace_export.h"
+
+#include <fstream>
+
+namespace support {
+namespace {
+
+jsonv::Value EventJson(const TraceEvent& event) {
+  jsonv::Object o;
+  o["name"] = jsonv::Value(event.name);
+  o["cat"] = jsonv::Value(event.category);
+  o["ph"] = jsonv::Value("X");  // complete event: ts + dur in one record
+  o["ts"] = jsonv::Value(static_cast<int64_t>(event.start_us));
+  o["dur"] = jsonv::Value(static_cast<int64_t>(event.dur_us));
+  o["pid"] = jsonv::Value(static_cast<int64_t>(1));
+  o["tid"] = jsonv::Value(static_cast<int64_t>(event.tid));
+  jsonv::Object args;
+  args["depth"] = jsonv::Value(static_cast<int64_t>(event.depth));
+  for (const auto& [key, value] : event.args) {
+    args[key] = jsonv::Value(value);
+  }
+  o["args"] = jsonv::Value(std::move(args));
+  return jsonv::Value(std::move(o));
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    return InvalidArgumentError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.close();
+  if (!out.good()) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+// Adds derived["name"] = num / (num + denom_rest) when the inputs exist.
+void AddRate(jsonv::Object& derived, const MetricsSnapshot& snapshot, const char* name,
+             const char* numerator, const char* other) {
+  const uint64_t num = snapshot.CounterValue(numerator);
+  const uint64_t rest = snapshot.CounterValue(other);
+  if (num + rest == 0) {
+    return;
+  }
+  derived[name] = jsonv::Value(static_cast<double>(num) / static_cast<double>(num + rest));
+}
+
+}  // namespace
+
+jsonv::Value ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  jsonv::Array trace_events;
+  trace_events.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    trace_events.push_back(EventJson(event));
+  }
+  jsonv::Object doc;
+  doc["traceEvents"] = jsonv::Value(std::move(trace_events));
+  doc["displayTimeUnit"] = jsonv::Value("ms");
+  return jsonv::Value(std::move(doc));
+}
+
+Status WriteChromeTrace(const std::string& path, const std::vector<TraceEvent>& events) {
+  return WriteFile(path, ChromeTraceJson(events).DumpPretty() + "\n");
+}
+
+std::string TraceJsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += EventJson(event).Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTraceJsonl(const std::string& path, const std::vector<TraceEvent>& events) {
+  return WriteFile(path, TraceJsonl(events));
+}
+
+jsonv::Value MetricsJson(const MetricsSnapshot& snapshot) {
+  jsonv::Object counters;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    counters[c.name] = jsonv::Value(static_cast<int64_t>(c.value));
+  }
+
+  jsonv::Object histograms;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    jsonv::Object o;
+    jsonv::Array bounds;
+    for (double b : h.bounds) {
+      bounds.push_back(jsonv::Value(b));
+    }
+    jsonv::Array buckets;
+    for (uint64_t b : h.buckets) {
+      buckets.push_back(jsonv::Value(static_cast<int64_t>(b)));
+    }
+    o["bounds"] = jsonv::Value(std::move(bounds));
+    o["buckets"] = jsonv::Value(std::move(buckets));
+    o["count"] = jsonv::Value(static_cast<int64_t>(h.count));
+    o["sum"] = jsonv::Value(h.sum);
+    o["mean"] = jsonv::Value(h.Mean());
+    o["p50_le"] = jsonv::Value(h.QuantileUpperBound(0.5));
+    o["p95_le"] = jsonv::Value(h.QuantileUpperBound(0.95));
+    histograms[h.name] = jsonv::Value(std::move(o));
+  }
+
+  // Pipeline health ratios the benches and BENCH_perf.json report directly.
+  jsonv::Object derived;
+  AddRate(derived, snapshot, "capture_cache_hit_rate", "visible_index.capture_hits",
+          "visible_index.rebuilds");
+  AddRate(derived, snapshot, "rip_capture_hit_rate", "rip.capture_cache_hits",
+          "rip.capture_rebuilds");
+  AddRate(derived, snapshot, "visit_locate_fast_path_rate", "visit.locate_fast_path",
+          "visit.locate_fallback_walks");
+  AddRate(derived, snapshot, "agent_success_rate", "agent.successes", "agent.failures");
+
+  jsonv::Object doc;
+  doc["counters"] = jsonv::Value(std::move(counters));
+  doc["histograms"] = jsonv::Value(std::move(histograms));
+  doc["derived"] = jsonv::Value(std::move(derived));
+  return jsonv::Value(std::move(doc));
+}
+
+Status WriteMetricsJson(const std::string& path, const MetricsSnapshot& snapshot) {
+  return WriteFile(path, MetricsJson(snapshot).DumpPretty() + "\n");
+}
+
+}  // namespace support

@@ -1,0 +1,45 @@
+// Exporters for the tracing/metrics subsystem (DESIGN.md §8).
+//
+// Lives in its own library (dmi_telemetry) because it renders through
+// src/json, which itself depends on dmi_support — the instruments in
+// trace.h/metrics.h must stay json-free to avoid the cycle.
+//
+// Formats:
+//   - Chrome trace: a {"traceEvents": [...]} document of complete ("ph":"X")
+//     events, loadable in chrome://tracing or https://ui.perfetto.dev.
+//   - JSONL: one JSON object per line per event, for streaming consumers.
+//   - Metrics JSON: counters, histograms (bounds/buckets/count/sum/mean/
+//     bucketed p50/p95) plus derived pipeline rates (capture cache hit rate,
+//     visit locate fast-path rate) when their counters exist.
+#ifndef SRC_SUPPORT_TRACE_EXPORT_H_
+#define SRC_SUPPORT_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/json/json.h"
+#include "src/support/metrics.h"
+#include "src/support/status.h"
+#include "src/support/trace.h"
+
+namespace support {
+
+// ----- Chrome trace ----------------------------------------------------------
+
+jsonv::Value ChromeTraceJson(const std::vector<TraceEvent>& events);
+Status WriteChromeTrace(const std::string& path, const std::vector<TraceEvent>& events);
+
+// ----- JSONL event stream ----------------------------------------------------
+
+// One compact JSON object per event, newline-terminated.
+std::string TraceJsonl(const std::vector<TraceEvent>& events);
+Status WriteTraceJsonl(const std::string& path, const std::vector<TraceEvent>& events);
+
+// ----- metrics ---------------------------------------------------------------
+
+jsonv::Value MetricsJson(const MetricsSnapshot& snapshot);
+Status WriteMetricsJson(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_TRACE_EXPORT_H_

@@ -2,6 +2,8 @@
 
 #include "src/agent/failure.h"
 #include "src/agent/task_runner.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -90,6 +92,77 @@ TEST(RunnerTest, ParallelSuiteMatchesSerialElementwise) {
       EXPECT_EQ(a.cause, b.cause) << tasks[i].id << " trial " << t;
     }
   }
+}
+
+TEST(RunnerTest, TracingOnKeepsSuitesIdenticalAndCountersMatchAggregates) {
+  auto all = workload::BuildOsworldWSuite();
+  std::vector<workload::Task> tasks;
+  for (size_t i = 0; i < all.size(); i += 6) {
+    tasks.push_back(all[i]);
+  }
+  RunConfig cfg;
+  cfg.mode = InterfaceMode::kGuiPlusDmi;
+  cfg.profile = LlmProfile::Gpt5Medium();
+  cfg.repeats = 2;
+
+  // Tracing on for both suites: span recording must not perturb outcomes.
+  support::TraceRecorder::Global().Discard();
+  support::TraceRecorder::Global().SetEnabled(true);
+  const support::MetricsSnapshot before = support::MetricsRegistry::Global().Snapshot();
+  cfg.workers = 1;
+  SuiteResult serial = Runner().RunSuite(tasks, cfg);
+  const support::MetricsSnapshot after = support::MetricsRegistry::Global().Snapshot();
+  cfg.workers = 4;
+  SuiteResult parallel = Runner().RunSuite(tasks, cfg);
+  support::TraceRecorder::Global().SetEnabled(false);
+  std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (size_t i = 0; i < serial.records.size(); ++i) {
+    ASSERT_EQ(serial.records[i].runs.size(), parallel.records[i].runs.size());
+    for (size_t t = 0; t < serial.records[i].runs.size(); ++t) {
+      const RunResult& a = serial.records[i].runs[t];
+      const RunResult& b = parallel.records[i].runs[t];
+      EXPECT_EQ(a.success, b.success) << tasks[i].id << " trial " << t;
+      EXPECT_EQ(a.llm_calls, b.llm_calls) << tasks[i].id << " trial " << t;
+      EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s) << tasks[i].id << " trial " << t;
+      EXPECT_EQ(a.cause, b.cause) << tasks[i].id << " trial " << t;
+    }
+  }
+
+  // Counter deltas across the serial suite equal the SuiteResult aggregates:
+  // the registry is fed per-run in RunOnce, so sums are order-independent.
+  auto delta = [&before, &after](const char* name) {
+    return after.CounterValue(name) - before.CounterValue(name);
+  };
+  const auto total_runs = static_cast<uint64_t>(serial.TotalRuns());
+  const auto failed_runs = static_cast<uint64_t>(serial.FailedRuns());
+  EXPECT_EQ(delta("agent.runs"), total_runs);
+  EXPECT_EQ(delta("agent.failures"), failed_runs);
+  EXPECT_EQ(delta("agent.successes"), total_runs - failed_runs);
+  uint64_t llm_calls = 0;
+  uint64_t ui_actions = 0;
+  for (const TaskRecord& r : serial.records) {
+    for (const RunResult& run : r.runs) {
+      llm_calls += static_cast<uint64_t>(run.llm_calls);
+      ui_actions += run.ui_actions;
+    }
+  }
+  EXPECT_EQ(delta("agent.llm_calls"), llm_calls);
+  EXPECT_EQ(delta("agent.ui_actions"), ui_actions);
+
+  // Both suites were traced: one agent.run span per run, one suite span each.
+  size_t run_spans = 0;
+  size_t suite_spans = 0;
+  for (const support::TraceEvent& e : events) {
+    if (e.name == "agent.run") {
+      ++run_spans;
+    } else if (e.name == "agent.suite") {
+      ++suite_spans;
+    }
+  }
+  EXPECT_EQ(run_spans, static_cast<size_t>(serial.TotalRuns() + parallel.TotalRuns()));
+  EXPECT_EQ(suite_spans, 2u);
 }
 
 // ----- perfect-policy ground truth ----------------------------------------------------

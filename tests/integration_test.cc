@@ -7,7 +7,9 @@
 #include "src/apps/word_sim.h"
 #include "src/dmi/session.h"
 #include "src/ripper/ripper.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 #include "src/uia/tree.h"
 
 namespace {
@@ -110,6 +112,58 @@ TEST(DynamicRenameTest, VisitOnRenamedControlGivesStructuredMiss) {
   EXPECT_FALSE(report.overall.ok());
   EXPECT_EQ(report.overall.code(), support::StatusCode::kNotFound);
   EXPECT_NE(report.overall.message().find("Find Next"), std::string::npos);
+}
+
+// ----- observability through the session -------------------------------------------
+
+TEST(ObservabilityTest, VisitEmitsNestedSpansAndFastPathCounters) {
+  apps::WordSim app;
+  dmi::DmiSession session(app, WordGraph(), WordOptions());
+  app.SetSelection(0, 0);
+  auto bold = session.ResolveTargetByNames({"Font", "Bold"});
+  ASSERT_TRUE(bold.ok());
+
+  support::TraceRecorder::Global().Discard();
+  support::TraceRecorder::Global().SetEnabled(true);
+  const support::MetricsSnapshot before = support::MetricsRegistry::Global().Snapshot();
+  dmi::VisitCommand cmd;
+  cmd.target_id = bold->id;
+  cmd.entry_ref_ids = bold->entry_ref_ids;
+  dmi::VisitReport report = session.VisitParsed({cmd});
+  const support::MetricsSnapshot after = support::MetricsRegistry::Global().Snapshot();
+  support::TraceRecorder::Global().SetEnabled(false);
+  std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+  ASSERT_TRUE(report.overall.ok()) << report.Render();
+
+  // One visit.execute span covering a nested visit.navigate on the same thread.
+  const support::TraceEvent* execute = nullptr;
+  const support::TraceEvent* navigate = nullptr;
+  for (const support::TraceEvent& e : events) {
+    if (e.name == "visit.execute" && execute == nullptr) {
+      execute = &e;
+    } else if (e.name == "visit.navigate" && navigate == nullptr) {
+      navigate = &e;
+    }
+  }
+  ASSERT_NE(execute, nullptr);
+  ASSERT_NE(navigate, nullptr);
+  EXPECT_EQ(execute->category, "visit");
+  EXPECT_EQ(execute->tid, navigate->tid);
+  EXPECT_LT(execute->depth, navigate->depth);
+  EXPECT_LE(execute->start_us, navigate->start_us);
+  EXPECT_GE(execute->start_us + execute->dur_us, navigate->start_us + navigate->dur_us);
+
+  // The visit fed the registry: one call, its commands, and a located control
+  // (fast path or fallback, depending on the session's index configuration).
+  auto delta = [&before, &after](const char* name) {
+    return after.CounterValue(name) - before.CounterValue(name);
+  };
+  EXPECT_EQ(delta("visit.calls"), 1u);
+  EXPECT_GE(delta("visit.commands"), 1u);
+  EXPECT_GE(delta("visit.locate_fast_path") + delta("visit.locate_fallback_walks"), 1u);
+  const support::HistogramSnapshot* execute_ms = after.FindHistogram("visit.execute_ms");
+  ASSERT_NE(execute_ms, nullptr);
+  EXPECT_GE(execute_ms->count, 1u);
 }
 
 // ----- enforced access through the JSON surface -----------------------------------

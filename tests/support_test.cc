@@ -6,10 +6,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/json/json.h"
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
+#include "src/support/trace_export.h"
 
 namespace {
 
@@ -262,6 +267,260 @@ TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
 
 TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
   EXPECT_GE(support::ThreadPool::DefaultThreads(), 1u);
+}
+
+// ----- tracing ---------------------------------------------------------------
+
+// Re-arms the recorder for one test and restores the disabled default.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    support::TraceRecorder::Global().Discard();
+    support::TraceRecorder::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    support::TraceRecorder::Global().SetEnabled(false);
+    support::TraceRecorder::Global().Discard();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansDrainParentBeforeChildWithDepths) {
+  {
+    support::TraceSpan outer("outer", "test");
+    outer.AddArg("task", "W3");
+    outer.AddArg("seed", int64_t{7});
+    {
+      support::TraceSpan inner("inner", "test");
+      { support::TraceSpan innermost("innermost", "test"); }
+    }
+  }
+  std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 3u);
+  // Emission order is LIFO (innermost closes first); Drain normalizes to
+  // parent-before-child.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].name, "innermost");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 2);
+  EXPECT_EQ(events[0].category, "test");
+  // The parent fully covers its children on the monotonic timeline.
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us, events[2].start_us + events[2].dur_us);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "task");
+  EXPECT_EQ(events[0].args[0].second, "W3");
+  EXPECT_EQ(events[0].args[1].second, "7");
+  // Drain emptied the recorder.
+  EXPECT_EQ(support::TraceRecorder::Global().Drain().size(), 0u);
+}
+
+TEST_F(TraceTest, DrainCollectsEverySpanFromPoolWorkers) {
+  constexpr int kTasks = 48;
+  {
+    support::ThreadPool pool(4);
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < kTasks; ++i) {
+      pending.push_back(pool.Submit([] {
+        support::TraceSpan span("worker_span", "test");
+        span.AddArg("nested", int64_t{1});
+        support::TraceSpan child("worker_child", "test");
+      }));
+    }
+    for (auto& f : pending) {
+      f.get();
+    }
+  }  // pool joined: worker thread buffers retire into the recorder
+  std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+  int spans = 0;
+  int children = 0;
+  for (const support::TraceEvent& e : events) {
+    if (e.name == "worker_span") {
+      ++spans;
+    } else if (e.name == "worker_child") {
+      ++children;
+    }
+  }
+  EXPECT_EQ(spans, kTasks);
+  EXPECT_EQ(children, kTasks);
+}
+
+TEST(TraceDisabledTest, DisabledSpansRecordNothing) {
+  support::TraceRecorder::Global().SetEnabled(false);
+  support::TraceRecorder::Global().Discard();
+  {
+    support::TraceSpan span("invisible", "test");
+    EXPECT_FALSE(span.armed());
+    span.AddArg("ignored", "value");  // must not allocate into the span
+    DMI_TRACE_SPAN("macro_invisible", "test");
+  }
+  EXPECT_EQ(support::TraceRecorder::Global().ApproxEventCount(), 0u);
+  EXPECT_EQ(support::TraceRecorder::Global().Drain().size(), 0u);
+}
+
+TEST(TraceDisabledTest, EnableStateIsCapturedAtSpanOpen) {
+  support::TraceRecorder::Global().Discard();
+  support::TraceRecorder::Global().SetEnabled(false);
+  {
+    support::TraceSpan span("opened_disabled", "test");
+    // Toggling mid-span must not tear the span: it stays disarmed.
+    support::TraceRecorder::Global().SetEnabled(true);
+    EXPECT_FALSE(span.armed());
+  }
+  support::TraceRecorder::Global().SetEnabled(false);
+  EXPECT_EQ(support::TraceRecorder::Global().Drain().size(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTripsThroughParser) {
+  {
+    support::TraceSpan span("export_me", "rip");
+    span.AddArg("context", "default");
+  }
+  std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+
+  auto doc = jsonv::Parse(support::ChromeTraceJson(events).Dump());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("displayTimeUnit"), "ms");
+  const jsonv::Value* trace_events = doc->Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_EQ(trace_events->as_array().size(), 1u);
+  const jsonv::Value& e = trace_events->as_array()[0];
+  EXPECT_EQ(e.GetString("name"), "export_me");
+  EXPECT_EQ(e.GetString("cat"), "rip");
+  EXPECT_EQ(e.GetString("ph"), "X");
+  EXPECT_EQ(e.GetInt("ts"), static_cast<int64_t>(events[0].start_us));
+  EXPECT_EQ(e.GetInt("dur"), static_cast<int64_t>(events[0].dur_us));
+  const jsonv::Value* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->GetString("context"), "default");
+
+  // The JSONL exporter renders the same events one JSON object per line.
+  const std::string jsonl = support::TraceJsonl(events);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  auto line = jsonv::Parse(jsonl.substr(0, jsonl.size() - 1));
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->GetString("name"), "export_me");
+}
+
+// ----- metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, CountersSumExactlyAcrossThreads) {
+  support::Counter& counter =
+      support::MetricsRegistry::Global().GetCounter("test.threaded_counter");
+  const uint64_t before = counter.Value();
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  {
+    support::ThreadPool pool(kThreads);
+    std::vector<std::future<void>> pending;
+    for (int t = 0; t < kThreads; ++t) {
+      pending.push_back(pool.Submit([&counter] {
+        for (int i = 0; i < kIncrements; ++i) {
+          counter.Increment();
+        }
+      }));
+    }
+    for (auto& f : pending) {
+      f.get();
+    }
+  }
+  EXPECT_EQ(counter.Value() - before, static_cast<uint64_t>(kThreads) * kIncrements);
+  // Same instrument object on every lookup.
+  EXPECT_EQ(&support::MetricsRegistry::Global().GetCounter("test.threaded_counter"),
+            &counter);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  support::Histogram& h =
+      support::MetricsRegistry::Global().GetHistogram("test.bounds", {1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+  h.Observe(0.5);  // <= 1.0
+  h.Observe(1.0);  // <= 1.0 (boundary lands in the lower bucket)
+  h.Observe(1.5);  // <= 2.0
+  h.Observe(2.0);  // <= 2.0
+  h.Observe(4.0);  // <= 4.0
+  h.Observe(9.0);  // overflow
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(MetricsTest, SnapshotCarriesValuesAndQuantiles) {
+  support::MetricsRegistry& registry = support::MetricsRegistry::Global();
+  registry.GetCounter("test.snapshot_counter").Increment(41);
+  registry.GetCounter("test.snapshot_counter").Increment();
+  support::Histogram& h = registry.GetHistogram("test.snapshot_histo", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 9; ++i) {
+    h.Observe(0.5);  // nine observations in the first bucket
+  }
+  h.Observe(50.0);  // one in the third
+
+  support::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test.snapshot_counter"), 42u);
+  EXPECT_EQ(snapshot.CounterValue("test.snapshot_absent"), 0u);
+  const support::HistogramSnapshot* hs = snapshot.FindHistogram("test.snapshot_histo");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 10u);
+  EXPECT_DOUBLE_EQ(hs->QuantileUpperBound(0.5), 1.0);    // median in bucket <=1
+  EXPECT_DOUBLE_EQ(hs->QuantileUpperBound(0.95), 100.0);  // tail in bucket <=100
+  EXPECT_NEAR(hs->Mean(), (9 * 0.5 + 50.0) / 10.0, 1e-9);
+
+  // The exporter renders counters, histograms and derived sections.
+  auto doc = jsonv::Parse(support::MetricsJson(snapshot).Dump());
+  ASSERT_TRUE(doc.ok());
+  const jsonv::Value* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetInt("test.snapshot_counter"), 42);
+  const jsonv::Value* histograms = doc->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const jsonv::Value* rendered = histograms->Find("test.snapshot_histo");
+  ASSERT_NE(rendered, nullptr);
+  EXPECT_EQ(rendered->GetInt("count"), 10);
+}
+
+TEST(MetricsTest, DerivedRatesAppearWhenTheirCountersExist) {
+  support::MetricsRegistry& registry = support::MetricsRegistry::Global();
+  registry.GetCounter("visible_index.capture_hits").Increment(30);
+  registry.GetCounter("visible_index.rebuilds").Increment(10);
+  auto doc = jsonv::Parse(support::MetricsJson(registry.Snapshot()).Dump());
+  ASSERT_TRUE(doc.ok());
+  const jsonv::Value* derived = doc->Find("derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_NEAR(derived->GetDouble("capture_cache_hit_rate"), 0.75, 1e-9);
+}
+
+// ----- logging ---------------------------------------------------------------
+
+TEST(LoggingTest, DisabledLevelSkipsArgumentEvaluation) {
+  const support::LogLevel saved = support::GetLogLevel();
+  support::SetLogLevel(support::LogLevel::kWarning);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  DMI_LOG(kDebug) << expensive();
+  DMI_LOG_IF(kInfo, true) << expensive();
+  EXPECT_EQ(evaluations, 0) << "disabled levels must not evaluate stream operands";
+  DMI_LOG_IF(kError, false) << expensive();
+  EXPECT_EQ(evaluations, 0) << "a false condition must not evaluate stream operands";
+  DMI_LOG_IF(kError, true) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  support::SetLogLevel(saved);
+}
+
+TEST(LoggingTest, LevelGateMatchesConfiguredLevel) {
+  const support::LogLevel saved = support::GetLogLevel();
+  support::SetLogLevel(support::LogLevel::kInfo);
+  EXPECT_FALSE(support::LogEnabled(support::LogLevel::kDebug));
+  EXPECT_TRUE(support::LogEnabled(support::LogLevel::kInfo));
+  EXPECT_TRUE(support::LogEnabled(support::LogLevel::kError));
+  EXPECT_EQ(support::GetLogLevel(), support::LogLevel::kInfo);
+  support::SetLogLevel(saved);
 }
 
 }  // namespace

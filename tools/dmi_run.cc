@@ -8,12 +8,20 @@
 //   dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
 //           [--task W3] [--repeats 3] [--seed 1]
 //           [--instability none|typical|harsh]
+//           [--trace out.trace.json] [--metrics out.metrics.json]
+//
+// --trace enables span recording and writes a Chrome-trace JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev); a path ending in .jsonl gets
+// the line-delimited event stream instead. --metrics dumps the counter and
+// histogram registry after the suite.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/agent/task_runner.h"
+#include "src/support/trace.h"
+#include "src/support/trace_export.h"
 
 namespace {
 
@@ -21,7 +29,13 @@ void Usage() {
   std::printf(
       "usage: dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
       "               [--task <id>] [--repeats N] [--seed N]\n"
-      "               [--instability none|typical|harsh]\n");
+      "               [--instability none|typical|harsh]\n"
+      "               [--trace <out.trace.json|out.jsonl>] [--metrics <out.json>]\n");
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
 }  // namespace
@@ -30,6 +44,8 @@ int main(int argc, char** argv) {
   agentsim::RunConfig config;
   config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
   std::string task_filter;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,6 +98,14 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
+    } else if (arg == "--trace") {
+      trace_path = next("--trace");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--metrics") {
+      metrics_path = next("--metrics");
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics="));
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -108,6 +132,10 @@ int main(int argc, char** argv) {
     tasks = std::move(filtered);
   }
 
+  if (!trace_path.empty()) {
+    support::TraceRecorder::Global().SetEnabled(true);
+  }
+
   std::printf("running %zu task(s), mode=%s, model=%s %s, repeats=%d\n\n", tasks.size(),
               agentsim::InterfaceModeName(config.mode), config.profile.model.c_str(),
               config.profile.reasoning.c_str(), config.repeats);
@@ -128,5 +156,27 @@ int main(int argc, char** argv) {
   std::printf("\nSR=%.1f%%  steps=%.2f  time=%.0fs  one-shot=%.0f%%  (successful runs)\n",
               100.0 * result.SuccessRate(), result.AvgStepsSuccessful(),
               result.AvgTimeSuccessful(), 100.0 * result.OneShotShare());
+
+  if (!trace_path.empty()) {
+    support::TraceRecorder::Global().SetEnabled(false);
+    const std::vector<support::TraceEvent> events = support::TraceRecorder::Global().Drain();
+    const support::Status s = EndsWith(trace_path, ".jsonl")
+                                  ? support::WriteTraceJsonl(trace_path, events)
+                                  : support::WriteChromeTrace(trace_path, events);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", events.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const support::Status s = support::WriteMetricsJson(
+        metrics_path, support::MetricsRegistry::Global().Snapshot());
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

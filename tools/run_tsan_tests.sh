@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive tests under ThreadSanitizer.
+#
+# The tracing/metrics layer is lock-light by design (thread-local span
+# buffers, relaxed atomics, destructor-flushed tallies); this job is the
+# proof. Usage: tools/run_tsan_tests.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" --target support_test agent_test integration_test
+ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability'
