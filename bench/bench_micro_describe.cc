@@ -1,0 +1,177 @@
+// Microbenchmark: describe/query-path costs before/after the catalog and
+// prompt caches.
+//
+// "uncached" = the pre-cache code path: a fresh forest serialization for
+// every further_query(-1), a fresh prompt assembly + full token re-count for
+// every turn. "warm" = the cached paths: call_once-memoized FullText /
+// FullTokens on the immutable catalog, and the generation-stamped prompt
+// cache on DmiSession (valid while no UI mutation bumped the generation).
+//
+// Gates: warm FullText and warm PromptTokens must each be at least 5x faster
+// than their uncached equivalents, and every cached output must be
+// byte-identical to the uncached reference. The bench prints PASS/FAIL and
+// exits nonzero on FAIL so the harness catches perf regressions. Results land
+// in the "micro_describe" section of BENCH_perf.json.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
+#include "src/text/tokens.h"
+
+namespace {
+
+std::unique_ptr<gsim::Application> MakeApp(const std::string& name) {
+  if (name == "WordSim") {
+    return std::make_unique<apps::WordSim>();
+  }
+  if (name == "ExcelSim") {
+    return std::make_unique<apps::ExcelSim>();
+  }
+  return std::make_unique<apps::PpointSim>();
+}
+
+struct DescribePerf {
+  std::string app;
+  size_t forest_nodes = 0;
+  size_t full_tokens = 0;
+  double uncached_full_ms = 0;
+  double warm_full_ms = 0;
+  double full_speedup = 0;
+  double uncached_prompt_ms = 0;
+  double warm_prompt_ms = 0;
+  double prompt_speedup = 0;
+  bool identical = false;
+};
+
+DescribePerf BenchApp(const std::string& name) {
+  DescribePerf perf;
+  perf.app = name;
+
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account"};
+  std::unique_ptr<gsim::Application> scratch = MakeApp(name);
+  ripper::GuiRipper rip(*scratch, options.ripper_config);
+  topo::NavGraph graph = rip.Rip();
+  std::unique_ptr<gsim::Application> app = MakeApp(name);
+  dmi::DmiSession session(*app, std::move(graph), options);
+  const desc::TopologyCatalog& catalog = session.catalog();
+  perf.forest_nodes = catalog.forest().total_nodes();
+
+  // Correctness first: the cached artifacts must reproduce the uncached
+  // reference byte-for-byte, and the segment-summed token count must equal
+  // the monolithic count of the assembled prompt.
+  perf.identical = catalog.FullText() == catalog.FullTextUncached() &&
+                   catalog.FullTokens() == textutil::CountTokens(catalog.FullTextUncached()) &&
+                   session.BuildPromptContext() == session.BuildPromptContextUncached() &&
+                   session.PromptTokens() ==
+                       textutil::CountTokens(session.BuildPromptContextUncached());
+  perf.full_tokens = catalog.FullTokens();
+
+  constexpr int kSlowIters = 40;    // full serialization / assembly + re-count
+  constexpr int kFastIters = 4000;  // cached-path operations
+
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kSlowIters; ++i) {
+      std::string full = catalog.FullTextUncached();
+      size_t tokens = textutil::CountTokens(full);
+      if (tokens != perf.full_tokens) {
+        std::abort();
+      }
+    }
+    perf.uncached_full_ms = t.ElapsedMs() / kSlowIters;
+  }
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kFastIters; ++i) {
+      if (catalog.FullText().empty() || catalog.FullTokens() != perf.full_tokens) {
+        std::abort();
+      }
+    }
+    perf.warm_full_ms = t.ElapsedMs() / kFastIters;
+  }
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kSlowIters; ++i) {
+      std::string prompt = session.BuildPromptContextUncached();
+      if (textutil::CountTokens(prompt) == 0) {
+        std::abort();
+      }
+    }
+    perf.uncached_prompt_ms = t.ElapsedMs() / kSlowIters;
+  }
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kFastIters; ++i) {
+      if (session.PromptTokens() == 0 || session.BuildPromptContext().empty()) {
+        std::abort();
+      }
+    }
+    perf.warm_prompt_ms = t.ElapsedMs() / kFastIters;
+  }
+  perf.full_speedup =
+      perf.warm_full_ms > 0 ? perf.uncached_full_ms / perf.warm_full_ms : 1e9;
+  perf.prompt_speedup =
+      perf.warm_prompt_ms > 0 ? perf.uncached_prompt_ms / perf.warm_prompt_ms : 1e9;
+  return perf;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Micro-bench: describe/query path, uncached vs cached");
+  bench::PerfRecorder recorder;
+
+  const char* kApps[] = {"WordSim", "ExcelSim", "PpointSim"};
+
+  std::printf("  %-10s %7s %7s | %11s %10s %8s | %11s %10s %8s | %9s\n", "app", "nodes",
+              "tokens", "full-uncach", "full-warm", "speedup", "prompt-unc", "prompt-warm",
+              "speedup", "identical");
+  std::printf("  %-10s %7s %7s | %11s %10s %8s | %11s %10s %8s | %9s\n", "", "", "",
+              "(ms)", "(ms)", "(x)", "(ms)", "(ms)", "(x)", "");
+  bench::PrintRule();
+
+  bool gate_ok = true;
+  bool match_ok = true;
+  jsonv::Array rows;
+  for (const char* name : kApps) {
+    DescribePerf p = BenchApp(name);
+    gate_ok = gate_ok && p.full_speedup >= 5.0 && p.prompt_speedup >= 5.0;
+    match_ok = match_ok && p.identical;
+    std::printf("  %-10s %7zu %7zu | %11.4f %10.5f %7.0fx | %11.4f %10.5f %7.0fx | %9s\n",
+                p.app.c_str(), p.forest_nodes, p.full_tokens, p.uncached_full_ms,
+                p.warm_full_ms, p.full_speedup, p.uncached_prompt_ms, p.warm_prompt_ms,
+                p.prompt_speedup, p.identical ? "yes" : "NO");
+    jsonv::Object row;
+    row["app"] = p.app;
+    row["forest_nodes"] = jsonv::Value(static_cast<int64_t>(p.forest_nodes));
+    row["full_tokens"] = jsonv::Value(static_cast<int64_t>(p.full_tokens));
+    row["uncached_full_ms"] = jsonv::Value(p.uncached_full_ms);
+    row["warm_full_ms"] = jsonv::Value(p.warm_full_ms);
+    row["warm_full_speedup"] = jsonv::Value(p.full_speedup);
+    row["uncached_prompt_ms"] = jsonv::Value(p.uncached_prompt_ms);
+    row["warm_prompt_ms"] = jsonv::Value(p.warm_prompt_ms);
+    row["warm_prompt_speedup"] = jsonv::Value(p.prompt_speedup);
+    row["identical"] = jsonv::Value(p.identical);
+    rows.push_back(jsonv::Value(std::move(row)));
+  }
+
+  jsonv::Object section;
+  section["describe"] = jsonv::Value(std::move(rows));
+  section["warm_speedup_gate"] = jsonv::Value(5.0);
+  section["gate_passed"] = jsonv::Value(gate_ok && match_ok);
+  recorder.Set("micro_describe", jsonv::Value(std::move(section)));
+  recorder.SetMetricsSnapshot();
+  recorder.Write();
+
+  std::printf("\ncached == uncached outputs: %s\n", match_ok ? "PASS" : "FAIL");
+  std::printf(">=5x warm FullText+PromptTokens gate: %s\n", gate_ok ? "PASS" : "FAIL");
+  return (gate_ok && match_ok) ? 0 : 1;
+}

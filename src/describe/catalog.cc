@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 
+#include "src/support/metrics.h"
 #include "src/text/tokens.h"
 
 namespace desc {
@@ -34,8 +35,11 @@ bool IsLargeEnumeration(const topo::NavGraph& dag, const topo::Tree& tree,
 TopologyCatalog::TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest,
                                  PruneOptions prune, DescribeOptions describe)
     : dag_(dag), forest_(std::move(forest)), describe_(describe) {
+  core_ids_ = IdSet(forest_.max_id());
   ComputeCore(prune);
   core_text_ = SerializeForest(*dag_, forest_, describe_, &core_ids_);
+  subtree_once_ = std::make_unique<std::once_flag[]>(forest_.shared().size());
+  subtree_text_.resize(forest_.shared().size());
 }
 
 void TopologyCatalog::ComputeCore(const PruneOptions& prune) {
@@ -75,32 +79,99 @@ void TopologyCatalog::ComputeCore(const PruneOptions& prune) {
   }
 }
 
-size_t TopologyCatalog::CoreTokens() const { return textutil::CountTokens(core_text_); }
+size_t TopologyCatalog::CoreTokens() const {
+  static support::Counter& calls =
+      support::MetricsRegistry::Global().GetCounter("describe.token_count_calls");
+  calls.Increment();
+  std::call_once(core_tokens_once_, [this] {
+    static support::Counter& builds =
+        support::MetricsRegistry::Global().GetCounter("describe.token_count_builds");
+    builds.Increment();
+    core_tokens_ = textutil::CountTokens(core_text_);
+  });
+  return core_tokens_;
+}
 
-std::string TopologyCatalog::FullText() const {
+const std::string& TopologyCatalog::FullText() const {
+  static support::Counter& calls =
+      support::MetricsRegistry::Global().GetCounter("describe.serialize_full_calls");
+  calls.Increment();
+  std::call_once(full_text_once_, [this] {
+    static support::Counter& builds =
+        support::MetricsRegistry::Global().GetCounter("describe.serialize_full_builds");
+    builds.Increment();
+    // Compose from the memoized per-subtree serializations (shared with
+    // ExpandBranch); byte-identical to FullTextUncached(), asserted in tests.
+    std::string out;
+    out.reserve(forest_.total_nodes() * 28 + 64);
+    out += "# Navigation topology\n## Main tree\n";
+    out += SerializeTree(*dag_, forest_, -1, describe_, nullptr);
+    out += "\n";
+    for (size_t s = 0; s < forest_.shared().size(); ++s) {
+      if (forest_.shared()[s].nodes.empty()) {
+        continue;
+      }
+      out += "## Shared subtree S" + std::to_string(s) + "\n";
+      out += SubtreeText(static_cast<int>(s));
+      out += "\n";
+    }
+    out += SerializeEntryMap(forest_, nullptr);
+    full_text_ = std::move(out);
+  });
+  return full_text_;
+}
+
+std::string TopologyCatalog::FullTextUncached() const {
   return SerializeForest(*dag_, forest_, describe_, nullptr);
 }
 
-size_t TopologyCatalog::FullTokens() const { return textutil::CountTokens(FullText()); }
+size_t TopologyCatalog::FullTokens() const {
+  static support::Counter& calls =
+      support::MetricsRegistry::Global().GetCounter("describe.token_count_calls");
+  calls.Increment();
+  std::call_once(full_tokens_once_, [this] {
+    static support::Counter& builds =
+        support::MetricsRegistry::Global().GetCounter("describe.token_count_builds");
+    builds.Increment();
+    full_tokens_ = textutil::CountTokens(FullText());
+  });
+  return full_tokens_;
+}
+
+const std::string& TopologyCatalog::SubtreeText(int subtree) const {
+  static support::Counter& calls =
+      support::MetricsRegistry::Global().GetCounter("describe.serialize_subtree_calls");
+  calls.Increment();
+  std::call_once(subtree_once_[static_cast<size_t>(subtree)], [this, subtree] {
+    static support::Counter& builds =
+        support::MetricsRegistry::Global().GetCounter("describe.serialize_subtree_builds");
+    builds.Increment();
+    subtree_text_[static_cast<size_t>(subtree)] =
+        SerializeTree(*dag_, forest_, subtree, describe_, nullptr);
+  });
+  return subtree_text_[static_cast<size_t>(subtree)];
+}
 
 support::Result<std::string> TopologyCatalog::ExpandBranch(int id) const {
+  static support::Counter& calls =
+      support::MetricsRegistry::Global().GetCounter("describe.expand_branch_calls");
+  calls.Increment();
   auto loc = forest_.LocateById(id);
   if (!loc.ok()) {
     return loc.status();
   }
   const topo::TreeNode* node = forest_.NodeAt(*loc);
   if (node->is_reference) {
-    // Expanding a reference expands the shared subtree it points at.
-    const topo::Tree& target = forest_.shared()[static_cast<size_t>(node->ref_subtree)];
-    (void)target;
+    // Expanding a reference expands the shared subtree it points at, served
+    // from the memoized subtree serialization.
     return std::string("## Shared subtree S") + std::to_string(node->ref_subtree) + "\n" +
-           SerializeTree(*dag_, forest_, node->ref_subtree, describe_, nullptr);
+           SubtreeText(node->ref_subtree);
   }
   // Serialize the branch rooted at `id` without pruning: temporary keep-set
   // of the branch's ids.
   const topo::Tree& tree = loc->tree < 0 ? forest_.main()
                                          : forest_.shared()[static_cast<size_t>(loc->tree)];
-  std::set<int> branch;
+  IdSet branch(forest_.max_id());
   std::function<void(int)> collect = [&](int index) {
     const topo::TreeNode& n = tree.nodes[static_cast<size_t>(index)];
     branch.insert(n.id);

@@ -6,11 +6,19 @@
 // structure, the LLM issues further_query commands:
 //   - targeted: expand the substructure beneath one node id;
 //   - global (-1): retrieve the complete forest.
+//
+// The forest is immutable after construction, so every serialization and
+// token count is computed at most once: FullText/FullTokens/CoreTokens and
+// the per-shared-subtree serializations are lazy, thread-safe (std::call_once)
+// caches whose hit/miss tallies land on the describe.* metrics (DESIGN.md §9).
 #ifndef SRC_DESCRIBE_CATALOG_H_
 #define SRC_DESCRIBE_CATALOG_H_
 
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/describe/serialize.h"
 #include "src/support/status.h"
@@ -47,16 +55,26 @@ class TopologyCatalog {
   const std::string& CoreText() const { return core_text_; }
   size_t CoreTokens() const;
 
-  // Serialized complete forest (further_query -1).
-  std::string FullText() const;
+  // Serialized complete forest (further_query -1). Cached after the first
+  // call; byte-identical to FullTextUncached() forever.
+  const std::string& FullText() const;
   size_t FullTokens() const;
+
+  // The reference (cache-bypassing) serialization — benches and tests assert
+  // the cached output byte-identical against it.
+  std::string FullTextUncached() const;
+
+  // Memoized serialization of one shared subtree (no pruning); shared by
+  // FullText and ExpandBranch. Errors are impossible: callers index by a
+  // valid subtree id.
+  const std::string& SubtreeText(int subtree) const;
 
   // Targeted branch query: the full substructure beneath `id` (further_query
   // with a node id). Errors on unknown ids.
   support::Result<std::string> ExpandBranch(int id) const;
 
   // Whether the id is part of the default core.
-  bool InCore(int id) const { return core_ids_.count(id) > 0; }
+  bool InCore(int id) const { return core_ids_.contains(id); }
 
   const CoreStats& core_stats() const { return core_stats_; }
 
@@ -66,9 +84,19 @@ class TopologyCatalog {
   const topo::NavGraph* dag_;
   topo::Forest forest_;
   DescribeOptions describe_;
-  std::set<int> core_ids_;
+  IdSet core_ids_;
   CoreStats core_stats_;
   std::string core_text_;
+
+  // Lazy, thread-safe caches (the forest is immutable after construction).
+  mutable std::once_flag full_text_once_;
+  mutable std::string full_text_;
+  mutable std::once_flag full_tokens_once_;
+  mutable size_t full_tokens_ = 0;
+  mutable std::once_flag core_tokens_once_;
+  mutable size_t core_tokens_ = 0;
+  mutable std::unique_ptr<std::once_flag[]> subtree_once_;
+  mutable std::vector<std::string> subtree_text_;
 };
 
 }  // namespace desc

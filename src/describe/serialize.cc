@@ -6,13 +6,17 @@
 namespace desc {
 namespace {
 
+// Rough serialized footprint per node, used to pre-reserve output strings
+// (name + type + truncated description + id + brackets).
+constexpr size_t kReservePerNode = 28;
+
 const topo::Tree& TreeOf(const topo::Forest& forest, int tree) {
   return tree < 0 ? forest.main() : forest.shared()[static_cast<size_t>(tree)];
 }
 
 void SerializeNode(const topo::NavGraph& dag, const topo::Forest& forest,
                    const topo::Tree& tree, int node_index, const DescribeOptions& options,
-                   const std::set<int>* keep, std::string& out) {
+                   const IdSet* keep, std::string& out) {
   const topo::TreeNode& node = tree.nodes[static_cast<size_t>(node_index)];
   if (node.is_reference) {
     out += "@ref->S" + std::to_string(node.ref_subtree) + "_" + std::to_string(node.id);
@@ -41,7 +45,7 @@ void SerializeNode(const topo::NavGraph& dag, const topo::Forest& forest,
   size_t elided = 0;
   for (int child : node.children) {
     const topo::TreeNode& cn = tree.nodes[static_cast<size_t>(child)];
-    if (keep != nullptr && keep->count(cn.id) == 0) {
+    if (keep != nullptr && !keep->contains(cn.id)) {
       ++elided;
       continue;
     }
@@ -66,6 +70,15 @@ void SerializeNode(const topo::NavGraph& dag, const topo::Forest& forest,
   out += "]";
 }
 
+// A shared subtree's section is emitted iff its root survives `keep`.
+bool SubtreeEmitted(const topo::Forest& forest, int subtree, const IdSet* keep) {
+  const topo::Tree& tree = forest.shared()[static_cast<size_t>(subtree)];
+  if (tree.nodes.empty()) {
+    return false;
+  }
+  return keep == nullptr || keep->contains(tree.nodes[0].id);
+}
+
 }  // namespace
 
 bool WantsDescription(const topo::NavGraph& dag, const topo::Forest& forest,
@@ -81,60 +94,63 @@ bool WantsDescription(const topo::NavGraph& dag, const topo::Forest& forest,
 }
 
 std::string SerializeTree(const topo::NavGraph& dag, const topo::Forest& forest, int tree,
-                          const DescribeOptions& options, const std::set<int>* keep) {
+                          const DescribeOptions& options, const IdSet* keep) {
   const topo::Tree& t = TreeOf(forest, tree);
   if (t.nodes.empty()) {
     return "";
   }
   std::string out;
+  out.reserve(t.nodes.size() * kReservePerNode);
   SerializeNode(dag, forest, t, 0, options, keep, out);
   return out;
 }
 
+std::string SerializeEntryMap(const topo::Forest& forest, const IdSet* keep) {
+  // Entry map: reference id -> subtree root id (paper §3.3 "shared subtree
+  // entry map"), via the precomputed reverse-reference index. An entry is
+  // suppressed when its reference is pruned, and also when the target
+  // subtree's section was itself pruned away: the entry would otherwise point
+  // at text that was never serialized.
+  std::string entries;
+  entries.reserve(forest.AllReferences().size() * 12);
+  for (const topo::ReferenceEntry& ref : forest.AllReferences()) {
+    if (keep != nullptr && !keep->contains(ref.ref_id)) {
+      continue;
+    }
+    if (!SubtreeEmitted(forest, ref.subtree, keep)) {
+      continue;
+    }
+    const topo::TreeNode& root =
+        forest.shared()[static_cast<size_t>(ref.subtree)].nodes[0];
+    if (!entries.empty()) {
+      entries += ",";
+    }
+    entries += std::to_string(ref.ref_id) + "->S" + std::to_string(ref.subtree) + ":" +
+               std::to_string(root.id);
+  }
+  if (entries.empty()) {
+    return "";
+  }
+  return "## Entry map (ref_id->subtree:root_id)\n" + entries + "\n";
+}
+
 std::string SerializeForest(const topo::NavGraph& dag, const topo::Forest& forest,
-                            const DescribeOptions& options, const std::set<int>* keep) {
-  std::string out = "# Navigation topology\n## Main tree\n";
+                            const DescribeOptions& options, const IdSet* keep) {
+  std::string out;
+  out.reserve(forest.total_nodes() * kReservePerNode + 64);
+  out += "# Navigation topology\n## Main tree\n";
   out += SerializeTree(dag, forest, -1, options, keep);
   out += "\n";
   for (size_t s = 0; s < forest.shared().size(); ++s) {
-    // A shared subtree whose every node is pruned away can be skipped.
-    if (keep != nullptr) {
-      const topo::TreeNode& root = forest.shared()[s].nodes[0];
-      if (keep->count(root.id) == 0) {
-        continue;
-      }
+    // A shared subtree whose root is pruned away is skipped entirely.
+    if (!SubtreeEmitted(forest, static_cast<int>(s), keep)) {
+      continue;
     }
     out += "## Shared subtree S" + std::to_string(s) + "\n";
     out += SerializeTree(dag, forest, static_cast<int>(s), options, keep);
     out += "\n";
   }
-  // Entry map: reference id -> subtree root id (paper §3.3 "shared subtree
-  // entry map").
-  std::string entries;
-  auto scan = [&](const topo::Tree& t) {
-    for (const topo::TreeNode& n : t.nodes) {
-      if (!n.is_reference) {
-        continue;
-      }
-      if (keep != nullptr && keep->count(n.id) == 0) {
-        continue;
-      }
-      const topo::TreeNode& root =
-          forest.shared()[static_cast<size_t>(n.ref_subtree)].nodes[0];
-      if (!entries.empty()) {
-        entries += ",";
-      }
-      entries += std::to_string(n.id) + "->S" + std::to_string(n.ref_subtree) + ":" +
-                 std::to_string(root.id);
-    }
-  };
-  scan(forest.main());
-  for (const topo::Tree& t : forest.shared()) {
-    scan(t);
-  }
-  if (!entries.empty()) {
-    out += "## Entry map (ref_id->subtree:root_id)\n" + entries + "\n";
-  }
+  out += SerializeEntryMap(forest, keep);
   return out;
 }
 

@@ -11,13 +11,55 @@
 #ifndef SRC_DESCRIBE_SERIALIZE_H_
 #define SRC_DESCRIBE_SERIALIZE_H_
 
-#include <set>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/topology/nav_graph.h"
 #include "src/topology/transform.h"
 
 namespace desc {
+
+// Dense bitset over forest ids (consecutive from 1, keyed by
+// Forest::max_id()). Replaces the std::set<int> keep-sets on the serializer
+// hot path: membership is one shift+mask instead of a red-black-tree descent.
+class IdSet {
+ public:
+  IdSet() = default;
+  explicit IdSet(int max_id)
+      : words_((max_id < 0 ? 0 : static_cast<size_t>(max_id) / 64 + 1), 0) {}
+
+  void insert(int id) {
+    if (id < 0) {
+      return;
+    }
+    const size_t word = static_cast<size_t>(id) / 64;
+    if (word >= words_.size()) {
+      words_.resize(word + 1, 0);
+    }
+    words_[word] |= uint64_t{1} << (static_cast<size_t>(id) % 64);
+  }
+
+  bool contains(int id) const {
+    if (id < 0) {
+      return false;
+    }
+    const size_t word = static_cast<size_t>(id) / 64;
+    return word < words_.size() &&
+           (words_[word] >> (static_cast<size_t>(id) % 64) & 1) != 0;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (uint64_t w : words_) {
+      total += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
 
 struct DescribeOptions {
   // Max tokens of a single control's description before truncation (§4.2
@@ -31,14 +73,20 @@ struct DescribeOptions {
 // the given forest ids (the pruned core); elided sibling groups render as a
 // "+N more" marker. `tree` is -1 for the main tree, else a shared index.
 std::string SerializeTree(const topo::NavGraph& dag, const topo::Forest& forest, int tree,
-                          const DescribeOptions& options,
-                          const std::set<int>* keep = nullptr);
+                          const DescribeOptions& options, const IdSet* keep = nullptr);
 
 // Serializes the whole forest: the main tree, each shared subtree, and the
 // entry map (reference id -> subtree root id).
 std::string SerializeForest(const topo::NavGraph& dag, const topo::Forest& forest,
-                            const DescribeOptions& options,
-                            const std::set<int>* keep = nullptr);
+                            const DescribeOptions& options, const IdSet* keep = nullptr);
+
+// The entry-map section ("## Entry map (ref_id->subtree:root_id)\n..."), or
+// "" when no entry survives `keep`. Entries are suppressed both when the
+// reference node itself is pruned and when the target subtree's section was
+// skipped (its root pruned) — a kept reference must never point at text that
+// was not serialized. Walks the forest's precomputed reverse-reference index
+// instead of rescanning every tree.
+std::string SerializeEntryMap(const topo::Forest& forest, const IdSet* keep = nullptr);
 
 // Whether the serializer would attach this node's description (key control
 // types and navigation non-leaves get them; §4.2).

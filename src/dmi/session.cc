@@ -66,6 +66,7 @@ void DmiSession::FinishConstruction(const ModelingOptions& options, topo::NavGra
   stats_.core_tokens = catalog_->CoreTokens();
   stats_.full_tokens = catalog_->FullTokens();
   executor_ = std::make_unique<VisitExecutor>(*app_, *catalog_, options.visit);
+  usage_hint_tokens_ = textutil::CountTokens(kUsageHint);
   screen_.Refresh();
   // Mirror the modeling summary onto the registry (ModelingStats remains the
   // per-session record; the registry is the process-wide aggregate).
@@ -92,7 +93,47 @@ VisitReport DmiSession::VisitParsed(std::vector<VisitCommand> commands) {
   return report;
 }
 
-std::string DmiSession::BuildPromptContext() {
+const std::string& DmiSession::BuildPromptContext() {
+  static support::Counter& hits =
+      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_hits");
+  static support::Counter& misses =
+      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_misses");
+  const uint64_t generation = app_->ui_generation();
+  if (prompt_cache_.valid && prompt_cache_.generation == generation) {
+    hits.Increment();
+    return prompt_cache_.prompt;
+  }
+  misses.Increment();
+  // Only the screen/data segment depends on live UI state; the usage hint and
+  // core topology are static, so their text and token counts come cached.
+  // Refresh() recomputes layout but never bumps the generation, so the stamp
+  // taken above stays valid for the rebuilt cache entry.
+  screen_.Refresh();
+  std::string dynamic = "\n# Current screen\n";
+  dynamic += screen_.RenderListing();
+  const std::string payload = interaction_.GetTextsPassive();
+  if (!payload.empty()) {
+    dynamic += "# Data items\n";
+    dynamic += payload;
+  }
+  const std::string& core = catalog_->CoreText();
+  // Segment sums match the concatenated count because every join point falls
+  // on a newline (see textutil::CountTokensAppend).
+  size_t tokens = usage_hint_tokens_ + catalog_->CoreTokens();
+  textutil::CountTokensAppend(dynamic, &tokens);
+  std::string out;
+  out.reserve(sizeof(kUsageHint) + core.size() + dynamic.size());
+  out += kUsageHint;
+  out += core;
+  out += dynamic;
+  prompt_cache_.prompt = std::move(out);
+  prompt_cache_.tokens = tokens;
+  prompt_cache_.generation = generation;
+  prompt_cache_.valid = true;
+  return prompt_cache_.prompt;
+}
+
+std::string DmiSession::BuildPromptContextUncached() {
   screen_.Refresh();
   std::string out = kUsageHint;
   out += catalog_->CoreText();
@@ -106,7 +147,10 @@ std::string DmiSession::BuildPromptContext() {
   return out;
 }
 
-size_t DmiSession::PromptTokens() { return textutil::CountTokens(BuildPromptContext()); }
+size_t DmiSession::PromptTokens() {
+  (void)BuildPromptContext();
+  return prompt_cache_.tokens;
+}
 
 support::Status DmiSession::SaveModel(const topo::NavGraph& graph, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -143,28 +187,16 @@ support::Result<topo::NavGraph> DmiSession::LoadModel(const std::string& path) {
 
 support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
     const std::vector<std::string>& names) {
+  support::CountMetric("describe.resolve_calls");
   if (names.empty()) {
     return support::InvalidArgumentError("empty name chain");
   }
   const topo::Forest& forest = catalog_->forest();
   const topo::NavGraph& dag = *dag_;
 
-  // Collects direct references pointing at a shared subtree.
-  auto refs_to = [&forest](int subtree) {
-    std::vector<int> refs;
-    auto scan = [&](const topo::Tree& tree) {
-      for (const topo::TreeNode& n : tree.nodes) {
-        if (n.is_reference && n.ref_subtree == subtree) {
-          refs.push_back(n.id);
-        }
-      }
-    };
-    scan(forest.main());
-    for (const topo::Tree& t : forest.shared()) {
-      scan(t);
-    }
-    return refs;
-  };
+  // Direct references pointing at a shared subtree come from the forest's
+  // precomputed reverse-reference index (built at SelectiveExternalize time)
+  // instead of rescanning every tree per candidate.
 
   // Builds a full ref chain starting from one direct ref (greedy upward).
   auto chain_for = [&](int ref) -> std::vector<int> {
@@ -175,7 +207,7 @@ support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
       if (!loc.ok() || loc->tree < 0) {
         return chain;
       }
-      std::vector<int> outer = refs_to(loc->tree);
+      const std::vector<int>& outer = forest.RefsTo(loc->tree);
       if (outer.empty()) {
         return {};
       }
@@ -198,6 +230,7 @@ support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
 
   ResolvedTarget best;
   int best_path_len = INT32_MAX;
+  size_t candidates = 0;
   for (int id : forest.AllIds()) {
     const topo::TreeNode* node = forest.FindById(id);
     if (node->is_reference) {
@@ -206,12 +239,13 @@ support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
     if (dag.node(node->graph_index).name != names.back()) {
       continue;
     }
+    ++candidates;
     auto loc = forest.LocateById(id);
     std::vector<std::vector<int>> ref_options;
     if (loc->tree < 0) {
       ref_options.push_back({});
     } else {
-      for (int ref : refs_to(loc->tree)) {
+      for (int ref : forest.RefsTo(loc->tree)) {
         std::vector<int> chain = chain_for(ref);
         if (!chain.empty()) {
           ref_options.push_back(std::move(chain));
@@ -230,6 +264,7 @@ support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
       }
     }
   }
+  support::ObserveMetric("describe.resolve_candidates", static_cast<double>(candidates));
   if (best.id < 0) {
     return support::NotFoundError("no control matches the name chain ending in '" +
                                   names.back() + "'");

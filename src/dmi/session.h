@@ -81,7 +81,16 @@ class DmiSession {
 
   // ----- prompt assembly --------------------------------------------------------
   // Core topology + DMI usage hint + screen labels + passive data payload.
-  std::string BuildPromptContext();
+  // Cached against the application's UI-state generation: a warm turn (no UI
+  // mutation since the last build) returns the cached string without
+  // re-rendering anything. Mutating the UI through any generation-bumping
+  // path invalidates the cache (DESIGN.md §9).
+  const std::string& BuildPromptContext();
+  // Reference (cache-bypassing) assembly; tests and benches assert the cached
+  // prompt byte-identical against it.
+  std::string BuildPromptContextUncached();
+  // Streaming-summed token count: cached usage-hint + core counts plus only
+  // the dynamic screen/data segment. Equal to CountTokens(BuildPromptContext()).
   size_t PromptTokens();
 
   // ----- model persistence ------------------------------------------------------
@@ -100,6 +109,15 @@ class DmiSession {
  private:
   void FinishConstruction(const ModelingOptions& options, topo::NavGraph graph);
 
+  // Prompt context + token count, valid while the application's UI-state
+  // generation is unchanged.
+  struct PromptCache {
+    bool valid = false;
+    uint64_t generation = 0;
+    std::string prompt;
+    size_t tokens = 0;
+  };
+
   gsim::Application* app_;
   ModelingStats stats_;
   std::unique_ptr<topo::NavGraph> dag_;
@@ -107,6 +125,8 @@ class DmiSession {
   gsim::ScreenView screen_;
   std::unique_ptr<VisitExecutor> executor_;
   InteractionInterfaces interaction_;
+  PromptCache prompt_cache_;
+  size_t usage_hint_tokens_ = 0;  // counted once at construction
 };
 
 }  // namespace dmi

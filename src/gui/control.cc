@@ -330,7 +330,12 @@ Control* Control::SetHelpText(std::string text) {
   return this;
 }
 Control* Control::SetEnabled(bool enabled) {
-  enabled_ = enabled;
+  if (enabled_ != enabled) {
+    enabled_ = enabled;
+    if (app_ != nullptr) {
+      app_->BumpUiGeneration();  // [disabled] markers feed the screen listing
+    }
+  }
   return this;
 }
 Control* Control::SetClickEffect(ClickEffect effect) {
@@ -397,6 +402,46 @@ void Control::RenameTo(std::string new_name) {
   name_ = std::move(new_name);
   if (app_ != nullptr) {
     app_->BumpUiGeneration();  // names feed synthesized control ids
+  }
+}
+
+void Control::set_toggled(bool t) {
+  if (toggled_ == t) {
+    return;
+  }
+  toggled_ = t;
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // [on] markers feed the screen listing
+  }
+}
+
+void Control::set_selected(bool s) {
+  if (selected_ == s) {
+    return;
+  }
+  selected_ = s;
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // [selected] markers feed the screen listing
+  }
+}
+
+void Control::set_text_value(std::string v) {
+  if (text_value_ == v) {
+    return;
+  }
+  text_value_ = std::move(v);
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // edit values feed the passive data payload
+  }
+}
+
+void Control::set_range_value(double v) {
+  if (range_value_ == v) {
+    return;
+  }
+  range_value_ = v;
+  if (app_ != nullptr) {
+    app_->BumpUiGeneration();  // range values feed the passive data payload
   }
 }
 

@@ -131,11 +131,14 @@ class Control final : public uia::Element {
   void SetApplication(Application* app);
   Application* application() const { return app_; }
 
-  // Selection / toggle value used by generic pattern adapters.
+  // Selection / toggle value used by generic pattern adapters. Setters bump
+  // the application's UI-state generation on an actual change: [on]/[selected]
+  // states feed the screen listing, so generation-keyed caches of the prompt
+  // context must invalidate (DESIGN.md §9).
   bool toggled() const { return toggled_; }
-  void set_toggled(bool t) { toggled_ = t; }
+  void set_toggled(bool t);
   bool selected() const { return selected_; }
-  void set_selected(bool s) { selected_ = s; }
+  void set_selected(bool s);
 
   // Current on-screen rectangle (synthetic layout).
   Rect rect() const { return rect_; }
@@ -144,12 +147,14 @@ class Control final : public uia::Element {
   void SetForcedOffscreen(bool offscreen);
 
   // Text value for Edit-type controls (backs the generic ValuePattern).
+  // Value changes feed the passive data payload; the setter bumps the UI
+  // generation when the value actually changes.
   const std::string& text_value() const { return text_value_; }
-  void set_text_value(std::string v) { text_value_ = std::move(v); }
+  void set_text_value(std::string v);
 
   // Numeric range for Slider/Spinner/ProgressBar (backs RangeValuePattern).
   double range_value() const { return range_value_; }
-  void set_range_value(double v) { range_value_ = v; }
+  void set_range_value(double v);
   Control* SetRange(double min, double max) {
     range_min_ = min;
     range_max_ = max;

@@ -72,7 +72,47 @@ std::vector<std::string> TokenizePieces(std::string_view text) {
   return pieces;
 }
 
-size_t CountTokens(std::string_view text) { return TokenizePieces(text).size(); }
+size_t CountTokens(std::string_view text) {
+  size_t total = 0;
+  return CountTokensAppend(text, &total);
+}
+
+size_t CountTokensAppend(std::string_view segment, size_t* total) {
+  // Mirrors TokenizePieces' segmentation, summing piece counts instead of
+  // materializing pieces: word runs cost 1 (<=6 chars) or ceil(len/4), digit
+  // runs ceil(len/3), same-character separator runs ceil(len/4).
+  size_t count = 0;
+  size_t i = 0;
+  const size_t n = segment.size();
+  while (i < n) {
+    const char c = segment[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    if (IsWordChar(c)) {
+      while (j < n && IsWordChar(segment[j])) {
+        ++j;
+      }
+      const size_t len = j - i;
+      count += len <= 6 ? 1 : (len + 3) / 4;
+    } else if (IsDigit(c)) {
+      while (j < n && IsDigit(segment[j])) {
+        ++j;
+      }
+      count += (j - i + 2) / 3;
+    } else {
+      while (j < n && segment[j] == c) {
+        ++j;
+      }
+      count += (j - i + 3) / 4;
+    }
+    i = j;
+  }
+  *total += count;
+  return count;
+}
 
 std::string TruncateToTokens(std::string_view text, size_t max_tokens) {
   if (max_tokens == 0) {

@@ -16,11 +16,20 @@
 
 namespace textutil {
 
-// Approximate token count of `text`.
+// Approximate token count of `text`. Single streaming pass, no allocation;
+// always equal to TokenizePieces(text).size().
 size_t CountTokens(std::string_view text);
 
-// Splits text into the approximate token-sized pieces used by CountTokens.
-// Exposed for tests and for token-budget truncation.
+// Streaming segment counting: adds CountTokens(segment) to `*total` and
+// returns the segment's own count. Segment sums equal the count of the
+// concatenation whenever the split points fall on whitespace (the segmenter
+// resets its run state there) — which is how prompt assembly splits its
+// static and dynamic segments (DESIGN.md §9).
+size_t CountTokensAppend(std::string_view segment, size_t* total);
+
+// Splits text into the approximate token-sized pieces counted by CountTokens.
+// Materializes every piece — the reference (and pre-streaming) implementation,
+// kept for tests and token-budget truncation.
 std::vector<std::string> TokenizePieces(std::string_view text);
 
 // Truncates `text` to at most `max_tokens` approximate tokens, appending an

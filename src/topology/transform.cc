@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <unordered_set>
 
 #include "src/support/strings.h"
 
@@ -84,14 +85,19 @@ uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
 
 DecycleResult Decycle(const NavGraph& graph) {
   DfsClassification cls = ClassifyEdges(graph);
-  // Build a back-edge lookup.
-  auto is_back_edge = [&cls](int from, int to) {
-    for (const auto& [f, t] : cls.back_edges) {
-      if (f == from && t == to) {
-        return true;
-      }
-    }
-    return false;
+  // Hash-set back-edge lookup: O(1) per edge instead of a linear scan over
+  // every back edge for every edge (O(E·B) on menu-heavy graphs).
+  std::unordered_set<uint64_t> back_edge_keys;
+  back_edge_keys.reserve(cls.back_edges.size());
+  auto edge_key = [](int from, int to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  };
+  for (const auto& [f, t] : cls.back_edges) {
+    back_edge_keys.insert(edge_key(f, t));
+  }
+  auto is_back_edge = [&](int from, int to) {
+    return back_edge_keys.count(edge_key(from, to)) > 0;
   };
 
   DecycleResult result;
@@ -217,11 +223,20 @@ Forest SelectiveExternalize(const NavGraph& dag, uint64_t cost_threshold) {
     }
   }
 
-  // Index ids.
+  // Index ids (ids are consecutive from 1: a dense vector keyed by id) and
+  // build the reverse-reference index in the same scan.
+  forest.max_id_ = next_id - 1;
+  forest.loc_by_id_.assign(static_cast<size_t>(forest.max_id_) + 1, ForestLocation{-1, -1});
+  forest.refs_by_subtree_.resize(forest.shared_.size());
   auto index_tree = [&forest](const Tree& tree, int tree_idx) {
     for (size_t i = 0; i < tree.nodes.size(); ++i) {
-      forest.loc_by_id_[tree.nodes[i].id] = ForestLocation{tree_idx, static_cast<int>(i)};
-      forest.max_id_ = std::max(forest.max_id_, tree.nodes[i].id);
+      const TreeNode& node = tree.nodes[i];
+      forest.loc_by_id_[static_cast<size_t>(node.id)] =
+          ForestLocation{tree_idx, static_cast<int>(i)};
+      if (node.is_reference) {
+        forest.all_refs_.push_back(ReferenceEntry{node.id, node.ref_subtree});
+        forest.refs_by_subtree_[static_cast<size_t>(node.ref_subtree)].push_back(node.id);
+      }
     }
   };
   index_tree(forest.main_, -1);
@@ -239,20 +254,12 @@ size_t Forest::total_nodes() const {
   return total;
 }
 
-size_t Forest::reference_count() const {
-  size_t total = 0;
-  auto count = [&total](const Tree& t) {
-    for (const TreeNode& n : t.nodes) {
-      if (n.is_reference) {
-        ++total;
-      }
-    }
-  };
-  count(main_);
-  for (const Tree& t : shared_) {
-    count(t);
+const std::vector<int>& Forest::RefsTo(int subtree) const {
+  static const std::vector<int> kEmpty;
+  if (subtree < 0 || subtree >= static_cast<int>(refs_by_subtree_.size())) {
+    return kEmpty;
   }
-  return total;
+  return refs_by_subtree_[static_cast<size_t>(subtree)];
 }
 
 const TreeNode* Forest::NodeAt(ForestLocation loc) const {
@@ -264,20 +271,20 @@ const TreeNode* Forest::NodeAt(ForestLocation loc) const {
 }
 
 support::Result<ForestLocation> Forest::LocateById(int id) const {
-  auto it = loc_by_id_.find(id);
-  if (it == loc_by_id_.end()) {
+  if (id <= 0 || id >= static_cast<int>(loc_by_id_.size()) ||
+      loc_by_id_[static_cast<size_t>(id)].node < 0) {
     return support::NotFoundError(
         support::Format("no control with id %d in the navigation topology", id));
   }
-  return it->second;
+  return loc_by_id_[static_cast<size_t>(id)];
 }
 
 const TreeNode* Forest::FindById(int id) const {
-  auto it = loc_by_id_.find(id);
-  if (it == loc_by_id_.end()) {
+  if (id <= 0 || id >= static_cast<int>(loc_by_id_.size()) ||
+      loc_by_id_[static_cast<size_t>(id)].node < 0) {
     return nullptr;
   }
-  return NodeAt(it->second);
+  return NodeAt(loc_by_id_[static_cast<size_t>(id)]);
 }
 
 bool Forest::IsLeaf(int id) const {
@@ -308,8 +315,10 @@ int Forest::DepthOf(int id) const {
 std::vector<int> Forest::AllIds() const {
   std::vector<int> ids;
   ids.reserve(loc_by_id_.size());
-  for (const auto& [id, loc] : loc_by_id_) {
-    ids.push_back(id);
+  for (size_t id = 1; id < loc_by_id_.size(); ++id) {
+    if (loc_by_id_[id].node >= 0) {
+      ids.push_back(static_cast<int>(id));
+    }
   }
   return ids;
 }

@@ -15,7 +15,6 @@
 #define SRC_TOPOLOGY_TRANSFORM_H_
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "src/support/status.h"
@@ -59,6 +58,13 @@ struct ForestLocation {
   int node = -1;
 };
 
+// One reference node and the shared subtree it points at, in forest scan
+// order (main tree first, then shared subtrees, node order within a tree).
+struct ReferenceEntry {
+  int ref_id = 0;
+  int subtree = -1;
+};
+
 class Forest {
  public:
   const Tree& main() const { return main_; }
@@ -66,12 +72,24 @@ class Forest {
 
   // Total nodes across main + shared trees (reference nodes included).
   size_t total_nodes() const;
-  size_t reference_count() const;
+  size_t reference_count() const { return all_refs_.size(); }
 
-  // Lookup by assigned id; nullptr if unknown.
+  // Lookup by assigned id; nullptr if unknown. Ids are consecutive from 1, so
+  // these are O(1) dense-vector probes, not map lookups.
   const TreeNode* FindById(int id) const;
   const TreeNode* NodeAt(ForestLocation loc) const;
   support::Result<ForestLocation> LocateById(int id) const;
+
+  // ----- reverse-reference index ---------------------------------------------
+  // Precomputed at SelectiveExternalize time (the forest is immutable after
+  // construction), replacing the per-query full-forest scans previously done
+  // by the entry-map serializer and name-chain resolution.
+  //
+  // Every reference node, in forest scan order.
+  const std::vector<ReferenceEntry>& AllReferences() const { return all_refs_; }
+  // Ids of the reference nodes pointing directly at shared subtree `subtree`,
+  // in forest scan order; empty for out-of-range indices.
+  const std::vector<int>& RefsTo(int subtree) const;
 
   // True if the node with this id has no children (functional endpoint).
   // Reference nodes are not leaves.
@@ -101,7 +119,10 @@ class Forest {
 
   Tree main_;
   std::vector<Tree> shared_;
-  std::map<int, ForestLocation> loc_by_id_;
+  // Dense id -> location table (ids are consecutive from 1; slot 0 unused).
+  std::vector<ForestLocation> loc_by_id_;
+  std::vector<ReferenceEntry> all_refs_;
+  std::vector<std::vector<int>> refs_by_subtree_;
   int max_id_ = 0;
 };
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/describe/augment.h"
 #include "src/describe/catalog.h"
 #include "src/describe/serialize.h"
@@ -107,7 +110,7 @@ TEST(SerializeTest, KeepSetElidesWithMarker) {
   topo::NavGraph g = SmallGraph();
   topo::Forest f = topo::SelectiveExternalize(g, 8);
   // Keep only the root and Host (drop everything else).
-  std::set<int> keep;
+  desc::IdSet keep(f.max_id());
   for (int id : f.AllIds()) {
     const topo::TreeNode* n = f.FindById(id);
     const std::string& name = g.node(n->graph_index).name;
@@ -229,7 +232,7 @@ TEST(SerializeTest, EntryMapRespectsKeepSet) {
   topo::NavGraph g = SharedGraph();
   topo::Forest f = topo::SelectiveExternalize(g, 0);
   // Keep everything except the reference nodes: the entry map must be empty.
-  std::set<int> keep;
+  desc::IdSet keep(f.max_id());
   for (int id : f.AllIds()) {
     if (!f.FindById(id)->is_reference) {
       keep.insert(id);
@@ -237,6 +240,139 @@ TEST(SerializeTest, EntryMapRespectsKeepSet) {
   }
   std::string text = desc::SerializeForest(g, f, desc::DescribeOptions{}, &keep);
   EXPECT_EQ(text.find("## Entry map"), std::string::npos);
+}
+
+TEST(IdSetTest, InsertContainsSizeAndAutoGrow) {
+  desc::IdSet set(70);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(1));
+  set.insert(1);
+  set.insert(63);
+  set.insert(64);  // second word
+  set.insert(70);
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_TRUE(set.contains(63));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_TRUE(set.contains(70));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_FALSE(set.contains(65));
+  EXPECT_EQ(set.size(), 4u);
+  // Duplicate inserts are idempotent; negative ids are ignored.
+  set.insert(1);
+  set.insert(-5);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_FALSE(set.contains(-5));
+  // Inserting beyond the constructed capacity grows the bitset.
+  set.insert(500);
+  EXPECT_TRUE(set.contains(500));
+  EXPECT_FALSE(set.contains(499));
+  // Queries beyond capacity are safely false.
+  EXPECT_FALSE(set.contains(100000));
+}
+
+TEST(CatalogTest, CachedFullTextByteIdenticalToUncached) {
+  topo::NavGraph g = SharedGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  const std::string uncached = catalog.FullTextUncached();
+  // First call builds, second serves the cache; both byte-identical to the
+  // cache-bypassing reference.
+  EXPECT_EQ(catalog.FullText(), uncached);
+  EXPECT_EQ(catalog.FullText(), uncached);
+  // Cached token counts equal the reference tokenizer's piece count.
+  EXPECT_EQ(catalog.FullTokens(), textutil::TokenizePieces(uncached).size());
+  EXPECT_EQ(catalog.CoreTokens(), textutil::TokenizePieces(catalog.CoreText()).size());
+  // The memoized subtree serialization matches a fresh SerializeTree.
+  ASSERT_FALSE(catalog.forest().shared().empty());
+  EXPECT_EQ(catalog.SubtreeText(0),
+            desc::SerializeTree(catalog.dag(), catalog.forest(), 0,
+                                desc::DescribeOptions{}));
+}
+
+TEST(SerializeTest, EntryMapSuppressedWhenSubtreeSectionPruned) {
+  // Regression: a keep-set that keeps the reference nodes but prunes the
+  // shared subtree's root must not emit an entry pointing at a section that
+  // was never serialized.
+  topo::NavGraph g = SharedGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  ASSERT_EQ(f.shared().size(), 1u);
+  const int subtree_root_id = f.shared()[0].nodes[0].id;
+  desc::IdSet keep(f.max_id());
+  for (int id : f.AllIds()) {
+    if (id != subtree_root_id) {
+      keep.insert(id);  // keeps both references, drops the subtree root
+    }
+  }
+  std::string text = desc::SerializeForest(g, f, desc::DescribeOptions{}, &keep);
+  EXPECT_EQ(text.find("## Shared subtree S0"), std::string::npos);
+  EXPECT_EQ(text.find("## Entry map"), std::string::npos)
+      << "entry map must not reference a pruned subtree section:\n" << text;
+  // With the root kept, both the section and its entries come back.
+  keep.insert(subtree_root_id);
+  text = desc::SerializeForest(g, f, desc::DescribeOptions{}, &keep);
+  EXPECT_NE(text.find("## Shared subtree S0"), std::string::npos);
+  EXPECT_NE(text.find("## Entry map"), std::string::npos);
+}
+
+TEST(CatalogTest, ConcurrentQueriesReturnIdenticalResults) {
+  // The catalog's lazy caches are the only concurrently-accessed describe
+  // state: hammer them from several threads and check every thread observes
+  // the same bytes (run under TSan via tools/run_tsan_tests.sh).
+  topo::NavGraph g = SmallGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  const std::string expected_full = catalog.FullTextUncached();
+  const size_t expected_tokens = textutil::TokenizePieces(expected_full).size();
+  const std::vector<int> ids = catalog.forest().AllIds();
+
+  constexpr int kThreads = 8;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        if (catalog.FullText() != expected_full ||
+            catalog.FullTokens() != expected_tokens ||
+            catalog.CoreTokens() == 0) {
+          ++failures[t];
+        }
+        const int id = ids[static_cast<size_t>((t * 31 + round) % ids.size())];
+        auto branch = catalog.ExpandBranch(id);
+        if (!branch.ok() || branch->empty()) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+TEST(CatalogTest, ExpandBranchOnReferenceServesMemoizedSubtree) {
+  topo::NavGraph g = SharedGraph();
+  topo::Forest f = topo::SelectiveExternalize(g, 0);
+  desc::TopologyCatalog catalog(&g, std::move(f), desc::PruneOptions{},
+                                desc::DescribeOptions{});
+  int ref_id = -1;
+  for (int id : catalog.forest().AllIds()) {
+    if (catalog.forest().FindById(id)->is_reference) {
+      ref_id = id;
+      break;
+    }
+  }
+  ASSERT_GT(ref_id, 0);
+  auto expanded = catalog.ExpandBranch(ref_id);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(*expanded,
+            "## Shared subtree S0\n" + catalog.SubtreeText(0));
+  EXPECT_NE(expanded->find("Palette"), std::string::npos);
 }
 
 TEST(CatalogTest, InCoreMatchesSerializedContent) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/apps/excel_sim.h"
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
@@ -7,6 +9,7 @@
 #include "src/dmi/session.h"
 #include "src/gui/instability.h"
 #include "src/support/strings.h"
+#include "src/text/tokens.h"
 #include "src/uia/tree.h"
 
 namespace {
@@ -77,6 +80,118 @@ TEST(CommandTest, RejectsMalformed) {
   EXPECT_FALSE(dmi::ParseVisitCommands(R"([{"bogus": 1}])").ok());
   EXPECT_FALSE(dmi::ParseVisitCommands(R"([{"shortcut_key": ""}])").ok());
   EXPECT_FALSE(dmi::ParseVisitCommands(R"([{"id": "1", "entry_ref_id": "7"}])").ok());
+}
+
+// The pre-index name resolver: scans every tree of the forest for references
+// per candidate instead of using the precomputed reverse-reference index.
+// Kept verbatim as the behavioral reference — ResolveTargetByNames must return
+// identical results after the index swap.
+support::Result<dmi::ResolvedTarget> LegacyResolve(const desc::TopologyCatalog& catalog,
+                                                   const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return support::InvalidArgumentError("empty name chain");
+  }
+  const topo::Forest& forest = catalog.forest();
+  const topo::NavGraph& dag = catalog.dag();
+
+  auto refs_to = [&forest](int subtree) {
+    std::vector<int> refs;
+    auto scan = [&](const topo::Tree& tree) {
+      for (const topo::TreeNode& n : tree.nodes) {
+        if (n.is_reference && n.ref_subtree == subtree) {
+          refs.push_back(n.id);
+        }
+      }
+    };
+    scan(forest.main());
+    for (const topo::Tree& t : forest.shared()) {
+      scan(t);
+    }
+    return refs;
+  };
+
+  auto chain_for = [&](int ref) -> std::vector<int> {
+    std::vector<int> chain = {ref};
+    int cursor = ref;
+    for (int hop = 0; hop < 16; ++hop) {
+      auto loc = forest.LocateById(cursor);
+      if (!loc.ok() || loc->tree < 0) {
+        return chain;
+      }
+      std::vector<int> outer = refs_to(loc->tree);
+      if (outer.empty()) {
+        return {};
+      }
+      chain.push_back(outer[0]);
+      cursor = outer[0];
+    }
+    return {};
+  };
+
+  auto matches = [&](const std::vector<int>& path) {
+    size_t want = 0;
+    for (int node : path) {
+      if (want < names.size() && dag.node(node).name == names[want]) {
+        ++want;
+      }
+    }
+    return want == names.size();
+  };
+
+  dmi::ResolvedTarget best;
+  int best_path_len = std::numeric_limits<int>::max();
+  for (int id : forest.AllIds()) {
+    const topo::TreeNode* node = forest.FindById(id);
+    if (node->is_reference) {
+      continue;
+    }
+    if (dag.node(node->graph_index).name != names.back()) {
+      continue;
+    }
+    auto loc = forest.LocateById(id);
+    std::vector<std::vector<int>> ref_options;
+    if (loc->tree < 0) {
+      ref_options.push_back({});
+    } else {
+      for (int ref : refs_to(loc->tree)) {
+        std::vector<int> chain = chain_for(ref);
+        if (!chain.empty()) {
+          ref_options.push_back(std::move(chain));
+        }
+      }
+    }
+    for (const std::vector<int>& refs : ref_options) {
+      auto path = forest.ResolvePath(id, refs);
+      if (!path.ok() || !matches(*path)) {
+        continue;
+      }
+      if (static_cast<int>(path->size()) < best_path_len) {
+        best_path_len = static_cast<int>(path->size());
+        best.id = id;
+        best.entry_ref_ids = refs;
+      }
+    }
+  }
+  if (best.id < 0) {
+    return support::NotFoundError("no control matches the name chain ending in '" +
+                                  names.back() + "'");
+  }
+  return best;
+}
+
+// Asserts the indexed resolver agrees with the legacy scan on every chain.
+void ExpectResolveParity(dmi::DmiSession& session,
+                         const std::vector<std::vector<std::string>>& chains) {
+  for (const std::vector<std::string>& chain : chains) {
+    auto indexed = session.ResolveTargetByNames(chain);
+    auto legacy = LegacyResolve(session.catalog(), chain);
+    ASSERT_EQ(indexed.ok(), legacy.ok()) << "chain ending in '" << chain.back() << "'";
+    if (indexed.ok()) {
+      EXPECT_EQ(indexed->id, legacy->id) << "chain ending in '" << chain.back() << "'";
+      EXPECT_EQ(indexed->entry_ref_ids, legacy->entry_ref_ids)
+          << "chain ending in '" << chain.back() << "'";
+    }
+  }
 }
 
 // Models a *scratch* instance (ripping clicks everything, mutating app
@@ -251,6 +366,68 @@ TEST_F(PpointSession, PromptContextContainsAllSections) {
   EXPECT_GT(session_->PromptTokens(), 1000u);
 }
 
+TEST_F(PpointSession, PromptCacheByteIdenticalAndInvalidatesOnMutation) {
+  // Cold build equals the cache-bypassing reference, and the streaming
+  // segment-summed token count equals the reference tokenizer's piece count.
+  const std::string first = session_->BuildPromptContext();
+  EXPECT_EQ(first, session_->BuildPromptContextUncached());
+  EXPECT_EQ(session_->PromptTokens(), textutil::TokenizePieces(first).size());
+  // Warm turn: no UI mutation, the cached bytes come back unchanged.
+  EXPECT_EQ(session_->BuildPromptContext(), first);
+  // Mutating the UI bumps the generation; the next build must reflect the
+  // new screen and again match the uncached reference.
+  auto target = session_->ResolveTargetByNames({"Transition Gallery", "Transition 9"});
+  ASSERT_TRUE(target.ok()) << target.status().ToString();
+  ASSERT_TRUE(
+      session_->Visit(support::Format(R"([{"id":"%d"}])", target->id)).overall.ok());
+  const std::string after = session_->BuildPromptContext();
+  EXPECT_NE(after, first);
+  EXPECT_EQ(after, session_->BuildPromptContextUncached());
+  EXPECT_EQ(session_->PromptTokens(), textutil::TokenizePieces(after).size());
+}
+
+TEST_F(PpointSession, PromptCacheInvalidatesOnStateSetters) {
+  const std::string before = session_->BuildPromptContext();
+  // A toggle flip reaches the prompt through the screen listing's [on]
+  // markers; the setter must bump the generation so the cache rebuilds.
+  gsim::Control* bold =
+      static_cast<gsim::Control*>(uia::FindByName(app_->main_window().root(), "Bold"));
+  ASSERT_NE(bold, nullptr);
+  const uint64_t gen = app_->ui_generation();
+  bold->set_toggled(!bold->toggled());
+  EXPECT_GT(app_->ui_generation(), gen);
+  const std::string after = session_->BuildPromptContext();
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after, session_->BuildPromptContextUncached());
+  // Setting the same value again is a no-op: no generation bump, cache holds.
+  const uint64_t gen2 = app_->ui_generation();
+  bold->set_toggled(bold->toggled());
+  EXPECT_EQ(app_->ui_generation(), gen2);
+  EXPECT_EQ(session_->BuildPromptContext(), after);
+  bold->set_toggled(!bold->toggled());  // restore
+}
+
+TEST_F(PpointSession, ResolveTargetMatchesLegacyScan) {
+  std::vector<std::vector<std::string>> chains = {
+      {"Format Background Pane", "Solid fill"},
+      {"Fill Color", "Blue"},
+      {"Format Background Pane", "Apply to All"},
+      {"Transition Gallery", "Transition 9"},
+      {"Themes Gallery"},
+      {"No Such Control Anywhere"},
+  };
+  // Broad sweep: every 17th forest node's name as a single-element chain.
+  const topo::Forest& forest = session_->catalog().forest();
+  std::vector<int> ids = forest.AllIds();
+  for (size_t i = 0; i < ids.size(); i += 17) {
+    const topo::TreeNode* n = forest.FindById(ids[i]);
+    if (!n->is_reference) {
+      chains.push_back({session_->catalog().dag().node(n->graph_index).name});
+    }
+  }
+  ExpectResolveParity(*session_, chains);
+}
+
 TEST_F(PpointSession, VisitNavigatesAcrossTabs) {
   // Target on the Transitions tab while Home is active.
   auto target = session_->ResolveTargetByNames({"Transition Gallery", "Transition 9"});
@@ -384,6 +561,26 @@ TEST_F(WordSession, GetTextsActiveOnDocument) {
   EXPECT_NE(text->find("Paragraph 1"), std::string::npos);
 }
 
+TEST_F(WordSession, ResolveTargetMatchesLegacyScan) {
+  std::vector<std::vector<std::string>> chains = {
+      {"Find and Replace", "Find what"},
+      {"Find and Replace", "Replace All"},
+      {"Underline Color", "Standard Red"},
+      {"Font", "Bold"},
+      {"Bullets", "Bullet Style 3"},
+      {"Entirely Missing Name"},
+  };
+  const topo::Forest& forest = session_->catalog().forest();
+  std::vector<int> ids = forest.AllIds();
+  for (size_t i = 0; i < ids.size(); i += 19) {
+    const topo::TreeNode* n = forest.FindById(ids[i]);
+    if (!n->is_reference) {
+      chains.push_back({session_->catalog().dag().node(n->graph_index).name});
+    }
+  }
+  ExpectResolveParity(*session_, chains);
+}
+
 TEST_F(WordSession, FuzzyMatcherSurvivesNameVariations) {
   // Enable name decoration online (the model was built without it).
   gsim::InstabilityConfig cfg;
@@ -499,6 +696,24 @@ TEST_F(ExcelSession, ScrollGridRevealsDeepRows) {
   auto text = session_->interaction().GetTextsActive(label);
   ASSERT_TRUE(text.ok());
   EXPECT_EQ(*text, "deep");
+}
+
+TEST_F(ExcelSession, ResolveTargetMatchesLegacyScan) {
+  std::vector<std::vector<std::string>> chains = {
+      {"Sort and Filter"},
+      {"Filter"},
+      {"Name Box"},
+      {"Unknown Excel Widget"},
+  };
+  const topo::Forest& forest = session_->catalog().forest();
+  std::vector<int> ids = forest.AllIds();
+  for (size_t i = 0; i < ids.size(); i += 23) {
+    const topo::TreeNode* n = forest.FindById(ids[i]);
+    if (!n->is_reference) {
+      chains.push_back({session_->catalog().dag().node(n->graph_index).name});
+    }
+  }
+  ExpectResolveParity(*session_, chains);
 }
 
 TEST_F(ExcelSession, ToggleStateDeclarativeIdempotent) {

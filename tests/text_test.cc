@@ -49,6 +49,42 @@ TEST(TokensTest, ControlDescriptionAveragesNearPaperEstimate) {
   EXPECT_LE(tokens, 40u);
 }
 
+TEST(TokensTest, StreamingCountMatchesPieces) {
+  // CountTokens is a single streaming pass; TokenizePieces is the reference
+  // implementation. They must agree on every input shape.
+  const char* samples[] = {
+      "",
+      "bold",
+      "Font Color(SplitButton)(Opens the color palette)_214[Blue_87,Dark Red_88]",
+      "# Navigation topology\n## Main tree\n[Root](Window)_1[File(MenuItem)_2]",
+      "  leading   and   trailing   whitespace  ",
+      "digits 123456789 mixed with words and --- separator runs....",
+      "internationalization antidisestablishmentarianism a b c",
+      "@ref->S0_42,@ref->S1_77\n## Entry map (ref_id->subtree:root_id)\n42->S0:9\n",
+  };
+  for (const char* s : samples) {
+    EXPECT_EQ(textutil::CountTokens(s), textutil::TokenizePieces(s).size()) << s;
+  }
+}
+
+TEST(TokensTest, CountTokensAppendSumsSegmentsAtWhitespace) {
+  // Segment sums equal the concatenated count when split points fall on
+  // whitespace — the contract prompt assembly relies on (static segments end
+  // with '\n').
+  const std::string head = "# DMI usage\nPrefer DMI. visit([...]) accesses ids.\n";
+  const std::string mid = "# Navigation topology\n## Main tree\nRoot(Window)_1\n";
+  const std::string tail = "\n# Current screen\nA1 Bold (Button)\nA2 Italic (Button)\n";
+  size_t total = 0;
+  size_t h = textutil::CountTokensAppend(head, &total);
+  size_t m = textutil::CountTokensAppend(mid, &total);
+  size_t t = textutil::CountTokensAppend(tail, &total);
+  EXPECT_EQ(h, textutil::CountTokens(head));
+  EXPECT_EQ(m, textutil::CountTokens(mid));
+  EXPECT_EQ(t, textutil::CountTokens(tail));
+  EXPECT_EQ(total, h + m + t);
+  EXPECT_EQ(total, textutil::CountTokens(head + mid + tail));
+}
+
 TEST(TokensTest, TruncateToTokensNoCutWhenUnderBudget) {
   EXPECT_EQ(textutil::TruncateToTokens("a b c", 10), "a b c");
 }

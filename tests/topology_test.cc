@@ -463,6 +463,132 @@ TEST(ExternalizeTest, NestedReferenceChainsResolveWithBacktracking) {
   }
 }
 
+TEST(ExternalizeTest, ReverseReferenceIndexMatchesScan) {
+  // The precomputed reverse-reference index must agree with a brute scan over
+  // every tree (main first, then shared, nodes in order) — both the flat
+  // AllReferences() view and the per-subtree RefsTo() buckets.
+  support::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    NavGraph g;
+    std::vector<int> ids;
+    for (int i = 0; i < 120; ++i) {
+      ids.push_back(g.AddNode(Node("R" + std::to_string(trial) + "_" + std::to_string(i))));
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      g.AddEdge(i == 0 ? 0 : ids[rng.NextBelow(i)], ids[i]);
+    }
+    for (int e = 0; e < 60; ++e) {
+      size_t i = rng.NextBelow(ids.size() - 1);
+      size_t j = i + 1 + rng.NextBelow(ids.size() - i - 1);
+      g.AddEdge(ids[i], ids[j]);
+    }
+    Forest f = SelectiveExternalize(Decycle(g).dag, 0);
+
+    std::vector<std::pair<int, int>> scanned;  // (ref_id, subtree)
+    auto scan = [&scanned](const topo::Tree& tree) {
+      for (const topo::TreeNode& n : tree.nodes) {
+        if (n.is_reference) {
+          scanned.emplace_back(n.id, n.ref_subtree);
+        }
+      }
+    };
+    scan(f.main());
+    for (const topo::Tree& t : f.shared()) {
+      scan(t);
+    }
+
+    ASSERT_EQ(f.AllReferences().size(), scanned.size());
+    ASSERT_EQ(f.reference_count(), scanned.size());
+    for (size_t i = 0; i < scanned.size(); ++i) {
+      EXPECT_EQ(f.AllReferences()[i].ref_id, scanned[i].first);
+      EXPECT_EQ(f.AllReferences()[i].subtree, scanned[i].second);
+    }
+    for (size_t s = 0; s < f.shared().size(); ++s) {
+      std::vector<int> expected;
+      for (const auto& [ref_id, subtree] : scanned) {
+        if (subtree == static_cast<int>(s)) {
+          expected.push_back(ref_id);
+        }
+      }
+      EXPECT_EQ(f.RefsTo(static_cast<int>(s)), expected) << "subtree " << s;
+    }
+    // Out-of-range queries are safely empty.
+    EXPECT_TRUE(f.RefsTo(-1).empty());
+    EXPECT_TRUE(f.RefsTo(static_cast<int>(f.shared().size())).empty());
+  }
+}
+
+TEST(ExternalizeTest, ResolvePathBacktracksAcrossRefsIntoSameSubtree) {
+  // M is shared with three references: two from the main tree (via A and B)
+  // and one from inside another shared subtree P. When the provided entry set
+  // lists the dead-end ref (inside P, with no way to climb out of P) first,
+  // resolution must backtrack onto a main-tree ref rather than fail.
+  NavGraph g;
+  int a = g.AddNode(Node("A"));
+  int b = g.AddNode(Node("B"));
+  int c = g.AddNode(Node("C"));
+  int d = g.AddNode(Node("D"));
+  int m = g.AddNode(Node("M"));
+  int p = g.AddNode(Node("P"));
+  int x = g.AddNode(Node("X"));
+  g.AddEdge(0, a);
+  g.AddEdge(0, b);
+  g.AddEdge(0, c);
+  g.AddEdge(0, d);
+  g.AddEdge(a, m);
+  g.AddEdge(b, m);
+  g.AddEdge(c, p);
+  g.AddEdge(d, p);
+  g.AddEdge(p, m);
+  g.AddEdge(m, x);
+  Forest f = SelectiveExternalize(g, 0);
+  ASSERT_EQ(f.shared().size(), 2u);
+
+  int target_id = -1;
+  int subtree_m = -1;
+  for (int id : f.AllIds()) {
+    const topo::TreeNode* n = f.FindById(id);
+    if (!n->is_reference && g.node(n->graph_index).name == "X") {
+      target_id = id;
+      subtree_m = f.LocateById(id)->tree;
+    }
+  }
+  ASSERT_GT(target_id, 0);
+  ASSERT_GE(subtree_m, 0);
+
+  const std::vector<int>& refs_m = f.RefsTo(subtree_m);
+  ASSERT_EQ(refs_m.size(), 3u);  // A-hosted, B-hosted, P-hosted
+  int dead_end_ref = -1;
+  int main_ref = -1;
+  for (int ref : refs_m) {
+    if (f.LocateById(ref)->tree >= 0) {
+      dead_end_ref = ref;  // lives inside P's subtree
+    } else if (main_ref < 0) {
+      main_ref = ref;
+    }
+  }
+  ASSERT_GT(dead_end_ref, 0);
+  ASSERT_GT(main_ref, 0);
+
+  // Dead-end ref alone: cannot climb out of P without a P-level ref.
+  EXPECT_FALSE(f.ResolvePath(target_id, {dead_end_ref}).ok());
+  // Dead-end first, viable main-tree ref second: backtracking succeeds and
+  // the path stays entirely inside the main tree + M.
+  auto path = f.ResolvePath(target_id, {dead_end_ref, main_ref});
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->size(), 3u);  // host, M, X
+  EXPECT_EQ(g.node(path->back()).name, "X");
+  // Dead-end plus a P-level entry ref: the nested chain through P also works
+  // and is longer (host, P, M, X).
+  const std::vector<int>& refs_p =
+      f.RefsTo(f.LocateById(dead_end_ref)->tree);
+  ASSERT_FALSE(refs_p.empty());
+  auto nested = f.ResolvePath(target_id, {dead_end_ref, refs_p[0]});
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(nested->size(), 4u);
+  EXPECT_EQ(g.node(nested->back()).name, "X");
+}
+
 TEST(NaiveCloneTest, SaturatesInsteadOfOverflowing) {
   // 80 stacked diamonds: 2^80 >> uint64; the counter must saturate cleanly.
   NavGraph g;

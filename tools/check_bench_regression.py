@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fails when a warm-path speedup in BENCH_perf.json regresses >20% vs baseline.
+
+The perf harness (bench_micro_capture, bench_micro_describe) folds derived
+rates into BENCH_perf.json; that file is a build artifact and never committed.
+The committed reference is bench/BENCH_baseline.json: conservative floor
+values for the warm-path speedups, set well below typical measurements (which
+are machine-dependent and thousands of x) but far above the failure mode a
+regression produces (a lost cache collapses a speedup to ~1x). A measured
+value below baseline * (1 - tolerance) fails the check.
+
+Exit codes: 0 pass, 1 regression, 77 skip (inputs missing — e.g. the benches
+were not run in this build). 77 matches the ctest SKIP_RETURN_CODE wiring.
+
+Usage:
+  tools/check_bench_regression.py [--perf build/BENCH_perf.json]
+                                  [--baseline bench/BENCH_baseline.json]
+                                  [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SKIP = 77
+
+# (section, rows key, row id key, metric) tuples covered by the check.
+CHECKS = [
+    ("micro_capture", "lookup", "app", "warm_find_speedup"),
+    ("micro_describe", "describe", "app", "warm_full_speedup"),
+    ("micro_describe", "describe", "app", "warm_prompt_speedup"),
+]
+
+
+def load_json(path, label):
+    if not os.path.exists(path):
+        print(f"[skip] {label} not found: {path}")
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"[skip] cannot read {label} {path}: {err}")
+        return None
+
+
+def rows_by_id(doc, section, rows_key, id_key):
+    sec = doc.get(section)
+    if not isinstance(sec, dict):
+        return None
+    rows = sec.get(rows_key)
+    if not isinstance(rows, list):
+        return None
+    return {r[id_key]: r for r in rows if isinstance(r, dict) and id_key in r}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--perf", default="build/BENCH_perf.json")
+    parser.add_argument("--baseline", default="bench/BENCH_baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+
+    perf = load_json(args.perf, "perf results")
+    baseline = load_json(args.baseline, "baseline")
+    if perf is None or baseline is None:
+        return SKIP
+
+    failures = []
+    compared = 0
+    skipped_sections = set()
+    for section, rows_key, id_key, metric in CHECKS:
+        base_rows = rows_by_id(baseline, section, rows_key, id_key)
+        cur_rows = rows_by_id(perf, section, rows_key, id_key)
+        if base_rows is None:
+            continue  # baseline does not cover this section
+        if cur_rows is None:
+            skipped_sections.add(section)  # bench not run in this build
+            continue
+        for app, base_row in sorted(base_rows.items()):
+            if metric not in base_row:
+                continue
+            floor = float(base_row[metric]) * (1.0 - args.tolerance)
+            cur_row = cur_rows.get(app)
+            if cur_row is None or metric not in cur_row:
+                failures.append(f"{section}/{app}/{metric}: missing from perf results")
+                continue
+            value = float(cur_row[metric])
+            compared += 1
+            verdict = "ok" if value >= floor else "REGRESSION"
+            print(f"  {section}/{app}/{metric}: {value:.1f} "
+                  f"(baseline {float(base_row[metric]):.1f}, floor {floor:.1f}) {verdict}")
+            if value < floor:
+                failures.append(
+                    f"{section}/{app}/{metric}: {value:.1f} < floor {floor:.1f}")
+
+    for section in sorted(skipped_sections):
+        print(f"[note] section '{section}' absent from {args.perf} (bench not run)")
+
+    if compared == 0:
+        print("[skip] no comparable metrics (run the micro benches first)")
+        return SKIP
+    if failures:
+        print(f"\nFAIL: {len(failures)} warm-path regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nPASS: {compared} warm-path metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
