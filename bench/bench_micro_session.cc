@@ -1,0 +1,227 @@
+// Microbenchmark: amortized run startup (DESIGN.md §10).
+//
+// "cold" = the pre-split code path: every run re-runs the full modeling
+// pipeline (decycle, selective externalization, catalog build, token
+// counting) inside the DmiSession constructor. "warm" = the split path: the
+// immutable CompiledModel is compiled once per app and every run attaches a
+// thin session (visit executor + screen refresh) in O(dynamic state).
+//
+// The second table times the per-run application setup: constructing a fresh
+// >4,000-control app per run versus leasing a pooled instance that is
+// factory-reset between runs (workload::AppPool).
+//
+// Gates: warm session attach must be at least 5x faster than cold session
+// construction for every app, and the warm session's assembled prompt must be
+// byte-identical to the cold session's. Results land in the "micro_session"
+// section of BENCH_perf.json; tools/check_bench_regression.py holds the
+// floors from bench/BENCH_baseline.json.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench/bench_common.h"
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/compiled_model.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
+#include "src/workload/app_pool.h"
+#include "src/workload/tasks.h"
+
+namespace {
+
+std::unique_ptr<gsim::Application> MakeApp(workload::AppKind kind) {
+  switch (kind) {
+    case workload::AppKind::kWord:
+      return std::make_unique<apps::WordSim>();
+    case workload::AppKind::kExcel:
+      return std::make_unique<apps::ExcelSim>();
+    case workload::AppKind::kPpoint:
+      return std::make_unique<apps::PpointSim>();
+  }
+  return nullptr;
+}
+
+const char* KindName(workload::AppKind kind) {
+  switch (kind) {
+    case workload::AppKind::kWord:
+      return "WordSim";
+    case workload::AppKind::kExcel:
+      return "ExcelSim";
+    case workload::AppKind::kPpoint:
+      return "PpointSim";
+  }
+  return "?";
+}
+
+struct SessionPerf {
+  std::string app;
+  double cold_session_ms = 0;
+  double warm_session_ms = 0;
+  double warm_session_speedup = 0;
+  bool identical = false;
+};
+
+struct PoolPerf {
+  std::string app;
+  double fresh_setup_ms = 0;
+  double pooled_setup_ms = 0;
+  double pooled_setup_speedup = 0;
+};
+
+SessionPerf BenchSessions(workload::AppKind kind) {
+  SessionPerf perf;
+  perf.app = KindName(kind);
+
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account"};
+  std::unique_ptr<gsim::Application> scratch = MakeApp(kind);
+  ripper::GuiRipper rip(*scratch, options.ripper_config);
+  const topo::NavGraph graph = rip.Rip();
+
+  std::unique_ptr<gsim::Application> app = MakeApp(kind);
+  std::shared_ptr<const dmi::CompiledModel> model = dmi::CompiledModel::Compile(graph, options);
+
+  // Correctness first: a warm thin session must produce the same prompt
+  // context, stats, and resolution surface as a cold full-pipeline session.
+  {
+    dmi::DmiSession cold(*app, graph, options);
+    dmi::DmiSession warm(*app, model);
+    perf.identical = cold.BuildPromptContextUncached() == warm.BuildPromptContextUncached() &&
+                     cold.stats().core_tokens == warm.stats().core_tokens &&
+                     cold.stats().full_tokens == warm.stats().full_tokens;
+  }
+
+  constexpr int kColdIters = 10;   // full modeling pipeline per construction
+  constexpr int kWarmIters = 400;  // thin attach to the shared CompiledModel
+
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kColdIters; ++i) {
+      dmi::DmiSession session(*app, graph, options);
+      if (session.stats().core_tokens == 0) {
+        std::abort();
+      }
+    }
+    perf.cold_session_ms = t.ElapsedMs() / kColdIters;
+  }
+  {
+    bench::WallTimer t;
+    for (int i = 0; i < kWarmIters; ++i) {
+      dmi::DmiSession session(*app, model);
+      if (session.stats().core_tokens == 0) {
+        std::abort();
+      }
+    }
+    perf.warm_session_ms = t.ElapsedMs() / kWarmIters;
+  }
+  perf.warm_session_speedup =
+      perf.warm_session_ms > 0 ? perf.cold_session_ms / perf.warm_session_ms : 1e9;
+  return perf;
+}
+
+PoolPerf BenchPool(workload::AppKind kind) {
+  PoolPerf perf;
+  perf.app = KindName(kind);
+
+  workload::Task task;
+  task.id = "bench";
+  task.app = kind;
+  task.make_app = [kind] { return MakeApp(kind); };
+
+  constexpr int kIters = 30;
+
+  {
+    workload::AppPool pool;
+    bench::WallTimer t;
+    for (int i = 0; i < kIters; ++i) {
+      workload::AppPool::Lease lease = pool.Acquire(task, /*pooled=*/false);
+      if (!lease) {
+        std::abort();
+      }
+    }
+    perf.fresh_setup_ms = t.ElapsedMs() / kIters;
+  }
+  {
+    workload::AppPool pool;
+    // Prime the pool so the loop times the steady state (reuse + reset), not
+    // the one-time construction.
+    { workload::AppPool::Lease lease = pool.Acquire(task); }
+    bench::WallTimer t;
+    for (int i = 0; i < kIters; ++i) {
+      workload::AppPool::Lease lease = pool.Acquire(task);
+      if (!lease) {
+        std::abort();
+      }
+    }
+    perf.pooled_setup_ms = t.ElapsedMs() / kIters;
+  }
+  perf.pooled_setup_speedup =
+      perf.pooled_setup_ms > 0 ? perf.fresh_setup_ms / perf.pooled_setup_ms : 1e9;
+  return perf;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Micro-bench: run startup, cold vs shared CompiledModel + app pool");
+  bench::PerfRecorder recorder;
+
+  const workload::AppKind kKinds[] = {workload::AppKind::kWord, workload::AppKind::kExcel,
+                                      workload::AppKind::kPpoint};
+
+  std::printf("  %-10s | %10s %10s %8s | %9s\n", "app", "cold-sess", "warm-sess", "speedup",
+              "identical");
+  std::printf("  %-10s | %10s %10s %8s | %9s\n", "", "(ms)", "(ms)", "(x)", "");
+  bench::PrintRule();
+
+  bool gate_ok = true;
+  bool match_ok = true;
+  jsonv::Array session_rows;
+  for (workload::AppKind kind : kKinds) {
+    SessionPerf p = BenchSessions(kind);
+    gate_ok = gate_ok && p.warm_session_speedup >= 5.0;
+    match_ok = match_ok && p.identical;
+    std::printf("  %-10s | %10.4f %10.5f %7.0fx | %9s\n", p.app.c_str(), p.cold_session_ms,
+                p.warm_session_ms, p.warm_session_speedup, p.identical ? "yes" : "NO");
+    jsonv::Object row;
+    row["app"] = p.app;
+    row["cold_session_ms"] = jsonv::Value(p.cold_session_ms);
+    row["warm_session_ms"] = jsonv::Value(p.warm_session_ms);
+    row["warm_session_speedup"] = jsonv::Value(p.warm_session_speedup);
+    row["identical"] = jsonv::Value(p.identical);
+    session_rows.push_back(jsonv::Value(std::move(row)));
+  }
+
+  std::printf("\n  %-10s | %10s %10s %8s\n", "app", "fresh", "pooled", "speedup");
+  std::printf("  %-10s | %10s %10s %8s\n", "", "(ms)", "(ms)", "(x)");
+  bench::PrintRule();
+
+  jsonv::Array pool_rows;
+  for (workload::AppKind kind : kKinds) {
+    PoolPerf p = BenchPool(kind);
+    std::printf("  %-10s | %10.4f %10.4f %7.1fx\n", p.app.c_str(), p.fresh_setup_ms,
+                p.pooled_setup_ms, p.pooled_setup_speedup);
+    jsonv::Object row;
+    row["app"] = p.app;
+    row["fresh_setup_ms"] = jsonv::Value(p.fresh_setup_ms);
+    row["pooled_setup_ms"] = jsonv::Value(p.pooled_setup_ms);
+    row["pooled_setup_speedup"] = jsonv::Value(p.pooled_setup_speedup);
+    pool_rows.push_back(jsonv::Value(std::move(row)));
+  }
+
+  jsonv::Object section;
+  section["sessions"] = jsonv::Value(std::move(session_rows));
+  section["pool"] = jsonv::Value(std::move(pool_rows));
+  section["warm_speedup_gate"] = jsonv::Value(5.0);
+  section["gate_passed"] = jsonv::Value(gate_ok && match_ok);
+  recorder.Set("micro_session", jsonv::Value(std::move(section)));
+  recorder.SetMetricsSnapshot();
+  recorder.Write();
+
+  std::printf("\nwarm session == cold session outputs: %s\n", match_ok ? "PASS" : "FAIL");
+  std::printf(">=5x warm session attach gate: %s\n", gate_ok ? "PASS" : "FAIL");
+  return (gate_ok && match_ok) ? 0 : 1;
+}

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
     bench::PerfRecorder recorder;
     jsonv::Object section;
     section["workers"] = jsonv::Value(static_cast<int64_t>(workers));
+    section["pool_apps"] = jsonv::Value(agentsim::RunConfig{}.pool_apps);
     section["total_wall_ms"] = jsonv::Value(suite_timer.ElapsedMs());
     section["settings"] = jsonv::Value(std::move(setting_rows));
     jsonv::Object rips;

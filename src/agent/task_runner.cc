@@ -115,16 +115,14 @@ TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
   dmi::ModelingOptions options = DefaultModelingOptions(kind);
   std::unique_ptr<gsim::Application> scratch = MakeScratch(kind);
   ripper::GuiRipper rip(*scratch, options.ripper_config);
-  model->graph = rip.Rip(options.contexts);
+  const topo::NavGraph graph = rip.Rip(options.contexts);
   model->rip = rip.stats();
-  // Build a throwaway session to collect modeling stats and core tokens.
-  {
-    std::unique_ptr<gsim::Application> probe = MakeScratch(kind);
-    dmi::DmiSession session(*probe, model->graph, options);
-    model->stats = session.stats();
-    model->stats.rip = model->rip;
-    model->core_tokens = session.stats().core_tokens;
-  }
+  // Compile the shared model once; stats and core tokens come straight from
+  // it (no throwaway probe app / session).
+  model->compiled = dmi::CompiledModel::Compile(graph, options);
+  model->stats = model->compiled->stats();
+  model->stats.rip = model->rip;
+  model->core_tokens = model->stats.core_tokens;
   AppModel& ref = *model;
   models_[kind] = std::move(model);
   return ref;
@@ -171,15 +169,20 @@ RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& confi
 RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfig& config,
                                       uint64_t seed) {
   AppModel& model = ModelFor(task.app);
-  std::unique_ptr<gsim::Application> app = task.make_app();
+  // The injector is declared before the lease on purpose: the lease destructor
+  // factory-resets the pooled app, which detaches the injector pointer, and
+  // only afterwards does the injector itself go out of scope.
   gsim::InstabilityInjector injector(config.instability, seed ^ 0x5eedf00dULL);
-  app->SetInstability(&injector);
   SimLlm llm(config.profile, seed);
+  workload::AppPool::Lease lease = app_pool_.Acquire(task, config.pool_apps);
+  gsim::Application& app = *lease;
+  app.SetInstability(&injector);
 
   if (config.mode == InterfaceMode::kGuiPlusDmi) {
-    dmi::ModelingOptions options = DefaultModelingOptions(task.app);
-    options.visit = config.visit;
-    dmi::DmiSession session(*app, model.graph, options);
+    dmi::SessionOptions session_options;
+    session_options.visit = config.visit;
+    session_options.interaction = model.compiled->options().interaction;
+    dmi::DmiSession session(app, model.compiled, session_options);
     DmiAgentConfig agent_config;
     agent_config.step_cap = config.step_cap;
     DmiAgent agent(agent_config);
@@ -191,7 +194,7 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
   agent_config.forest_knowledge = config.mode == InterfaceMode::kGuiOnlyForest;
   agent_config.forest_knowledge_tokens = model.core_tokens;
   BaselineGuiAgent agent(agent_config);
-  return agent.Run(task, *app, llm, &injector);
+  return agent.Run(task, app, llm, &injector);
 }
 
 SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,

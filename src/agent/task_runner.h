@@ -19,7 +19,9 @@
 #include "src/agent/dmi_agent.h"
 #include "src/agent/llm_profile.h"
 #include "src/agent/run_result.h"
+#include "src/dmi/compiled_model.h"
 #include "src/dmi/session.h"
+#include "src/workload/app_pool.h"
 #include "src/workload/tasks.h"
 
 namespace agentsim {
@@ -44,6 +46,11 @@ struct RunConfig {
   // thread, N = exactly N. Each (task, trial) run is seeded independently of
   // execution order, so the suite result is identical for any worker count.
   int workers = 1;
+  // Lease pooled application instances (factory-reset between runs) instead
+  // of constructing a fresh app per run. Pooled and unpooled suites produce
+  // byte-identical results — the pool's reset-equivalence contract is
+  // checksum-verified in debug builds (DESIGN.md §10).
+  bool pool_apps = true;
 };
 
 struct TaskRecord {
@@ -97,7 +104,10 @@ class TaskRunner {
 
  private:
   struct AppModel {
-    topo::NavGraph graph;
+    // Immutable compiled pipeline shared read-only by every DMI-mode run
+    // (thin per-run sessions attach in O(dynamic state)).
+    std::shared_ptr<const dmi::CompiledModel> compiled;
+    // Compiled stats with the rip stats folded in (§5.2 reporting).
     dmi::ModelingStats stats;
     ripper::RipStats rip;
     size_t core_tokens = 0;
@@ -115,6 +125,9 @@ class TaskRunner {
   // only the map lookup needs the lock.
   std::mutex models_mutex_;
   std::map<workload::AppKind, std::unique_ptr<AppModel>> models_;
+  // Reset-based application pool shared by all runs (thread-safe; see
+  // workload::AppPool). Unpooled runs go through it too, as throwaway leases.
+  workload::AppPool app_pool_;
 };
 
 }  // namespace agentsim

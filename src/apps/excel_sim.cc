@@ -481,12 +481,14 @@ void ExcelSim::BuildGridArea() {
   grid_ = root.NewChild("Sheet Grid", uia::ControlType::kDataGrid);
   grid_->SetHelpText("The worksheet cell grid");
   grid_->AttachPattern(std::make_unique<ExcelGridPattern>(this));
-  grid_->AttachPattern(std::make_unique<SurfaceScroll>(
+  auto grid_scroll = std::make_unique<SurfaceScroll>(
       /*horizontal=*/true, /*vertical=*/true, [this](double h, double v) {
         h_scroll_ = h;
         v_scroll_ = v;
         UpdateViewport();
-      }));
+      });
+  grid_scroll_ = grid_scroll.get();
+  grid_->AttachPattern(std::move(grid_scroll));
   cell_ctrls_.resize(kRows);
   row_panes_.resize(kRows);
   for (int r = 0; r < kRows; ++r) {
@@ -822,6 +824,66 @@ void ExcelSim::OnSelectionChanged(gsim::Control& control) {
       }
     }
   }
+}
+
+void ExcelSim::OnFactoryReset() {
+  cells_.clear();
+  cf_rules_.clear();
+  sorted_ascending_ = false;
+  filter_enabled_ = false;
+  effects_.clear();
+  cf_pending_value_.clear();
+  cf_pending_value2_.clear();
+  cf_pending_format_ = "Light Red Fill";
+  if (grid_scroll_ != nullptr) {
+    grid_scroll_->ResetPosition();  // zeroes h_/v_scroll_ and re-derives the viewport
+  } else {
+    h_scroll_ = 0.0;
+    v_scroll_ = 0.0;
+  }
+  // Same order as the constructor: seed the sales table, then lay out.
+  SeedData();
+  UpdateViewport();
+}
+
+void ExcelSim::AppStateDigest(gsim::StateHash& hash) const {
+  hash.MixU64(cells_.size());
+  for (const auto& [key, c] : cells_) {
+    hash.MixU64(static_cast<uint64_t>(key.first));
+    hash.MixU64(static_cast<uint64_t>(key.second));
+    hash.Mix(c.value);
+    hash.Mix(c.formula);
+    hash.MixBool(c.bold);
+    hash.MixBool(c.italic);
+    hash.Mix(c.fill_color);
+    hash.Mix(c.font_color);
+    hash.Mix(c.number_format);
+    hash.MixBool(c.cf_highlighted);
+  }
+  hash.MixU64(static_cast<uint64_t>(active_row_));
+  hash.MixU64(static_cast<uint64_t>(active_col_));
+  hash.MixU64(cf_rules_.size());
+  for (const CfRule& r : cf_rules_) {
+    hash.Mix(r.kind);
+    hash.MixDouble(r.threshold);
+    hash.MixDouble(r.threshold2);
+    hash.Mix(r.format);
+    hash.MixU64(static_cast<uint64_t>(r.row0));
+    hash.MixU64(static_cast<uint64_t>(r.col0));
+    hash.MixU64(static_cast<uint64_t>(r.row1));
+    hash.MixU64(static_cast<uint64_t>(r.col1));
+  }
+  hash.MixBool(sorted_ascending_);
+  hash.MixBool(filter_enabled_);
+  hash.MixU64(effects_.size());
+  for (const std::string& e : effects_) {
+    hash.Mix(e);
+  }
+  hash.MixDouble(v_scroll_);
+  hash.MixDouble(h_scroll_);
+  hash.Mix(cf_pending_value_);
+  hash.Mix(cf_pending_value2_);
+  hash.Mix(cf_pending_format_);
 }
 
 }  // namespace apps

@@ -85,6 +85,8 @@ class ExcelSim final : public gsim::Application {
   support::Status OnKeyChord(const std::string& chord) override;
   void OnValueChanged(gsim::Control& control) override;
   void OnSelectionChanged(gsim::Control& control) override;
+  void OnFactoryReset() override;
+  void AppStateDigest(gsim::StateHash& hash) const override;
 
  private:
   void BuildUi(const OfficeScale& scale);
@@ -124,6 +126,7 @@ class ExcelSim final : public gsim::Application {
 
   gsim::Control* shared_palette_ = nullptr;
   gsim::Control* grid_ = nullptr;
+  SurfaceScroll* grid_scroll_ = nullptr;  // borrowed; owned by grid_'s patterns
   gsim::Control* name_box_ = nullptr;
   gsim::Control* formula_bar_ = nullptr;
   std::vector<gsim::Control*> row_panes_;                // index = row

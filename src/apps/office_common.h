@@ -100,6 +100,16 @@ class SurfaceScroll : public uia::ScrollPattern {
   support::Status SetScrollPercent(double horizontal, double vertical) override;
   support::Status ScrollIncrement(double horizontal_delta, double vertical_delta) override;
 
+  // Factory-reset support: jumps back to the origin and fires `on_change` so
+  // the app re-derives its viewport (used by Application::ResetToFreshState).
+  void ResetPosition() {
+    h_ = 0.0;
+    v_ = 0.0;
+    if (on_change_) {
+      on_change_(h_, v_);
+    }
+  }
+
  private:
   bool horizontal_;
   bool vertical_;

@@ -15,8 +15,16 @@ constexpr int kSlideCount = 12;
 }  // namespace
 
 PpointSim::PpointSim(const OfficeScale& scale) : gsim::Application("PpointSim") {
+  SeedSlides();
+  BuildUi(scale);
+  RefreshThumbnails();
+  FinalizeMainWindow();
+}
+
+void PpointSim::SeedSlides() {
   // Twelve slides; slide 3 carries an image (the context that reveals the
   // Picture Format tab), slide 5 a chart placeholder.
+  slides_.clear();
   for (int i = 0; i < kSlideCount; ++i) {
     Slide s;
     s.shapes.push_back(Shape{"Title", "Slide " + std::to_string(i + 1) + " Title"});
@@ -29,9 +37,6 @@ PpointSim::PpointSim(const OfficeScale& scale) : gsim::Application("PpointSim") 
     }
     slides_.push_back(std::move(s));
   }
-  BuildUi(scale);
-  RefreshThumbnails();
-  FinalizeMainWindow();
 }
 
 void PpointSim::SetCurrentSlide(int index) {
@@ -316,9 +321,11 @@ void PpointSim::BuildSlideArea() {
 
   slide_view_ = root.NewChild("Slide View", uia::ControlType::kPane);
   slide_view_->SetHelpText("The slide editing canvas");
-  slide_view_->AttachPattern(std::make_unique<SurfaceScroll>(
+  auto view_scroll = std::make_unique<SurfaceScroll>(
       /*horizontal=*/false, /*vertical=*/true,
-      [this](double, double v) { view_scroll_ = v; }));
+      [this](double, double v) { view_scroll_ = v; });
+  view_scroll_pattern_ = view_scroll.get();
+  slide_view_->AttachPattern(std::move(view_scroll));
   // One canvas per slide; only the current slide's canvas is on-screen.
   for (int i = 0; i < kSlideCount; ++i) {
     gsim::Control* canvas = slide_view_->NewChild(
@@ -576,6 +583,54 @@ void PpointSim::OnUiReset() {
     bg_basic_pane_->SetForcedOffscreen(false);
     bg_advanced_pane_->SetForcedOffscreen(true);
   }
+}
+
+void PpointSim::OnFactoryReset() {
+  SeedSlides();
+  current_slide_ = 0;
+  selected_shape_ = -1;
+  theme_ = "Office Theme";
+  effects_.clear();
+  pending_bg_color_ = "White";
+  pending_bg_solid_ = false;
+  if (view_scroll_pattern_ != nullptr) {
+    view_scroll_pattern_->ResetPosition();  // zeroes view_scroll_ via the hook
+  } else {
+    view_scroll_ = 0.0;
+  }
+  // Same derived-state passes as the constructor path.
+  RefreshThumbnails();
+  UpdatePictureTabVisibility();
+  OnUiReset();  // default background-pane visibility
+}
+
+void PpointSim::AppStateDigest(gsim::StateHash& hash) const {
+  hash.MixU64(slides_.size());
+  for (const Slide& s : slides_) {
+    hash.Mix(s.background_color);
+    hash.MixBool(s.background_solid);
+    hash.Mix(s.layout);
+    hash.Mix(s.transition);
+    hash.MixU64(s.shapes.size());
+    for (const Shape& sh : s.shapes) {
+      hash.Mix(sh.kind);
+      hash.Mix(sh.text);
+      hash.Mix(sh.fill_color);
+      hash.Mix(sh.font_color);
+      hash.MixBool(sh.bold);
+      hash.MixU64(static_cast<uint64_t>(sh.font_size));
+    }
+  }
+  hash.MixU64(static_cast<uint64_t>(current_slide_));
+  hash.MixU64(static_cast<uint64_t>(selected_shape_));
+  hash.MixDouble(view_scroll_);
+  hash.Mix(theme_);
+  hash.MixU64(effects_.size());
+  for (const std::string& e : effects_) {
+    hash.Mix(e);
+  }
+  hash.Mix(pending_bg_color_);
+  hash.MixBool(pending_bg_solid_);
 }
 
 }  // namespace apps

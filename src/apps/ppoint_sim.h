@@ -66,8 +66,12 @@ class PpointSim final : public gsim::Application {
   support::Status OnKeyChord(const std::string& chord) override;
   void OnSelectionChanged(gsim::Control& control) override;
   void OnUiReset() override;
+  void OnFactoryReset() override;
+  void AppStateDigest(gsim::StateHash& hash) const override;
 
  private:
+  // Seeds the 12-slide sample deck (constructor and factory reset).
+  void SeedSlides();
   void BuildUi(const OfficeScale& scale);
   void BuildHomeTab(gsim::Control& panel, const OfficeScale& scale);
   void BuildInsertTab(gsim::Control& panel, const OfficeScale& scale);
@@ -98,6 +102,7 @@ class PpointSim final : public gsim::Application {
 
   gsim::Control* shared_palette_ = nullptr;
   gsim::Control* slide_view_ = nullptr;
+  SurfaceScroll* view_scroll_pattern_ = nullptr;  // borrowed; owned by slide_view_
   gsim::Control* thumbnail_list_ = nullptr;
   gsim::Control* picture_tab_item_ = nullptr;
   gsim::Control* bg_pane_ = nullptr;

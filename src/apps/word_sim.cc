@@ -85,13 +85,18 @@ std::string SampleParagraph(int index) {
 }  // namespace
 
 WordSim::WordSim(const OfficeScale& scale) : gsim::Application("WordSim") {
+  SeedDocument();
+  BuildUi(scale);
+  FinalizeMainWindow();
+}
+
+void WordSim::SeedDocument() {
+  paragraphs_.clear();
   for (int i = 0; i < 50; ++i) {
     WordParagraph p;
     p.text = SampleParagraph(i);
     paragraphs_.push_back(std::move(p));
   }
-  BuildUi(scale);
-  FinalizeMainWindow();
 }
 
 void WordSim::SetSelection(int start, int end) {
@@ -814,6 +819,65 @@ void WordSim::OnValueChanged(gsim::Control& control) {
   } else if (control.AutomationId() == "fr_replace") {
     replace_text_ = control.text_value();
   }
+}
+
+void WordSim::OnFactoryReset() {
+  SeedDocument();
+  sel_start_ = -1;
+  sel_end_ = -1;
+  scroll_percent_ = 0.0;
+  page_color_ = "None";
+  page_orientation_ = "Portrait";
+  table_rows_ = 0;
+  table_cols_ = 0;
+  effects_.clear();
+  find_text_.clear();
+  replace_text_.clear();
+  fr_subscript_ = false;
+  fr_match_case_ = false;
+  replace_count_ = 0;
+  if (doc_scroll_ != nullptr) {
+    doc_scroll_->ResetPosition();
+  }
+  OnUiReset();  // default pane visibility (Text Effects dialog)
+}
+
+void WordSim::AppStateDigest(gsim::StateHash& hash) const {
+  hash.MixU64(paragraphs_.size());
+  for (const WordParagraph& p : paragraphs_) {
+    hash.Mix(p.text);
+    hash.MixBool(p.fmt.bold);
+    hash.MixBool(p.fmt.italic);
+    hash.MixBool(p.fmt.underline);
+    hash.MixBool(p.fmt.strikethrough);
+    hash.MixBool(p.fmt.subscript);
+    hash.MixBool(p.fmt.superscript);
+    hash.Mix(p.fmt.color);
+    hash.Mix(p.fmt.underline_color);
+    hash.Mix(p.fmt.outline_color);
+    hash.Mix(p.fmt.highlight);
+    hash.Mix(p.fmt.font);
+    hash.MixU64(static_cast<uint64_t>(p.fmt.size));
+    hash.Mix(p.alignment);
+    hash.MixDouble(p.line_spacing);
+    hash.Mix(p.style);
+  }
+  hash.MixU64(static_cast<uint64_t>(sel_start_));
+  hash.MixU64(static_cast<uint64_t>(sel_end_));
+  hash.MixDouble(scroll_percent_);
+  hash.Mix(page_color_);
+  hash.Mix(page_orientation_);
+  hash.MixU64(static_cast<uint64_t>(table_rows_));
+  hash.MixU64(static_cast<uint64_t>(table_cols_));
+  hash.MixU64(effects_.size());
+  for (const std::string& e : effects_) {
+    hash.Mix(e);
+  }
+  hash.Mix(find_text_);
+  hash.Mix(replace_text_);
+  hash.MixBool(fr_subscript_);
+  hash.MixBool(fr_match_case_);
+  hash.MixU64(static_cast<uint64_t>(replace_count_));
 }
 
 void WordSim::OnUiReset() {

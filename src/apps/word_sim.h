@@ -81,8 +81,12 @@ class WordSim final : public gsim::Application {
   support::Status OnKeyChord(const std::string& chord) override;
   void OnValueChanged(gsim::Control& control) override;
   void OnUiReset() override;
+  void OnFactoryReset() override;
+  void AppStateDigest(gsim::StateHash& hash) const override;
 
  private:
+  // Seeds the 50-paragraph sample document (constructor and factory reset).
+  void SeedDocument();
   void BuildUi(const OfficeScale& scale);
   void BuildHomeTab(gsim::Control& panel, const OfficeScale& scale);
   void BuildInsertTab(gsim::Control& panel, const OfficeScale& scale);

@@ -1,0 +1,104 @@
+// CompiledModel: the immutable, thread-shareable product of the offline
+// modeling pipeline (decycled DAG + forest + TopologyCatalog + static prompt
+// segments), built once per application build and shared read-only across
+// every per-run DmiSession via shared_ptr (DESIGN.md §10).
+//
+// This is the amortization split: everything here is a pure function of the
+// ripped NavGraph and the modeling options, so the suite harness compiles it
+// once per AppKind and thin sessions attach in O(dynamic state).
+#ifndef SRC_DMI_COMPILED_MODEL_H_
+#define SRC_DMI_COMPILED_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/describe/catalog.h"
+#include "src/dmi/interaction.h"
+#include "src/dmi/visit.h"
+#include "src/ripper/ripper.h"
+#include "src/topology/nav_graph.h"
+#include "src/topology/transform.h"
+
+namespace dmi {
+
+struct ModelingOptions {
+  ripper::RipperConfig ripper_config;
+  // Synthesize descriptions for undocumented controls before serialization
+  // (§5.7 "Rich control descriptions"; rule-based, never overwrites app
+  // metadata).
+  bool augment_descriptions = false;
+  std::vector<ripper::RipContext> contexts;
+  uint64_t externalize_threshold = topo::kDefaultExternalizeThreshold;
+  desc::PruneOptions prune;
+  desc::DescribeOptions describe;
+  VisitConfig visit;
+  InteractionConfig interaction;
+};
+
+struct ModelingStats {
+  topo::GraphStats raw;
+  size_t back_edges_removed = 0;
+  size_t unreachable_dropped = 0;
+  size_t forest_nodes = 0;
+  size_t shared_subtrees = 0;
+  size_t references = 0;
+  size_t core_nodes = 0;
+  size_t core_tokens = 0;
+  size_t full_tokens = 0;
+  ripper::RipStats rip;
+};
+
+// A target resolved from human-readable names to DMI's id language.
+struct ResolvedTarget {
+  int id = -1;
+  std::vector<int> entry_ref_ids;
+};
+
+class CompiledModel {
+ public:
+  // Runs the full offline pipeline (augment → decycle → selective
+  // externalization → catalog) over a pre-ripped graph. The input graph is
+  // read-only; a private copy is made only when augmentation must mutate it.
+  // The result is immutable and safe to share across threads: the catalog's
+  // lazy caches are call_once-guarded on an immutable forest (DESIGN.md §9).
+  static std::shared_ptr<const CompiledModel> Compile(const topo::NavGraph& graph,
+                                                      const ModelingOptions& options);
+
+  const topo::NavGraph& dag() const { return *dag_; }
+  const desc::TopologyCatalog& catalog() const { return *catalog_; }
+  const ModelingStats& stats() const { return stats_; }
+  // The options the model was compiled with; thin sessions default their
+  // visit/interaction configs from here.
+  const ModelingOptions& options() const { return options_; }
+  size_t usage_hint_tokens() const { return usage_hint_tokens_; }
+
+  // Instruction header included in every prompt (counts toward DMI's token
+  // overhead, §5.4).
+  static const std::string& UsageHint();
+
+  // Resolves an access chain given by human-readable names (a suffix of the
+  // full chain, e.g. {"Font Color", "Blue"}): returns the target id plus the
+  // entry references needed. Errors if no unique-enough match exists. Pure
+  // query on the immutable forest/DAG — safe to call concurrently.
+  support::Result<ResolvedTarget> ResolveTargetByNames(
+      const std::vector<std::string>& names) const;
+
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+ private:
+  CompiledModel() = default;
+
+  ModelingOptions options_;
+  ModelingStats stats_;
+  // The catalog holds a raw pointer to the DAG, so the allocation must stay
+  // put for the model's lifetime (hence unique_ptr, not a plain member).
+  std::unique_ptr<topo::NavGraph> dag_;
+  std::unique_ptr<desc::TopologyCatalog> catalog_;
+  size_t usage_hint_tokens_ = 0;  // counted once at compile
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_COMPILED_MODEL_H_

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
-#include "src/describe/augment.h"
 #include "src/json/json.h"
 #include "src/support/metrics.h"
 #include "src/support/strings.h"
@@ -11,22 +11,6 @@
 #include "src/text/tokens.h"
 
 namespace dmi {
-namespace {
-
-// Instruction header included in every prompt (counts toward DMI's token
-// overhead, §5.4).
-constexpr char kUsageHint[] =
-    "# DMI usage\n"
-    "Prefer DMI. visit([...]) accesses target controls by id; declare only\n"
-    "functional (leaf) targets — DMI performs all navigation. Targets inside\n"
-    "shared subtrees need entry_ref_id. {\"id\",\"text\"} types into an edit.\n"
-    "{\"shortcut_key\"} is auxiliary (e.g. ENTER to commit). further_query(id|-1)\n"
-    "fetches more topology and cannot be mixed with other commands. For\n"
-    "composite interactions use state declarations (set_scrollbar_pos,\n"
-    "select_lines, select_paragraphs, select_controls, set_toggle_state) and\n"
-    "observation (get_texts) on current-screen labels, never topology ids.\n";
-
-}  // namespace
 
 std::unique_ptr<DmiSession> DmiSession::Model(gsim::Application& app,
                                               const ModelingOptions& options) {
@@ -34,51 +18,30 @@ std::unique_ptr<DmiSession> DmiSession::Model(gsim::Application& app,
   ripper::GuiRipper rip(app, options.ripper_config);
   topo::NavGraph graph = rip.Rip(options.contexts);
   span.AddArg("ripped_nodes", static_cast<int64_t>(graph.node_count()));
-  auto session = std::make_unique<DmiSession>(app, std::move(graph), options);
+  auto session = std::make_unique<DmiSession>(app, graph, options);
   session->stats_.rip = rip.stats();
   return session;
 }
 
-DmiSession::DmiSession(gsim::Application& app, topo::NavGraph graph,
+DmiSession::DmiSession(gsim::Application& app, const topo::NavGraph& graph,
                        const ModelingOptions& options)
-    : app_(&app), screen_(app), interaction_(app, screen_, options.interaction) {
-  FinishConstruction(options, std::move(graph));
-}
+    : DmiSession(app, CompiledModel::Compile(graph, options),
+                 SessionOptions{options.visit, options.interaction}) {}
 
-void DmiSession::FinishConstruction(const ModelingOptions& options, topo::NavGraph graph) {
-  support::TraceSpan span("model.build", "model");
-  const int64_t build_start_us = support::TraceNowUs();
-  if (options.augment_descriptions) {
-    (void)desc::AugmentDescriptions(graph, desc::BuiltinAugmentRules());
-  }
-  stats_.raw = graph.ComputeStats();
-  topo::DecycleResult decycled = topo::Decycle(graph);
-  stats_.back_edges_removed = decycled.removed_back_edges;
-  stats_.unreachable_dropped = decycled.unreachable_dropped;
-  dag_ = std::make_unique<topo::NavGraph>(std::move(decycled.dag));
-  topo::Forest forest = topo::SelectiveExternalize(*dag_, options.externalize_threshold);
-  stats_.forest_nodes = forest.total_nodes();
-  stats_.shared_subtrees = forest.shared().size();
-  stats_.references = forest.reference_count();
-  catalog_ = std::make_unique<desc::TopologyCatalog>(dag_.get(), std::move(forest),
-                                                     options.prune, options.describe);
-  stats_.core_nodes = catalog_->core_stats().kept;
-  stats_.core_tokens = catalog_->CoreTokens();
-  stats_.full_tokens = catalog_->FullTokens();
-  executor_ = std::make_unique<VisitExecutor>(*app_, *catalog_, options.visit);
-  usage_hint_tokens_ = textutil::CountTokens(kUsageHint);
+DmiSession::DmiSession(gsim::Application& app, std::shared_ptr<const CompiledModel> model)
+    : DmiSession(app, model,
+                 SessionOptions{model->options().visit, model->options().interaction}) {}
+
+DmiSession::DmiSession(gsim::Application& app, std::shared_ptr<const CompiledModel> model,
+                       const SessionOptions& options)
+    : app_(&app),
+      model_(std::move(model)),
+      stats_(model_->stats()),
+      screen_(app),
+      executor_(std::make_unique<VisitExecutor>(app, model_->catalog(), options.visit)),
+      interaction_(app, screen_, options.interaction) {
+  support::CountMetric("session.compile_attach");
   screen_.Refresh();
-  // Mirror the modeling summary onto the registry (ModelingStats remains the
-  // per-session record; the registry is the process-wide aggregate).
-  support::CountMetric("model.builds");
-  support::CountMetric("model.raw_nodes", stats_.raw.nodes);
-  support::CountMetric("model.core_nodes", stats_.core_nodes);
-  support::CountMetric("model.core_tokens", stats_.core_tokens);
-  support::CountMetric("model.full_tokens", stats_.full_tokens);
-  support::ObserveMetric("model.build_ms",
-                         static_cast<double>(support::TraceNowUs() - build_start_us) / 1000.0);
-  span.AddArg("core_nodes", static_cast<int64_t>(stats_.core_nodes));
-  span.AddArg("core_tokens", static_cast<int64_t>(stats_.core_tokens));
 }
 
 VisitReport DmiSession::Visit(const std::string& json_commands) {
@@ -116,14 +79,15 @@ const std::string& DmiSession::BuildPromptContext() {
     dynamic += "# Data items\n";
     dynamic += payload;
   }
-  const std::string& core = catalog_->CoreText();
+  const std::string& hint = CompiledModel::UsageHint();
+  const std::string& core = model_->catalog().CoreText();
   // Segment sums match the concatenated count because every join point falls
   // on a newline (see textutil::CountTokensAppend).
-  size_t tokens = usage_hint_tokens_ + catalog_->CoreTokens();
+  size_t tokens = model_->usage_hint_tokens() + model_->catalog().CoreTokens();
   textutil::CountTokensAppend(dynamic, &tokens);
   std::string out;
-  out.reserve(sizeof(kUsageHint) + core.size() + dynamic.size());
-  out += kUsageHint;
+  out.reserve(hint.size() + core.size() + dynamic.size());
+  out += hint;
   out += core;
   out += dynamic;
   prompt_cache_.prompt = std::move(out);
@@ -135,8 +99,8 @@ const std::string& DmiSession::BuildPromptContext() {
 
 std::string DmiSession::BuildPromptContextUncached() {
   screen_.Refresh();
-  std::string out = kUsageHint;
-  out += catalog_->CoreText();
+  std::string out = CompiledModel::UsageHint();
+  out += model_->catalog().CoreText();
   out += "\n# Current screen\n";
   out += screen_.RenderListing();
   const std::string payload = interaction_.GetTextsPassive();
@@ -187,89 +151,7 @@ support::Result<topo::NavGraph> DmiSession::LoadModel(const std::string& path) {
 
 support::Result<ResolvedTarget> DmiSession::ResolveTargetByNames(
     const std::vector<std::string>& names) {
-  support::CountMetric("describe.resolve_calls");
-  if (names.empty()) {
-    return support::InvalidArgumentError("empty name chain");
-  }
-  const topo::Forest& forest = catalog_->forest();
-  const topo::NavGraph& dag = *dag_;
-
-  // Direct references pointing at a shared subtree come from the forest's
-  // precomputed reverse-reference index (built at SelectiveExternalize time)
-  // instead of rescanning every tree per candidate.
-
-  // Builds a full ref chain starting from one direct ref (greedy upward).
-  auto chain_for = [&](int ref) -> std::vector<int> {
-    std::vector<int> chain = {ref};
-    int cursor = ref;
-    for (int hop = 0; hop < 16; ++hop) {
-      auto loc = forest.LocateById(cursor);
-      if (!loc.ok() || loc->tree < 0) {
-        return chain;
-      }
-      const std::vector<int>& outer = forest.RefsTo(loc->tree);
-      if (outer.empty()) {
-        return {};
-      }
-      chain.push_back(outer[0]);
-      cursor = outer[0];
-    }
-    return {};
-  };
-
-  // Ordered-subsequence match of `names` against a path's node names.
-  auto matches = [&](const std::vector<int>& path) {
-    size_t want = 0;
-    for (int node : path) {
-      if (want < names.size() && dag.node(node).name == names[want]) {
-        ++want;
-      }
-    }
-    return want == names.size();
-  };
-
-  ResolvedTarget best;
-  int best_path_len = INT32_MAX;
-  size_t candidates = 0;
-  for (int id : forest.AllIds()) {
-    const topo::TreeNode* node = forest.FindById(id);
-    if (node->is_reference) {
-      continue;
-    }
-    if (dag.node(node->graph_index).name != names.back()) {
-      continue;
-    }
-    ++candidates;
-    auto loc = forest.LocateById(id);
-    std::vector<std::vector<int>> ref_options;
-    if (loc->tree < 0) {
-      ref_options.push_back({});
-    } else {
-      for (int ref : forest.RefsTo(loc->tree)) {
-        std::vector<int> chain = chain_for(ref);
-        if (!chain.empty()) {
-          ref_options.push_back(std::move(chain));
-        }
-      }
-    }
-    for (const std::vector<int>& refs : ref_options) {
-      auto path = forest.ResolvePath(id, refs);
-      if (!path.ok() || !matches(*path)) {
-        continue;
-      }
-      if (static_cast<int>(path->size()) < best_path_len) {
-        best_path_len = static_cast<int>(path->size());
-        best.id = id;
-        best.entry_ref_ids = refs;
-      }
-    }
-  }
-  support::ObserveMetric("describe.resolve_candidates", static_cast<double>(candidates));
-  if (best.id < 0) {
-    return support::NotFoundError("no control matches the name chain ending in '" +
-                                  names.back() + "'");
-  }
-  return best;
+  return model_->ResolveTargetByNames(names);
 }
 
 }  // namespace dmi

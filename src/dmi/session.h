@@ -2,9 +2,12 @@
 //
 // Offline (once per application build): rip the UI Navigation Graph, decycle
 // it, run cost-based selective externalization, and build the query-on-demand
-// catalog. Online (per task): serve the pruned core topology + screen labels
-// + passive data payload as prompt context, and execute visit / state /
-// observation declarations against the live application.
+// catalog — all captured in an immutable, shareable dmi::CompiledModel
+// (compiled_model.h). Online (per task): a thin session attaches a live
+// application to a shared model and serves the pruned core topology + screen
+// labels + passive data payload as prompt context, executing visit / state /
+// observation declarations against the live application. Session construction
+// on a pre-compiled model is O(dynamic state), not O(topology) (DESIGN.md §10).
 #ifndef SRC_DMI_SESSION_H_
 #define SRC_DMI_SESSION_H_
 
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "src/describe/catalog.h"
+#include "src/dmi/compiled_model.h"
 #include "src/dmi/interaction.h"
 #include "src/dmi/visit.h"
 #include "src/gui/application.h"
@@ -23,37 +27,11 @@
 
 namespace dmi {
 
-struct ModelingOptions {
-  ripper::RipperConfig ripper_config;
-  // Synthesize descriptions for undocumented controls before serialization
-  // (§5.7 "Rich control descriptions"; rule-based, never overwrites app
-  // metadata).
-  bool augment_descriptions = false;
-  std::vector<ripper::RipContext> contexts;
-  uint64_t externalize_threshold = topo::kDefaultExternalizeThreshold;
-  desc::PruneOptions prune;
-  desc::DescribeOptions describe;
+// Per-run knobs for a session attached to a pre-compiled model. Everything
+// topological lives in ModelingOptions and is baked into the CompiledModel.
+struct SessionOptions {
   VisitConfig visit;
   InteractionConfig interaction;
-};
-
-struct ModelingStats {
-  topo::GraphStats raw;
-  size_t back_edges_removed = 0;
-  size_t unreachable_dropped = 0;
-  size_t forest_nodes = 0;
-  size_t shared_subtrees = 0;
-  size_t references = 0;
-  size_t core_nodes = 0;
-  size_t core_tokens = 0;
-  size_t full_tokens = 0;
-  ripper::RipStats rip;
-};
-
-// A target resolved from human-readable names to DMI's id language.
-struct ResolvedTarget {
-  int id = -1;
-  std::vector<int> entry_ref_ids;
 };
 
 class DmiSession {
@@ -64,12 +42,23 @@ class DmiSession {
   static std::unique_ptr<DmiSession> Model(gsim::Application& app,
                                            const ModelingOptions& options);
 
-  // Builds a session from a pre-ripped graph (models are reusable across
-  // machines for the same app build, §5.2).
-  DmiSession(gsim::Application& app, topo::NavGraph graph, const ModelingOptions& options);
+  // Cold path: compiles a private model from a pre-ripped graph (models are
+  // reusable across machines for the same app build, §5.2). The graph is
+  // read-only; no by-value copy is taken.
+  DmiSession(gsim::Application& app, const topo::NavGraph& graph,
+             const ModelingOptions& options);
+
+  // Warm path: attaches a live application to a shared pre-compiled model.
+  // Visit/interaction configs default to the ones the model was compiled
+  // with; the second overload overrides them per run.
+  DmiSession(gsim::Application& app, std::shared_ptr<const CompiledModel> model);
+  DmiSession(gsim::Application& app, std::shared_ptr<const CompiledModel> model,
+             const SessionOptions& options);
 
   const ModelingStats& stats() const { return stats_; }
-  const desc::TopologyCatalog& catalog() const { return *catalog_; }
+  const desc::TopologyCatalog& catalog() const { return model_->catalog(); }
+  const CompiledModel& model() const { return *model_; }
+  std::shared_ptr<const CompiledModel> shared_model() const { return model_; }
   gsim::ScreenView& screen() { return screen_; }
   InteractionInterfaces& interaction() { return interaction_; }
   gsim::Application& app() { return *app_; }
@@ -101,14 +90,10 @@ class DmiSession {
   static support::Result<topo::NavGraph> LoadModel(const std::string& path);
 
   // ----- name-based resolution (used by task ground truth and examples) --------
-  // Resolves an access chain given by human-readable names (a suffix of the
-  // full chain, e.g. {"Font Color", "Blue"}): returns the target id plus the
-  // entry references needed. Errors if no unique-enough match exists.
+  // Forwards to the compiled model (pure query on the immutable forest/DAG).
   support::Result<ResolvedTarget> ResolveTargetByNames(const std::vector<std::string>& names);
 
  private:
-  void FinishConstruction(const ModelingOptions& options, topo::NavGraph graph);
-
   // Prompt context + token count, valid while the application's UI-state
   // generation is unchanged.
   struct PromptCache {
@@ -119,14 +104,14 @@ class DmiSession {
   };
 
   gsim::Application* app_;
+  std::shared_ptr<const CompiledModel> model_;
+  // Per-session copy of the model's stats so Model() can fold the rip stats
+  // in without mutating the shared (immutable) model.
   ModelingStats stats_;
-  std::unique_ptr<topo::NavGraph> dag_;
-  std::unique_ptr<desc::TopologyCatalog> catalog_;
   gsim::ScreenView screen_;
   std::unique_ptr<VisitExecutor> executor_;
   InteractionInterfaces interaction_;
   PromptCache prompt_cache_;
-  size_t usage_hint_tokens_ = 0;  // counted once at construction
 };
 
 }  // namespace dmi

@@ -187,6 +187,86 @@ void Application::ResetUiState() {
   OnUiReset();
 }
 
+void Application::WalkAllControls(const std::function<void(Control&)>& fn) {
+  main_window_->root().WalkStatic(fn);
+  for (auto& [id, dialog] : dialogs_) {
+    (void)id;
+    dialog->root().WalkStatic(fn);
+  }
+  for (auto& shared : shared_subtrees_) {
+    shared->WalkStatic(fn);
+  }
+}
+
+void Application::CaptureFreshState() {
+  if (fresh_captured_) {
+    return;
+  }
+  WalkAllControls(
+      [this](Control& c) { fresh_controls_.emplace_back(&c, c.CaptureFreshState()); });
+  fresh_listener_count_ = window_listeners_.size();
+  fresh_captured_ = true;
+}
+
+void Application::ResetToFreshState() {
+  assert(fresh_captured_ && "CaptureFreshState() must run before ResetToFreshState()");
+  SetInstability(nullptr);
+  ResetUiState();
+  for (auto& [control, state] : fresh_controls_) {
+    control->RestoreFreshState(state);
+  }
+  // Restoring popup_open_ = false wholesale makes the transient stack stale.
+  open_popup_hosts_.clear();
+  reveal_ticks_.clear();
+  tick_ = 0;
+  stats_ = ActionStats{};
+  // Listeners registered during a run (the ripper is the only producer) are
+  // dropped; construction-time listeners survive.
+  if (window_listeners_.size() > fresh_listener_count_) {
+    window_listeners_.resize(fresh_listener_count_);
+  }
+  OnFactoryReset();
+  BumpUiGeneration();
+}
+
+uint64_t Application::UiaStateChecksum() {
+  StateHash h;
+  WalkAllControls([&h](Control& c) {
+    h.MixU64(0x9e3779b97f4a7c15ull);  // per-control boundary
+    h.Mix(c.TrueName());
+    h.Mix(c.AutomationId());
+    h.MixU64(static_cast<uint64_t>(c.Type()));
+    h.MixBool(c.enabled_);
+    h.MixBool(c.forced_offscreen_);
+    h.MixBool(c.popup_open());
+    h.MixBool(c.toggled());
+    h.MixBool(c.selected());
+    h.Mix(c.text_value());
+    h.MixDouble(c.range_value());
+    h.MixU64(c.StaticChildren().size());
+  });
+  h.MixU64(open_window_stack_.size());
+  for (Window* w : open_window_stack_) {
+    h.Mix(w->title());
+  }
+  h.MixU64(open_popup_hosts_.size());
+  h.MixBool(focused_ != nullptr);
+  if (focused_ != nullptr) {
+    h.Mix(focused_->TrueName());
+  }
+  h.MixBool(external_state_);
+  h.MixU64(tick_);
+  h.MixU64(reveal_ticks_.size());
+  h.MixU64(stats_.clicks);
+  h.MixU64(stats_.key_chords);
+  h.MixU64(stats_.text_inputs);
+  h.MixU64(stats_.drags);
+  h.MixU64(stats_.commands);
+  h.MixBool(instability_ != nullptr);
+  AppStateDigest(h);
+  return h.digest();
+}
+
 void Application::SetFocus(Control* control) { focused_ = control; }
 
 std::string Application::DecorateName(const Control& control) const {
@@ -478,5 +558,9 @@ void Application::OnValueChanged(Control& control) { (void)control; }
 void Application::OnSelectionChanged(Control& control) { (void)control; }
 
 void Application::OnUiReset() {}
+
+void Application::OnFactoryReset() {}
+
+void Application::AppStateDigest(StateHash& hash) const { (void)hash; }
 
 }  // namespace gsim

@@ -33,6 +33,39 @@ struct ActionStats {
   uint64_t commands = 0;
 };
 
+// FNV-1a accumulator used for UIA-tree state checksums (pool reset
+// verification, DESIGN.md §10). Deliberately excludes runtime ids, which
+// differ between instances of the same application.
+class StateHash {
+ public:
+  void MixU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>(v >> (i * 8)));
+    }
+  }
+  void MixBool(bool b) { MixByte(b ? 1 : 0); }
+  void MixDouble(double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    MixU64(bits);
+  }
+  void Mix(const std::string& s) {
+    MixU64(s.size());
+    for (char c : s) {
+      MixByte(static_cast<uint8_t>(c));
+    }
+  }
+  uint64_t digest() const { return h_; }
+
+ private:
+  void MixByte(uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;  // FNV-1a 64-bit prime
+  }
+  uint64_t h_ = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+};
+
 class Application {
  public:
   explicit Application(std::string name);
@@ -96,6 +129,29 @@ class Application {
   // and the external-state flag. (The ripper uses this as its cheap
   // "restart"; it does not reset the document model.)
   void ResetUiState();
+
+  // ----- factory reset / application pooling (DESIGN.md §10) -----------------
+  // Snapshots every control's mutable state right after construction so a
+  // pooled instance can later be recycled to an as-constructed state.
+  // Idempotent: only the first call records.
+  void CaptureFreshState();
+  bool fresh_state_captured() const { return fresh_captured_; }
+
+  // Full factory reset: detaches the instability injector, runs
+  // ResetUiState(), restores every captured control snapshot, clears the
+  // logical clock / reveal schedule / action stats, and asks the concrete app
+  // to rebuild its document model (OnFactoryReset). Requires a prior
+  // CaptureFreshState(). The UI generation stays monotonic (it is bumped, not
+  // reset) so generation-keyed caches never alias across leases.
+  void ResetToFreshState();
+
+  // Checksum of everything behavior-relevant: the full static control tree
+  // (names, values, toggle/selection/popup state), open windows, focus,
+  // external flag, logical clock, action stats, and the concrete app's
+  // document model (AppStateDigest). Runtime ids and the UI generation are
+  // excluded — they differ between a fresh and a pooled-and-reset instance by
+  // construction. "reset == fresh" means equal checksums.
+  uint64_t UiaStateChecksum();
 
   // ----- state ---------------------------------------------------------------
   Control* focused() const { return focused_; }
@@ -166,6 +222,15 @@ class Application {
   // visibility and other app-managed UI state here.
   virtual void OnUiReset();
 
+  // Called at the end of ResetToFreshState(); concrete apps rebuild their
+  // document model to the freshly-constructed state here.
+  virtual void OnFactoryReset();
+
+  // Mixes the concrete app's document model into UiaStateChecksum(), so reset
+  // verification also covers state that is not visible through control fields
+  // (cells, paragraphs, slides, pending dialog values, ...).
+  virtual void AppStateDigest(StateHash& hash) const;
+
   // Names of open popup hosts / windows containing `control`, outermost
   // first. Lets commands resolve path-dependent meaning ("Font Color" vs
   // "Underline Color" hosting the same palette).
@@ -181,6 +246,10 @@ class Application {
 
  private:
   class DesktopRoot;
+
+  // Visits every statically owned control: main window, all registered
+  // dialogs (open or not), and all shared subtrees. Deterministic order.
+  void WalkAllControls(const std::function<void(Control&)>& fn);
 
   // Closes transient popups that do not contain `keep`; pass nullptr to
   // close all.
@@ -205,6 +274,12 @@ class Application {
   InstabilityInjector* instability_ = nullptr;
   std::vector<WindowListener> window_listeners_;
   std::map<uint64_t, uint64_t> reveal_ticks_;  // runtime id -> visible-at tick
+
+  // Factory-reset snapshots (CaptureFreshState). Controls are never removed
+  // once captured, so the raw pointers stay valid for the app's lifetime.
+  std::vector<std::pair<Control*, Control::FreshState>> fresh_controls_;
+  size_t fresh_listener_count_ = 0;
+  bool fresh_captured_ = false;
 };
 
 }  // namespace gsim

@@ -445,6 +445,41 @@ void Control::set_range_value(double v) {
   }
 }
 
+Control::FreshState Control::CaptureFreshState() const {
+  FreshState s;
+  s.name = name_;
+  s.enabled = enabled_;
+  s.forced_offscreen = forced_offscreen_;
+  s.popup_open = popup_open_;
+  s.toggled = toggled_;
+  s.selected = selected_;
+  s.text_value = text_value_;
+  s.range_value = range_value_;
+  s.child_count = children_.size();
+  s.parent = parent_;
+  s.window = window_;
+  return s;
+}
+
+void Control::RestoreFreshState(const FreshState& s) {
+  name_ = s.name;
+  enabled_ = s.enabled;
+  forced_offscreen_ = s.forced_offscreen;
+  popup_open_ = s.popup_open;
+  toggled_ = s.toggled;
+  selected_ = s.selected;
+  text_value_ = s.text_value;
+  range_value_ = s.range_value;
+  // Children added after capture (dynamic structure growth) are dropped so
+  // the static tree matches a freshly built one.
+  if (children_.size() > s.child_count) {
+    children_.resize(s.child_count);
+    child_ptrs_.resize(s.child_count);
+  }
+  parent_ = s.parent;
+  window_ = s.window;
+}
+
 void Control::SetWindow(Window* window) { window_ = window; }
 
 void Control::SetApplication(Application* app) { app_ = app; }

@@ -163,6 +163,28 @@ class Control final : public uia::Element {
   double range_min() const { return range_min_; }
   double range_max() const { return range_max_; }
 
+  // ----- factory-reset support (Application::ResetToFreshState) --------------
+  // Snapshot of every field a run can mutate, including parent/window wiring
+  // (a shared popup adopts its opening host as parent, see SetPopupOpen).
+  // Captured right after construction; restored wholesale when a pooled
+  // application instance is recycled. Restore writes fields directly — the
+  // application bumps the UI generation once for the whole reset.
+  struct FreshState {
+    std::string name;
+    bool enabled = true;
+    bool forced_offscreen = false;
+    bool popup_open = false;
+    bool toggled = false;
+    bool selected = false;
+    std::string text_value;
+    double range_value = 0.0;
+    size_t child_count = 0;
+    Control* parent = nullptr;
+    Window* window = nullptr;
+  };
+  FreshState CaptureFreshState() const;
+  void RestoreFreshState(const FreshState& state);
+
   // Recursively wires window/app pointers through a subtree (called when a
   // subtree is attached to a window or application).
   void PropagateContext(Window* window, Application* app);

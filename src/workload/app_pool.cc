@@ -1,0 +1,79 @@
+#include "src/workload/app_pool.h"
+
+#include <utility>
+
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
+
+namespace workload {
+
+void AppPool::Lease::Release() {
+  if (app_ == nullptr) {
+    return;
+  }
+  if (pool_ == nullptr) {
+    app_.reset();  // unpooled throwaway instance
+    return;
+  }
+  AppPool* pool = pool_;
+  pool_ = nullptr;
+  pool->Return(kind_, std::move(app_), fresh_checksum_);
+}
+
+AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
+  support::CountMetric("app_pool.leases");
+  if (!pooled) {
+    support::CountMetric("app_pool.creates");
+    return Lease(nullptr, task.app, task.make_app(), 0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Idle>& shelf = idle_[task.app];
+    if (!shelf.empty()) {
+      Idle entry = std::move(shelf.back());
+      shelf.pop_back();
+      support::CountMetric("app_pool.reuses");
+      return Lease(this, task.app, std::move(entry.app), entry.fresh_checksum);
+    }
+  }
+  support::CountMetric("app_pool.creates");
+  std::unique_ptr<gsim::Application> app = task.make_app();
+  app->CaptureFreshState();
+  // The reference checksum is taken before any run touches the instance (and
+  // before any injector attaches), so it describes the pristine state that
+  // every later reset must reproduce.
+  const uint64_t fresh_checksum = options_.verify_reset ? app->UiaStateChecksum() : 0;
+  return Lease(this, task.app, std::move(app), fresh_checksum);
+}
+
+void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
+                     uint64_t fresh_checksum) {
+  app->ResetToFreshState();
+  support::CountMetric("app_pool.resets");
+  if (options_.verify_reset) {
+    const uint64_t reset_checksum = app->UiaStateChecksum();
+    if (reset_checksum != fresh_checksum) {
+      support::CountMetric("app_pool.reset_mismatches");
+      DMI_LOG(kError) << "app_pool: reset of '" << app->name()
+                      << "' diverged from its fresh state (checksum "
+                      << reset_checksum << " != " << fresh_checksum
+                      << "); discarding the instance";
+      return;  // the instance is destroyed, never reused
+    }
+    support::CountMetric("app_pool.resets_verified");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Idle>& shelf = idle_[kind];
+  if (shelf.size() >= options_.max_idle_per_kind) {
+    return;  // shelf full; drop the instance
+  }
+  shelf.push_back(Idle{std::move(app), fresh_checksum});
+}
+
+size_t AppPool::IdleCount(AppKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = idle_.find(kind);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+}  // namespace workload

@@ -1,0 +1,117 @@
+// AppPool: a reset-based application pool for the suite harness (DESIGN.md
+// §10).
+//
+// Constructing a synthetic Office-scale app allocates a >4,000-control tree;
+// the paper's evaluation tears one down and rebuilds one for every RunOnce.
+// The pool amortizes that: workers lease an instance per AppKind and, on
+// return, the instance is factory-reset (Application::ResetToFreshState) —
+// injector detached, document model reseeded, every control snapshot
+// restored — instead of destroyed.
+//
+// Reset-equivalence contract: a pooled-and-reset instance must be
+// behaviorally indistinguishable from a freshly constructed one. With
+// `verify_reset` on (default in debug builds), every return recomputes the
+// UIA-tree checksum and compares it against the instance's own
+// fresh-at-construction checksum; a mismatch counts `app_pool.reset_mismatches`
+// and the instance is discarded, never reused — pooling can fail slow, but it
+// can never silently change semantics.
+#ifndef SRC_WORKLOAD_APP_POOL_H_
+#define SRC_WORKLOAD_APP_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/gui/application.h"
+#include "src/workload/tasks.h"
+
+namespace workload {
+
+class AppPool {
+ public:
+  struct Options {
+    // Verify after every reset that the recycled instance checksums equal to
+    // its freshly constructed self. Debug builds default on; release builds
+    // default off (the checksum walks the full tree).
+#ifndef NDEBUG
+    bool verify_reset = true;
+#else
+    bool verify_reset = false;
+#endif
+    size_t max_idle_per_kind = 64;
+  };
+
+  // RAII lease: hands out a ready-to-use Application and returns it to the
+  // pool (factory-reset) on destruction. An unpooled lease owns a throwaway
+  // instance destroyed on release, so both paths share one interface.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        kind_ = other.kind_;
+        fresh_checksum_ = other.fresh_checksum_;
+        app_ = std::move(other.app_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    gsim::Application* get() const { return app_.get(); }
+    gsim::Application& operator*() const { return *app_; }
+    gsim::Application* operator->() const { return app_.get(); }
+    explicit operator bool() const { return app_ != nullptr; }
+
+    // Resets and returns the instance now (idempotent).
+    void Release();
+
+   private:
+    friend class AppPool;
+    Lease(AppPool* pool, AppKind kind, std::unique_ptr<gsim::Application> app,
+          uint64_t fresh_checksum)
+        : pool_(pool), kind_(kind), fresh_checksum_(fresh_checksum), app_(std::move(app)) {}
+
+    AppPool* pool_ = nullptr;  // null for unpooled leases
+    AppKind kind_ = AppKind::kWord;
+    uint64_t fresh_checksum_ = 0;
+    std::unique_ptr<gsim::Application> app_;
+  };
+
+  AppPool() = default;
+  explicit AppPool(Options options) : options_(options) {}
+
+  // Leases an instance for `task`: reuses an idle pooled instance of the
+  // task's AppKind, else constructs one via task.make_app(). `pooled = false`
+  // constructs a throwaway instance (the unpooled baseline path).
+  // Thread-safe; the expensive work (construction, reset, checksum) runs
+  // outside the pool lock on the exclusively-owned instance.
+  Lease Acquire(const Task& task, bool pooled = true);
+
+  size_t IdleCount(AppKind kind);
+
+ private:
+  struct Idle {
+    std::unique_ptr<gsim::Application> app;
+    uint64_t fresh_checksum = 0;
+  };
+
+  // Called by Lease::Release: factory-reset, verify, and re-shelve (or
+  // discard on mismatch / overflow).
+  void Return(AppKind kind, std::unique_ptr<gsim::Application> app, uint64_t fresh_checksum);
+
+  Options options_;
+  std::mutex mu_;
+  std::map<AppKind, std::vector<Idle>> idle_;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_APP_POOL_H_

@@ -1,0 +1,324 @@
+// Tests for the amortized run-startup machinery (DESIGN.md §10): the
+// reset-based application pool's reset-equivalence contract, injector
+// clearing on lease return, concurrent sharing of the immutable
+// CompiledModel, and the pooled == unpooled suite-result guarantee.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/agent/task_runner.h"
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/compiled_model.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
+#include "src/uia/tree.h"
+#include "src/workload/app_pool.h"
+#include "src/workload/tasks.h"
+
+namespace {
+
+using namespace agentsim;
+
+gsim::Control* Find(gsim::Application& app, const std::string& name) {
+  auto* ctrl = static_cast<gsim::Control*>(uia::FindByName(app.main_window().root(), name));
+  EXPECT_NE(ctrl, nullptr) << "control not found: " << name;
+  return ctrl;
+}
+
+gsim::Control* FindInTop(gsim::Application& app, const std::string& name) {
+  auto* ctrl = static_cast<gsim::Control*>(uia::FindByName(app.TopWindow()->root(), name));
+  EXPECT_NE(ctrl, nullptr) << "control not found in top window: " << name;
+  return ctrl;
+}
+
+support::Status ClickByName(gsim::Application& app, const std::string& name) {
+  gsim::Control* ctrl = Find(app, name);
+  if (ctrl == nullptr) {
+    return support::Status(support::StatusCode::kNotFound, name);
+  }
+  return app.Click(*ctrl);
+}
+
+// ----- reset-equivalence checksums -------------------------------------------------
+
+// The UIA-tree checksum excludes runtime ids and the UI generation, so two
+// independently constructed instances of the same app checksum identically —
+// the property the pool's verification leans on.
+TEST(ResetEquivalenceTest, FreshChecksumsAreInstanceIndependent) {
+  {
+    apps::WordSim a, b;
+    EXPECT_EQ(a.UiaStateChecksum(), b.UiaStateChecksum());
+  }
+  {
+    apps::ExcelSim a, b;
+    EXPECT_EQ(a.UiaStateChecksum(), b.UiaStateChecksum());
+  }
+  {
+    apps::PpointSim a, b;
+    EXPECT_EQ(a.UiaStateChecksum(), b.UiaStateChecksum());
+  }
+}
+
+TEST(ResetEquivalenceTest, WordResetMatchesFreshAfterMutations) {
+  apps::WordSim fresh;
+  const uint64_t want = fresh.UiaStateChecksum();
+
+  apps::WordSim app;
+  app.CaptureFreshState();
+  ASSERT_EQ(app.UiaStateChecksum(), want);
+
+  // Document edits + ribbon state.
+  app.SetSelection(0, 2);
+  ASSERT_TRUE(ClickByName(app, "Bold").ok());
+  ASSERT_TRUE(ClickByName(app, "Design").ok());
+  ASSERT_TRUE(ClickByName(app, "Page Color").ok());
+  ASSERT_TRUE(ClickByName(app, "Gold").ok());
+  // Scrolled state.
+  auto* scroll = uia::PatternCast<uia::ScrollPattern>(*app.document_control());
+  ASSERT_NE(scroll, nullptr);
+  ASSERT_TRUE(scroll->SetScrollPercent(uia::ScrollPattern::kNoScroll, 80.0).ok());
+  // Dialog-open state with typed content (Replace lives on the Home tab).
+  ASSERT_TRUE(ClickByName(app, "Home").ok());
+  ASSERT_TRUE(ClickByName(app, "Replace").ok());
+  ASSERT_EQ(app.TopWindow()->title(), "Find and Replace");
+  gsim::Control* find_what = FindInTop(app, "Find what");
+  ASSERT_NE(find_what, nullptr);
+  ASSERT_TRUE(app.Click(*find_what).ok());
+  ASSERT_TRUE(app.TypeText("profit").ok());
+
+  EXPECT_NE(app.UiaStateChecksum(), want);
+  app.ResetToFreshState();
+  EXPECT_EQ(app.UiaStateChecksum(), want);
+  // Reset is idempotent.
+  app.ResetToFreshState();
+  EXPECT_EQ(app.UiaStateChecksum(), want);
+}
+
+TEST(ResetEquivalenceTest, ExcelResetMatchesFreshAfterMutations) {
+  apps::ExcelSim fresh;
+  const uint64_t want = fresh.UiaStateChecksum();
+
+  apps::ExcelSim app;
+  app.CaptureFreshState();
+  ASSERT_EQ(app.UiaStateChecksum(), want);
+
+  // Select, commit a new cell value, and scroll the grid viewport.
+  ASSERT_TRUE(app.Click(*app.CellControl(20, 4)).ok());
+  ASSERT_TRUE(app.Click(*app.formula_bar()).ok());
+  ASSERT_TRUE(app.TypeText("hello").ok());
+  ASSERT_TRUE(app.PressKey("ENTER").ok());
+  ASSERT_NE(app.find_cell(20, 4), nullptr);
+  auto* scroll = uia::PatternCast<uia::ScrollPattern>(*app.grid_control());
+  ASSERT_NE(scroll, nullptr);
+  ASSERT_TRUE(scroll->SetScrollPercent(uia::ScrollPattern::kNoScroll, 80.0).ok());
+
+  EXPECT_NE(app.UiaStateChecksum(), want);
+  app.ResetToFreshState();
+  EXPECT_EQ(app.UiaStateChecksum(), want);
+  EXPECT_EQ(app.find_cell(20, 4), nullptr);
+}
+
+TEST(ResetEquivalenceTest, PpointResetMatchesFreshAfterMutations) {
+  apps::PpointSim fresh;
+  const uint64_t want = fresh.UiaStateChecksum();
+
+  apps::PpointSim app;
+  app.CaptureFreshState();
+  ASSERT_EQ(app.UiaStateChecksum(), want);
+
+  // Switch slides and select the image shape — reveals the Picture Format
+  // context tab.
+  ASSERT_TRUE(ClickByName(app, "Slide 3").ok());
+  ASSERT_TRUE(ClickByName(app, "Image: Quarterly chart screenshot").ok());
+  EXPECT_GE(app.selected_shape(), 0);
+  // Open the Format Background pane and recolor every slide.
+  ASSERT_TRUE(ClickByName(app, "Design").ok());
+  ASSERT_TRUE(ClickByName(app, "Format Background").ok());
+  ASSERT_TRUE(ClickByName(app, "Fill Color").ok());
+  ASSERT_TRUE(ClickByName(app, "Blue").ok());
+  ASSERT_TRUE(ClickByName(app, "Apply to All").ok());
+
+  EXPECT_NE(app.UiaStateChecksum(), want);
+  app.ResetToFreshState();
+  EXPECT_EQ(app.UiaStateChecksum(), want);
+  for (const auto& slide : app.slides()) {
+    EXPECT_NE(slide.background_color, "Blue");
+  }
+}
+
+// ----- the pool itself -------------------------------------------------------------
+
+workload::Task BenchTask(workload::AppKind kind) {
+  workload::Task task;
+  task.id = "pool-test";
+  task.app = kind;
+  switch (kind) {
+    case workload::AppKind::kWord:
+      task.make_app = [] { return std::make_unique<apps::WordSim>(); };
+      break;
+    case workload::AppKind::kExcel:
+      task.make_app = [] { return std::make_unique<apps::ExcelSim>(); };
+      break;
+    case workload::AppKind::kPpoint:
+      task.make_app = [] { return std::make_unique<apps::PpointSim>(); };
+      break;
+  }
+  return task;
+}
+
+TEST(AppPoolTest, ReuseSurvivesVerifiedResetCycles) {
+  workload::AppPool::Options options;
+  options.verify_reset = true;  // force on even in release builds
+  workload::AppPool pool(options);
+  const workload::Task task = BenchTask(workload::AppKind::kWord);
+
+  gsim::Application* first = nullptr;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    workload::AppPool::Lease lease = pool.Acquire(task);
+    ASSERT_TRUE(lease);
+    if (first == nullptr) {
+      first = lease.get();
+    } else {
+      // A verification failure would discard the instance; surviving reuse
+      // of the same pointer proves every reset checksum matched.
+      EXPECT_EQ(lease.get(), first) << "pooled instance was discarded on cycle " << cycle;
+    }
+    auto& word = static_cast<apps::WordSim&>(*lease);
+    gsim::Control* bold = Find(word, "Bold");
+    ASSERT_NE(bold, nullptr);
+    word.SetSelection(0, 1);
+    ASSERT_TRUE(word.Click(*bold).ok());
+  }
+  EXPECT_EQ(pool.IdleCount(workload::AppKind::kWord), 1u);
+}
+
+TEST(AppPoolTest, UnpooledLeaseIsThrowaway) {
+  workload::AppPool pool;
+  const workload::Task task = BenchTask(workload::AppKind::kExcel);
+  {
+    workload::AppPool::Lease lease = pool.Acquire(task, /*pooled=*/false);
+    ASSERT_TRUE(lease);
+  }
+  EXPECT_EQ(pool.IdleCount(workload::AppKind::kExcel), 0u);
+}
+
+// ----- injector clearing -----------------------------------------------------------
+
+void ExpectSameResult(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.success, b.success) << what;
+  EXPECT_EQ(a.llm_calls, b.llm_calls) << what;
+  EXPECT_EQ(a.core_calls, b.core_calls) << what;
+  EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s) << what;
+  EXPECT_EQ(a.prompt_tokens, b.prompt_tokens) << what;
+  EXPECT_EQ(a.output_tokens, b.output_tokens) << what;
+  EXPECT_EQ(a.ui_actions, b.ui_actions) << what;
+  EXPECT_EQ(a.cause, b.cause) << what;
+}
+
+// A run on a pooled instance that previously hosted a high-instability run
+// must behave exactly like a run on a fresh instance: the lease return
+// detaches the injector and the factory reset erases every trace of it.
+TEST(AppPoolTest, PooledRunAfterHighInstabilityMatchesFresh) {
+  const std::vector<workload::Task> suite = workload::BuildOsworldWSuite();
+  for (InterfaceMode mode : {InterfaceMode::kGuiOnly, InterfaceMode::kGuiPlusDmi}) {
+    TaskRunner pooled_runner;
+    RunConfig noisy;
+    noisy.mode = mode;
+    noisy.instability = gsim::InstabilityConfig::Harsh();
+    pooled_runner.RunOnce(suite[0], noisy, /*seed=*/999);
+
+    RunConfig calm;
+    calm.mode = mode;
+    const RunResult pooled = pooled_runner.RunOnce(suite[0], calm, /*seed=*/1234);
+
+    TaskRunner fresh_runner;
+    RunConfig calm_unpooled = calm;
+    calm_unpooled.pool_apps = false;
+    const RunResult fresh = fresh_runner.RunOnce(suite[0], calm_unpooled, /*seed=*/1234);
+    ExpectSameResult(pooled, fresh,
+                     std::string("mode=") + InterfaceModeName(mode));
+  }
+}
+
+// ----- concurrent CompiledModel sharing --------------------------------------------
+
+TEST(CompiledModelTest, ConcurrentThinSessionsAgree) {
+  dmi::ModelingOptions options = TaskRunner::DefaultModelingOptions(workload::AppKind::kWord);
+  apps::WordSim scratch;
+  ripper::GuiRipper rip(scratch, options.ripper_config);
+  const topo::NavGraph graph = rip.Rip(options.contexts);
+  std::shared_ptr<const dmi::CompiledModel> model = dmi::CompiledModel::Compile(graph, options);
+
+  apps::WordSim reference_app;
+  dmi::DmiSession reference(reference_app, model);
+  const std::string want = reference.BuildPromptContextUncached();
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> prompts(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      apps::WordSim app;
+      dmi::DmiSession session(app, model);
+      prompts[static_cast<size_t>(i)] = session.BuildPromptContextUncached();
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(prompts[static_cast<size_t>(i)], want) << "thread " << i;
+  }
+}
+
+// ----- pooled == unpooled suite results --------------------------------------------
+
+void ExpectSameSuite(const SuiteResult& a, const SuiteResult& b, const std::string& what) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << what;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].task_id, b.records[i].task_id) << what;
+    ASSERT_EQ(a.records[i].runs.size(), b.records[i].runs.size()) << what;
+    for (size_t r = 0; r < a.records[i].runs.size(); ++r) {
+      ExpectSameResult(a.records[i].runs[r], b.records[i].runs[r],
+                       what + " task " + a.records[i].task_id);
+    }
+  }
+}
+
+// The pool must be invisible in the results: for every interface mode, a
+// pooled suite equals an unpooled one field-for-field, serial or parallel.
+TEST(SuiteEquivalenceTest, PooledMatchesUnpooledAcrossModesAndWorkers) {
+  const std::vector<workload::Task> suite = workload::BuildOsworldWSuite();
+  for (InterfaceMode mode :
+       {InterfaceMode::kGuiOnly, InterfaceMode::kGuiOnlyForest, InterfaceMode::kGuiPlusDmi}) {
+    RunConfig base;
+    base.mode = mode;
+    base.repeats = 1;
+    TaskRunner reference_runner;
+    const SuiteResult reference = reference_runner.RunSuite(suite, base);
+
+    for (bool pooled : {true, false}) {
+      for (int workers : {1, 4}) {
+        if (pooled && workers == 1) {
+          continue;  // that is the reference configuration itself
+        }
+        RunConfig config = base;
+        config.pool_apps = pooled;
+        config.workers = workers;
+        TaskRunner runner;
+        const SuiteResult result = runner.RunSuite(suite, config);
+        ExpectSameSuite(result, reference,
+                        std::string(InterfaceModeName(mode)) + " pooled=" +
+                            (pooled ? "1" : "0") + " workers=" + std::to_string(workers));
+      }
+    }
+  }
+}
+
+}  // namespace

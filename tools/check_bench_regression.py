@@ -30,6 +30,8 @@ CHECKS = [
     ("micro_capture", "lookup", "app", "warm_find_speedup"),
     ("micro_describe", "describe", "app", "warm_full_speedup"),
     ("micro_describe", "describe", "app", "warm_prompt_speedup"),
+    ("micro_session", "sessions", "app", "warm_session_speedup"),
+    ("micro_session", "pool", "app", "pooled_setup_speedup"),
 ]
 
 

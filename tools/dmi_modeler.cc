@@ -18,6 +18,7 @@
 #include "src/apps/excel_sim.h"
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
+#include "src/dmi/compiled_model.h"
 #include "src/dmi/session.h"
 #include "src/ripper/ripper.h"
 
@@ -106,16 +107,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rs.captures),
               static_cast<unsigned long long>(rs.explored), rs.simulated_ms / 60000.0);
 
-  std::unique_ptr<gsim::Application> probe = MakeApp(app_name, &kind);
-  dmi::DmiSession session(*probe, graph, options);
-  const dmi::ModelingStats& s = session.stats();
+  std::shared_ptr<const dmi::CompiledModel> model = dmi::CompiledModel::Compile(graph, options);
+  const dmi::ModelingStats& s = model->stats();
   std::printf("pipeline: %zu back-edges removed | forest %zu nodes, %zu shared subtrees, "
               "%zu refs | core %zu nodes / %zu tokens (full %zu tokens)\n",
               s.back_edges_removed, s.forest_nodes, s.shared_subtrees, s.references,
               s.core_nodes, s.core_tokens, s.full_tokens);
 
   if (print_core) {
-    std::printf("\n%s\n", session.catalog().CoreText().c_str());
+    std::printf("\n%s\n", model->catalog().CoreText().c_str());
   }
   if (!out_path.empty()) {
     support::Status st = dmi::DmiSession::SaveModel(graph, out_path);

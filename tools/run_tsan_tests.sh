@@ -2,9 +2,11 @@
 # Build and run the concurrency-sensitive tests under ThreadSanitizer.
 #
 # The tracing/metrics layer is lock-light by design (thread-local span
-# buffers, relaxed atomics, destructor-flushed tallies), and the describe
-# layer's catalog caches are call_once-lazy on an immutable forest; this job
-# is the proof. Usage: tools/run_tsan_tests.sh [build-dir]
+# buffers, relaxed atomics, destructor-flushed tallies), the describe layer's
+# catalog caches are call_once-lazy on an immutable forest, and the run
+# harness shares one CompiledModel per app plus a mutex-guarded application
+# pool across suite workers; this job is the proof.
+# Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,6 +14,7 @@ build_dir="${1:-$repo_root/build-tsan}"
 
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" --target support_test agent_test integration_test describe_test
+cmake --build "$build_dir" --target support_test agent_test integration_test \
+    describe_test pool_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence'
