@@ -131,6 +131,12 @@ RunResult BaselineGuiAgent::Run(const workload::Task& task, gsim::Application& a
   auto fail = [&](FailureCause cause) {
     rr.success = false;
     rr.cause = doom != FailureCause::kNone ? doom : cause;
+    support::ErrorDetail d;
+    d.retryable = false;
+    d.attempts = 1;
+    rr.final_status = support::FailedPreconditionError(
+                          "run failed: " + std::string(FailureCauseName(rr.cause)))
+                          .WithDetail(std::move(d));
     // Framework still runs its final verification step.
     spend_call(60);
     return rr;
@@ -419,6 +425,13 @@ RunResult BaselineGuiAgent::Run(const workload::Task& task, gsim::Application& a
     } else {
       rr.cause = FailureCause::kNavigationError;
     }
+    support::ErrorDetail d;
+    d.retryable = false;
+    d.attempts = 1;
+    rr.final_status = support::FailedPreconditionError(
+                          "task verification failed: " +
+                          std::string(FailureCauseName(rr.cause)))
+                          .WithDetail(std::move(d));
   }
   return rr;
 }

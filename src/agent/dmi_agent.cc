@@ -4,6 +4,7 @@
 
 #include "src/apps/excel_sim.h"
 #include "src/gui/input.h"
+#include "src/support/metrics.h"
 #include "src/support/trace.h"
 #include "src/uia/tree.h"
 #include "src/text/tokens.h"
@@ -51,6 +52,13 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
     rr.success = false;
     rr.cause = llm.rng().Bernoulli(0.6) ? FailureCause::kNavigationError
                                         : FailureCause::kCompositeInteractionError;
+    support::ErrorDetail residual;
+    residual.retryable = false;
+    residual.attempts = 1;
+    rr.final_status = support::UnavailableError(
+                          "residual mechanism failure: " +
+                          std::string(FailureCauseName(rr.cause)))
+                          .WithDetail(std::move(residual));
     return rr;
   }
 
@@ -87,6 +95,12 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
   }
 
   FailureCause pending_cause = FailureCause::kNone;
+  // Resume-from-failure bookkeeping: the number of leading commands of the
+  // current turn's batch that already executed successfully in an earlier
+  // attempt. The executor aborts at the first failure, so everything before
+  // it ran for real — a retried turn must not replay that prefix (most
+  // critically shortcuts, whose key chords are not idempotent).
+  size_t resume_skip = 0;
 
   // Executes one turn; returns OK or the failure to surface.
   auto run_visit_turn = [&](const std::vector<const DmiStep*>& steps) -> support::Status {
@@ -172,10 +186,28 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
         }
       }
     }
+    if (resume_skip > 0) {
+      const size_t skip = std::min(resume_skip, commands.size());
+      commands.erase(commands.begin(),
+                     commands.begin() + static_cast<std::ptrdiff_t>(skip));
+      support::CountMetric("robust.resume_skipped_commands", skip);
+    }
     dmi::VisitReport report = session.VisitParsed(std::move(commands));
     rr.sim_time_s += static_cast<double>(report.ui_actions) * 0.15;
     rr.ui_actions += report.ui_actions;
+    if (config_.capture_report_json) {
+      rr.report_json = report.RenderJson();
+    }
     if (!report.overall.ok()) {
+      size_t ok_prefix = 0;
+      for (const dmi::CommandReport& cr : report.commands) {
+        if (cr.filtered || cr.status.ok()) {
+          ++ok_prefix;
+        } else {
+          break;
+        }
+      }
+      resume_skip += ok_prefix;
       if (pending_cause == FailureCause::kNone) {
         pending_cause = FailureCause::kNavigationError;
       }
@@ -320,14 +352,49 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
   };
 
   // ----- the turn loop -------------------------------------------------------------
+  const support::Deadline& deadline = session.run_deadline();
   const auto turns = GroupIntoTurns(plan);
   for (const auto& turn : turns) {
     int attempts = 0;
+    resume_skip = 0;
     while (true) {
       if (rr.llm_calls >= config_.step_cap - 2) {
         rr.success = false;
         rr.cause = doom != FailureCause::kNone ? doom : FailureCause::kStepBudgetExhausted;
+        support::ErrorDetail d;
+        d.retryable = false;
+        d.attempts = attempts + 1;
+        rr.final_status = support::DeadlineExceededError(
+                              "step budget exhausted (cap " +
+                              std::to_string(config_.step_cap) + ")")
+                              .WithDetail(std::move(d));
         spend_call(60);
+        return rr;
+      }
+      if (deadline.Expired(app.current_tick())) {
+        // Per-run tick budget exhausted (DESIGN.md §11). Degrade gracefully:
+        // one re-describe + re-locate pass — refresh the screen and re-verify,
+        // since the work done so far may already satisfy the task (e.g. only
+        // the confirming notification was dropped) — before reporting the
+        // typed deadline failure.
+        support::CountMetric("robust.deadline_degradations");
+        session.screen().Refresh();
+        spend_call(60);
+        if (task.verify(app)) {
+          rr.success = true;
+          return rr;
+        }
+        rr.success = false;
+        rr.cause = FailureCause::kDeadlineExceeded;
+        if (rr.final_status.ok()) {
+          support::ErrorDetail d;
+          d.retryable = false;
+          d.attempts = attempts + 1;
+          rr.final_status = support::DeadlineExceededError(
+                                "run deadline exhausted at tick " +
+                                std::to_string(app.current_tick()))
+                                .WithDetail(std::move(d));
+        }
         return rr;
       }
       app.Tick();
@@ -341,6 +408,13 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
       if (s.ok()) {
         break;
       }
+      if (s.code() == support::StatusCode::kDeadlineExceeded) {
+        // The executor refused (part of) the turn because the run deadline
+        // lapsed mid-batch; route to the graceful-degradation gate above
+        // keeping the executor's status (it carries the richer ErrorDetail).
+        rr.final_status = s;
+        continue;
+      }
       // Structured error feedback lets the agent re-plan once per turn.
       if (++attempts > config_.max_step_retries) {
         rr.success = false;
@@ -349,6 +423,15 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
                        : (pending_cause != FailureCause::kNone
                               ? pending_cause
                               : FailureCause::kNavigationError);
+        if (!s.has_detail()) {
+          // Interaction/GUI-fallback turns can surface bare statuses; every
+          // terminal failure must still carry an ErrorDetail (DESIGN.md §11).
+          support::ErrorDetail d;
+          d.retryable = support::IsRetryable(s);
+          d.attempts = attempts;
+          s = std::move(s).WithDetail(std::move(d));
+        }
+        rr.final_status = s;
         spend_call(60);
         return rr;
       }
@@ -393,6 +476,9 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
         dmi::VisitReport report = session.VisitParsed(std::move(commands));
         rr.sim_time_s += static_cast<double>(report.ui_actions) * 0.15;
         rr.ui_actions += report.ui_actions;
+        if (config_.capture_report_json) {
+          rr.report_json = report.RenderJson();
+        }
       } else {
         (void)run_interaction_turn(*turn[0]);
       }
@@ -410,6 +496,13 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
     } else {
       rr.cause = FailureCause::kControlSemanticsMisread;
     }
+    support::ErrorDetail d;
+    d.retryable = false;
+    d.attempts = 1;
+    rr.final_status = support::FailedPreconditionError(
+                          "task verification failed: " +
+                          std::string(FailureCauseName(rr.cause)))
+                          .WithDetail(std::move(d));
   }
   return rr;
 }

@@ -24,6 +24,8 @@ std::string_view FailureCauseName(FailureCause cause) {
       return "visual recognition error";
     case FailureCause::kStepBudgetExhausted:
       return "step budget exhausted";
+    case FailureCause::kDeadlineExceeded:
+      return "run deadline exceeded";
   }
   return "?";
 }
@@ -47,6 +49,7 @@ bool IsMechanismFailure(FailureCause cause) {
     case FailureCause::kCompositeInteractionError:
     case FailureCause::kVisualRecognitionError:
     case FailureCause::kStepBudgetExhausted:
+    case FailureCause::kDeadlineExceeded:
       return true;
     default:
       return false;

@@ -23,6 +23,7 @@ enum class FailureCause {
   kCompositeInteractionError, // drag / multi-step interaction failed
   kVisualRecognitionError,  // grounding: clicked the wrong thing
   kStepBudgetExhausted,     // 30-step cap (counted as navigation-class)
+  kDeadlineExceeded,        // per-run tick budget exhausted (DESIGN.md §11)
 };
 
 std::string_view FailureCauseName(FailureCause cause);

@@ -3,8 +3,10 @@
 #define SRC_AGENT_RUN_RESULT_H_
 
 #include <cstddef>
+#include <string>
 
 #include "src/agent/failure.h"
+#include "src/support/status.h"
 
 namespace agentsim {
 
@@ -22,6 +24,13 @@ struct RunResult {
   size_t output_tokens = 0;
   size_t ui_actions = 0;  // concrete UI operations executed (clicks/keys/...)
   FailureCause cause = FailureCause::kNone;
+  // Structured terminal status (DESIGN.md §11): Ok on success; on failure,
+  // the status that killed the run, carrying its ErrorDetail payload
+  // (offending control, required pattern, retryable flag, attempts consumed).
+  support::Status final_status;
+  // RenderJson() of the last visit report, captured only when the harness
+  // asks for it (dmi_run --report-json). Empty otherwise.
+  std::string report_json;
 };
 
 }  // namespace agentsim

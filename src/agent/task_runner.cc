@@ -182,9 +182,18 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
     dmi::SessionOptions session_options;
     session_options.visit = config.visit;
     session_options.interaction = model.compiled->options().interaction;
+    session_options.interaction.retry = config.interaction_retry;
     dmi::DmiSession session(app, model.compiled, session_options);
+    // Backoff jitter is seeded per trial: deterministic for a given seed,
+    // decorrelated across trials.
+    session.SeedRetryRng(seed);
+    if (config.run_deadline_ticks > 0) {
+      session.SetRunDeadline(
+          support::Deadline::AtTicks(app.current_tick(), config.run_deadline_ticks));
+    }
     DmiAgentConfig agent_config;
     agent_config.step_cap = config.step_cap;
+    agent_config.capture_report_json = config.capture_report_json;
     DmiAgent agent(agent_config);
     return agent.Run(task, session, llm);
   }

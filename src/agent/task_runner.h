@@ -20,6 +20,7 @@
 #include "src/agent/llm_profile.h"
 #include "src/agent/run_result.h"
 #include "src/dmi/compiled_model.h"
+#include "src/dmi/policy.h"
 #include "src/dmi/session.h"
 #include "src/workload/app_pool.h"
 #include "src/workload/tasks.h"
@@ -51,6 +52,25 @@ struct RunConfig {
   // byte-identical results — the pool's reset-equivalence contract is
   // checksum-verified in debug builds (DESIGN.md §10).
   bool pool_apps = true;
+  // Per-run tick budget (DESIGN.md §11). 0 = unlimited. DMI mode only: the
+  // session's executor refuses commands past the budget and the agent runs
+  // one graceful re-describe pass before reporting kDeadlineExceeded.
+  uint64_t run_deadline_ticks = 0;
+  // Typed retry schedule for the interaction interfaces (DMI mode). Left
+  // unset, transient interaction failures fail fast (legacy behavior).
+  support::RetryPolicy interaction_retry;
+  // Capture RenderJson() of the last visit report into each RunResult
+  // (dmi_run --report-json pays this; everything else leaves it off).
+  bool capture_report_json = false;
+
+  // Adopts a robustness preset (dmi::Policy) wholesale: instability level,
+  // visit/interaction retry schedules, and the per-run deadline.
+  void ApplyPolicy(const dmi::Policy& policy) {
+    instability = policy.instability;
+    visit = policy.visit;
+    interaction_retry = policy.interaction.retry;
+    run_deadline_ticks = policy.run_deadline_ticks;
+  }
 };
 
 struct TaskRecord {

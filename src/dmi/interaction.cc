@@ -1,10 +1,25 @@
 #include "src/dmi/interaction.h"
 
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/text/tokens.h"
 #include "src/uia/element.h"
 
 namespace dmi {
+namespace {
+
+// Detail for a control that lacks the needed pattern: a capability mismatch,
+// never transient.
+support::ErrorDetail PatternDetail(const gsim::Control& control, const char* pattern) {
+  support::ErrorDetail d;
+  d.control_name = control.TrueName();
+  d.required_pattern = pattern;
+  d.retryable = false;
+  d.attempts = 1;
+  return d;
+}
+
+}  // namespace
 
 std::string ScrollStatus::ToString() const {
   return support::Format("scroll(h=%.1f%%, v=%.1f%%)", horizontal_percent, vertical_percent);
@@ -18,10 +33,43 @@ support::Result<gsim::Control*> InteractionInterfaces::Resolve(
     const std::string& label) const {
   gsim::Control* control = screen_->FindByLabel(label);
   if (control == nullptr) {
+    support::ErrorDetail d;
+    d.control_name = label;
+    d.retryable = false;
+    d.attempts = 1;
     return support::NotFoundError("no control labeled '" + label +
-                                  "' on the current screen");
+                                  "' on the current screen")
+        .WithDetail(std::move(d));
   }
   return control;
+}
+
+support::Status InteractionInterfaces::RetryTransient(
+    const std::function<support::Status()>& op) {
+  support::Status s = op();
+  int attempt = 1;
+  uint64_t backoff_total = 0;
+  while (!s.ok() && support::IsRetryable(s) && config_.retry.ShouldRetry(attempt)) {
+    support::CountMetric("robust.interaction_retries");
+    const uint64_t backoff = config_.retry.BackoffTicks(attempt, retry_rng_);
+    for (uint64_t t = 0; t < backoff; ++t) {
+      app_->Tick();
+    }
+    backoff_total += backoff;
+    ++attempt;
+    s = op();
+  }
+  if (!s.ok()) {
+    support::ErrorDetail d;
+    if (s.has_detail()) {
+      d = s.detail();
+    }
+    d.retryable = support::IsRetryable(s);
+    d.attempts = attempt;
+    d.backoff_ticks = backoff_total;
+    s = support::Status(s.code(), s.message()).WithDetail(std::move(d));
+  }
+  return s;
 }
 
 support::Result<ScrollStatus> InteractionInterfaces::SetScrollbarPos(const std::string& label,
@@ -34,11 +82,18 @@ support::Result<ScrollStatus> InteractionInterfaces::SetScrollbarPos(const std::
   auto* scroll = uia::PatternCast<uia::ScrollPattern>(**control);
   if (scroll == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support ScrollPattern");
+               "control '" + (*control)->TrueName() + "' does not support ScrollPattern")
+        .WithDetail(PatternDetail(**control, "ScrollPattern"));
   }
   const double h = x_percent < 0 ? uia::ScrollPattern::kNoScroll : x_percent;
   const double v = y_percent < 0 ? uia::ScrollPattern::kNoScroll : y_percent;
-  support::Status s = scroll->SetScrollPercent(h, v);
+  support::Status s = RetryTransient([&]() {
+    support::Status gate = app_->CheckPatternAvailable(**control, "ScrollPattern");
+    if (!gate.ok()) {
+      return gate;
+    }
+    return scroll->SetScrollPercent(h, v);
+  });
   if (!s.ok()) {
     return s;
   }
@@ -58,9 +113,11 @@ support::Result<SelectionStatus> InteractionInterfaces::SelectLines(const std::s
   auto* text = uia::PatternCast<uia::TextPattern>(**control);
   if (text == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support TextPattern");
+               "control '" + (*control)->TrueName() + "' does not support TextPattern")
+        .WithDetail(PatternDetail(**control, "TextPattern"));
   }
-  support::Status s = text->SelectRange(uia::TextUnit::kLine, start, end);
+  support::Status s =
+      RetryTransient([&]() { return text->SelectRange(uia::TextUnit::kLine, start, end); });
   if (!s.ok()) {
     return s;
   }
@@ -80,9 +137,11 @@ support::Result<SelectionStatus> InteractionInterfaces::SelectParagraphs(
   auto* text = uia::PatternCast<uia::TextPattern>(**control);
   if (text == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support TextPattern");
+               "control '" + (*control)->TrueName() + "' does not support TextPattern")
+        .WithDetail(PatternDetail(**control, "TextPattern"));
   }
-  support::Status s = text->SelectRange(uia::TextUnit::kParagraph, start, end);
+  support::Status s = RetryTransient(
+      [&]() { return text->SelectRange(uia::TextUnit::kParagraph, start, end); });
   if (!s.ok()) {
     return s;
   }
@@ -107,13 +166,15 @@ support::Status InteractionInterfaces::SelectControls(const std::vector<std::str
     auto* sel = uia::PatternCast<uia::SelectionItemPattern>(**control);
     if (sel == nullptr) {
       return support::FailedPreconditionError(
-          "control '" + (*control)->TrueName() +
-          "' does not support SelectionItemPattern; nothing was executed");
+                 "control '" + (*control)->TrueName() +
+                 "' does not support SelectionItemPattern; nothing was executed")
+          .WithDetail(PatternDetail(**control, "SelectionItemPattern"));
     }
     patterns.push_back(sel);
   }
   for (size_t i = 0; i < patterns.size(); ++i) {
-    support::Status s = i == 0 ? patterns[i]->Select() : patterns[i]->AddToSelection();
+    support::Status s = RetryTransient(
+        [&]() { return i == 0 ? patterns[i]->Select() : patterns[i]->AddToSelection(); });
     if (!s.ok()) {
       return s;
     }
@@ -130,13 +191,14 @@ support::Status InteractionInterfaces::SetToggleState(const std::string& label, 
   auto* toggle = uia::PatternCast<uia::TogglePattern>(**control);
   if (toggle == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support TogglePattern");
+               "control '" + (*control)->TrueName() + "' does not support TogglePattern")
+        .WithDetail(PatternDetail(**control, "TogglePattern"));
   }
   const uia::ToggleState want = on ? uia::ToggleState::kOn : uia::ToggleState::kOff;
   if (toggle->State() == want) {
     return support::Status::Ok();  // declarative: already in the target state
   }
-  support::Status s = toggle->Toggle();
+  support::Status s = RetryTransient([&]() { return toggle->Toggle(); });
   screen_->Refresh();
   return s;
 }
@@ -150,12 +212,13 @@ support::Status InteractionInterfaces::SetTexts(const std::string& label,
   auto* value = uia::PatternCast<uia::ValuePattern>(**control);
   if (value == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support ValuePattern");
+               "control '" + (*control)->TrueName() + "' does not support ValuePattern")
+        .WithDetail(PatternDetail(**control, "ValuePattern"));
   }
   if (value->GetValue() == text) {
     return support::Status::Ok();  // declarative: already in the target state
   }
-  support::Status s = value->SetValue(text);
+  support::Status s = RetryTransient([&]() { return value->SetValue(text); });
   screen_->Refresh();
   return s;
 }
@@ -169,12 +232,13 @@ support::Status InteractionInterfaces::SetRangeValue(const std::string& label,
   auto* range = uia::PatternCast<uia::RangeValuePattern>(**control);
   if (range == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support RangeValuePattern");
+               "control '" + (*control)->TrueName() + "' does not support RangeValuePattern")
+        .WithDetail(PatternDetail(**control, "RangeValuePattern"));
   }
   if (range->Value() == value) {
     return support::Status::Ok();  // declarative: already at the target
   }
-  support::Status s = range->SetValue(value);
+  support::Status s = RetryTransient([&]() { return range->SetValue(value); });
   screen_->Refresh();
   return s;
 }
@@ -187,9 +251,10 @@ support::Status InteractionInterfaces::SetExpanded(const std::string& label, boo
   auto* ec = uia::PatternCast<uia::ExpandCollapsePattern>(**control);
   if (ec == nullptr) {
     return support::FailedPreconditionError(
-        "control '" + (*control)->TrueName() + "' does not support ExpandCollapsePattern");
+               "control '" + (*control)->TrueName() + "' does not support ExpandCollapsePattern")
+        .WithDetail(PatternDetail(**control, "ExpandCollapsePattern"));
   }
-  support::Status s = expanded ? ec->Expand() : ec->Collapse();
+  support::Status s = RetryTransient([&]() { return expanded ? ec->Expand() : ec->Collapse(); });
   screen_->Refresh();
   return s;
 }
@@ -208,7 +273,8 @@ support::Result<std::string> InteractionInterfaces::GetTextsActive(const std::st
     return value->GetValue();
   }
   return support::FailedPreconditionError(
-      "control '" + (*control)->TrueName() + "' supports neither Text nor Value pattern");
+             "control '" + (*control)->TrueName() + "' supports neither Text nor Value pattern")
+      .WithDetail(PatternDetail(**control, "TextPattern|ValuePattern"));
 }
 
 std::string InteractionInterfaces::GetTextsPassive() const {

@@ -19,11 +19,14 @@
 #ifndef SRC_DMI_INTERACTION_H_
 #define SRC_DMI_INTERACTION_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/gui/application.h"
 #include "src/gui/screen.h"
+#include "src/support/retry.h"
+#include "src/support/rng.h"
 #include "src/support/status.h"
 
 namespace dmi {
@@ -47,6 +50,10 @@ struct InteractionConfig {
   size_t passive_item_token_cap = 12;
   // Cap on the number of items in the passive payload.
   size_t passive_item_limit = 600;
+  // Typed retry schedule for *retryable* pattern-call failures (transient
+  // pattern windows, app freezes — DESIGN.md §11). Unset by default: state
+  // declarations fail fast exactly as before.
+  support::RetryPolicy retry;
 };
 
 class InteractionInterfaces {
@@ -80,12 +87,21 @@ class InteractionInterfaces {
   // control, with empty values coalesced; prepended to each LLM prompt.
   std::string GetTextsPassive() const;
 
+  // Reseeds the backoff-jitter RNG (deterministic per run seed; only drawn
+  // when the retry policy carries jitter > 0).
+  void SeedRetryRng(uint64_t seed) { retry_rng_ = support::Rng(seed); }
+
  private:
   support::Result<gsim::Control*> Resolve(const std::string& label) const;
+
+  // Runs `op`; on a retryable failure, re-runs it under config_.retry with
+  // tick backoff. No-op wrapper when the policy is unset (the default).
+  support::Status RetryTransient(const std::function<support::Status()>& op);
 
   gsim::Application* app_;
   gsim::ScreenView* screen_;
   InteractionConfig config_;
+  support::Rng retry_rng_{0xc4ceb9fe1a85ec53ULL};
 };
 
 }  // namespace dmi

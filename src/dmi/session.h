@@ -68,6 +68,17 @@ class DmiSession {
   VisitReport VisitParsed(std::vector<VisitCommand> commands);
   // state/observation declarations live on interaction().
 
+  // ----- per-run robustness plumbing (DESIGN.md §11) -------------------------
+  // Tick budget enforced by the visit executor's retry loops and command
+  // dispatch; default unlimited.
+  void SetRunDeadline(support::Deadline deadline) { executor_->SetDeadline(deadline); }
+  const support::Deadline& run_deadline() const { return executor_->deadline(); }
+  // Deterministic backoff-jitter seed for this run (visit + interaction).
+  void SeedRetryRng(uint64_t seed) {
+    executor_->SeedRetryRng(seed);
+    interaction_.SeedRetryRng(seed ^ 0x5bd1e9955bd1e995ULL);
+  }
+
   // ----- prompt assembly --------------------------------------------------------
   // Core topology + DMI usage hint + screen labels + passive data payload.
   // Cached against the application's UI-state generation: a warm turn (no UI

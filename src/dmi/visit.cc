@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/json/json.h"
 #include "src/ripper/identifier.h"
 #include "src/support/metrics.h"
 #include "src/support/strings.h"
@@ -16,6 +17,45 @@ namespace {
 // complements name similarity during fuzzy matching.
 double AncestorOverlap(const std::string& a, const std::string& b) {
   return textutil::TokenSetRatio(a, b);
+}
+
+const char* CommandKindName(VisitCommand::Kind kind) {
+  switch (kind) {
+    case VisitCommand::Kind::kAccess:
+      return "access";
+    case VisitCommand::Kind::kAccessInput:
+      return "access_input";
+    case VisitCommand::Kind::kShortcut:
+      return "shortcut";
+    case VisitCommand::Kind::kFurtherQuery:
+      return "further_query";
+  }
+  return "unknown";
+}
+
+jsonv::Value StatusToJson(const support::Status& status) {
+  jsonv::Object obj;
+  obj["code"] = support::StatusCodeName(status.code());
+  obj["message"] = status.message();
+  if (status.has_detail()) {
+    const support::ErrorDetail& d = status.detail();
+    jsonv::Object detail;
+    detail["control_id"] = d.control_id;
+    detail["control_name"] = d.control_name;
+    detail["required_pattern"] = d.required_pattern;
+    detail["retryable"] = d.retryable;
+    detail["attempts"] = d.attempts;
+    detail["backoff_ticks"] = static_cast<int64_t>(d.backoff_ticks);
+    obj["error_detail"] = std::move(detail);
+  }
+  return jsonv::Value(std::move(obj));
+}
+
+// Rebuilds a Status (code, message, fresh detail) so detail fields can be
+// augmented without mutating the original's shared payload.
+support::Status WithAugmentedDetail(const support::Status& status,
+                                    support::ErrorDetail detail) {
+  return support::Status(status.code(), status.message()).WithDetail(std::move(detail));
 }
 
 }  // namespace
@@ -38,6 +78,31 @@ std::string VisitReport::Render() const {
     out += "\n";
   }
   return out;
+}
+
+std::string VisitReport::RenderJson() const {
+  jsonv::Object root;
+  root["was_further_query"] = was_further_query;
+  if (was_further_query) {
+    root["further_query_text"] = further_query_text;
+  }
+  root["overall"] = StatusToJson(overall);
+  root["filtered_count"] = static_cast<int64_t>(filtered_count);
+  root["ui_actions"] = static_cast<int64_t>(ui_actions);
+  jsonv::Array cmds;
+  for (const CommandReport& cr : commands) {
+    jsonv::Object c;
+    c["command"] = cr.command.ToString();
+    c["kind"] = CommandKindName(cr.command.kind);
+    c["filtered"] = cr.filtered;
+    c["status"] = StatusToJson(cr.status);
+    if (!cr.detail.empty()) {
+      c["detail"] = cr.detail;
+    }
+    cmds.push_back(jsonv::Value(std::move(c)));
+  }
+  root["commands"] = std::move(cmds);
+  return jsonv::Value(std::move(root)).Dump();
 }
 
 VisitExecutor::VisitExecutor(gsim::Application& app, const desc::TopologyCatalog& catalog,
@@ -121,17 +186,36 @@ gsim::Control* VisitExecutor::LocateControl(const topo::NodeInfo& info) {
   return nullptr;
 }
 
+support::RetryPolicy VisitExecutor::EffectiveRetryPolicy() const {
+  if (!config_.retry.unset()) {
+    return config_.retry;
+  }
+  // Legacy knobs: `max_retries` extra attempts, one tick apart — reproduces
+  // the exact Tick/Locate/Click sequence of the pre-RetryPolicy loop.
+  return support::RetryPolicy::FixedTicks(config_.enable_retry ? config_.max_retries : 0);
+}
+
 gsim::Control* VisitExecutor::LocateControlWithRetry(const topo::NodeInfo& info,
                                                      std::string& detail) {
   gsim::Control* control = LocateControl(info);
-  if (control != nullptr || !config_.enable_retry) {
+  ++cmd_attempts_;
+  if (control != nullptr) {
     return control;
   }
-  // Deterministically expected controls can load slowly; retry a few times,
-  // advancing the application's logical clock (paper §3.4 failure retry).
-  for (int attempt = 0; attempt < config_.max_retries && control == nullptr; ++attempt) {
+  // Deterministically expected controls can load slowly; retry under the
+  // typed schedule, advancing the application's logical clock by the backoff
+  // (paper §3.4 failure retry).
+  const support::RetryPolicy policy = EffectiveRetryPolicy();
+  int attempt = 1;
+  while (control == nullptr && policy.ShouldRetry(attempt) && !DeadlineExpired()) {
     support::CountMetric("visit.locate_retries");
-    app_->Tick();
+    const uint64_t backoff = policy.BackoffTicks(attempt, retry_rng_);
+    for (uint64_t t = 0; t < backoff; ++t) {
+      app_->Tick();
+    }
+    cmd_backoff_ticks_ += backoff;
+    ++attempt;
+    ++cmd_attempts_;
     control = LocateControl(info);
   }
   if (control != nullptr) {
@@ -184,31 +268,75 @@ support::Status VisitExecutor::NavigatePath(const std::vector<int>& path,
   }
 
   // Forward traversal: click each path node from the match point onward.
+  const support::RetryPolicy policy = EffectiveRetryPolicy();
   for (size_t i = static_cast<size_t>(start_index); i < path.size(); ++i) {
     const topo::NodeInfo& info = dag.node(path[i]);
     gsim::Control* control = LocateControlWithRetry(info, detail);
     if (control == nullptr) {
+      support::ErrorDetail d;
+      d.control_id = info.control_id;
+      d.control_name = info.name;
+      d.retryable = true;  // the control may still materialize later
+      d.attempts = cmd_attempts_;
+      d.backoff_ticks = cmd_backoff_ticks_;
       return support::NotFoundError(
-          support::Format("control '%s' (%s) expected on the path is not present; "
-                          "the UI may have diverged from the model",
-                          info.name.c_str(),
-                          std::string(uia::ControlTypeName(info.type)).c_str()));
+                 support::Format("control '%s' (%s) expected on the path is not present; "
+                                 "the UI may have diverged from the model",
+                                 info.name.c_str(),
+                                 std::string(uia::ControlTypeName(info.type)).c_str()))
+          .WithDetail(std::move(d));
     }
     if (!control->IsEnabled()) {
-      return support::FailedPreconditionError(support::Format(
-          "control '%s' (%s) was located but is disabled in the current state",
-          info.name.c_str(), std::string(uia::ControlTypeName(info.type)).c_str()));
+      support::ErrorDetail d;
+      d.control_id = info.control_id;
+      d.control_name = info.name;
+      d.retryable = false;  // disabled is a state problem, not a transient one
+      d.attempts = cmd_attempts_;
+      d.backoff_ticks = cmd_backoff_ticks_;
+      return support::FailedPreconditionError(
+                 support::Format(
+                     "control '%s' (%s) was located but is disabled in the current state",
+                     info.name.c_str(), std::string(uia::ControlTypeName(info.type)).c_str()))
+          .WithDetail(std::move(d));
     }
     support::Status s = app_->Click(*control);
+    // Typed recovery: a retryable failure (freeze window, stale element
+    // reference, transient pattern failure, slow load) is retried under the
+    // backoff schedule, re-locating first — a stale reference invalidated
+    // every captured id, so the control must be found again.
+    int click_retry = 1;
+    while (!s.ok() && support::IsRetryable(s) && policy.ShouldRetry(click_retry) &&
+           !DeadlineExpired()) {
+      support::CountMetric("robust.click_retries");
+      const uint64_t backoff = policy.BackoffTicks(click_retry, retry_rng_);
+      for (uint64_t t = 0; t < backoff; ++t) {
+        app_->Tick();
+      }
+      cmd_backoff_ticks_ += backoff;
+      ++click_retry;
+      ++cmd_attempts_;
+      gsim::Control* again = LocateControl(info);
+      if (again != nullptr) {
+        control = again;
+      }
+      s = app_->Click(*control);
+    }
     if (s.ok() && config_.enable_retry && i + 1 < path.size()) {
       // If the click silently failed (next node absent), retry the click.
       const topo::NodeInfo& next = dag.node(path[i + 1]);
-      for (int attempt = 0;
-           attempt < config_.max_retries && LocateControl(next) == nullptr; ++attempt) {
-        app_->Tick();
+      int attempt = 1;
+      while (policy.ShouldRetry(attempt) && LocateControl(next) == nullptr &&
+             !DeadlineExpired()) {
+        const uint64_t backoff = policy.BackoffTicks(attempt, retry_rng_);
+        for (uint64_t t = 0; t < backoff; ++t) {
+          app_->Tick();
+        }
+        cmd_backoff_ticks_ += backoff;
+        ++attempt;
         if (LocateControl(next) != nullptr) {
           break;
         }
+        ++cmd_attempts_;
         s = app_->Click(*control);
         if (!s.ok()) {
           break;
@@ -216,7 +344,20 @@ support::Status VisitExecutor::NavigatePath(const std::vector<int>& path,
       }
     }
     if (!s.ok()) {
-      return s;
+      support::ErrorDetail d;
+      if (s.has_detail()) {
+        d = s.detail();
+      }
+      if (d.control_id.empty()) {
+        d.control_id = info.control_id;
+      }
+      if (d.control_name.empty()) {
+        d.control_name = info.name;
+      }
+      d.retryable = support::IsRetryable(s);
+      d.attempts = cmd_attempts_;
+      d.backoff_ticks = cmd_backoff_ticks_;
+      return WithAugmentedDetail(s, std::move(d));
     }
   }
   return support::Status::Ok();
@@ -299,10 +440,30 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
       continue;
     }
     if (aborted) {
-      cr.status = support::FailedPreconditionError("skipped: an earlier command failed");
+      support::ErrorDetail d;
+      d.retryable = false;
+      cr.status = support::FailedPreconditionError("skipped: an earlier command failed")
+                      .WithDetail(std::move(d));
       report.commands.push_back(std::move(cr));
       continue;
     }
+    if (DeadlineExpired()) {
+      // The run's tick budget is gone: no further command starts (acceptance:
+      // a run never exceeds its budget by more than the one command that was
+      // in flight when it lapsed).
+      support::ErrorDetail d;
+      d.retryable = false;
+      cr.status = support::DeadlineExceededError("run deadline exhausted before this command")
+                      .WithDetail(std::move(d));
+      support::CountMetric("robust.deadline_skipped_commands");
+      if (report.overall.ok()) {
+        report.overall = cr.status;
+      }
+      report.commands.push_back(std::move(cr));
+      continue;
+    }
+    cmd_attempts_ = 0;
+    cmd_backoff_ticks_ = 0;
     switch (cr.command.kind) {
       case VisitCommand::Kind::kShortcut: {
         cr.status = app_->PressKey(cr.command.shortcut_key);
@@ -327,6 +488,24 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
         cr.status = support::InternalError("further_query mixed into execution");
         break;
     }
+    if (!cr.status.ok() && !cr.status.has_detail()) {
+      // Acceptance contract: every failure carries a populated ErrorDetail,
+      // including paths that fail before a control is involved (unresolvable
+      // ids, shortcut chords the app rejects).
+      support::ErrorDetail d;
+      d.retryable = support::IsRetryable(cr.status);
+      d.attempts = cmd_attempts_ > 0 ? cmd_attempts_ : 1;
+      d.backoff_ticks = cmd_backoff_ticks_;
+      cr.status = WithAugmentedDetail(cr.status, std::move(d));
+    }
+    if (cmd_attempts_ > 0) {
+      support::ObserveMetric("robust.attempts_per_command",
+                             static_cast<double>(cmd_attempts_));
+    }
+    if (cmd_backoff_ticks_ > 0) {
+      support::ObserveMetric("robust.backoff_ticks",
+                             static_cast<double>(cmd_backoff_ticks_));
+    }
     if (!cr.status.ok()) {
       report.overall = cr.status;
       aborted = true;
@@ -338,6 +517,11 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
                       (after.text_inputs - before.text_inputs);
   if (report.filtered_count > 0) {
     support::CountMetric("visit.filtered", report.filtered_count);
+  }
+  if (!deadline_.unlimited()) {
+    support::ObserveMetric(
+        "robust.deadline_headroom_ticks",
+        static_cast<double>(deadline_.RemainingTicks(app_->current_tick())));
   }
   support::ObserveMetric(
       "visit.execute_ms",

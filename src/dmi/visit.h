@@ -23,6 +23,8 @@
 #include "src/dmi/command.h"
 #include "src/gui/application.h"
 #include "src/ripper/visible_index.h"
+#include "src/support/retry.h"
+#include "src/support/rng.h"
 #include "src/support/status.h"
 
 namespace dmi {
@@ -39,6 +41,11 @@ struct VisitConfig {
   // Serve exact-id control location from the generation-stamped VisibleIndex
   // (O(1) per step on an unchanged UI). Fuzzy fallback still walks the tree.
   bool enable_visible_index = true;
+  // Typed retry schedule (DESIGN.md §11). Left unset (the default), the
+  // executor derives the legacy fixed loop from enable_retry/max_retries —
+  // byte-identical Tick/Locate/Click sequences; set it (e.g. via
+  // dmi::Policy) for exponential backoff with jitter.
+  support::RetryPolicy retry;
 };
 
 struct CommandReport {
@@ -57,8 +64,14 @@ struct VisitReport {
   size_t filtered_count = 0;
   size_t ui_actions = 0;  // clicks + keys + text inputs performed
 
-  // Rendered feedback for the LLM prompt.
+  // Rendered feedback for the LLM prompt. Byte-stable: this string is part
+  // of the LLM-feedback contract (DESIGN.md §11) and ignores ErrorDetail.
   std::string Render() const;
+
+  // Machine-readable mirror of Render(): a JSON object carrying every
+  // per-command status including its structured ErrorDetail payload.
+  // Round-trips through jsonv::Parse (emitted by `dmi_run --report-json`).
+  std::string RenderJson() const;
 };
 
 class VisitExecutor {
@@ -72,6 +85,16 @@ class VisitExecutor {
   // Pipeline from parsed commands (used by the simulated agent directly).
   VisitReport ExecuteParsed(std::vector<VisitCommand> commands);
 
+  // Per-run tick budget (default: unlimited). Retry loops stop early and
+  // commands past the budget report kDeadlineExceeded instead of running.
+  void SetDeadline(support::Deadline deadline) { deadline_ = deadline; }
+  const support::Deadline& deadline() const { return deadline_; }
+
+  // Reseeds the backoff-jitter RNG (deterministic per run seed). Only drawn
+  // when the retry policy carries jitter > 0, so legacy schedules consume no
+  // randomness.
+  void SeedRetryRng(uint64_t seed) { retry_rng_ = support::Rng(seed); }
+
  private:
   // Navigates along the resolved graph-node path and clicks each step.
   support::Status NavigatePath(const std::vector<int>& path, std::string& detail);
@@ -81,10 +104,22 @@ class VisitExecutor {
   gsim::Control* LocateControl(const topo::NodeInfo& info);
   gsim::Control* LocateControlWithRetry(const topo::NodeInfo& info, std::string& detail);
 
+  // The typed schedule actually used: config_.retry when set, else the
+  // legacy fixed loop derived from enable_retry/max_retries.
+  support::RetryPolicy EffectiveRetryPolicy() const;
+
+  bool DeadlineExpired() const { return deadline_.Expired(app_->current_tick()); }
+
   gsim::Application* app_;
   const desc::TopologyCatalog* catalog_;
   VisitConfig config_;
   ripper::VisibleIndex index_;
+  support::Deadline deadline_;  // default: unlimited
+  support::Rng retry_rng_{0x9e3779b97f4a7c15ULL};
+  // Robustness accounting for the command currently executing (feeds the
+  // robust.* metrics and ErrorDetail attempts/backoff fields).
+  int cmd_attempts_ = 0;
+  uint64_t cmd_backoff_ticks_ = 0;
 };
 
 }  // namespace dmi

@@ -5,6 +5,7 @@
 
 #include "src/gui/instability.h"
 #include "src/support/logging.h"
+#include "src/support/metrics.h"
 
 namespace gsim {
 
@@ -163,6 +164,12 @@ void Application::CloseWindow(Window& window, bool commit) {
   if (focused_ != nullptr && focused_->window() == &window) {
     focused_ = nullptr;
   }
+  if (instability_ != nullptr && instability_->DropsWindowEvent()) {
+    // Dropped UIA event: listeners never hear the window closed; callers must
+    // recover by re-capturing the tree.
+    support::CountMetric("robust.fault_event_drop");
+    return;
+  }
   for (const WindowListener& listener : window_listeners_) {
     listener(window, /*opened=*/false);
   }
@@ -276,7 +283,41 @@ std::string Application::DecorateName(const Control& control) const {
   return instability_->DecorateName(control);
 }
 
+namespace {
+
+support::ErrorDetail TransientDetail(const Control& control,
+                                     const char* pattern_name) {
+  support::ErrorDetail d;
+  d.control_name = control.TrueName();
+  if (pattern_name != nullptr) {
+    d.required_pattern = pattern_name;
+  }
+  d.retryable = true;
+  return d;
+}
+
+}  // namespace
+
+support::Status Application::CheckPatternAvailable(Control& control,
+                                                   const char* pattern_name) {
+  if (instability_ == nullptr) {
+    return support::Status::Ok();
+  }
+  if (!instability_->PatternTransientlyUnavailable(control, tick_)) {
+    return support::Status::Ok();
+  }
+  support::CountMetric("robust.fault_pattern");
+  return support::UnavailableError("control '" + control.TrueName() + "' " +
+                                   pattern_name + " call failed transiently")
+      .WithDetail(TransientDetail(control, pattern_name));
+}
+
 support::Status Application::Click(Control& control) {
+  if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
+    support::CountMetric("robust.fault_freeze");
+    return support::UnavailableError("application is not responding")
+        .WithDetail(TransientDetail(control, nullptr));
+  }
   if (external_state_) {
     return support::FailedPreconditionError(
         "application is in an external state (a previous click left the app)");
@@ -300,6 +341,24 @@ support::Status Application::Click(Control& control) {
     return support::FailedPreconditionError(
         "control '" + control.TrueName() + "' (" +
         std::string(uia::ControlTypeName(control.Type())) + ") is disabled");
+  }
+  if (instability_ != nullptr && instability_->ElementReferenceStale(control)) {
+    // The interaction raced a UI mutation: the generation bump invalidates
+    // every captured synthesized id, so the caller must re-capture and
+    // re-locate before retrying.
+    BumpUiGeneration();
+    support::CountMetric("robust.fault_stale_ref");
+    return support::UnavailableError("element reference for '" + control.TrueName() +
+                                     "' is stale (the UI changed underneath it)")
+        .WithDetail(TransientDetail(control, nullptr));
+  }
+  {
+    support::Status pattern = CheckPatternAvailable(
+        control, control.click_effect() == ClickEffect::kToggle ? "TogglePattern"
+                                                                : "InvokePattern");
+    if (!pattern.ok()) {
+      return pattern;
+    }
   }
   if (instability_ != nullptr && instability_->ClickSilentlyFails(control)) {
     ++stats_.clicks;
@@ -364,8 +423,12 @@ support::Status Application::ClickImpl(Control& control) {
         dialog->SetOpen(true);
         open_window_stack_.push_back(dialog);
         BumpUiGeneration();
-        for (const WindowListener& listener : window_listeners_) {
-          listener(*dialog, /*opened=*/true);
+        if (instability_ != nullptr && instability_->DropsWindowEvent()) {
+          support::CountMetric("robust.fault_event_drop");
+        } else {
+          for (const WindowListener& listener : window_listeners_) {
+            listener(*dialog, /*opened=*/true);
+          }
         }
       }
       return support::Status::Ok();
@@ -483,6 +546,13 @@ support::Status Application::DeselectControl(Control& control) {
 }
 
 support::Status Application::PressKey(const std::string& chord) {
+  if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
+    support::CountMetric("robust.fault_freeze");
+    support::ErrorDetail d;
+    d.retryable = true;
+    return support::UnavailableError("application is not responding")
+        .WithDetail(std::move(d));
+  }
   if (external_state_) {
     return support::FailedPreconditionError("application is in an external state");
   }
@@ -504,6 +574,13 @@ support::Status Application::PressKey(const std::string& chord) {
 }
 
 support::Status Application::TypeText(const std::string& text) {
+  if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
+    support::CountMetric("robust.fault_freeze");
+    support::ErrorDetail d;
+    d.retryable = true;
+    return support::UnavailableError("application is not responding")
+        .WithDetail(std::move(d));
+  }
   if (external_state_) {
     return support::FailedPreconditionError("application is in an external state");
   }

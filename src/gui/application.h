@@ -113,6 +113,13 @@ class Application {
   // Replaces the focused edit control's value (a keyboard "type-over").
   support::Status TypeText(const std::string& text);
 
+  // Transient pattern-failure gate (Hostile instability, DESIGN.md §11):
+  // kUnavailable (retryable, with ErrorDetail naming `pattern_name`) while
+  // `control` sits inside an open failure window; OK otherwise. Click()
+  // applies it to Invoke/Toggle itself; pattern adapters that bypass Click()
+  // (ScrollPattern) call it explicitly.
+  support::Status CheckPatternAvailable(Control& control, const char* pattern_name);
+
   // Selection plumbing used by SelectionItem adapters and by Click(kSelect).
   support::Status SelectControl(Control& control, bool additive);
   support::Status DeselectControl(Control& control);

@@ -42,6 +42,17 @@ InstabilityConfig InstabilityConfig::Harsh() {
   return c;
 }
 
+InstabilityConfig InstabilityConfig::Hostile() {
+  InstabilityConfig c = Harsh();
+  c.stale_ref_rate = 0.06;
+  c.pattern_fail_rate = 0.08;
+  c.pattern_fail_ticks = 3;
+  c.event_drop_rate = 0.10;
+  c.freeze_rate = 0.03;
+  c.freeze_ticks = 5;
+  return c;
+}
+
 InstabilityInjector::InstabilityInjector(const InstabilityConfig& config, uint64_t seed)
     : config_(config), seed_(seed), rng_(seed ^ 0xabcdef1234567890ULL) {}
 
@@ -81,6 +92,54 @@ uint64_t InstabilityInjector::PopupRevealDelay(const Control& control) {
     return 0;
   }
   return 1 + rng_.NextBelow(config_.slow_load_ticks);
+}
+
+bool InstabilityInjector::ElementReferenceStale(const Control& control) {
+  (void)control;
+  if (config_.stale_ref_rate <= 0.0) {
+    return false;
+  }
+  return rng_.Bernoulli(config_.stale_ref_rate);
+}
+
+bool InstabilityInjector::PatternTransientlyUnavailable(const Control& control,
+                                                        uint64_t now_tick) {
+  if (config_.pattern_fail_rate <= 0.0) {
+    return false;
+  }
+  auto it = pattern_fail_until_.find(&control);
+  if (it != pattern_fail_until_.end()) {
+    if (now_tick < it->second) {
+      return true;  // still inside the open window — no fresh draw
+    }
+    pattern_fail_until_.erase(it);
+  }
+  if (!rng_.Bernoulli(config_.pattern_fail_rate)) {
+    return false;
+  }
+  pattern_fail_until_[&control] = now_tick + config_.pattern_fail_ticks;
+  return true;
+}
+
+bool InstabilityInjector::DropsWindowEvent() {
+  if (config_.event_drop_rate <= 0.0) {
+    return false;
+  }
+  return rng_.Bernoulli(config_.event_drop_rate);
+}
+
+bool InstabilityInjector::CallHitsFreeze(uint64_t now_tick) {
+  if (config_.freeze_rate <= 0.0) {
+    return false;
+  }
+  if (now_tick < freeze_until_) {
+    return true;  // inside an open freeze window — no fresh draw
+  }
+  if (!rng_.Bernoulli(config_.freeze_rate)) {
+    return false;
+  }
+  freeze_until_ = now_tick + config_.freeze_ticks;
+  return true;
 }
 
 Point InstabilityInjector::PerturbPoint(Point p) {

@@ -5,7 +5,14 @@
 //     (localization suffixes, shortcut hints, trailing whitespace);
 //   - silent click failure: a click lands but the app drops it;
 //   - slow loading: popup content appears only after a delay;
-//   - coordinate noise: imperative clicks at coordinates drift.
+//   - coordinate noise: imperative clicks at coordinates drift;
+//   - stale element references: a captured control id is invalidated by a
+//     UI-generation bump mid-visit and must be re-located;
+//   - transient pattern failures: Invoke/Toggle/Scroll returns kUnavailable
+//     for a window of N ticks before recovering;
+//   - dropped UIA event notifications: a window open/close event is never
+//     delivered to listeners;
+//   - app-freeze windows: every call times out for K ticks.
 // The offline modeling phase runs with injection disabled (a controlled
 // environment); the online phase runs with it enabled, so both the baseline
 // and DMI face the same hazards. DMI's fuzzy matcher and retry machinery are
@@ -15,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "src/gui/geometry.h"
 #include "src/support/rng.h"
@@ -35,11 +43,32 @@ struct InstabilityConfig {
   // Stddev (virtual pixels) of imperative click-coordinate noise.
   double misclick_sigma_px = 0.0;
 
+  // ---- Extended fault domains (all default-off; only Hostile() enables
+  // them, so Typical()/Harsh() RNG streams stay byte-identical). ----
+
+  // Probability an interaction invalidates the captured element reference
+  // (the app bumps its UI generation mid-visit; the caller must re-locate).
+  double stale_ref_rate = 0.0;
+  // Probability a pattern call (Invoke/Toggle/Scroll) opens a transient
+  // failure window on its control, and that window's length in ticks.
+  double pattern_fail_rate = 0.0;
+  uint64_t pattern_fail_ticks = 3;
+  // Probability a window open/close event notification is dropped (listeners
+  // never hear about it).
+  double event_drop_rate = 0.0;
+  // Probability an interaction call starts an app-freeze window, and the
+  // freeze length in ticks (every call during the window times out).
+  double freeze_rate = 0.0;
+  uint64_t freeze_ticks = 5;
+
   static InstabilityConfig None() { return {}; }
   // A calibrated "typical desktop" hazard level used by the end-to-end runs.
   static InstabilityConfig Typical();
   // A harsher level used by the robustness ablation sweep.
   static InstabilityConfig Harsh();
+  // Harsh plus the extended fault domains: stale references, transient
+  // pattern failures, dropped events, freeze windows.
+  static InstabilityConfig Hostile();
 };
 
 class InstabilityInjector {
@@ -58,10 +87,38 @@ class InstabilityInjector {
   uint64_t PopupRevealDelay(const Control& control);
   Point PerturbPoint(Point p);
 
+  // ---- Extended fault domains. Each guards its RNG draw behind a rate
+  // check, so configs with the domain off consume no randomness and legacy
+  // seed streams stay byte-identical. ----
+
+  // True when this interaction invalidates captured element references (the
+  // app should bump its UI generation and report kUnavailable).
+  bool ElementReferenceStale(const Control& control);
+
+  // True while `control` sits inside a transient pattern-failure window at
+  // `now_tick`. A fresh draw may open a new window (of pattern_fail_ticks)
+  // whose calls all fail until it lapses.
+  bool PatternTransientlyUnavailable(const Control& control, uint64_t now_tick);
+
+  // True when a window open/close event notification should be dropped.
+  bool DropsWindowEvent();
+
+  // True when the call at `now_tick` lands inside an app-freeze window. A
+  // fresh draw may start a new freeze (of freeze_ticks); the triggering call
+  // itself times out, making the window observable.
+  bool CallHitsFreeze(uint64_t now_tick);
+
+  // Exposed for tests: end of the current freeze window (0 = none started).
+  uint64_t freeze_until_tick() const { return freeze_until_; }
+
  private:
   InstabilityConfig config_;
   uint64_t seed_;
   support::Rng rng_;
+  uint64_t freeze_until_ = 0;
+  // Per-control transient pattern-failure windows, keyed by control identity.
+  // Lookup-only (never iterated), so pointer keys keep runs deterministic.
+  std::unordered_map<const Control*, uint64_t> pattern_fail_until_;
 };
 
 }  // namespace gsim

@@ -1,0 +1,63 @@
+#include "src/support/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace support {
+
+RetryPolicy RetryPolicy::None() {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.initial_backoff_ticks = 0;
+  p.max_backoff_ticks = 0;
+  return p;
+}
+
+RetryPolicy RetryPolicy::FixedTicks(int retries) {
+  RetryPolicy p;
+  p.max_attempts = 1 + (retries < 0 ? 0 : retries);
+  p.initial_backoff_ticks = 1;
+  p.backoff_multiplier = 1.0;
+  p.max_backoff_ticks = 1;
+  p.jitter = 0.0;
+  return p;
+}
+
+RetryPolicy RetryPolicy::ExponentialJitter(int max_attempts,
+                                           uint64_t initial_ticks,
+                                           double multiplier, uint64_t max_ticks,
+                                           double jitter) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.initial_backoff_ticks = initial_ticks;
+  p.backoff_multiplier = multiplier;
+  p.max_backoff_ticks = max_ticks;
+  p.jitter = jitter;
+  return p;
+}
+
+uint64_t RetryPolicy::BackoffTicks(int retry, Rng& rng) const {
+  if (retry < 1 || initial_backoff_ticks == 0) {
+    return 0;
+  }
+  double base = static_cast<double>(initial_backoff_ticks);
+  for (int i = 1; i < retry; ++i) {
+    base *= backoff_multiplier;
+    if (base >= static_cast<double>(max_backoff_ticks)) {
+      base = static_cast<double>(max_backoff_ticks);
+      break;
+    }
+  }
+  base = std::min(base, static_cast<double>(max_backoff_ticks));
+  if (jitter > 0.0) {
+    // Uniform in [-jitter, +jitter] of the base; drawn from the seeded run
+    // RNG so schedules are deterministic per seed.
+    const double spread = (rng.NextDouble() * 2.0 - 1.0) * jitter;
+    base *= (1.0 + spread);
+  }
+  const double clamped =
+      std::max(1.0, std::min(base, static_cast<double>(max_backoff_ticks)));
+  return static_cast<uint64_t>(std::llround(clamped));
+}
+
+}  // namespace support

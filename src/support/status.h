@@ -7,6 +7,8 @@
 #define SRC_SUPPORT_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -30,7 +32,41 @@ enum class StatusCode {
 // Human-readable name for a status code ("NOT_FOUND", ...).
 const char* StatusCodeName(StatusCode code);
 
-// A status value: a code plus an optional diagnostic message.
+// Structured error payload (paper §4.4 "the executor returns a structured
+// status"). Carries everything a caller needs to make a *typed* retry /
+// re-plan decision, instead of parsing it out of the message string:
+// the offending control, the missing capability, whether the failure is
+// transient, and how much robustness budget was already spent on it.
+struct ErrorDetail {
+  // Synthesized control id (ripper format) or topology node id as text;
+  // empty when the failure is not tied to a specific control.
+  std::string control_id;
+  // Accessibility name of the offending control (true name when known).
+  std::string control_name;
+  // UIA pattern the operation needed but the control lacks / had fail
+  // ("TogglePattern", "ScrollPattern", ...); empty otherwise.
+  std::string required_pattern;
+  // True when the failure is transient and a retry can succeed (slow load,
+  // freeze window, transient pattern failure, stale reference).
+  bool retryable = false;
+  // Attempts consumed by the retry machinery before this status was returned
+  // (1 = failed on the first try, no retries).
+  int attempts = 0;
+  // Total logical-clock ticks spent backing off between those attempts.
+  uint64_t backoff_ticks = 0;
+
+  bool operator==(const ErrorDetail& other) const {
+    return control_id == other.control_id && control_name == other.control_name &&
+           required_pattern == other.required_pattern && retryable == other.retryable &&
+           attempts == other.attempts && backoff_ticks == other.backoff_ticks;
+  }
+};
+
+// A status value: a code plus an optional diagnostic message and an optional
+// structured ErrorDetail payload. ToString() deliberately renders only the
+// code and message — its output is part of the LLM-feedback stability
+// contract (DESIGN.md §11) and stays byte-identical whether or not a detail
+// payload is attached.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
@@ -43,9 +79,31 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Attaches a structured payload (fluent, works on temporaries):
+  //   return UnavailableError("still loading").WithDetail(std::move(d));
+  Status&& WithDetail(ErrorDetail detail) && {
+    detail_ = std::make_shared<const ErrorDetail>(std::move(detail));
+    return std::move(*this);
+  }
+  Status& WithDetail(ErrorDetail detail) & {
+    detail_ = std::make_shared<const ErrorDetail>(std::move(detail));
+    return *this;
+  }
+
+  bool has_detail() const { return detail_ != nullptr; }
+  // Valid only when has_detail().
+  const ErrorDetail& detail() const {
+    assert(detail_ != nullptr && "detail() on a Status without detail");
+    return *detail_;
+  }
+
   // "NOT_FOUND: no control named 'Apply to All'"
   std::string ToString() const;
 
+  // Equality is over (code, message) only: the detail payload is diagnostic
+  // metadata and two statuses describing the same failure compare equal
+  // whether or not one carries it (keeps pre-detail tests and golden
+  // comparisons stable).
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
@@ -53,7 +111,21 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::shared_ptr<const ErrorDetail> detail_;  // shared: Status copies stay cheap
 };
+
+// Typed retry decision: a status is retryable when its detail says so, or —
+// absent a detail payload — when the code is kUnavailable (the transient
+// class by definition).
+inline bool IsRetryable(const Status& status) {
+  if (status.ok()) {
+    return false;
+  }
+  if (status.has_detail()) {
+    return status.detail().retryable;
+  }
+  return status.code() == StatusCode::kUnavailable;
+}
 
 inline Status NotFoundError(std::string msg) {
   return Status(StatusCode::kNotFound, std::move(msg));

@@ -26,15 +26,32 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
     support::CountMetric("app_pool.creates");
     return Lease(nullptr, task.app, task.make_app(), 0);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Idle>& shelf = idle_[task.app];
-    if (!shelf.empty()) {
-      Idle entry = std::move(shelf.back());
+  int attempt = 0;
+  while (true) {
+    Idle entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<Idle>& shelf = idle_[task.app];
+      if (shelf.empty()) {
+        break;
+      }
+      entry = std::move(shelf.back());
       shelf.pop_back();
+    }
+    ++attempt;
+    // Checksum runs outside the lock on the exclusively-owned instance.
+    if (!options_.verify_acquire || entry.fresh_checksum == 0 ||
+        entry.app->UiaStateChecksum() == entry.fresh_checksum) {
       support::CountMetric("app_pool.reuses");
       return Lease(this, task.app, std::move(entry.app), entry.fresh_checksum);
     }
+    support::CountMetric("app_pool.acquire_discards");
+    DMI_LOG(kError) << "app_pool: shelved '" << entry.app->name()
+                    << "' no longer matches its fresh checksum; discarding";
+    if (!options_.acquire_retry.ShouldRetry(attempt)) {
+      break;  // attempt budget spent: fall through to fresh construction
+    }
+    support::CountMetric("app_pool.acquire_retries");
   }
   support::CountMetric("app_pool.creates");
   std::unique_ptr<gsim::Application> app = task.make_app();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/gui/application.h"
+#include "src/support/retry.h"
 #include "src/workload/tasks.h"
 
 namespace workload {
@@ -41,6 +42,13 @@ class AppPool {
     bool verify_reset = false;
 #endif
     size_t max_idle_per_kind = 64;
+    // Re-verify an idle instance's checksum at lease time (defense against
+    // state mutated while shelved). On mismatch the instance is discarded and
+    // acquisition retries the next idle one under `acquire_retry`; when the
+    // attempt budget (or the shelf) runs out, a fresh instance is
+    // constructed — acquisition degrades gracefully, it never fails.
+    bool verify_acquire = false;
+    support::RetryPolicy acquire_retry = support::RetryPolicy::FixedTicks(2);
   };
 
   // RAII lease: hands out a ready-to-use Application and returns it to the

@@ -36,7 +36,7 @@ TaskRunner& Runner() {
 // ----- failure taxonomy -----------------------------------------------------------
 
 TEST(FailureTest, PolicyMechanismPartition) {
-  for (int i = 1; i <= static_cast<int>(FailureCause::kStepBudgetExhausted); ++i) {
+  for (int i = 1; i <= static_cast<int>(FailureCause::kDeadlineExceeded); ++i) {
     auto cause = static_cast<FailureCause>(i);
     EXPECT_NE(IsPolicyFailure(cause), IsMechanismFailure(cause))
         << FailureCauseName(cause);

@@ -16,6 +16,7 @@
 #include "src/dmi/compiled_model.h"
 #include "src/dmi/session.h"
 #include "src/ripper/ripper.h"
+#include "src/support/metrics.h"
 #include "src/uia/tree.h"
 #include "src/workload/app_pool.h"
 #include "src/workload/tasks.h"
@@ -205,6 +206,49 @@ TEST(AppPoolTest, UnpooledLeaseIsThrowaway) {
     ASSERT_TRUE(lease);
   }
   EXPECT_EQ(pool.IdleCount(workload::AppKind::kExcel), 0u);
+}
+
+// Acquire-time verification (DESIGN.md §11): an idle instance whose state was
+// mutated while shelved is caught at lease time, discarded, and acquisition
+// degrades to a fresh construction — it never hands out a corrupted app.
+TEST(AppPoolTest, AcquireVerifyDiscardsAShelvedInstanceMutatedBehindItsBack) {
+  workload::AppPool::Options options;
+  options.verify_reset = true;
+  options.verify_acquire = true;
+  workload::AppPool pool(options);
+  const workload::Task task = BenchTask(workload::AppKind::kWord);
+
+  gsim::Application* raw = nullptr;
+  {
+    workload::AppPool::Lease lease = pool.Acquire(task);
+    ASSERT_TRUE(lease);
+    raw = lease.get();
+  }  // release shelves the (reset-verified) instance
+  ASSERT_EQ(pool.IdleCount(workload::AppKind::kWord), 1u);
+
+  // Corrupt the shelved instance through the retained pointer — the exact
+  // hazard acquire-time verification defends against.
+  const uint64_t before = raw->UiaStateChecksum();
+  gsim::Control* bold = Find(static_cast<apps::WordSim&>(*raw), "Bold");
+  ASSERT_NE(bold, nullptr);
+  bold->SetEnabled(false);
+  ASSERT_NE(raw->UiaStateChecksum(), before);  // the mutation is visible
+
+  const uint64_t discards_before =
+      support::MetricsRegistry::Global().Snapshot().CounterValue(
+          "app_pool.acquire_discards");
+  workload::AppPool::Lease lease = pool.Acquire(task);
+  ASSERT_TRUE(lease);
+  // The corrupted instance was discarded and a fresh one constructed (the
+  // allocator may reuse the address, so assert on state, not identity).
+  gsim::Control* fresh_bold = Find(static_cast<apps::WordSim&>(*lease), "Bold");
+  ASSERT_NE(fresh_bold, nullptr);
+  EXPECT_TRUE(fresh_bold->IsEnabled());
+  const uint64_t discards_after =
+      support::MetricsRegistry::Global().Snapshot().CounterValue(
+          "app_pool.acquire_discards");
+  EXPECT_EQ(discards_after - discards_before, 1u);
+  EXPECT_EQ(pool.IdleCount(workload::AppKind::kWord), 0u);  // shelf emptied
 }
 
 // ----- injector clearing -----------------------------------------------------------

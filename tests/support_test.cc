@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <set>
@@ -9,6 +10,7 @@
 #include "src/json/json.h"
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
+#include "src/support/retry.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
@@ -64,6 +66,139 @@ TEST(ResultTest, MoveOnlyTypes) {
   support::Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(**r, 5);
+}
+
+// ----- ErrorDetail / typed retry decisions -----------------------------------
+
+TEST(StatusTest, WithDetailAttachesPayloadWithoutChangingToString) {
+  support::ErrorDetail d;
+  d.control_id = "42";
+  d.control_name = "Bold";
+  d.required_pattern = "TogglePattern";
+  d.retryable = true;
+  d.attempts = 3;
+  d.backoff_ticks = 7;
+  Status plain = support::UnavailableError("control 'Bold' busy");
+  Status detailed = support::UnavailableError("control 'Bold' busy").WithDetail(d);
+  // ToString is part of the LLM-feedback stability contract: byte-identical
+  // whether or not a detail payload rides along.
+  EXPECT_EQ(plain.ToString(), detailed.ToString());
+  EXPECT_FALSE(plain.has_detail());
+  ASSERT_TRUE(detailed.has_detail());
+  EXPECT_EQ(detailed.detail(), d);
+  // Equality is over (code, message) only.
+  EXPECT_EQ(plain, detailed);
+}
+
+TEST(StatusTest, DetailSurvivesStatusCopies) {
+  support::ErrorDetail d;
+  d.control_name = "OK";
+  d.retryable = true;
+  Status s = support::NotFoundError("gone").WithDetail(d);
+  Status copy = s;
+  ASSERT_TRUE(copy.has_detail());
+  EXPECT_EQ(copy.detail().control_name, "OK");
+  EXPECT_TRUE(copy.detail().retryable);
+}
+
+TEST(StatusTest, IsRetryableUsesDetailThenFallsBackToCode) {
+  EXPECT_FALSE(support::IsRetryable(Status::Ok()));
+  // No detail: only kUnavailable is transient by definition.
+  EXPECT_TRUE(support::IsRetryable(support::UnavailableError("busy")));
+  EXPECT_FALSE(support::IsRetryable(support::NotFoundError("gone")));
+  // A detail payload overrides the code-class default in both directions.
+  support::ErrorDetail retryable;
+  retryable.retryable = true;
+  EXPECT_TRUE(support::IsRetryable(support::NotFoundError("gone").WithDetail(retryable)));
+  support::ErrorDetail terminal;
+  terminal.retryable = false;
+  EXPECT_FALSE(
+      support::IsRetryable(support::UnavailableError("busy").WithDetail(terminal)));
+}
+
+// ----- RetryPolicy / Deadline ------------------------------------------------
+
+TEST(RetryPolicyTest, NoneAndUnsetNeverRetry) {
+  support::RetryPolicy none = support::RetryPolicy::None();
+  // `attempt` is 1-based: after the first (and only) attempt, no retry.
+  EXPECT_FALSE(none.ShouldRetry(1));
+  support::RetryPolicy unset;
+  EXPECT_TRUE(unset.unset());
+  EXPECT_FALSE(support::RetryPolicy::FixedTicks(3).unset());
+}
+
+TEST(RetryPolicyTest, FixedTicksReproducesTheLegacyLoop) {
+  // FixedTicks(retries) = 1 initial attempt + `retries` retries, each after
+  // exactly one tick of backoff — the legacy executor loop.
+  support::RetryPolicy p = support::RetryPolicy::FixedTicks(3);
+  EXPECT_EQ(p.max_attempts, 4);
+  int retries = 0;
+  int attempt = 1;
+  while (p.ShouldRetry(attempt)) {
+    ++attempt;
+    ++retries;
+  }
+  EXPECT_EQ(retries, 3);
+  support::Rng rng(1);
+  const uint64_t before = rng.Next();
+  support::Rng replay(1);
+  EXPECT_EQ(replay.Next(), before);  // sanity: same seed, same stream
+  support::Rng jrng(99);
+  for (int r = 1; r <= 3; ++r) {
+    EXPECT_EQ(p.BackoffTicks(r, jrng), 1u);
+  }
+  // Jitter-free schedules must not consume randomness.
+  support::Rng jrng2(99);
+  EXPECT_EQ(jrng.Next(), jrng2.Next());
+}
+
+TEST(RetryPolicyTest, ExponentialBackoffGrowsAndCaps) {
+  support::RetryPolicy p =
+      support::RetryPolicy::ExponentialJitter(6, 1, 2.0, 8, /*jitter=*/0.0);
+  support::Rng rng(5);
+  EXPECT_EQ(p.BackoffTicks(1, rng), 1u);
+  EXPECT_EQ(p.BackoffTicks(2, rng), 2u);
+  EXPECT_EQ(p.BackoffTicks(3, rng), 4u);
+  EXPECT_EQ(p.BackoffTicks(4, rng), 8u);
+  EXPECT_EQ(p.BackoffTicks(5, rng), 8u);  // capped
+}
+
+TEST(RetryPolicyTest, JitterStaysBoundedAndIsSeedDeterministic) {
+  support::RetryPolicy p =
+      support::RetryPolicy::ExponentialJitter(8, 2, 2.0, 32, /*jitter=*/0.25);
+  support::Rng a(123);
+  support::Rng b(123);
+  for (int r = 1; r <= 7; ++r) {
+    const uint64_t base = std::min<uint64_t>(32, 2ULL << (r - 1));
+    const uint64_t ticks_a = p.BackoffTicks(r, a);
+    const uint64_t ticks_b = p.BackoffTicks(r, b);
+    EXPECT_EQ(ticks_a, ticks_b) << "retry " << r;  // same seed, same schedule
+    EXPECT_GE(ticks_a, 1u);
+    EXPECT_LE(ticks_a, 32u);
+    // Within +-25% of the exponential base (after clamping).
+    EXPECT_GE(static_cast<double>(ticks_a), 0.74 * static_cast<double>(base) - 1.0);
+    EXPECT_LE(static_cast<double>(ticks_a), 1.26 * static_cast<double>(base) + 1.0);
+  }
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  support::Deadline d = support::Deadline::Unlimited();
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.Expired(0));
+  EXPECT_FALSE(d.Expired(~0ULL));
+}
+
+TEST(DeadlineTest, TickBudgetExpiresExactlyAtTheBoundary) {
+  support::Deadline d = support::Deadline::AtTicks(100, 50);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.Expired(100));
+  EXPECT_FALSE(d.Expired(149));
+  EXPECT_TRUE(d.Expired(150));
+  EXPECT_TRUE(d.Expired(1000));
+  EXPECT_EQ(d.RemainingTicks(100), 50u);
+  EXPECT_EQ(d.RemainingTicks(149), 1u);
+  EXPECT_EQ(d.RemainingTicks(150), 0u);
+  EXPECT_EQ(d.RemainingTicks(9999), 0u);
 }
 
 // ----- Rng ---------------------------------------------------------------------

@@ -32,6 +32,7 @@ CHECKS = [
     ("micro_describe", "describe", "app", "warm_prompt_speedup"),
     ("micro_session", "sessions", "app", "warm_session_speedup"),
     ("micro_session", "pool", "app", "pooled_setup_speedup"),
+    ("ablation_faults", "levels", "level", "success_rate"),
 ]
 
 

@@ -7,19 +7,29 @@
 // Usage:
 //   dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
 //           [--task W3] [--repeats 3] [--seed 1]
-//           [--instability none|typical|harsh]
+//           [--instability none|typical|harsh|hostile]
+//           [--policy none|typical|harsh|hostile]
+//           [--report-json out.report.json]
 //           [--trace out.trace.json] [--metrics out.metrics.json]
 //
 // --trace enables span recording and writes a Chrome-trace JSON (load it in
 // chrome://tracing or https://ui.perfetto.dev); a path ending in .jsonl gets
 // the line-delimited event stream instead. --metrics dumps the counter and
 // histogram registry after the suite.
+//
+// --policy adopts a full dmi::Policy preset (instability + typed retry
+// schedules + per-run deadline); --instability afterwards overrides just the
+// hazard level. --report-json writes a machine-readable suite report: every
+// run's terminal status with its structured ErrorDetail payload plus the
+// RenderJson() of its last visit report (DESIGN.md §11).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/agent/task_runner.h"
+#include "src/dmi/policy.h"
+#include "src/json/json.h"
 #include "src/support/trace.h"
 #include "src/support/trace_export.h"
 
@@ -29,8 +39,66 @@ void Usage() {
   std::printf(
       "usage: dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
       "               [--task <id>] [--repeats N] [--seed N]\n"
-      "               [--instability none|typical|harsh]\n"
+      "               [--instability none|typical|harsh|hostile]\n"
+      "               [--policy none|typical|harsh|hostile]\n"
+      "               [--report-json <out.json>]\n"
       "               [--trace <out.trace.json|out.jsonl>] [--metrics <out.json>]\n");
+}
+
+jsonv::Value StatusToJson(const support::Status& status) {
+  jsonv::Object obj;
+  obj["code"] = support::StatusCodeName(status.code());
+  obj["message"] = status.message();
+  if (status.has_detail()) {
+    const support::ErrorDetail& d = status.detail();
+    jsonv::Object detail;
+    detail["control_id"] = d.control_id;
+    detail["control_name"] = d.control_name;
+    detail["required_pattern"] = d.required_pattern;
+    detail["retryable"] = d.retryable;
+    detail["attempts"] = d.attempts;
+    detail["backoff_ticks"] = static_cast<int64_t>(d.backoff_ticks);
+    obj["error_detail"] = jsonv::Value(std::move(detail));
+  }
+  return jsonv::Value(std::move(obj));
+}
+
+// The machine-readable suite report (--report-json).
+jsonv::Value SuiteReportJson(const agentsim::RunConfig& config,
+                             const agentsim::SuiteResult& result) {
+  jsonv::Object root;
+  root["mode"] = agentsim::InterfaceModeName(config.mode);
+  root["model"] = config.profile.model;
+  root["seed"] = static_cast<int64_t>(config.seed);
+  root["repeats"] = config.repeats;
+  root["success_rate"] = result.SuccessRate();
+  jsonv::Array task_entries;
+  for (const auto& record : result.records) {
+    jsonv::Object task;
+    task["task"] = record.task_id;
+    jsonv::Array runs;
+    for (const auto& run : record.runs) {
+      jsonv::Object r;
+      r["success"] = run.success;
+      r["llm_calls"] = run.llm_calls;
+      r["core_calls"] = run.core_calls;
+      r["sim_time_s"] = run.sim_time_s;
+      r["ui_actions"] = static_cast<int64_t>(run.ui_actions);
+      r["cause"] = std::string(agentsim::FailureCauseName(run.cause));
+      r["final_status"] = StatusToJson(run.final_status);
+      if (!run.report_json.empty()) {
+        // The per-run visit report is itself RenderJson() output; embed it as
+        // a JSON value (round-trips by construction).
+        support::Result<jsonv::Value> parsed = jsonv::Parse(run.report_json);
+        r["visit_report"] = parsed.ok() ? std::move(*parsed) : jsonv::Value(nullptr);
+      }
+      runs.push_back(jsonv::Value(std::move(r)));
+    }
+    task["runs"] = jsonv::Value(std::move(runs));
+    task_entries.push_back(jsonv::Value(std::move(task)));
+  }
+  root["tasks"] = jsonv::Value(std::move(task_entries));
+  return jsonv::Value(std::move(root));
 }
 
 bool EndsWith(const std::string& s, const char* suffix) {
@@ -46,6 +114,7 @@ int main(int argc, char** argv) {
   std::string task_filter;
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,10 +163,30 @@ int main(int argc, char** argv) {
         config.instability = gsim::InstabilityConfig::Typical();
       } else if (level == "harsh") {
         config.instability = gsim::InstabilityConfig::Harsh();
+      } else if (level == "hostile") {
+        config.instability = gsim::InstabilityConfig::Hostile();
       } else {
         Usage();
         return 2;
       }
+    } else if (arg == "--policy") {
+      const std::string preset = next("--policy");
+      if (preset == "none") {
+        config.ApplyPolicy(dmi::Policy::None());
+      } else if (preset == "typical") {
+        config.ApplyPolicy(dmi::Policy::Typical());
+      } else if (preset == "harsh") {
+        config.ApplyPolicy(dmi::Policy::Harsh());
+      } else if (preset == "hostile") {
+        config.ApplyPolicy(dmi::Policy::Hostile());
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--report-json") {
+      report_path = next("--report-json");
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      report_path = arg.substr(std::strlen("--report-json="));
     } else if (arg == "--trace") {
       trace_path = next("--trace");
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -135,6 +224,9 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     support::TraceRecorder::Global().SetEnabled(true);
   }
+  if (!report_path.empty()) {
+    config.capture_report_json = true;
+  }
 
   std::printf("running %zu task(s), mode=%s, model=%s %s, repeats=%d\n\n", tasks.size(),
               agentsim::InterfaceModeName(config.mode), config.profile.model.c_str(),
@@ -168,6 +260,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %zu trace events to %s\n", events.size(), trace_path.c_str());
+  }
+  if (!report_path.empty()) {
+    const std::string doc = SuiteReportJson(config, result).DumpPretty();
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", report_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote run report to %s\n", report_path.c_str());
   }
   if (!metrics_path.empty()) {
     const support::Status s = support::WriteMetricsJson(

@@ -5,7 +5,10 @@
 # buffers, relaxed atomics, destructor-flushed tallies), the describe layer's
 # catalog caches are call_once-lazy on an immutable forest, and the run
 # harness shares one CompiledModel per app plus a mutex-guarded application
-# pool across suite workers; this job is the proof.
+# pool across suite workers; this job is the proof. The robustness layer
+# (per-run retry RNGs, deadlines, robust.* counters) runs on every suite
+# worker concurrently, so the parallel robustness/determinism tests ride
+# along here too.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -15,6 +18,6 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
-    describe_test pool_test
+    describe_test pool_test robustness_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile'
