@@ -1,0 +1,244 @@
+// Microbenchmark: fleet-scale inference batching and the shared
+// prompt-prefix cache (DESIGN.md §12).
+//
+// Two gates, both deterministic (pure arithmetic over real model token
+// counts — no wall clock, so the committed floors are machine-independent):
+//
+//  1. Batching economics. Real WordSim prompt segments are pushed through
+//     BatchScheduler at max batch sizes {1, 4, 16, 64}. The amortized
+//     per-call latency must be strictly decreasing in batch size and the
+//     speedup/throughput must clear the committed floors: a batch of B
+//     prefills the shared static prefix once and decodes concurrently, so
+//     per-call cost approaches 1/B of serial.
+//
+//  2. Shared-prefix residency. N = 8 concurrent sessions of one compiled
+//     model must share the static prompt segment by pointer identity (one
+//     copy per app kind, byte-identical through every session), and the
+//     per-session resident prompt-cache bytes must shrink to the dynamic
+//     segment only. resident_reduction = legacy private residency (N full
+//     copies) over shared residency (one static copy + N dynamic segments).
+//
+// Results land in the "micro_batch" section of BENCH_perf.json; floors live
+// in bench/BENCH_baseline.json (checked by tools/check_bench_regression.py).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/agent/batch_scheduler.h"
+#include "src/apps/excel_sim.h"
+#include "src/apps/ppoint_sim.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
+
+namespace {
+
+std::unique_ptr<gsim::Application> MakeApp(const std::string& name) {
+  if (name == "WordSim") {
+    return std::make_unique<apps::WordSim>();
+  }
+  if (name == "ExcelSim") {
+    return std::make_unique<apps::ExcelSim>();
+  }
+  return std::make_unique<apps::PpointSim>();
+}
+
+std::shared_ptr<const dmi::CompiledModel> CompileModel(const std::string& name) {
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account"};
+  std::unique_ptr<gsim::Application> scratch = MakeApp(name);
+  ripper::GuiRipper rip(*scratch, options.ripper_config);
+  return dmi::CompiledModel::Compile(rip.Rip(), options);
+}
+
+struct BatchRow {
+  size_t batch_size = 0;
+  double amortized_call_s = 0;
+  double serial_call_s = 0;
+  double speedup = 0;
+  double tokens_per_sec = 0;
+  uint64_t prefix_tokens_saved = 0;
+};
+
+struct MemoryRow {
+  std::string app;
+  size_t sessions = 0;
+  size_t static_bytes = 0;        // shared: resident once per app kind
+  size_t dynamic_bytes = 0;       // private: resident per session
+  size_t shared_resident_bytes = 0;
+  size_t legacy_resident_bytes = 0;  // N private copies of the full prompt
+  double resident_reduction = 0;
+  bool static_shared = false;  // pointer + byte identity across all sessions
+};
+
+// One simulated DMI core call: the shared static prefix plus this session's
+// dynamic segment and task framing, emitting a typical plan.
+constexpr size_t kTaskOverheadTokens = 200;
+constexpr size_t kPlanOutputTokens = 140;
+
+BatchRow BenchBatchSize(const agentsim::LlmProfile& profile, const void* prefix_key,
+                        size_t prefix_tokens, size_t unique_tokens, size_t batch_size) {
+  agentsim::BatchScheduler scheduler;
+  agentsim::BatchOptions options;
+  options.enabled = true;
+  options.max_batch_size = batch_size;
+  scheduler.Reset(options);
+  // Submit exactly 64 calls regardless of batch size so every row amortizes
+  // the same call stream (64 is divisible by every gate size).
+  constexpr size_t kCalls = 64;
+  for (size_t i = 0; i < kCalls; ++i) {
+    scheduler.Submit(profile, prefix_key, prefix_tokens, unique_tokens,
+                     kPlanOutputTokens);
+  }
+  scheduler.FlushAll();
+  const agentsim::BatchScheduler::Stats stats = scheduler.stats();
+  BatchRow row;
+  row.batch_size = batch_size;
+  row.amortized_call_s = stats.AmortizedCallLatencyS();
+  row.serial_call_s = stats.serial_latency_s / static_cast<double>(stats.calls);
+  row.speedup = stats.AmortizedSpeedup();
+  row.tokens_per_sec = stats.TokensPerSec();
+  row.prefix_tokens_saved = stats.prefix_tokens_saved;
+  return row;
+}
+
+MemoryRow BenchResidency(const std::string& name) {
+  MemoryRow row;
+  row.app = name;
+  row.sessions = 8;
+
+  std::shared_ptr<const dmi::CompiledModel> model = CompileModel(name);
+  std::vector<std::unique_ptr<gsim::Application>> apps;
+  std::vector<std::unique_ptr<dmi::DmiSession>> sessions;
+  for (size_t i = 0; i < row.sessions; ++i) {
+    apps.push_back(MakeApp(name));
+    sessions.push_back(std::make_unique<dmi::DmiSession>(*apps.back(), model));
+  }
+
+  const std::string& shared_static = model->static_prompt();
+  row.static_bytes = shared_static.size();
+  row.static_shared = true;
+  const std::string reference = sessions[0]->BuildPromptContextUncached();
+  for (auto& session : sessions) {
+    const dmi::PromptView view = session->Prompt();
+    // Pointer identity: every session serves the *same* static bytes, not a
+    // private copy. Byte identity: assembling the view reproduces the
+    // uncached reference exactly.
+    row.static_shared = row.static_shared && view.static_text == &shared_static &&
+                        view.Assemble() == reference;
+    row.dynamic_bytes = session->PromptCacheBytes();
+  }
+  row.shared_resident_bytes = row.static_bytes + row.sessions * row.dynamic_bytes;
+  row.legacy_resident_bytes = row.sessions * (row.static_bytes + row.dynamic_bytes);
+  row.resident_reduction =
+      row.shared_resident_bytes > 0
+          ? static_cast<double>(row.legacy_resident_bytes) /
+                static_cast<double>(row.shared_resident_bytes)
+          : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Micro-bench: fleet batching + shared prompt-prefix cache");
+  bench::PerfRecorder recorder;
+
+  // ----- gate 1: continuous-batching economics -------------------------------
+  const agentsim::LlmProfile profile = agentsim::LlmProfile::Gpt5Medium();
+  std::shared_ptr<const dmi::CompiledModel> word = CompileModel("WordSim");
+  std::unique_ptr<gsim::Application> word_app = MakeApp("WordSim");
+  dmi::DmiSession word_session(*word_app, word);
+  const size_t prefix_tokens = word->static_prompt_tokens();
+  const size_t unique_tokens =
+      word_session.PromptTokens() - prefix_tokens + kTaskOverheadTokens;
+
+  std::printf("\n  prompt: %zu shared prefix tokens + %zu unique tokens/call "
+              "(WordSim, %s %s)\n\n",
+              prefix_tokens, unique_tokens, profile.model.c_str(),
+              profile.reasoning.c_str());
+  std::printf("  %-6s | %12s %12s %8s | %10s %14s\n", "batch", "amortized", "serial",
+              "speedup", "tok/s", "prefix saved");
+  std::printf("  %-6s | %12s %12s %8s | %10s %14s\n", "", "(s/call)", "(s/call)", "(x)",
+              "", "(tokens)");
+  bench::PrintRule();
+
+  const size_t kBatchSizes[] = {1, 4, 16, 64};
+  bool economics_ok = true;
+  std::vector<BatchRow> batch_rows;
+  for (size_t b : kBatchSizes) {
+    BatchRow row = BenchBatchSize(profile, word.get(), prefix_tokens, unique_tokens, b);
+    if (!batch_rows.empty()) {
+      // The tentpole property: amortized per-call latency strictly decreasing
+      // (and throughput strictly increasing) in batch size.
+      economics_ok = economics_ok &&
+                     row.amortized_call_s < batch_rows.back().amortized_call_s &&
+                     row.tokens_per_sec > batch_rows.back().tokens_per_sec;
+    }
+    std::printf("  %-6zu | %12.2f %12.2f %7.2fx | %10.0f %14llu\n", row.batch_size,
+                row.amortized_call_s, row.serial_call_s, row.speedup, row.tokens_per_sec,
+                static_cast<unsigned long long>(row.prefix_tokens_saved));
+    batch_rows.push_back(row);
+  }
+
+  // ----- gate 2: shared-prefix residency -------------------------------------
+  std::printf("\n  %-10s %8s | %10s %10s | %12s %12s %9s | %7s\n", "app", "sessions",
+              "static", "dynamic", "shared-res", "legacy-res", "reduction", "shared");
+  std::printf("  %-10s %8s | %10s %10s | %12s %12s %9s | %7s\n", "", "", "(bytes)",
+              "(bytes/s.)", "(bytes)", "(bytes)", "(x)", "");
+  bench::PrintRule();
+
+  const char* kApps[] = {"WordSim", "ExcelSim", "PpointSim"};
+  bool residency_ok = true;
+  std::vector<MemoryRow> memory_rows;
+  for (const char* name : kApps) {
+    MemoryRow row = BenchResidency(name);
+    residency_ok = residency_ok && row.static_shared && row.resident_reduction > 1.0;
+    std::printf("  %-10s %8zu | %10zu %10zu | %12zu %12zu %8.2fx | %7s\n",
+                row.app.c_str(), row.sessions, row.static_bytes, row.dynamic_bytes,
+                row.shared_resident_bytes, row.legacy_resident_bytes,
+                row.resident_reduction, row.static_shared ? "yes" : "NO");
+    memory_rows.push_back(row);
+  }
+
+  // ----- record --------------------------------------------------------------
+  jsonv::Array batches;
+  for (const BatchRow& row : batch_rows) {
+    jsonv::Object o;
+    o["batch_size"] = jsonv::Value(static_cast<int64_t>(row.batch_size));
+    o["amortized_call_s"] = jsonv::Value(row.amortized_call_s);
+    o["serial_call_s"] = jsonv::Value(row.serial_call_s);
+    o["amortized_speedup"] = jsonv::Value(row.speedup);
+    o["tokens_per_sec"] = jsonv::Value(row.tokens_per_sec);
+    o["prefix_tokens_saved"] = jsonv::Value(static_cast<int64_t>(row.prefix_tokens_saved));
+    batches.push_back(jsonv::Value(std::move(o)));
+  }
+  jsonv::Array residency;
+  for (const MemoryRow& row : memory_rows) {
+    jsonv::Object o;
+    o["app"] = row.app;
+    o["sessions"] = jsonv::Value(static_cast<int64_t>(row.sessions));
+    o["static_prompt_bytes"] = jsonv::Value(static_cast<int64_t>(row.static_bytes));
+    o["dynamic_bytes_per_session"] = jsonv::Value(static_cast<int64_t>(row.dynamic_bytes));
+    o["shared_resident_bytes"] = jsonv::Value(static_cast<int64_t>(row.shared_resident_bytes));
+    o["legacy_resident_bytes"] = jsonv::Value(static_cast<int64_t>(row.legacy_resident_bytes));
+    o["resident_reduction"] = jsonv::Value(row.resident_reduction);
+    o["static_shared"] = jsonv::Value(row.static_shared);
+    residency.push_back(jsonv::Value(std::move(o)));
+  }
+  jsonv::Object section;
+  section["batching"] = jsonv::Value(std::move(batches));
+  section["residency"] = jsonv::Value(std::move(residency));
+  section["gate_passed"] = jsonv::Value(economics_ok && residency_ok);
+  recorder.Set("micro_batch", jsonv::Value(std::move(section)));
+  recorder.SetMetricsSnapshot();
+  recorder.Write();
+
+  std::printf("\namortized latency strictly decreasing with batch size: %s\n",
+              economics_ok ? "PASS" : "FAIL");
+  std::printf("static prompt shared across sessions (pointer + bytes): %s\n",
+              residency_ok ? "PASS" : "FAIL");
+  return (economics_ok && residency_ok) ? 0 : 1;
+}

@@ -66,9 +66,12 @@ DescribePerf BenchApp(const std::string& name) {
 
   // Correctness first: the cached artifacts must reproduce the uncached
   // reference byte-for-byte, and the segment-summed token count must equal
-  // the monolithic count of the assembled prompt.
+  // the monolithic count of the assembled prompt. The warm prompt path is the
+  // two-segment PromptView (static on the shared model, dynamic cached on the
+  // session); its assembly must match the uncached reference too.
   perf.identical = catalog.FullText() == catalog.FullTextUncached() &&
                    catalog.FullTokens() == textutil::CountTokens(catalog.FullTextUncached()) &&
+                   session.Prompt().Assemble() == session.BuildPromptContextUncached() &&
                    session.BuildPromptContext() == session.BuildPromptContextUncached() &&
                    session.PromptTokens() ==
                        textutil::CountTokens(session.BuildPromptContextUncached());
@@ -110,7 +113,11 @@ DescribePerf BenchApp(const std::string& name) {
   {
     bench::WallTimer t;
     for (int i = 0; i < kFastIters; ++i) {
-      if (session.PromptTokens() == 0 || session.BuildPromptContext().empty()) {
+      // The warm turn: zero-copy two-segment view plus the cached count. No
+      // assembly — callers consume the segments directly.
+      const dmi::PromptView view = session.Prompt();
+      if (view.tokens == 0 || view.static_text->empty() ||
+          session.PromptTokens() != view.tokens) {
         std::abort();
       }
     }

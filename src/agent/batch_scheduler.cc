@@ -1,0 +1,119 @@
+#include "src/agent/batch_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
+namespace agentsim {
+
+void BatchScheduler::Configure(BatchOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+}
+
+void BatchScheduler::Reset(BatchOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  pending_.clear();
+  stats_ = Stats{};
+}
+
+double BatchScheduler::SerialCallTimeS(const LlmProfile& profile, size_t prompt_tokens,
+                                       size_t output_tokens) {
+  return profile.reasoning_latency_s +
+         static_cast<double>(prompt_tokens) / profile.input_tok_per_s +
+         static_cast<double>(output_tokens) / profile.output_tok_per_s;
+}
+
+double BatchScheduler::BatchWallTimeS(const LlmProfile& profile, size_t batch_size,
+                                      size_t shared_prefix_tokens,
+                                      size_t sum_unique_prompt_tokens,
+                                      size_t max_output_tokens) {
+  (void)batch_size;  // the batch dimension is carried by the summed uniques
+  const double prefill_s =
+      static_cast<double>(shared_prefix_tokens + sum_unique_prompt_tokens) /
+      profile.input_tok_per_s;
+  const double decode_s = static_cast<double>(max_output_tokens) / profile.output_tok_per_s;
+  return profile.batch_overhead_s + profile.reasoning_latency_s + prefill_s + decode_s;
+}
+
+void BatchScheduler::Submit(const LlmProfile& profile, const void* prefix_key,
+                            size_t shared_prefix_tokens, size_t unique_prompt_tokens,
+                            size_t output_tokens) {
+  PendingCall call;
+  call.unique_prompt_tokens = unique_prompt_tokens;
+  call.output_tokens = output_tokens;
+  call.serial_s =
+      SerialCallTimeS(profile, shared_prefix_tokens + unique_prompt_tokens, output_tokens);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingBatch& batch = pending_[prefix_key];
+  if (batch.calls.empty()) {
+    batch.shared_prefix_tokens = shared_prefix_tokens;
+    batch.profile = profile;
+  }
+  batch.calls.push_back(call);
+  const size_t cap = std::max<size_t>(options_.max_batch_size, 1);
+  if (batch.calls.size() >= cap) {
+    FlushLocked(prefix_key, batch);
+    pending_.erase(prefix_key);
+  }
+}
+
+void BatchScheduler::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, batch] : pending_) {
+    if (!batch.calls.empty()) {
+      FlushLocked(key, batch);
+    }
+  }
+  pending_.clear();
+}
+
+void BatchScheduler::FlushLocked(const void* key, PendingBatch& batch) {
+  support::TraceSpan span("batch.flush", "batch");
+  const size_t batch_size = batch.calls.size();
+  size_t sum_unique = 0;
+  size_t sum_output = 0;
+  size_t max_output = 0;
+  double serial_s = 0;
+  for (const PendingCall& call : batch.calls) {
+    sum_unique += call.unique_prompt_tokens;
+    sum_output += call.output_tokens;
+    max_output = std::max(max_output, call.output_tokens);
+    serial_s += call.serial_s;
+  }
+  const double wall_s = BatchWallTimeS(batch.profile, batch_size, batch.shared_prefix_tokens,
+                                       sum_unique, max_output);
+  const uint64_t saved = static_cast<uint64_t>(batch.shared_prefix_tokens) *
+                         static_cast<uint64_t>(batch_size - 1);
+
+  stats_.calls += batch_size;
+  stats_.batches += 1;
+  stats_.unique_prompt_tokens += sum_unique;
+  stats_.prefix_tokens += batch.shared_prefix_tokens;
+  stats_.prefix_tokens_saved += saved;
+  stats_.output_tokens += sum_output;
+  stats_.serial_latency_s += serial_s;
+  stats_.batched_latency_s += wall_s;
+
+  support::CountMetric("batch.batches");
+  support::CountMetric("batch.calls", batch_size);
+  support::CountMetric("batch.prefix_tokens_saved", saved);
+  support::ObserveMetric("batch.size", static_cast<double>(batch_size));
+  support::ObserveMetric("batch.wall_s", wall_s);
+  support::ObserveMetric("batch.amortized_call_s", wall_s / static_cast<double>(batch_size));
+  span.AddArg("key", static_cast<int64_t>(reinterpret_cast<uintptr_t>(key)));
+  span.AddArg("size", static_cast<int64_t>(batch_size));
+  span.AddArg("prefix_tokens", static_cast<int64_t>(batch.shared_prefix_tokens));
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace agentsim

@@ -1,0 +1,132 @@
+// BatchScheduler: fleet-scale inference batching in front of SimLlm
+// (DESIGN.md §12).
+//
+// At fleet scale, concurrent sessions of one app kind issue describe/plan
+// calls whose prompts share the model's static prefix (usage hint + core
+// topology — exactly the segment PR 6 hoisted onto dmi::CompiledModel). A
+// real serving stack coalesces such calls into continuous batches: the shared
+// prefix is prefilled once per batch, per-call unique segments are prefilled
+// back to back, and decoding streams for the whole batch concurrently, so the
+// amortized per-call cost is a strictly decreasing function of batch size.
+//
+// This scheduler simulates those serving economics *observationally*: every
+// simulated LLM call is also submitted here (SimLlm::AttachBatchSink), calls
+// are coalesced per prefix key (the CompiledModel identity) until
+// max_batch_size accumulate, and each flushed batch is costed with a
+// deterministic continuous-batching latency model (pure arithmetic on token
+// counts and the LlmProfile rates — no RNG, so attaching the scheduler can
+// never perturb a run's seeded decision stream). Per-run RunResults keep the
+// canonical single-session latency; the scheduler's Stats and the batch.*
+// metrics report what the same call stream costs a batching fleet.
+#ifndef SRC_AGENT_BATCH_SCHEDULER_H_
+#define SRC_AGENT_BATCH_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/agent/llm_profile.h"
+
+namespace agentsim {
+
+struct BatchOptions {
+  // When false the runner never attaches the scheduler (RunConfig::batch).
+  bool enabled = false;
+  // Calls coalesced per batch before a flush; clamped to >= 1.
+  size_t max_batch_size = 16;
+};
+
+class BatchScheduler {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t batches = 0;
+    // Token traffic: shared prefix tokens are counted once per batch under
+    // `prefix_tokens`; `prefix_tokens_saved` is the prefill the batch avoided
+    // versus per-call private prefixes ((batch_size - 1) * prefix per batch).
+    uint64_t unique_prompt_tokens = 0;
+    uint64_t prefix_tokens = 0;
+    uint64_t prefix_tokens_saved = 0;
+    uint64_t output_tokens = 0;
+    // As-if-serial cost of the same calls (deterministic median latency, one
+    // call at a time) vs the summed batch wall times.
+    double serial_latency_s = 0;
+    double batched_latency_s = 0;
+
+    double AmortizedCallLatencyS() const {
+      return calls > 0 ? batched_latency_s / static_cast<double>(calls) : 0.0;
+    }
+    double AmortizedSpeedup() const {
+      return batched_latency_s > 0 ? serial_latency_s / batched_latency_s : 0.0;
+    }
+    // Effective served tokens per simulated second: every call is credited
+    // its full logical prompt (prefix + unique) plus output, so prefix
+    // sharing shows up as throughput above the raw ingest rate.
+    double TokensPerSec() const {
+      const double served = static_cast<double>(unique_prompt_tokens + output_tokens) +
+                            static_cast<double>(prefix_tokens + prefix_tokens_saved);
+      return batched_latency_s > 0 ? served / batched_latency_s : 0.0;
+    }
+  };
+
+  BatchScheduler() = default;
+  explicit BatchScheduler(BatchOptions options) : options_(options) {}
+
+  // Reconfigures the flush threshold (thread-safe). Pending calls and stats
+  // are kept; Reset() discards both.
+  void Configure(BatchOptions options);
+  void Reset(BatchOptions options);
+
+  // Submits one LLM call. `prefix_key` identifies the shared prompt prefix
+  // (the CompiledModel address for DMI describe/plan calls; nullptr for
+  // prefix-less calls, which still amortize the per-batch overhead).
+  // `shared_prefix_tokens` must be identical for every call under one key.
+  // Thread-safe: concurrent sessions submit from suite workers.
+  void Submit(const LlmProfile& profile, const void* prefix_key,
+              size_t shared_prefix_tokens, size_t unique_prompt_tokens,
+              size_t output_tokens);
+
+  // Flushes every pending partial batch (end of a suite / drain point).
+  void FlushAll();
+
+  Stats stats() const;
+
+  // ----- the deterministic continuous-batching latency model -----------------
+  // Wall time of one batch: per-batch scheduling overhead + one reasoning
+  // window (decodes stream concurrently) + shared prefix prefilled once +
+  // per-call unique prefill + the longest decode. Pure arithmetic — no RNG.
+  static double BatchWallTimeS(const LlmProfile& profile, size_t batch_size,
+                               size_t shared_prefix_tokens, size_t sum_unique_prompt_tokens,
+                               size_t max_output_tokens);
+  // Deterministic (median) serial cost of one call — SimLlm::CallLatency with
+  // the lognormal reasoning draw pinned to its median.
+  static double SerialCallTimeS(const LlmProfile& profile, size_t prompt_tokens,
+                                size_t output_tokens);
+
+ private:
+  // Per-call rates copied out of the profile: a pending batch may outlive the
+  // run (and SimLlm) that submitted into it.
+  struct PendingCall {
+    size_t unique_prompt_tokens = 0;
+    size_t output_tokens = 0;
+    double serial_s = 0;
+  };
+  struct PendingBatch {
+    size_t shared_prefix_tokens = 0;
+    LlmProfile profile;  // rates of the first call in the batch
+    std::vector<PendingCall> calls;
+  };
+
+  void FlushLocked(const void* key, PendingBatch& batch);
+
+  mutable std::mutex mu_;
+  BatchOptions options_;
+  std::map<const void*, PendingBatch> pending_;
+  Stats stats_;
+};
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_BATCH_SCHEDULER_H_

@@ -31,6 +31,18 @@ std::vector<std::vector<const DmiStep*>> GroupIntoTurns(const std::vector<DmiSte
   return turns;
 }
 
+// Accounting for a run doomed by the residual mechanism hazard: the agent
+// burns the framework overhead plus two core attempts before giving up.
+constexpr int kResidualCoreCalls = 2;
+constexpr int kResidualLlmCalls = kFrameworkOverheadSteps + kResidualCoreCalls;
+// Per-call prompt = session prompt context + roughly this many tokens of task
+// description and framework scaffolding.
+constexpr size_t kResidualTaskOverheadTokens = 200;
+// Output across the whole run (plans, retries, the giving-up summary)...
+constexpr size_t kResidualOutputTokensTotal = 500;
+// ...but latency is charged per call at the typical plan-emission size.
+constexpr size_t kResidualOutputTokensPerCall = 120;
+
 }  // namespace
 
 RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, SimLlm& llm) {
@@ -44,11 +56,13 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
   const bool topology_doom = llm.TopologyInaccuracy();
   // Residual mechanism hazard (unmodeled real-world UIA flakiness).
   if (llm.ResidualMechanismFailure()) {
-    rr.llm_calls = kFrameworkOverheadSteps + 2;
-    rr.core_calls = 2;
-    rr.prompt_tokens = 5 * (session.PromptTokens() + 200);
-    rr.output_tokens = 500;
-    rr.sim_time_s = llm.CallLatency(rr.prompt_tokens / 5, 120) * 5;
+    rr.llm_calls = kResidualLlmCalls;
+    rr.core_calls = kResidualCoreCalls;
+    const size_t per_call_prompt = session.PromptTokens() + kResidualTaskOverheadTokens;
+    rr.prompt_tokens = static_cast<size_t>(kResidualLlmCalls) * per_call_prompt;
+    rr.output_tokens = kResidualOutputTokensTotal;
+    rr.sim_time_s =
+        llm.CallLatency(per_call_prompt, kResidualOutputTokensPerCall) * kResidualLlmCalls;
     rr.success = false;
     rr.cause = llm.rng().Bernoulli(0.6) ? FailureCause::kNavigationError
                                         : FailureCause::kCompositeInteractionError;

@@ -67,6 +67,9 @@ struct LlmProfile {
   double input_tok_per_s = 5000.0;    // prompt ingestion rate
   double output_tok_per_s = 60.0;     // generation rate
   double ui_action_s = 0.4;           // per executed UI action
+  // Fixed per-batch serving cost (scheduling + weight pass) amortized across
+  // a continuous batch by BatchScheduler; a batch of one pays it in full.
+  double batch_overhead_s = 0.5;
 
   // Action-sequence capacity per call (baseline's "action sequence").
   int max_actions_per_call = 6;

@@ -6,12 +6,16 @@
 
 #include <cstdint>
 
+#include <cstddef>
+
 #include "src/agent/failure.h"
 #include "src/agent/llm_profile.h"
 #include "src/support/rng.h"
 #include "src/workload/tasks.h"
 
 namespace agentsim {
+
+class BatchScheduler;
 
 class SimLlm {
  public:
@@ -41,12 +45,26 @@ class SimLlm {
   // Misperceived scroll position (GUI observe-act loops read the screen).
   double PerceiveScroll(double actual);
 
-  // Per-call latency in seconds given prompt/output token counts.
+  // Per-call latency in seconds given prompt/output token counts. When a
+  // batch sink is attached, the call is also submitted to it for fleet-scale
+  // batching accounting; the returned (seeded, per-session) latency is
+  // unaffected, so attaching a sink never perturbs determinism.
   double CallLatency(size_t prompt_tokens, size_t output_tokens);
+
+  // Routes every subsequent CallLatency into `scheduler` (observational; see
+  // batch_scheduler.h). `prefix_key` identifies the shared prompt prefix
+  // (the CompiledModel address in DMI mode, nullptr otherwise) and
+  // `shared_prefix_tokens` its length; calls whose prompts are shorter than
+  // the prefix (framework steps) are submitted prefix-less.
+  void AttachBatchSink(BatchScheduler* scheduler, const void* prefix_key,
+                       size_t shared_prefix_tokens);
 
  private:
   LlmProfile profile_;
   support::Rng rng_;
+  BatchScheduler* batch_sink_ = nullptr;
+  const void* batch_prefix_key_ = nullptr;
+  size_t batch_prefix_tokens_ = 0;
 };
 
 }  // namespace agentsim

@@ -177,6 +177,16 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
   workload::AppPool::Lease lease = app_pool_.Acquire(task, config.pool_apps);
   gsim::Application& app = *lease;
   app.SetInstability(&injector);
+  if (config.batch.enabled) {
+    // Fleet accounting: DMI calls batch under the shared model's prefix key,
+    // GUI-mode calls batch prefix-less. Observational only — the sink draws
+    // no RNG and never feeds back into the run.
+    const dmi::CompiledModel* prefix = config.mode == InterfaceMode::kGuiPlusDmi
+                                           ? model.compiled.get()
+                                           : nullptr;
+    llm.AttachBatchSink(&batch_scheduler_, prefix,
+                        prefix != nullptr ? prefix->static_prompt_tokens() : 0);
+  }
 
   if (config.mode == InterfaceMode::kGuiPlusDmi) {
     dmi::SessionOptions session_options;
@@ -226,6 +236,10 @@ SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
     result.records[i].runs.resize(static_cast<size_t>(config.repeats));
   }
 
+  if (config.batch.enabled) {
+    batch_scheduler_.Configure(config.batch);
+  }
+
   const int workers =
       config.workers == 0 ? static_cast<int>(support::ThreadPool::DefaultThreads())
                           : config.workers;
@@ -236,14 +250,27 @@ SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
             RunOnce(tasks[i], config, trial_seed(tasks[i], trial));
       }
     }
+    if (config.batch.enabled) {
+      batch_scheduler_.FlushAll();
+    }
     return result;
   }
 
   // Parallel fan-out over (task, trial) cells into preallocated slots. Models
   // are built up front so workers only ever read them; every run owns a fresh
-  // app instance confined to its worker.
+  // app instance confined to its worker. Fleet mode additionally prewarms the
+  // app pool so concurrent leases start from reset instances instead of
+  // racing through first-touch construction.
   for (const workload::Task& task : tasks) {
     ModelFor(task.app);
+  }
+  if (config.batch.enabled && config.pool_apps) {
+    std::set<workload::AppKind> kinds;
+    for (const workload::Task& task : tasks) {
+      if (kinds.insert(task.app).second) {
+        app_pool_.Prewarm(task, static_cast<size_t>(workers));
+      }
+    }
   }
   support::ThreadPool pool(static_cast<size_t>(workers));
   std::vector<std::future<void>> pending;
@@ -259,6 +286,9 @@ SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,
   }
   for (std::future<void>& f : pending) {
     f.get();
+  }
+  if (config.batch.enabled) {
+    batch_scheduler_.FlushAll();
   }
   return result;
 }

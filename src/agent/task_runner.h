@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/agent/baseline_agent.h"
+#include "src/agent/batch_scheduler.h"
 #include "src/agent/dmi_agent.h"
 #include "src/agent/llm_profile.h"
 #include "src/agent/run_result.h"
@@ -62,6 +63,14 @@ struct RunConfig {
   // Capture RenderJson() of the last visit report into each RunResult
   // (dmi_run --report-json pays this; everything else leaves it off).
   bool capture_report_json = false;
+  // Fleet-scale inference batching (DESIGN.md §12). When enabled, every
+  // simulated LLM call is also submitted to the runner's BatchScheduler,
+  // which coalesces concurrent sessions' calls per shared prompt prefix and
+  // reports the continuous-batching economics on batch.* metrics and
+  // TaskRunner::batch_stats(). Observational by construction: RunResults and
+  // SuiteResults are field-identical with batching on or off, at any batch
+  // size (tested, including under Harsh/Hostile policies).
+  BatchOptions batch;
 
   // Adopts a robustness preset (dmi::Policy) wholesale: instability level,
   // visit/interaction retry schedules, and the per-run deadline.
@@ -109,8 +118,19 @@ class TaskRunner {
   // One run of one task under the setting, with an explicit trial seed.
   RunResult RunOnce(const workload::Task& task, const RunConfig& config, uint64_t seed);
 
-  // Full suite, `config.repeats` trials per task.
+  // Full suite, `config.repeats` trials per task. With `config.workers` > 1
+  // and `config.batch.enabled`, this is the concurrent multi-session fleet
+  // mode: worker threads run sessions that share one CompiledModel per app
+  // kind (single static-prompt copy), lease pooled apps, and coalesce their
+  // LLM calls in the batch scheduler; partial batches are flushed at suite
+  // end.
   SuiteResult RunSuite(const std::vector<workload::Task>& tasks, const RunConfig& config);
+
+  // The fleet batching scheduler (populated by runs with batch.enabled).
+  // Reset() it between suites for per-suite accounting; stats() otherwise
+  // accumulate across the runner's lifetime.
+  BatchScheduler& batch_scheduler() { return batch_scheduler_; }
+  BatchScheduler::Stats batch_stats() const { return batch_scheduler_.stats(); }
 
   // Offline-phase results for §5.2 reporting.
   const dmi::ModelingStats& modeling_stats(workload::AppKind kind);
@@ -148,6 +168,8 @@ class TaskRunner {
   // Reset-based application pool shared by all runs (thread-safe; see
   // workload::AppPool). Unpooled runs go through it too, as throwaway leases.
   workload::AppPool app_pool_;
+  // Fleet batching accounting shared by all concurrent runs (thread-safe).
+  BatchScheduler batch_scheduler_;
 };
 
 }  // namespace agentsim

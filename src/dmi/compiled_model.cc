@@ -61,6 +61,14 @@ std::shared_ptr<const CompiledModel> CompiledModel::Compile(const topo::NavGraph
   stats.core_tokens = model->catalog_->CoreTokens();
   stats.full_tokens = model->catalog_->FullTokens();
   model->usage_hint_tokens_ = textutil::CountTokens(UsageHint());
+  // The shared static prompt segment: assembled and counted exactly once per
+  // compiled model. The hint ends in a newline, so the segment-summed count
+  // equals the concatenation's count (see textutil::CountTokensAppend).
+  const std::string& core = model->catalog_->CoreText();
+  model->static_prompt_.reserve(UsageHint().size() + core.size());
+  model->static_prompt_ = UsageHint();
+  model->static_prompt_ += core;
+  model->static_prompt_tokens_ = model->usage_hint_tokens_ + model->catalog_->CoreTokens();
   // Mirror the modeling summary onto the registry (ModelingStats remains the
   // per-model record; the registry is the process-wide aggregate).
   support::CountMetric("model.builds");

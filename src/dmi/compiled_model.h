@@ -73,6 +73,14 @@ class CompiledModel {
   const ModelingOptions& options() const { return options_; }
   size_t usage_hint_tokens() const { return usage_hint_tokens_; }
 
+  // The static prompt segment — usage hint + serialized core topology —
+  // concatenated and token-counted once at compile time. Every session of
+  // this model shares this single copy (DESIGN.md §12): per-session prompt
+  // state is only the dynamic screen/data segment, so N concurrent sessions
+  // of one app kind hold the static bytes exactly once.
+  const std::string& static_prompt() const { return static_prompt_; }
+  size_t static_prompt_tokens() const { return static_prompt_tokens_; }
+
   // Instruction header included in every prompt (counts toward DMI's token
   // overhead, §5.4).
   static const std::string& UsageHint();
@@ -97,6 +105,8 @@ class CompiledModel {
   std::unique_ptr<topo::NavGraph> dag_;
   std::unique_ptr<desc::TopologyCatalog> catalog_;
   size_t usage_hint_tokens_ = 0;  // counted once at compile
+  std::string static_prompt_;     // UsageHint() + catalog CoreText()
+  size_t static_prompt_tokens_ = 0;
 };
 
 }  // namespace dmi

@@ -11,6 +11,35 @@
 #include "src/text/tokens.h"
 
 namespace dmi {
+namespace {
+
+// Dynamic-segment headers. Both start or end on a newline, so the
+// segment-split token counts below sum exactly to the concatenation's count
+// (see textutil::CountTokensAppend).
+constexpr char kScreenHeader[] = "\n# Current screen\n";
+constexpr char kDataHeader[] = "# Data items\n";
+
+support::Counter& PromptCacheHits() {
+  static support::Counter& hits =
+      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_hits");
+  return hits;
+}
+
+support::Counter& PromptCacheMisses() {
+  static support::Counter& misses =
+      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_misses");
+  return misses;
+}
+
+}  // namespace
+
+std::string PromptView::Assemble() const {
+  std::string out;
+  out.reserve(static_text->size() + dynamic_text->size());
+  out += *static_text;
+  out += *dynamic_text;
+  return out;
+}
 
 std::unique_ptr<DmiSession> DmiSession::Model(gsim::Application& app,
                                               const ModelingOptions& options) {
@@ -56,46 +85,37 @@ VisitReport DmiSession::VisitParsed(std::vector<VisitCommand> commands) {
   return report;
 }
 
-const std::string& DmiSession::BuildPromptContext() {
-  static support::Counter& hits =
-      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_hits");
-  static support::Counter& misses =
-      support::MetricsRegistry::Global().GetCounter("describe.prompt_cache_misses");
+PromptView DmiSession::Prompt() {
   const uint64_t generation = app_->ui_generation();
-  if (prompt_cache_.valid && prompt_cache_.generation == generation) {
-    hits.Increment();
-    return prompt_cache_.prompt;
+  if (prompt_cache_.text_valid && prompt_cache_.generation == generation) {
+    PromptCacheHits().Increment();
+  } else {
+    PromptCacheMisses().Increment();
+    // Only the screen/data segment depends on live UI state; the static
+    // segment (usage hint + core topology) is shared on the CompiledModel.
+    // Refresh() recomputes layout but never bumps the generation, so the
+    // stamp taken above stays valid for the rebuilt cache entry.
+    screen_.Refresh();
+    std::string dynamic = kScreenHeader;
+    dynamic += screen_.RenderListing();
+    const std::string payload = interaction_.GetTextsPassive();
+    if (!payload.empty()) {
+      dynamic += kDataHeader;
+      dynamic += payload;
+    }
+    size_t tokens = 0;
+    textutil::CountTokensAppend(dynamic, &tokens);
+    prompt_cache_.dynamic = std::move(dynamic);
+    prompt_cache_.dynamic_tokens = tokens;
+    prompt_cache_.generation = generation;
+    prompt_cache_.tokens_valid = true;
+    prompt_cache_.text_valid = true;
   }
-  misses.Increment();
-  // Only the screen/data segment depends on live UI state; the usage hint and
-  // core topology are static, so their text and token counts come cached.
-  // Refresh() recomputes layout but never bumps the generation, so the stamp
-  // taken above stays valid for the rebuilt cache entry.
-  screen_.Refresh();
-  std::string dynamic = "\n# Current screen\n";
-  dynamic += screen_.RenderListing();
-  const std::string payload = interaction_.GetTextsPassive();
-  if (!payload.empty()) {
-    dynamic += "# Data items\n";
-    dynamic += payload;
-  }
-  const std::string& hint = CompiledModel::UsageHint();
-  const std::string& core = model_->catalog().CoreText();
-  // Segment sums match the concatenated count because every join point falls
-  // on a newline (see textutil::CountTokensAppend).
-  size_t tokens = model_->usage_hint_tokens() + model_->catalog().CoreTokens();
-  textutil::CountTokensAppend(dynamic, &tokens);
-  std::string out;
-  out.reserve(hint.size() + core.size() + dynamic.size());
-  out += hint;
-  out += core;
-  out += dynamic;
-  prompt_cache_.prompt = std::move(out);
-  prompt_cache_.tokens = tokens;
-  prompt_cache_.generation = generation;
-  prompt_cache_.valid = true;
-  return prompt_cache_.prompt;
+  return PromptView{&model_->static_prompt(), &prompt_cache_.dynamic,
+                    model_->static_prompt_tokens() + prompt_cache_.dynamic_tokens};
 }
+
+std::string DmiSession::BuildPromptContext() { return Prompt().Assemble(); }
 
 std::string DmiSession::BuildPromptContextUncached() {
   screen_.Refresh();
@@ -112,8 +132,31 @@ std::string DmiSession::BuildPromptContextUncached() {
 }
 
 size_t DmiSession::PromptTokens() {
-  (void)BuildPromptContext();
-  return prompt_cache_.tokens;
+  const uint64_t generation = app_->ui_generation();
+  if (prompt_cache_.tokens_valid && prompt_cache_.generation == generation) {
+    PromptCacheHits().Increment();
+    return model_->static_prompt_tokens() + prompt_cache_.dynamic_tokens;
+  }
+  PromptCacheMisses().Increment();
+  // Count-only rebuild: streams each dynamic piece through the token counter
+  // without concatenating them (every split point falls on a newline, so the
+  // segment sums are exact). The text cache stays unset — a later Prompt()
+  // call materializes the dynamic segment if anyone needs the bytes.
+  screen_.Refresh();
+  size_t tokens = 0;
+  textutil::CountTokensAppend(kScreenHeader, &tokens);
+  textutil::CountTokensAppend(screen_.RenderListing(), &tokens);
+  const std::string payload = interaction_.GetTextsPassive();
+  if (!payload.empty()) {
+    textutil::CountTokensAppend(kDataHeader, &tokens);
+    textutil::CountTokensAppend(payload, &tokens);
+  }
+  prompt_cache_.dynamic.clear();
+  prompt_cache_.dynamic_tokens = tokens;
+  prompt_cache_.generation = generation;
+  prompt_cache_.tokens_valid = true;
+  prompt_cache_.text_valid = false;
+  return model_->static_prompt_tokens() + tokens;
 }
 
 support::Status DmiSession::SaveModel(const topo::NavGraph& graph, const std::string& path) {
@@ -123,9 +166,14 @@ support::Status DmiSession::SaveModel(const topo::NavGraph& graph, const std::st
   }
   const std::string json = graph.ToJson().Dump();
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+  // fclose flushes the stdio buffer, so a full fwrite can still lose bytes
+  // here (ENOSPC, I/O error); both failures must surface.
+  const bool close_ok = std::fclose(f) == 0;
   if (written != json.size()) {
     return support::InternalError("short write to '" + path + "'");
+  }
+  if (!close_ok) {
+    return support::InternalError("failed to flush/close '" + path + "'");
   }
   return support::Status::Ok();
 }

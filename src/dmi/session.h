@@ -34,6 +34,22 @@ struct SessionOptions {
   InteractionConfig interaction;
 };
 
+// Zero-copy prompt context (DESIGN.md §12): the static segment (usage hint +
+// core topology) lives on the shared CompiledModel — one copy per app kind,
+// however many sessions are attached — and the dynamic segment (screen
+// listing + passive data payload) is this session's generation-cached state.
+// `tokens` equals CountTokens(static + dynamic); the join point falls on a
+// newline, so the segment sum is exact.
+struct PromptView {
+  const std::string* static_text = nullptr;
+  const std::string* dynamic_text = nullptr;
+  size_t tokens = 0;
+
+  // Materializes the concatenation (tests, tools, anything that needs one
+  // contiguous string). The hot paths consume the segments directly.
+  std::string Assemble() const;
+};
+
 class DmiSession {
  public:
   // Offline modeling: rips `app` (instability should be disabled during
@@ -80,18 +96,28 @@ class DmiSession {
   }
 
   // ----- prompt assembly --------------------------------------------------------
-  // Core topology + DMI usage hint + screen labels + passive data payload.
-  // Cached against the application's UI-state generation: a warm turn (no UI
-  // mutation since the last build) returns the cached string without
-  // re-rendering anything. Mutating the UI through any generation-bumping
-  // path invalidates the cache (DESIGN.md §9).
-  const std::string& BuildPromptContext();
+  // Core topology + DMI usage hint + screen labels + passive data payload,
+  // served as a two-segment view: the static segment comes straight off the
+  // shared CompiledModel and the dynamic segment is cached against the
+  // application's UI-state generation — a warm turn (no UI mutation since the
+  // last build) re-renders nothing. Mutating the UI through any
+  // generation-bumping path invalidates the dynamic cache (DESIGN.md §9, §12).
+  PromptView Prompt();
+  // Compatibility assembly: Prompt().Assemble(). Materializes the full
+  // concatenation on every call — hot paths should consume Prompt() instead.
+  std::string BuildPromptContext();
   // Reference (cache-bypassing) assembly; tests and benches assert the cached
-  // prompt byte-identical against it.
+  // segments byte-identical against it.
   std::string BuildPromptContextUncached();
-  // Streaming-summed token count: cached usage-hint + core counts plus only
-  // the dynamic screen/data segment. Equal to CountTokens(BuildPromptContext()).
+  // Count-only path: shared static count plus the streamed dynamic segment,
+  // never materializing the assembled prompt (or even the dynamic segment
+  // when only the count is needed). Equal to
+  // CountTokens(BuildPromptContextUncached()).
   size_t PromptTokens();
+  // Resident per-session prompt-cache bytes: the dynamic segment only. The
+  // static segment's bytes live once on the shared model
+  // (model().static_prompt().size()).
+  size_t PromptCacheBytes() const { return prompt_cache_.dynamic.size(); }
 
   // ----- model persistence ------------------------------------------------------
   // Ripped models are version-specific but reusable across machines for the
@@ -105,13 +131,17 @@ class DmiSession {
   support::Result<ResolvedTarget> ResolveTargetByNames(const std::vector<std::string>& names);
 
  private:
-  // Prompt context + token count, valid while the application's UI-state
-  // generation is unchanged.
+  // Dynamic prompt segment + token count, valid while the application's
+  // UI-state generation is unchanged. Only the dynamic segment is cached
+  // per session; the static segment is shared on the CompiledModel. A
+  // count-only probe (PromptTokens) fills `dynamic_tokens` without
+  // materializing `dynamic`.
   struct PromptCache {
-    bool valid = false;
     uint64_t generation = 0;
-    std::string prompt;
-    size_t tokens = 0;
+    bool tokens_valid = false;
+    bool text_valid = false;
+    std::string dynamic;
+    size_t dynamic_tokens = 0;
   };
 
   gsim::Application* app_;

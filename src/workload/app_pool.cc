@@ -1,5 +1,6 @@
 #include "src/workload/app_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/support/logging.h"
@@ -85,6 +86,29 @@ void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
     return;  // shelf full; drop the instance
   }
   shelf.push_back(Idle{std::move(app), fresh_checksum});
+}
+
+void AppPool::Prewarm(const Task& task, size_t count) {
+  const size_t target = std::min(count, options_.max_idle_per_kind);
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (idle_[task.app].size() >= target) {
+        return;
+      }
+    }
+    std::unique_ptr<gsim::Application> app = task.make_app();
+    app->CaptureFreshState();
+    const uint64_t fresh_checksum =
+        options_.verify_reset ? app->UiaStateChecksum() : 0;
+    support::CountMetric("app_pool.prewarms");
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Idle>& shelf = idle_[task.app];
+    if (shelf.size() >= std::min(target, options_.max_idle_per_kind)) {
+      return;  // another thread filled the shelf meanwhile
+    }
+    shelf.push_back(Idle{std::move(app), fresh_checksum});
+  }
 }
 
 size_t AppPool::IdleCount(AppKind kind) {

@@ -103,6 +103,12 @@ class AppPool {
   // outside the pool lock on the exclusively-owned instance.
   Lease Acquire(const Task& task, bool pooled = true);
 
+  // Fills the task's shelf up to `count` idle instances (bounded by
+  // max_idle_per_kind), so a fleet of concurrent workers starts from warm
+  // reset-verified instances instead of racing through first-touch
+  // construction. Construction runs outside the pool lock; thread-safe.
+  void Prewarm(const Task& task, size_t count);
+
   size_t IdleCount(AppKind kind);
 
  private:

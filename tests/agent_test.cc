@@ -2,6 +2,9 @@
 
 #include "src/agent/failure.h"
 #include "src/agent/task_runner.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/session.h"
+#include "src/ripper/ripper.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -58,6 +61,40 @@ TEST(RunnerTest, SameSeedSameOutcome) {
   EXPECT_EQ(a.llm_calls, b.llm_calls);
   EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s);
   EXPECT_EQ(a.cause, b.cause);
+}
+
+// The residual-mechanism early exit charges a fixed call/token budget whose
+// arithmetic is now spelled with named constants; this golden pins the
+// pre-refactor numbers so the naming stays byte-stable: 5 calls (framework
+// overhead + 2 core), 500 output tokens, and per-call prompt = session
+// prompt + 200 task-overhead tokens.
+TEST(RunnerTest, ResidualMechanismAccountingGolden) {
+  auto tasks = workload::BuildOsworldWSuite();
+  ASSERT_EQ(tasks[0].app, workload::AppKind::kWord);
+  RunConfig cfg;
+  cfg.mode = InterfaceMode::kGuiPlusDmi;
+  cfg.profile = PerfectProfile();
+  cfg.profile.dmi_residual_mechanism = 1.0;  // always take the residual branch
+  // No injected hazards: the reference session below sees a pristine screen,
+  // so the run's screen listing must match it token for token.
+  cfg.instability = gsim::InstabilityConfig::None();
+  const RunResult r = Runner().RunOnce(tasks[0], cfg, 42);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.cause == FailureCause::kNavigationError ||
+              r.cause == FailureCause::kCompositeInteractionError);
+  EXPECT_EQ(r.llm_calls, kFrameworkOverheadSteps + 2);
+  EXPECT_EQ(r.core_calls, 2);
+  EXPECT_EQ(r.output_tokens, 500u);
+  // Reference prompt size from an identically-modeled session on a fresh app
+  // (same pipeline the runner compiles its shared model with).
+  dmi::ModelingOptions options =
+      TaskRunner::DefaultModelingOptions(workload::AppKind::kWord);
+  apps::WordSim scratch;
+  ripper::GuiRipper rip(scratch, options.ripper_config);
+  const topo::NavGraph graph = rip.Rip(options.contexts);
+  apps::WordSim app;
+  dmi::DmiSession session(app, graph, options);
+  EXPECT_EQ(r.prompt_tokens, 5u * (session.PromptTokens() + 200u));
 }
 
 TEST(RunnerTest, ParallelSuiteMatchesSerialElementwise) {

@@ -386,6 +386,28 @@ TEST_F(PpointSession, PromptCacheByteIdenticalAndInvalidatesOnMutation) {
   EXPECT_EQ(session_->PromptTokens(), textutil::TokenizePieces(after).size());
 }
 
+TEST_F(PpointSession, CountOnlyPromptTokensMatchesMaterializedPath) {
+  // Bump the UI generation so the cache is cold, then take the count-only
+  // path FIRST: it must produce the exact token count of the assembled
+  // prompt without ever materializing the dynamic segment.
+  gsim::Control* bold =
+      static_cast<gsim::Control*>(uia::FindByName(app_->main_window().root(), "Bold"));
+  ASSERT_NE(bold, nullptr);
+  bold->set_toggled(!bold->toggled());
+  const size_t count_only = session_->PromptTokens();
+  EXPECT_EQ(session_->PromptCacheBytes(), 0u);  // nothing was materialized
+  const std::string reference = session_->BuildPromptContextUncached();
+  EXPECT_EQ(count_only, textutil::TokenizePieces(reference).size());
+  // Materializing afterwards agrees byte- and count-wise, and the static
+  // segment is served straight off the shared model.
+  const dmi::PromptView view = session_->Prompt();
+  EXPECT_EQ(view.tokens, count_only);
+  EXPECT_EQ(view.Assemble(), reference);
+  EXPECT_EQ(view.static_text, &session_->model().static_prompt());
+  EXPECT_EQ(session_->PromptCacheBytes(), view.dynamic_text->size());
+  bold->set_toggled(!bold->toggled());  // restore
+}
+
 TEST_F(PpointSession, PromptCacheInvalidatesOnStateSetters) {
   const std::string before = session_->BuildPromptContext();
   // A toggle flip reaches the prompt through the screen listing's [on]

@@ -59,6 +59,23 @@ TEST(PersistenceTest, SessionFromLoadedModelDrivesTheApp) {
   std::remove(path.c_str());
 }
 
+TEST(PersistenceTest, SaveSurfacesFlushFailure) {
+  // /dev/full accepts the open and buffers the write, then fails on flush:
+  // a small graph fits in the stdio buffer, so the error can only surface at
+  // fclose — the exact path a silently-ignored fclose return would lose.
+  std::FILE* probe = std::fopen("/dev/full", "wb");
+  if (probe == nullptr) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  (void)std::fclose(probe);
+  const topo::NavGraph tiny;  // root-only: serializes well under BUFSIZ
+  const support::Status s = dmi::DmiSession::SaveModel(tiny, "/dev/full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), support::StatusCode::kInternal) << s.ToString();
+  // A large graph takes the short-write path instead; both must fail.
+  EXPECT_FALSE(dmi::DmiSession::SaveModel(WordGraph(), "/dev/full").ok());
+}
+
 TEST(PersistenceTest, LoadErrorsAreStructured) {
   EXPECT_EQ(dmi::DmiSession::LoadModel("/nonexistent/m.json").status().code(),
             support::StatusCode::kNotFound);

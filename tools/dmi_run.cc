@@ -7,6 +7,7 @@
 // Usage:
 //   dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
 //           [--task W3] [--repeats 3] [--seed 1]
+//           [--workers N] [--batch N]
 //           [--instability none|typical|harsh|hostile]
 //           [--policy none|typical|harsh|hostile]
 //           [--report-json out.report.json]
@@ -22,6 +23,12 @@
 // hazard level. --report-json writes a machine-readable suite report: every
 // run's terminal status with its structured ErrorDetail payload plus the
 // RenderJson() of its last visit report (DESIGN.md §11).
+//
+// --workers N runs the suite on N concurrent worker threads (0 = one per
+// hardware thread); --batch N additionally enables fleet-scale inference
+// batching at max batch size N and prints the continuous-batching economics
+// (amortized speedup, tokens/sec, prefix tokens saved) after the suite.
+// Results are field-identical with batching on or off (DESIGN.md §12).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +46,7 @@ void Usage() {
   std::printf(
       "usage: dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
       "               [--task <id>] [--repeats N] [--seed N]\n"
+      "               [--workers N] [--batch N]\n"
       "               [--instability none|typical|harsh|hostile]\n"
       "               [--policy none|typical|harsh|hostile]\n"
       "               [--report-json <out.json>]\n"
@@ -155,6 +163,16 @@ int main(int argc, char** argv) {
       config.repeats = std::atoi(next("--repeats"));
     } else if (arg == "--seed") {
       config.seed = static_cast<uint64_t>(std::strtoull(next("--seed"), nullptr, 10));
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(next("--workers"));
+    } else if (arg == "--batch") {
+      const int n = std::atoi(next("--batch"));
+      if (n <= 0) {
+        std::fprintf(stderr, "--batch needs a positive batch size\n");
+        return 2;
+      }
+      config.batch.enabled = true;
+      config.batch.max_batch_size = static_cast<size_t>(n);
     } else if (arg == "--instability") {
       const std::string level = next("--instability");
       if (level == "none") {
@@ -248,6 +266,21 @@ int main(int argc, char** argv) {
   std::printf("\nSR=%.1f%%  steps=%.2f  time=%.0fs  one-shot=%.0f%%  (successful runs)\n",
               100.0 * result.SuccessRate(), result.AvgStepsSuccessful(),
               result.AvgTimeSuccessful(), 100.0 * result.OneShotShare());
+
+  if (config.batch.enabled) {
+    const agentsim::BatchScheduler::Stats stats = runner.batch_stats();
+    std::printf(
+        "\nfleet batching (max batch %zu): %llu calls in %llu batches\n"
+        "  amortized call latency %.1fs (serial %.1fs, speedup %.2fx)\n"
+        "  throughput %.0f tok/s, prefix tokens saved %llu\n",
+        config.batch.max_batch_size,
+        static_cast<unsigned long long>(stats.calls),
+        static_cast<unsigned long long>(stats.batches),
+        stats.AmortizedCallLatencyS(),
+        stats.calls > 0 ? stats.serial_latency_s / static_cast<double>(stats.calls) : 0.0,
+        stats.AmortizedSpeedup(), stats.TokensPerSec(),
+        static_cast<unsigned long long>(stats.prefix_tokens_saved));
+  }
 
   if (!trace_path.empty()) {
     support::TraceRecorder::Global().SetEnabled(false);

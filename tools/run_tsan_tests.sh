@@ -8,7 +8,9 @@
 # pool across suite workers; this job is the proof. The robustness layer
 # (per-run retry RNGs, deadlines, robust.* counters) runs on every suite
 # worker concurrently, so the parallel robustness/determinism tests ride
-# along here too.
+# along here too — as do the fleet-batching tests (batch_test): concurrent
+# Submit into the BatchScheduler and the shared static-prompt segment read
+# from every suite worker.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -18,6 +20,6 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
-    describe_test pool_test robustness_test
+    describe_test pool_test batch_test robustness_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix'
