@@ -1,0 +1,141 @@
+// Microbenchmark: causal-telemetry cost contracts (DESIGN.md §8, §13).
+//
+// Two gates:
+//
+//  1. Disabled-tracing cost. With the recorder off, a TraceSpan open/close
+//     pair must stay at one relaxed atomic load — no allocation, no clock
+//     read, no thread-local buffer touch. The gate measures span pairs per
+//     second (disabled_span_mops, millions/s) and requires that the
+//     disabled run records exactly zero events. This is the contract that
+//     lets DMI_TRACE_SPAN sit permanently on hot paths (ripper capture,
+//     prompt assembly, visit navigation) without a build-time switch.
+//
+//  2. Enabled-tracing overhead. The same fleet-mode suite slice (2 workers,
+//     batching, typical policy) runs traced and untraced, best-of-N wall
+//     clock each, interleaved to share thermal/cache state. traced_speedup =
+//     untraced / traced must stay near 1.0: span recording (thread-local
+//     buffers, microsecond stamps, causal-context bookkeeping) and labeled
+//     counters must not tax the suite measurably. The contract is <=5%
+//     overhead on a quiet machine; the committed floor (0.8) sits below to
+//     absorb CI noise while still catching a hot-path regression (a lock or
+//     allocation on the span path shows up as 2-10x, not 5%).
+//
+// Results land in the "micro_telemetry" section of BENCH_perf.json; floors
+// live in bench/BENCH_baseline.json (checked by
+// tools/check_bench_regression.py).
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/dmi/policy.h"
+#include "src/support/trace.h"
+
+namespace {
+
+// Gate 1: span pairs per microsecond with the recorder off. The `sink`
+// accumulation stops the compiler from collapsing the loop (armed() reads
+// the per-span capture of the enable flag).
+double MeasureDisabledSpanMops(size_t iters) {
+  support::TraceRecorder::Global().SetEnabled(false);
+  support::TraceRecorder::Global().Discard();
+  uint64_t sink = 0;
+  bench::WallTimer timer;
+  for (size_t i = 0; i < iters; ++i) {
+    support::TraceSpan span("bench.disabled", "bench");
+    sink += span.armed() ? 1 : 0;
+  }
+  const double ms = timer.ElapsedMs();
+  if (sink != 0 || support::TraceRecorder::Global().Drain().size() != 0) {
+    return 0.0;  // contract broken: disabled spans recorded something
+  }
+  return ms > 0.0 ? static_cast<double>(iters) / (ms * 1000.0) : 0.0;
+}
+
+// One fleet-mode suite slice: every telemetry surface lights up — pool
+// submission contexts, run scopes, batch flush links, labeled counters,
+// per-run flight recorders.
+double RunSuiteMs(const std::vector<workload::Task>& tasks, bool traced) {
+  agentsim::RunConfig config;
+  config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
+  config.repeats = 2;
+  config.seed = 7;
+  config.workers = 2;
+  config.batch.enabled = true;
+  config.batch.max_batch_size = 8;
+  config.ApplyPolicy(dmi::Policy::Typical());
+  support::TraceRecorder::Global().Discard();
+  support::TraceRecorder::Global().SetEnabled(traced);
+  agentsim::TaskRunner runner;
+  bench::WallTimer timer;
+  agentsim::SuiteResult result = runner.RunSuite(tasks, config);
+  const double ms = timer.ElapsedMs();
+  support::TraceRecorder::Global().SetEnabled(false);
+  support::TraceRecorder::Global().Discard();
+  return result.records.empty() ? 0.0 : ms;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Micro-bench: causal telemetry cost contracts");
+  bench::PerfRecorder recorder;
+
+  // ----- gate 1: disabled-tracing cost ---------------------------------------
+  constexpr size_t kSpanIters = 4000000;
+  MeasureDisabledSpanMops(kSpanIters / 8);  // warm-up
+  const double disabled_span_mops = MeasureDisabledSpanMops(kSpanIters);
+  std::printf("\n  disabled span open/close: %.1f M pairs/s (%zu iters, 0 events)\n",
+              disabled_span_mops, kSpanIters);
+  const bool disabled_ok = disabled_span_mops > 5.0;
+
+  // ----- gate 2: enabled-tracing overhead ------------------------------------
+  std::vector<workload::Task> tasks = workload::BuildOsworldWSuite();
+  constexpr int kRounds = 3;
+  double untraced_ms = 0.0;
+  double traced_ms = 0.0;
+  RunSuiteMs(tasks, false);  // warm-up (model compile caches, allocator)
+  for (int round = 0; round < kRounds; ++round) {
+    const double off = RunSuiteMs(tasks, false);
+    const double on = RunSuiteMs(tasks, true);
+    untraced_ms = (round == 0) ? off : std::min(untraced_ms, off);
+    traced_ms = (round == 0) ? on : std::min(traced_ms, on);
+  }
+  const double traced_speedup = traced_ms > 0.0 ? untraced_ms / traced_ms : 0.0;
+  const double overhead_pct = traced_speedup > 0.0 ? (1.0 / traced_speedup - 1.0) * 100.0
+                                                   : 100.0;
+  std::printf("  fleet suite slice: untraced %.1f ms, traced %.1f ms "
+              "(best of %d) -> overhead %.1f%%\n",
+              untraced_ms, traced_ms, kRounds, overhead_pct);
+  const bool traced_ok = traced_speedup > 0.8;
+
+  // ----- record --------------------------------------------------------------
+  jsonv::Array rows;
+  {
+    jsonv::Object o;
+    o["case"] = jsonv::Value("disabled_span");
+    o["iters"] = jsonv::Value(static_cast<int64_t>(kSpanIters));
+    o["disabled_span_mops"] = jsonv::Value(disabled_span_mops);
+    rows.push_back(jsonv::Value(std::move(o)));
+  }
+  {
+    jsonv::Object o;
+    o["case"] = jsonv::Value("suite_traced");
+    o["untraced_ms"] = jsonv::Value(untraced_ms);
+    o["traced_ms"] = jsonv::Value(traced_ms);
+    o["traced_speedup"] = jsonv::Value(traced_speedup);
+    o["overhead_pct"] = jsonv::Value(overhead_pct);
+    rows.push_back(jsonv::Value(std::move(o)));
+  }
+  jsonv::Object section;
+  section["tracing"] = jsonv::Value(std::move(rows));
+  section["gate_passed"] = jsonv::Value(disabled_ok && traced_ok);
+  recorder.Set("micro_telemetry", jsonv::Value(std::move(section)));
+  recorder.Write();
+
+  std::printf("\ndisabled span cost contract (>5 M pairs/s, 0 events): %s\n",
+              disabled_ok ? "PASS" : "FAIL");
+  std::printf("enabled tracing overhead contract (speedup > 0.8): %s\n",
+              traced_ok ? "PASS" : "FAIL");
+  return (disabled_ok && traced_ok) ? 0 : 1;
+}

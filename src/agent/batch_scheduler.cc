@@ -40,27 +40,36 @@ double BatchScheduler::BatchWallTimeS(const LlmProfile& profile, size_t batch_si
   return profile.batch_overhead_s + profile.reasoning_latency_s + prefill_s + decode_s;
 }
 
-void BatchScheduler::Submit(const LlmProfile& profile, const void* prefix_key,
-                            size_t shared_prefix_tokens, size_t unique_prompt_tokens,
-                            size_t output_tokens) {
+uint64_t BatchScheduler::Submit(const LlmProfile& profile, const void* prefix_key,
+                                size_t shared_prefix_tokens, size_t unique_prompt_tokens,
+                                size_t output_tokens, const std::string& app_label) {
   PendingCall call;
   call.unique_prompt_tokens = unique_prompt_tokens;
   call.output_tokens = output_tokens;
   call.serial_s =
       SerialCallTimeS(profile, shared_prefix_tokens + unique_prompt_tokens, output_tokens);
+  // Capture the submitter's causal coordinates before taking the scheduler
+  // lock: this runs on the run's worker thread, inside the run's span tree.
+  const support::TraceContext ctx = support::CurrentTraceContext();
+  call.submit_span_id = ctx.span_id;
+  call.run_id = ctx.run_id;
+  call.app_label = app_label;
 
   std::lock_guard<std::mutex> lock(mu_);
   PendingBatch& batch = pending_[prefix_key];
   if (batch.calls.empty()) {
+    batch.id = next_batch_id_++;
     batch.shared_prefix_tokens = shared_prefix_tokens;
     batch.profile = profile;
   }
-  batch.calls.push_back(call);
+  const uint64_t batch_id = batch.id;
+  batch.calls.push_back(std::move(call));
   const size_t cap = std::max<size_t>(options_.max_batch_size, 1);
   if (batch.calls.size() >= cap) {
     FlushLocked(prefix_key, batch);
     pending_.erase(prefix_key);
   }
+  return batch_id;
 }
 
 void BatchScheduler::FlushAll() {
@@ -80,11 +89,22 @@ void BatchScheduler::FlushLocked(const void* key, PendingBatch& batch) {
   size_t sum_output = 0;
   size_t max_output = 0;
   double serial_s = 0;
+  std::vector<uint64_t> member_runs;  // distinct member run ids, submit order
   for (const PendingCall& call : batch.calls) {
     sum_unique += call.unique_prompt_tokens;
     sum_output += call.output_tokens;
     max_output = std::max(max_output, call.output_tokens);
     serial_s += call.serial_s;
+    // Fan-in: this flush serves many runs; link every member's submitting
+    // span rather than picking a single parent.
+    span.AddLink(call.submit_span_id);
+    if (call.run_id != 0 &&
+        std::find(member_runs.begin(), member_runs.end(), call.run_id) == member_runs.end()) {
+      member_runs.push_back(call.run_id);
+    }
+    if (!call.app_label.empty()) {
+      support::CountMetric("batch.calls", {{"app", call.app_label}});
+    }
   }
   const double wall_s = BatchWallTimeS(batch.profile, batch_size, batch.shared_prefix_tokens,
                                        sum_unique, max_output);
@@ -109,6 +129,17 @@ void BatchScheduler::FlushLocked(const void* key, PendingBatch& batch) {
   span.AddArg("key", static_cast<int64_t>(reinterpret_cast<uintptr_t>(key)));
   span.AddArg("size", static_cast<int64_t>(batch_size));
   span.AddArg("prefix_tokens", static_cast<int64_t>(batch.shared_prefix_tokens));
+  span.AddArg("batch_id", static_cast<int64_t>(batch.id));
+  if (!member_runs.empty() && span.armed()) {
+    std::string runs;
+    for (uint64_t run : member_runs) {
+      if (!runs.empty()) {
+        runs += ',';
+      }
+      runs += std::to_string(run);
+    }
+    span.AddArg("runs", std::move(runs));
+  }
 }
 
 BatchScheduler::Stats BatchScheduler::stats() const {

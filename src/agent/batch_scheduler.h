@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/agent/llm_profile.h"
@@ -83,10 +84,18 @@ class BatchScheduler {
   // (the CompiledModel address for DMI describe/plan calls; nullptr for
   // prefix-less calls, which still amortize the per-batch overhead).
   // `shared_prefix_tokens` must be identical for every call under one key.
+  // `app_label` (optional) labels the per-call batch.* metrics by app kind.
   // Thread-safe: concurrent sessions submit from suite workers.
-  void Submit(const LlmProfile& profile, const void* prefix_key,
-              size_t shared_prefix_tokens, size_t unique_prompt_tokens,
-              size_t output_tokens);
+  //
+  // Returns the id of the batch the call joined (1-based, process-unique per
+  // scheduler) so callers can record batch membership in a run's flight
+  // recorder. The submitting thread's trace context is captured here: the
+  // eventual batch.flush span links every member call's submitting span and
+  // lists the distinct member run ids, which is how one coalesced flush
+  // attributes back to the many runs that paid for it.
+  uint64_t Submit(const LlmProfile& profile, const void* prefix_key,
+                  size_t shared_prefix_tokens, size_t unique_prompt_tokens,
+                  size_t output_tokens, const std::string& app_label = {});
 
   // Flushes every pending partial batch (end of a suite / drain point).
   void FlushAll();
@@ -112,8 +121,13 @@ class BatchScheduler {
     size_t unique_prompt_tokens = 0;
     size_t output_tokens = 0;
     double serial_s = 0;
+    // Causal attribution, captured at submit time on the submitting thread.
+    uint64_t submit_span_id = 0;
+    uint64_t run_id = 0;
+    std::string app_label;
   };
   struct PendingBatch {
+    uint64_t id = 0;  // assigned when the batch opens (first call)
     size_t shared_prefix_tokens = 0;
     LlmProfile profile;  // rates of the first call in the batch
     std::vector<PendingCall> calls;
@@ -124,6 +138,7 @@ class BatchScheduler {
   mutable std::mutex mu_;
   BatchOptions options_;
   std::map<const void*, PendingBatch> pending_;
+  uint64_t next_batch_id_ = 1;
   Stats stats_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "src/apps/excel_sim.h"
 #include "src/gui/input.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 #include "src/uia/tree.h"
@@ -205,6 +206,11 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
       commands.erase(commands.begin(),
                      commands.begin() + static_cast<std::ptrdiff_t>(skip));
       support::CountMetric("robust.resume_skipped_commands", skip);
+      if (session.flight_recorder() != nullptr) {
+        session.flight_recorder()->RecordNote(
+            "resumed after failed batch: skipped " + std::to_string(skip) +
+            " already-executed command(s)");
+      }
     }
     dmi::VisitReport report = session.VisitParsed(std::move(commands));
     rr.sim_time_s += static_cast<double>(report.ui_actions) * 0.15;
@@ -392,6 +398,11 @@ RunResult DmiAgent::Run(const workload::Task& task, dmi::DmiSession& session, Si
         // the confirming notification was dropped) — before reporting the
         // typed deadline failure.
         support::CountMetric("robust.deadline_degradations");
+        if (session.flight_recorder() != nullptr) {
+          session.flight_recorder()->RecordNote(
+              "deadline degradation: re-describe + re-verify rescue pass at tick " +
+              std::to_string(app.current_tick()));
+        }
         session.screen().Refresh();
         spend_call(60);
         if (task.verify(app)) {

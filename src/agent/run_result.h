@@ -3,9 +3,12 @@
 #define SRC_AGENT_RUN_RESULT_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/agent/failure.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/status.h"
 
 namespace agentsim {
@@ -31,6 +34,13 @@ struct RunResult {
   // RenderJson() of the last visit report, captured only when the harness
   // asks for it (dmi_run --report-json). Empty otherwise.
   std::string report_json;
+  // Causal telemetry (DESIGN.md §13). `run_id` keys this run's trace spans
+  // and flight recorder; `flight` is the run's bounded event ring (commands,
+  // statuses, retries, token counts, batch membership), null when recording
+  // was disabled (RunConfig::flight_recorder_events == 0) or the result
+  // predates the runner. Neither participates in run-equivalence comparisons.
+  uint64_t run_id = 0;
+  std::shared_ptr<const support::FlightRecorder> flight;
 };
 
 }  // namespace agentsim

@@ -73,6 +73,10 @@ double SimLlm::CallLatency(size_t prompt_tokens, size_t output_tokens) {
   const double reasoning = rng_.LogNormal(mu, profile_.latency_sigma);
   const double ingest = static_cast<double>(prompt_tokens) / profile_.input_tok_per_s;
   const double emit = static_cast<double>(output_tokens) / profile_.output_tok_per_s;
+  if (flight_ != nullptr) {
+    flight_->RecordLlmCall(static_cast<int64_t>(prompt_tokens),
+                           static_cast<int64_t>(output_tokens));
+  }
   if (batch_sink_ != nullptr) {
     // Fleet accounting rides along: calls that carry the shared static
     // prefix batch under the model's key; shorter (framework) calls batch
@@ -80,19 +84,24 @@ double SimLlm::CallLatency(size_t prompt_tokens, size_t output_tokens) {
     // seeded decision stream.
     const bool carries_prefix =
         batch_prefix_tokens_ > 0 && prompt_tokens >= batch_prefix_tokens_;
-    batch_sink_->Submit(profile_, carries_prefix ? batch_prefix_key_ : nullptr,
-                        carries_prefix ? batch_prefix_tokens_ : 0,
-                        carries_prefix ? prompt_tokens - batch_prefix_tokens_ : prompt_tokens,
-                        output_tokens);
+    const uint64_t batch_id = batch_sink_->Submit(
+        profile_, carries_prefix ? batch_prefix_key_ : nullptr,
+        carries_prefix ? batch_prefix_tokens_ : 0,
+        carries_prefix ? prompt_tokens - batch_prefix_tokens_ : prompt_tokens, output_tokens,
+        batch_app_label_);
+    if (flight_ != nullptr) {
+      flight_->RecordBatch(batch_id);
+    }
   }
   return reasoning + ingest + emit;
 }
 
 void SimLlm::AttachBatchSink(BatchScheduler* scheduler, const void* prefix_key,
-                             size_t shared_prefix_tokens) {
+                             size_t shared_prefix_tokens, std::string app_label) {
   batch_sink_ = scheduler;
   batch_prefix_key_ = prefix_key;
   batch_prefix_tokens_ = shared_prefix_tokens;
+  batch_app_label_ = std::move(app_label);
 }
 
 }  // namespace agentsim

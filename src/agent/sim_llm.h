@@ -7,9 +7,11 @@
 #include <cstdint>
 
 #include <cstddef>
+#include <string>
 
 #include "src/agent/failure.h"
 #include "src/agent/llm_profile.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/rng.h"
 #include "src/workload/tasks.h"
 
@@ -55,9 +57,15 @@ class SimLlm {
   // batch_scheduler.h). `prefix_key` identifies the shared prompt prefix
   // (the CompiledModel address in DMI mode, nullptr otherwise) and
   // `shared_prefix_tokens` its length; calls whose prompts are shorter than
-  // the prefix (framework steps) are submitted prefix-less.
+  // the prefix (framework steps) are submitted prefix-less. `app_label`
+  // labels the per-call batch.* metrics by app kind ("" = unlabeled).
   void AttachBatchSink(BatchScheduler* scheduler, const void* prefix_key,
-                       size_t shared_prefix_tokens);
+                       size_t shared_prefix_tokens, std::string app_label = {});
+
+  // Routes every subsequent CallLatency into the run's flight recorder
+  // (token counts + batch membership). Borrowed pointer; the runner owns the
+  // recorder and detaches by attaching nullptr.
+  void AttachFlightRecorder(support::FlightRecorder* recorder) { flight_ = recorder; }
 
  private:
   LlmProfile profile_;
@@ -65,6 +73,8 @@ class SimLlm {
   BatchScheduler* batch_sink_ = nullptr;
   const void* batch_prefix_key_ = nullptr;
   size_t batch_prefix_tokens_ = 0;
+  std::string batch_app_label_;
+  support::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace agentsim

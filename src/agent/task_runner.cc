@@ -26,23 +26,25 @@ std::unique_ptr<gsim::Application> MakeScratch(workload::AppKind kind) {
   return nullptr;
 }
 
-// "control localization / navigation error" -> agent.failure.control_localization_navigation_error
-std::string FailureMetricName(FailureCause cause) {
-  std::string name = "agent.failure.";
+// "control localization / navigation error" -> control_localization_navigation_error
+std::string FailureSlug(FailureCause cause) {
+  std::string slug;
   bool pending_sep = false;
   for (char c : FailureCauseName(cause)) {
     if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
-      if (pending_sep && name.back() != '.') {
-        name += '_';
+      if (pending_sep && !slug.empty()) {
+        slug += '_';
       }
       pending_sep = false;
-      name += c;
+      slug += c;
     } else {
       pending_sep = true;
     }
   }
-  return name;
+  return slug;
 }
+
+std::string FailureMetricName(FailureCause cause) { return "agent.failure." + FailureSlug(cause); }
 
 }  // namespace
 
@@ -142,12 +144,20 @@ size_t TaskRunner::CoreTopologyTokens(workload::AppKind kind) {
 
 RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& config,
                               uint64_t seed) {
+  // Allocate the run id unconditionally (one relaxed fetch_add): it keys the
+  // flight recorder and the report entry even when tracing is off. The scope
+  // installs {run_id, current span} so every span the run opens — including
+  // spans opened on other threads via ThreadPool submission — carries it.
+  const uint64_t run_id = support::AllocateTraceRunId();
+  support::TraceContextScope run_scope(
+      support::TraceContext{run_id, support::CurrentTraceContext().span_id});
   support::TraceSpan span("agent.run", "agent");
   span.AddArg("task", task.id);
   span.AddArg("mode", InterfaceModeName(config.mode));
   span.AddArg("seed", static_cast<int64_t>(seed));
   const int64_t run_start_us = support::TraceNowUs();
-  RunResult result = RunOnceInternal(task, config, seed);
+  RunResult result = RunOnceInternal(task, config, seed, run_id);
+  result.run_id = run_id;
   span.AddArg("success", result.success ? int64_t{1} : int64_t{0});
   // The counters are straight sums over runs, so suite totals equal the
   // SuiteResult aggregates regardless of worker count or interleaving.
@@ -161,19 +171,44 @@ RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& confi
   if (!result.success) {
     support::CountMetric(FailureMetricName(result.cause));
   }
+  // Labeled series ride alongside the unlabeled totals above (the
+  // total + per-label pattern), slicing the fleet by app kind, policy
+  // preset, and failure class.
+  {
+    support::MetricLabels labels{{"app", workload::AppKindName(task.app)}};
+    if (!config.policy_label.empty()) {
+      labels.emplace_back("policy", config.policy_label);
+    }
+    support::CountMetric("agent.runs", labels);
+    support::CountMetric(result.success ? "agent.successes" : "agent.failures", labels);
+    support::CountMetric("agent.llm_calls", labels, static_cast<uint64_t>(result.llm_calls));
+    support::CountMetric("agent.prompt_tokens", labels, result.prompt_tokens);
+    if (!result.success) {
+      labels.emplace_back("class", FailureSlug(result.cause));
+      support::CountMetric("agent.failure", std::move(labels));
+    }
+  }
   support::ObserveMetric("agent.run_ms",
                          static_cast<double>(support::TraceNowUs() - run_start_us) / 1000.0);
   return result;
 }
 
 RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfig& config,
-                                      uint64_t seed) {
+                                      uint64_t seed, uint64_t run_id) {
   AppModel& model = ModelFor(task.app);
   // The injector is declared before the lease on purpose: the lease destructor
   // factory-resets the pooled app, which detaches the injector pointer, and
   // only afterwards does the injector itself go out of scope.
   gsim::InstabilityInjector injector(config.instability, seed ^ 0x5eedf00dULL);
   SimLlm llm(config.profile, seed);
+  // The run's flight recorder (DESIGN.md §13): LLM calls and batch
+  // memberships stream in via the SimLlm hook, executed commands via the
+  // session's visit executor. Shared so the RunResult can carry it out.
+  std::shared_ptr<support::FlightRecorder> flight;
+  if (config.flight_recorder_events > 0) {
+    flight = std::make_shared<support::FlightRecorder>(run_id, config.flight_recorder_events);
+    llm.AttachFlightRecorder(flight.get());
+  }
   workload::AppPool::Lease lease = app_pool_.Acquire(task, config.pool_apps);
   gsim::Application& app = *lease;
   app.SetInstability(&injector);
@@ -185,9 +220,11 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
                                            ? model.compiled.get()
                                            : nullptr;
     llm.AttachBatchSink(&batch_scheduler_, prefix,
-                        prefix != nullptr ? prefix->static_prompt_tokens() : 0);
+                        prefix != nullptr ? prefix->static_prompt_tokens() : 0,
+                        workload::AppKindName(task.app));
   }
 
+  RunResult result;
   if (config.mode == InterfaceMode::kGuiPlusDmi) {
     dmi::SessionOptions session_options;
     session_options.visit = config.visit;
@@ -201,19 +238,25 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
       session.SetRunDeadline(
           support::Deadline::AtTicks(app.current_tick(), config.run_deadline_ticks));
     }
+    session.SetFlightRecorder(flight.get());
     DmiAgentConfig agent_config;
     agent_config.step_cap = config.step_cap;
     agent_config.capture_report_json = config.capture_report_json;
     DmiAgent agent(agent_config);
-    return agent.Run(task, session, llm);
+    result = agent.Run(task, session, llm);
+  } else {
+    BaselineConfig agent_config;
+    agent_config.step_cap = config.step_cap;
+    agent_config.forest_knowledge = config.mode == InterfaceMode::kGuiOnlyForest;
+    agent_config.forest_knowledge_tokens = model.core_tokens;
+    BaselineGuiAgent agent(agent_config);
+    result = agent.Run(task, app, llm, &injector);
   }
-
-  BaselineConfig agent_config;
-  agent_config.step_cap = config.step_cap;
-  agent_config.forest_knowledge = config.mode == InterfaceMode::kGuiOnlyForest;
-  agent_config.forest_knowledge_tokens = model.core_tokens;
-  BaselineGuiAgent agent(agent_config);
-  return agent.Run(task, app, llm, &injector);
+  if (flight != nullptr && !result.success) {
+    flight->RecordNote("run failed: " + std::string(FailureCauseName(result.cause)));
+  }
+  result.flight = std::move(flight);
+  return result;
 }
 
 SuiteResult TaskRunner::RunSuite(const std::vector<workload::Task>& tasks,

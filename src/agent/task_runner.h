@@ -71,14 +71,22 @@ struct RunConfig {
   // SuiteResults are field-identical with batching on or off, at any batch
   // size (tested, including under Harsh/Hostile policies).
   BatchOptions batch;
+  // `policy` label stamped on the labeled agent.* metrics (DESIGN.md §13);
+  // set by ApplyPolicy from the preset name, empty = unlabeled dimension.
+  std::string policy_label;
+  // Flight-recorder ring capacity per run (DESIGN.md §13). 0 disables the
+  // recorder entirely (no allocation, no recording).
+  size_t flight_recorder_events = 128;
 
   // Adopts a robustness preset (dmi::Policy) wholesale: instability level,
-  // visit/interaction retry schedules, and the per-run deadline.
+  // visit/interaction retry schedules, the per-run deadline, and the metrics
+  // policy label.
   void ApplyPolicy(const dmi::Policy& policy) {
     instability = policy.instability;
     visit = policy.visit;
     interaction_retry = policy.interaction.retry;
     run_deadline_ticks = policy.run_deadline_ticks;
+    policy_label = policy.name;
   }
 };
 
@@ -155,10 +163,11 @@ class TaskRunner {
 
   AppModel& ModelFor(workload::AppKind kind);
 
-  // The uninstrumented run body; RunOnce wraps it in a span and publishes the
-  // result onto the agent.* counters/histograms.
+  // The uninstrumented run body; RunOnce wraps it in the run's trace scope +
+  // span and publishes the result onto the agent.* counters/histograms.
+  // `run_id` keys the run's flight recorder (and the installed TraceContext).
   RunResult RunOnceInternal(const workload::Task& task, const RunConfig& config,
-                            uint64_t seed);
+                            uint64_t seed, uint64_t run_id);
 
   // Guards models_ when RunSuite fans runs out across workers. Models are
   // immutable once built (RunSuite prebuilds them before the fan-out), so

@@ -6,18 +6,21 @@ namespace dmi {
 
 Policy Policy::None() {
   Policy p;
+  p.name = "none";
   p.instability = gsim::InstabilityConfig::None();
   return p;
 }
 
 Policy Policy::Typical() {
   Policy p;
+  p.name = "typical";
   p.instability = gsim::InstabilityConfig::Typical();
   return p;
 }
 
 Policy Policy::Harsh() {
   Policy p;
+  p.name = "harsh";
   p.instability = gsim::InstabilityConfig::Harsh();
   // Slow loads stretch to 4 ticks under Harsh; exponential backoff reaches
   // them in fewer attempts than the legacy 1-tick fixed loop.
@@ -30,6 +33,7 @@ Policy Policy::Harsh() {
 
 Policy Policy::Hostile() {
   Policy p;
+  p.name = "hostile";
   p.instability = gsim::InstabilityConfig::Hostile();
   // Freeze windows last 5 ticks and pattern windows 3; the schedule must be
   // able to outwait one full window within its attempt budget. Jitter

@@ -25,6 +25,9 @@ namespace dmi {
 struct SessionOptions;
 
 struct Policy {
+  // Preset name ("none", "typical", "harsh", "hostile"); empty for a policy
+  // assembled by hand. Used as the `policy` label on agent.* metrics.
+  const char* name = "";
   VisitConfig visit;
   InteractionConfig interaction;
   // Hazard level this run faces (drives the InstabilityInjector).

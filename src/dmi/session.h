@@ -94,6 +94,12 @@ class DmiSession {
     executor_->SeedRetryRng(seed);
     interaction_.SeedRetryRng(seed ^ 0x5bd1e9955bd1e995ULL);
   }
+  // The run's flight recorder (DESIGN.md §13): the visit executor streams
+  // executed commands + retry spending into it. Borrowed; nullptr = off.
+  void SetFlightRecorder(support::FlightRecorder* recorder) {
+    executor_->SetFlightRecorder(recorder);
+  }
+  support::FlightRecorder* flight_recorder() const { return executor_->flight_recorder(); }
 
   // ----- prompt assembly --------------------------------------------------------
   // Core topology + DMI usage hint + screen labels + passive data payload,

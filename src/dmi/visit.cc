@@ -4,6 +4,7 @@
 
 #include "src/json/json.h"
 #include "src/ripper/identifier.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
@@ -456,6 +457,9 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
       cr.status = support::DeadlineExceededError("run deadline exhausted before this command")
                       .WithDetail(std::move(d));
       support::CountMetric("robust.deadline_skipped_commands");
+      if (flight_ != nullptr) {
+        flight_->RecordCommand(cr.command.ToString(), cr.status);
+      }
       if (report.overall.ok()) {
         report.overall = cr.status;
       }
@@ -505,6 +509,14 @@ VisitReport VisitExecutor::ExecuteParsed(std::vector<VisitCommand> commands) {
     if (cmd_backoff_ticks_ > 0) {
       support::ObserveMetric("robust.backoff_ticks",
                              static_cast<double>(cmd_backoff_ticks_));
+    }
+    if (flight_ != nullptr) {
+      // Retry spending first (so the postmortem reads in causal order), then
+      // the command with its final status + ErrorDetail.
+      if (cmd_attempts_ > 1 || cmd_backoff_ticks_ > 0) {
+        flight_->RecordRetry(cr.command.ToString(), cmd_attempts_, cmd_backoff_ticks_);
+      }
+      flight_->RecordCommand(cr.command.ToString(), cr.status);
     }
     if (!cr.status.ok()) {
       report.overall = cr.status;

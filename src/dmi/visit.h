@@ -27,6 +27,10 @@
 #include "src/support/rng.h"
 #include "src/support/status.h"
 
+namespace support {
+class FlightRecorder;
+}  // namespace support
+
 namespace dmi {
 
 struct VisitConfig {
@@ -95,6 +99,12 @@ class VisitExecutor {
   // randomness.
   void SeedRetryRng(uint64_t seed) { retry_rng_ = support::Rng(seed); }
 
+  // Streams every executed command (with its final status + ErrorDetail) and
+  // retry/backoff spending into the run's flight recorder (DESIGN.md §13).
+  // Borrowed pointer owned by the runner; nullptr (the default) disables.
+  void SetFlightRecorder(support::FlightRecorder* recorder) { flight_ = recorder; }
+  support::FlightRecorder* flight_recorder() const { return flight_; }
+
  private:
   // Navigates along the resolved graph-node path and clicks each step.
   support::Status NavigatePath(const std::vector<int>& path, std::string& detail);
@@ -120,6 +130,7 @@ class VisitExecutor {
   // robust.* metrics and ErrorDetail attempts/backoff fields).
   int cmd_attempts_ = 0;
   uint64_t cmd_backoff_ticks_ = 0;
+  support::FlightRecorder* flight_ = nullptr;  // borrowed; null = off
 };
 
 }  // namespace dmi

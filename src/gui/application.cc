@@ -168,6 +168,7 @@ void Application::CloseWindow(Window& window, bool commit) {
     // Dropped UIA event: listeners never hear the window closed; callers must
     // recover by re-capturing the tree.
     support::CountMetric("robust.fault_event_drop");
+    support::CountMetric("robust.fault_event_drop", {{"app", name_}});
     return;
   }
   for (const WindowListener& listener : window_listeners_) {
@@ -307,6 +308,7 @@ support::Status Application::CheckPatternAvailable(Control& control,
     return support::Status::Ok();
   }
   support::CountMetric("robust.fault_pattern");
+  support::CountMetric("robust.fault_pattern", {{"app", name_}});
   return support::UnavailableError("control '" + control.TrueName() + "' " +
                                    pattern_name + " call failed transiently")
       .WithDetail(TransientDetail(control, pattern_name));
@@ -315,6 +317,7 @@ support::Status Application::CheckPatternAvailable(Control& control,
 support::Status Application::Click(Control& control) {
   if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
     support::CountMetric("robust.fault_freeze");
+    support::CountMetric("robust.fault_freeze", {{"app", name_}});
     return support::UnavailableError("application is not responding")
         .WithDetail(TransientDetail(control, nullptr));
   }
@@ -348,6 +351,7 @@ support::Status Application::Click(Control& control) {
     // re-locate before retrying.
     BumpUiGeneration();
     support::CountMetric("robust.fault_stale_ref");
+    support::CountMetric("robust.fault_stale_ref", {{"app", name_}});
     return support::UnavailableError("element reference for '" + control.TrueName() +
                                      "' is stale (the UI changed underneath it)")
         .WithDetail(TransientDetail(control, nullptr));
@@ -425,6 +429,7 @@ support::Status Application::ClickImpl(Control& control) {
         BumpUiGeneration();
         if (instability_ != nullptr && instability_->DropsWindowEvent()) {
           support::CountMetric("robust.fault_event_drop");
+          support::CountMetric("robust.fault_event_drop", {{"app", name_}});
         } else {
           for (const WindowListener& listener : window_listeners_) {
             listener(*dialog, /*opened=*/true);
@@ -548,6 +553,7 @@ support::Status Application::DeselectControl(Control& control) {
 support::Status Application::PressKey(const std::string& chord) {
   if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
     support::CountMetric("robust.fault_freeze");
+    support::CountMetric("robust.fault_freeze", {{"app", name_}});
     support::ErrorDetail d;
     d.retryable = true;
     return support::UnavailableError("application is not responding")
@@ -576,6 +582,7 @@ support::Status Application::PressKey(const std::string& chord) {
 support::Status Application::TypeText(const std::string& text) {
   if (instability_ != nullptr && instability_->CallHitsFreeze(tick_)) {
     support::CountMetric("robust.fault_freeze");
+    support::CountMetric("robust.fault_freeze", {{"app", name_}});
     support::ErrorDetail d;
     d.retryable = true;
     return support::UnavailableError("application is not responding")

@@ -1,0 +1,85 @@
+#include "src/support/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/trace.h"
+
+namespace support {
+
+FlightRecorder::FlightRecorder(uint64_t run_id, size_t capacity)
+    : run_id_(run_id), capacity_(std::max<size_t>(1, capacity)) {}
+
+void FlightRecorder::Record(FlightEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  event.t_us = TraceNowUs();
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+  }
+  ring_.push_back(std::move(event));
+}
+
+void FlightRecorder::RecordCommand(std::string command, const Status& status) {
+  FlightEvent event;
+  event.kind = "command";
+  event.what = std::move(command);
+  if (!status.ok()) {
+    event.status = status.ToString();
+    if (status.has_detail()) {
+      const ErrorDetail& d = status.detail();
+      event.detail = std::make_shared<const ErrorDetail>(d);
+      event.attempts = d.attempts;
+      event.backoff_ticks = d.backoff_ticks;
+    }
+  }
+  Record(std::move(event));
+}
+
+void FlightRecorder::RecordRetry(std::string command, int attempts, uint64_t backoff_ticks) {
+  FlightEvent event;
+  event.kind = "retry";
+  event.what = std::move(command);
+  event.attempts = attempts;
+  event.backoff_ticks = backoff_ticks;
+  Record(std::move(event));
+}
+
+void FlightRecorder::RecordLlmCall(int64_t prompt_tokens, int64_t output_tokens) {
+  FlightEvent event;
+  event.kind = "llm_call";
+  event.tokens = prompt_tokens;
+  event.aux_tokens = output_tokens;
+  Record(std::move(event));
+}
+
+void FlightRecorder::RecordBatch(uint64_t batch_id) {
+  FlightEvent event;
+  event.kind = "batch";
+  event.batch_id = batch_id;
+  Record(std::move(event));
+}
+
+void FlightRecorder::RecordNote(std::string note) {
+  FlightEvent event;
+  event.kind = "note";
+  event.what = std::move(note);
+  Record(std::move(event));
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightEvent>(ring_.begin(), ring_.end());
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t FlightRecorder::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (next_seq_ - 1) - ring_.size();
+}
+
+}  // namespace support

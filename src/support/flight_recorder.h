@@ -1,0 +1,96 @@
+// Per-run flight recorder: a bounded ring of the run's most recent telemetry
+// events (DESIGN.md §13). Where tracing answers "where did the time go" and
+// metrics answer "how often fleet-wide", the flight recorder answers "what
+// exactly did *this run* do right before it failed": the commands it executed
+// with their statuses (including the structured ErrorDetail), retry/backoff
+// spending, per-call prompt token counts, and which coalesced batches its LLM
+// calls rode in. It is attached to RunResult and rendered into --report-json
+// for failed runs, turning every Hostile-policy failure into a self-contained
+// postmortem.
+//
+// The ring is bounded (default 128 events) so a pathological run cannot grow
+// memory without limit; `seq` numbers are monotonic and survive eviction, so
+// a reader can tell "events 1..37 were dropped" from "the run was short".
+//
+// Thread-safety: Record*/Events are mutex-guarded. A run's events come from
+// one thread at a time (the run executes serially), but the batch scheduler
+// may stamp batch membership from another thread, and reporting reads after
+// the run ends — one short lock keeps all of that safe.
+#ifndef SRC_SUPPORT_FLIGHT_RECORDER_H_
+#define SRC_SUPPORT_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace support {
+
+// One recorded event. `kind` is one of the registry entries in DESIGN.md §13:
+//   "command"  — an executed DMI/GUI command; `what` is the command text,
+//                `status`/`detail` its outcome, attempts/backoff_ticks the
+//                retry spending folded into that outcome.
+//   "retry"    — an in-flight retry tick (recorded before the final status).
+//   "llm_call" — one model call; `tokens` = prompt tokens, `aux_tokens` =
+//                output tokens.
+//   "batch"    — batch membership; `batch_id` is the scheduler's batch id.
+//   "note"     — free-form milestone (deadline degradation, rescue pass...).
+// Unused fields stay at their zero values.
+struct FlightEvent {
+  uint64_t seq = 0;   // 1-based, monotonic, survives ring eviction
+  uint64_t t_us = 0;  // trace-epoch timestamp (TraceNowUs)
+  std::string kind;
+  std::string what;
+  std::string status;  // Status::ToString(); empty means ok
+  std::shared_ptr<const ErrorDetail> detail;
+  int attempts = 0;
+  uint64_t backoff_ticks = 0;
+  int64_t tokens = 0;
+  int64_t aux_tokens = 0;
+  uint64_t batch_id = 0;
+};
+
+class FlightRecorder {
+ public:
+  // `run_id` is the trace run id (AllocateTraceRunId), keying this recorder
+  // to the run's spans and report entry. `capacity` 0 is clamped to 1.
+  explicit FlightRecorder(uint64_t run_id, size_t capacity = 128);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  uint64_t run_id() const { return run_id_; }
+  size_t capacity() const { return capacity_; }
+
+  // Stamps seq + timestamp and appends, evicting the oldest event when full.
+  void Record(FlightEvent event);
+
+  // Conveniences for the standard kinds.
+  void RecordCommand(std::string command, const Status& status);
+  void RecordRetry(std::string command, int attempts, uint64_t backoff_ticks);
+  void RecordLlmCall(int64_t prompt_tokens, int64_t output_tokens);
+  void RecordBatch(uint64_t batch_id);
+  void RecordNote(std::string note);
+
+  // Retained events in seq order (oldest first).
+  std::vector<FlightEvent> Events() const;
+  // Every event ever recorded, including evicted ones.
+  uint64_t TotalRecorded() const;
+  // TotalRecorded() - retained.
+  uint64_t DroppedCount() const;
+
+ private:
+  const uint64_t run_id_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  std::deque<FlightEvent> ring_;
+};
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_FLIGHT_RECORDER_H_

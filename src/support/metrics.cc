@@ -82,6 +82,19 @@ uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
   return 0;
 }
 
+uint64_t MetricsSnapshot::LabeledCounterValue(std::string_view name,
+                                              const MetricLabels& labels) const {
+  MetricLabels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const CounterSnapshot& c : labeled_counters) {
+    if (c.name == name && c.labels == sorted) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
 const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const {
   for (const HistogramSnapshot& h : histograms) {
     if (h.name == name) {
@@ -108,6 +121,44 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
   return *it->second;
 }
 
+std::string MetricsRegistry::EncodeLabeledName(std::string_view name, MetricLabels labels) {
+  if (labels.empty()) {
+    return std::string(name);
+  }
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out(name);
+  out.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) {
+      out.push_back(',');
+    }
+    out += labels[i].first;
+    out.push_back('=');
+    out += labels[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels) {
+  if (labels.empty()) {
+    return GetCounter(name);
+  }
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string key = EncodeLabeledName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = labeled_counters_.find(key);
+  if (it == labeled_counters_.end()) {
+    LabeledCounter entry;
+    entry.labels = std::move(labels);
+    entry.counter = std::unique_ptr<Counter>(new Counter());
+    it = labeled_counters_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return *it->second.counter;
+}
+
 Histogram& MetricsRegistry::GetHistogram(std::string_view name, std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -125,7 +176,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    snapshot.counters.push_back(CounterSnapshot{name, counter->Value()});
+    snapshot.counters.push_back(CounterSnapshot{name, counter->Value(), {}});
+  }
+  snapshot.labeled_counters.reserve(labeled_counters_.size());
+  for (const auto& [key, entry] : labeled_counters_) {
+    CounterSnapshot c;
+    c.name = key.substr(0, key.find('{'));  // bare name: key is name{k=v,...}
+    c.value = entry.counter->Value();
+    c.labels = entry.labels;
+    snapshot.labeled_counters.push_back(std::move(c));
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -147,6 +206,9 @@ void MetricsRegistry::ResetAllForTest() {
   }
   for (auto& [name, histogram] : histograms_) {
     histogram->Reset();
+  }
+  for (auto& [key, entry] : labeled_counters_) {
+    entry.counter->Reset();
   }
 }
 

@@ -68,9 +68,17 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+// Label dimensions for a counter, e.g. {{"app", "word"}, {"policy", "harsh"}}.
+// Keys and values must be short identifier-like strings without '{', '}', ','
+// or '=' (they are spliced into the encoded series name verbatim).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
 struct CounterSnapshot {
   std::string name;
   uint64_t value = 0;
+  // Sorted by key; empty for unlabeled counters. Appended last so existing
+  // aggregate initializers {name, value} keep compiling unchanged.
+  MetricLabels labels;
 };
 
 struct HistogramSnapshot {
@@ -88,11 +96,16 @@ struct HistogramSnapshot {
 };
 
 struct MetricsSnapshot {
-  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<CounterSnapshot> counters;      // unlabeled, sorted by name
   std::vector<HistogramSnapshot> histograms;  // sorted by name
+  // Labeled series, sorted by (name, sorted labels) via the encoded
+  // `name{k1=v1,k2=v2}` form. Kept separate from `counters` so exporters of
+  // the unlabeled set stay byte-identical whether or not labels exist.
+  std::vector<CounterSnapshot> labeled_counters;
 
   // 0 / nullptr when absent.
   uint64_t CounterValue(std::string_view name) const;
+  uint64_t LabeledCounterValue(std::string_view name, const MetricLabels& labels) const;
   const HistogramSnapshot* FindHistogram(std::string_view name) const;
 };
 
@@ -106,6 +119,20 @@ class MetricsRegistry {
   Counter& GetCounter(std::string_view name);
   Histogram& GetHistogram(std::string_view name, std::vector<double> bounds = {});
 
+  // The labeled series `name` × `labels` (order-insensitive: labels are
+  // sorted by key before keying the series). Lives in a registry map separate
+  // from the unlabeled counters, so the unlabeled fast path above is
+  // untouched — same map, same lock, same lookup as before this overload
+  // existed. Labeled sites conventionally increment the unlabeled total too
+  // (the "total + per-label" pattern), keeping derived rates and the
+  // unlabeled export exactly as they were.
+  Counter& GetCounter(std::string_view name, MetricLabels labels);
+
+  // The canonical encoded series name: `name{k1=v1,k2=v2}` with labels
+  // sorted by key (stable, so duplicate keys keep their relative order).
+  // `name` alone when labels are empty. Exposed for exporters and tests.
+  static std::string EncodeLabeledName(std::string_view name, MetricLabels labels);
+
   MetricsSnapshot Snapshot() const;
 
   // Zeroes every registered instrument (references stay valid). Test/bench
@@ -118,14 +145,27 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
+  struct LabeledCounter {
+    MetricLabels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Keyed by the encoded `name{k=v,...}` form; map order is the deterministic
+  // (name, labels) snapshot order.
+  std::map<std::string, LabeledCounter, std::less<>> labeled_counters_;
 };
 
 // Shorthand used throughout the pipeline instrumentation.
 inline void CountMetric(std::string_view name, uint64_t delta = 1) {
   MetricsRegistry::Global().GetCounter(name).Increment(delta);
+}
+// Labeled shorthand: bumps the labeled series only. Callers wanting the
+// total + per-label pattern pair it with a CountMetric on the bare name.
+inline void CountMetric(std::string_view name, MetricLabels labels, uint64_t delta = 1) {
+  MetricsRegistry::Global().GetCounter(name, std::move(labels)).Increment(delta);
 }
 inline void ObserveMetric(std::string_view name, double value) {
   MetricsRegistry::Global().GetHistogram(name).Observe(value);

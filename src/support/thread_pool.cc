@@ -33,7 +33,7 @@ size_t ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> job;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
@@ -43,12 +43,18 @@ void ThreadPool::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    TraceContextScope ctx(TraceContext{job.ctx.run_id, job.ctx.span_id});
     TraceSpan span("pool.task", "pool");
-    job();
+    job.fn();
   }
 }
 
 int64_t ThreadPool::NowUs() { return TraceNowUs(); }
+
+ThreadPool::SubmitContext ThreadPool::CaptureSubmitContext() {
+  const TraceContext ctx = CurrentTraceContext();
+  return SubmitContext{ctx.run_id, ctx.span_id};
+}
 
 void ThreadPool::NoteSubmit(size_t queue_depth) {
   static Counter& submitted = MetricsRegistry::Global().GetCounter("pool.tasks_submitted");

@@ -43,20 +43,26 @@ class ThreadPool {
   // Enqueues a callable; the returned future yields its result (or rethrows
   // its exception). Each task reports pool.wait_ms (enqueue -> start) and
   // pool.task_ms to the metrics registry; queue depth is observed at submit
-  // time under the queue lock already being held.
+  // time under the queue lock already being held. The submitter's trace
+  // context (run id + current span id) is captured here and reinstalled on
+  // the worker around the task, so spans opened inside the task parent to
+  // the span that submitted the work, not to the worker's previous task.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     const int64_t enqueue_us = NowUs();
+    QueuedJob job;
+    job.ctx = CaptureSubmitContext();
+    job.fn = [task, enqueue_us]() {
+      const int64_t start_us = NowUs();
+      (*task)();
+      NoteTaskDone(enqueue_us, start_us, NowUs());
+    };
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back([task, enqueue_us]() {
-        const int64_t start_us = NowUs();
-        (*task)();
-        NoteTaskDone(enqueue_us, start_us, NowUs());
-      });
+      queue_.push_back(std::move(job));
       NoteSubmit(queue_.size());
     }
     cv_.notify_one();
@@ -64,16 +70,28 @@ class ThreadPool {
   }
 
  private:
+  // Mirror of support::TraceContext, spelled out so this header stays free of
+  // trace/metrics includes (the Submit template is instantiated widely).
+  struct SubmitContext {
+    uint64_t run_id = 0;
+    uint64_t span_id = 0;
+  };
+  struct QueuedJob {
+    std::function<void()> fn;
+    SubmitContext ctx;
+  };
+
   void WorkerLoop();
 
   // Metrics plumbing, defined in the .cc so the Submit template stays free of
   // trace/metrics includes. NowUs is the tracing monotonic clock.
   static int64_t NowUs();
+  static SubmitContext CaptureSubmitContext();
   static void NoteSubmit(size_t queue_depth);
   static void NoteTaskDone(int64_t enqueue_us, int64_t start_us, int64_t end_us);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedJob> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

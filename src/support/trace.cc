@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
 
 namespace support {
 
@@ -17,12 +18,21 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
+// Process-unique id wells. Relaxed is enough: ids only need uniqueness, not
+// ordering. Both start at 1 so 0 stays the "absent" sentinel.
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_run_id{1};
+
 }  // namespace
 
 uint64_t TraceNowUs() {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                    std::chrono::steady_clock::now() - TraceEpoch())
                                    .count());
+}
+
+uint64_t AllocateTraceRunId() {
+  return g_next_run_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 // Per-thread event buffer. The owning thread appends under its own (almost
@@ -33,7 +43,8 @@ struct ThreadTraceBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events;
   uint32_t tid = 0;
-  int depth = 0;  // owning thread only (span open/close nesting counter)
+  int depth = 0;            // owning thread only (span open/close nesting counter)
+  TraceContext context;     // owning thread only (current run/parent-span ids)
 
   ThreadTraceBuffer();
   ~ThreadTraceBuffer();
@@ -66,6 +77,21 @@ ThreadTraceBuffer& LocalBuffer() {
 
 }  // namespace
 
+TraceContext CurrentTraceContext() {
+  if (!TraceRecorder::Enabled()) {
+    return TraceContext{};
+  }
+  return LocalBuffer().context;
+}
+
+void TraceContextScope::Install(TraceContext ctx) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  saved_ = buffer.context;
+  buffer.context = ctx;
+}
+
+void TraceContextScope::Restore() { LocalBuffer().context = saved_; }
+
 ThreadTraceBuffer::ThreadTraceBuffer() {
   auto& impl = TraceRecorder::Global().impl();
   std::lock_guard<std::mutex> lock(impl.mu);
@@ -92,6 +118,83 @@ void TraceRecorder::Emit(TraceEvent event) {
   buffer.events.push_back(std::move(event));
 }
 
+void SortTraceEventsCausally(std::vector<TraceEvent>& events) {
+  // Resolve each event's causal depth: distance to the root of its parent
+  // chain within `events`. The recorded thread-local depth is the fallback
+  // when the parent is not in the drained set (still open, or pre-context
+  // synthetic events), and the cycle guard for malformed input.
+  std::unordered_map<uint64_t, size_t> by_span;
+  by_span.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].span_id != 0) {
+      by_span.emplace(events[i].span_id, i);
+    }
+  }
+  constexpr int kUnresolved = -1;
+  constexpr int kResolving = -2;
+  std::vector<int> causal(events.size(), kUnresolved);
+  // Iterative resolution (parent chains are short, but avoid recursion).
+  std::vector<size_t> chain;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (causal[i] != kUnresolved) {
+      continue;
+    }
+    chain.clear();
+    size_t cur = i;
+    int base = 0;
+    while (true) {
+      if (causal[cur] >= 0) {
+        base = causal[cur];  // known suffix: extend from here
+        break;
+      }
+      if (causal[cur] == kResolving) {
+        base = events[cur].depth;  // cycle: fall back to the recorded depth
+        break;
+      }
+      causal[cur] = kResolving;
+      chain.push_back(cur);
+      const uint64_t parent = events[cur].parent_span_id;
+      const auto it = parent == 0 ? by_span.end() : by_span.find(parent);
+      if (it == by_span.end()) {
+        base = events[cur].depth;  // no resolvable parent: recorded depth
+        break;
+      }
+      cur = it->second;
+    }
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      // The first chain entry sits at `base`; each link below it is one
+      // deeper. When the walk stopped *at* chain.back() itself (no parent),
+      // base already is its depth.
+      causal[*rit] = base;
+      base += 1;
+    }
+  }
+  std::vector<size_t> order(events.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t ia, size_t ib) {
+    const TraceEvent& a = events[ia];
+    const TraceEvent& b = events[ib];
+    if (a.start_us != b.start_us) {
+      return a.start_us < b.start_us;
+    }
+    if (causal[ia] != causal[ib]) {
+      return causal[ia] < causal[ib];
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    return a.span_id < b.span_id;
+  });
+  std::vector<TraceEvent> sorted;
+  sorted.reserve(events.size());
+  for (size_t i : order) {
+    sorted.push_back(std::move(events[i]));
+  }
+  events = std::move(sorted);
+}
+
 std::vector<TraceEvent> TraceRecorder::Drain() {
   Impl& i = impl();
   std::vector<TraceEvent> out;
@@ -107,16 +210,9 @@ std::vector<TraceEvent> TraceRecorder::Drain() {
     }
   }
   // Emit order is completion order (children before parents); normalize to
-  // chronological-with-nesting so consumers see parent-before-child.
-  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
-    if (a.start_us != b.start_us) {
-      return a.start_us < b.start_us;
-    }
-    if (a.tid != b.tid) {
-      return a.tid < b.tid;
-    }
-    return a.depth < b.depth;
-  });
+  // causal order so consumers see parent-before-child, including across
+  // threads (pool tasks parented to their submitter).
+  SortTraceEventsCausally(out);
   return out;
 }
 
@@ -134,6 +230,10 @@ size_t TraceRecorder::ApproxEventCount() {
 void TraceSpan::Open() {
   ThreadTraceBuffer& buffer = LocalBuffer();
   depth_ = buffer.depth++;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_span_id_ = buffer.context.span_id;
+  run_id_ = buffer.context.run_id;
+  buffer.context.span_id = span_id_;
   start_us_ = TraceNowUs();
 }
 
@@ -141,12 +241,17 @@ void TraceSpan::Close() {
   const uint64_t end_us = TraceNowUs();
   ThreadTraceBuffer& buffer = LocalBuffer();
   --buffer.depth;
+  buffer.context.span_id = parent_span_id_;
   TraceEvent event;
   event.name = name_;
   event.category = category_;
   event.start_us = start_us_;
   event.dur_us = end_us - start_us_;
   event.depth = depth_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
+  event.run_id = run_id_;
+  event.links = std::move(links_);
   event.args = std::move(args_);
   TraceRecorder::Global().Emit(std::move(event));
 }

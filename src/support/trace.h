@@ -7,6 +7,17 @@
 // Spans nest naturally — each carries the thread-local nesting depth at the
 // time it opened — and may attach key/value attributes.
 //
+// Causal context (DESIGN.md §13): every armed span is assigned a
+// process-unique span id and records the id of its *logical* parent — the
+// span id held by the calling thread's TraceContext at open time — plus the
+// run id of the enclosing run scope. The context crosses thread boundaries
+// explicitly: support::ThreadPool captures the submitter's context and
+// reinstalls it around the task (TraceContextScope), so a span opened on a
+// pool worker parents to the span that submitted the work, not to whatever
+// happened to run on that worker before. Spans that aggregate work from many
+// runs (batched LLM calls) attach span *links* to every member instead of a
+// single parent.
+//
 // Cost contract (DESIGN.md §8): tracing is compiled in but must be invisible
 // when disabled. A disabled TraceSpan performs exactly one relaxed atomic
 // load and touches nothing else — no clock read, no allocation, no lock —
@@ -14,9 +25,9 @@
 // reads plus one short uncontended lock on their own thread's buffer.
 //
 // Thread-safety: everything here may be used from any thread. Event order
-// within Drain() is normalized to (start time, thread, depth), so nested
-// spans sort parent-before-child even though they are *emitted* child-first
-// (LIFO destruction).
+// within Drain() is normalized to causal order (SortTraceEventsCausally):
+// parents sort before children even when both stamped the same microsecond
+// from different threads.
 #ifndef SRC_SUPPORT_TRACE_H_
 #define SRC_SUPPORT_TRACE_H_
 
@@ -35,6 +46,24 @@ namespace trace_internal {
 extern std::atomic<bool> g_trace_enabled;
 }  // namespace trace_internal
 
+// The causal coordinates carried across task-submission boundaries: which run
+// the current work belongs to and which span is its logical parent. A zero id
+// means "none" — ids handed out by the allocators below start at 1.
+struct TraceContext {
+  uint64_t run_id = 0;
+  uint64_t span_id = 0;
+
+  bool empty() const { return run_id == 0 && span_id == 0; }
+};
+
+// Process-unique run id (never 0). Allocated per task run regardless of the
+// tracing gate: the same id keys the run's flight recorder and its
+// --report-json entry, so trace and report correlate.
+uint64_t AllocateTraceRunId();
+
+// The calling thread's current context; {} when tracing is disabled.
+TraceContext CurrentTraceContext();
+
 // One completed span. Times are microseconds since the process trace epoch
 // (the first touch of the tracing subsystem).
 struct TraceEvent {
@@ -44,8 +73,24 @@ struct TraceEvent {
   uint64_t dur_us = 0;
   uint32_t tid = 0;  // small stable per-thread id, assigned on first emit
   int depth = 0;     // nesting depth on the emitting thread when opened
+  // Causal coordinates: 0 = absent. `parent_span_id` is the logical parent
+  // (possibly on another thread); `links` are additional causal edges for
+  // fan-in spans (a batch flush links every member call's span).
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint64_t run_id = 0;
+  std::vector<uint64_t> links;
   std::vector<std::pair<std::string, std::string>> args;
 };
+
+// Sorts events into causal order: primary (start_us), tie-broken by causal
+// depth — the distance to the root of the parent chain within `events`,
+// falling back to the recorded thread-local depth when the parent is absent
+// (still open at drain time, or emitted before tracing was enabled) — then
+// (tid, span_id) for total determinism. With explicit parent ids this sorts a
+// cross-thread child after its parent even when both carry the same
+// microsecond timestamp, which the old (start, tid, depth) order did not.
+void SortTraceEventsCausally(std::vector<TraceEvent>& events);
 
 class TraceRecorder {
  public:
@@ -61,8 +106,8 @@ class TraceRecorder {
   }
 
   // Flushes every live thread buffer plus the events of already-exited
-  // threads and returns them sorted by (start_us, tid, depth). The recorder
-  // is empty afterwards.
+  // threads and returns them in causal order (SortTraceEventsCausally). The
+  // recorder is empty afterwards.
   std::vector<TraceEvent> Drain();
 
   // Drain and discard (test isolation).
@@ -73,6 +118,7 @@ class TraceRecorder {
 
  private:
   friend class TraceSpan;
+  friend class TraceContextScope;
   friend struct ThreadTraceBuffer;
 
   TraceRecorder() = default;
@@ -82,6 +128,35 @@ class TraceRecorder {
 
   struct Impl;
   Impl& impl();
+};
+
+// Installs `ctx` as the calling thread's current context for the scope's
+// lifetime (restoring the previous context on exit). Used at the two
+// propagation points: a run root installing its fresh run id, and a pool
+// worker adopting the submitter's context. Same cost contract as TraceSpan:
+// disabled, it performs one relaxed load and nothing else.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx) : armed_(TraceRecorder::Enabled()) {
+    if (armed_) {
+      Install(ctx);
+    }
+  }
+  ~TraceContextScope() {
+    if (armed_) {
+      Restore();
+    }
+  }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  void Install(TraceContext ctx);
+  void Restore();
+
+  bool armed_;
+  TraceContext saved_;
 };
 
 // Microseconds since the trace epoch (monotonic clock).
@@ -118,8 +193,18 @@ class TraceSpan {
     }
   }
 
+  // Attaches a causal link to another span (fan-in edges: a batch flush links
+  // every member call's span). No-op when disabled or `span_id` is 0.
+  void AddLink(uint64_t span_id) {
+    if (armed_ && span_id != 0) {
+      links_.push_back(span_id);
+    }
+  }
+
   // Whether this span is recording (tracing was enabled when it opened).
   bool armed() const { return armed_; }
+  // This span's process-unique id (0 when disabled). Valid while open.
+  uint64_t span_id() const { return span_id_; }
 
  private:
   void Open();   // stamps start, bumps the thread depth counter
@@ -130,6 +215,10 @@ class TraceSpan {
   bool armed_;
   int depth_ = 0;
   uint64_t start_us_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t run_id_ = 0;
+  std::vector<uint64_t> links_;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/support/trace_export.h"
 
 #include <fstream>
+#include <unordered_map>
 
 namespace support {
 namespace {
@@ -16,11 +17,55 @@ jsonv::Value EventJson(const TraceEvent& event) {
   o["tid"] = jsonv::Value(static_cast<int64_t>(event.tid));
   jsonv::Object args;
   args["depth"] = jsonv::Value(static_cast<int64_t>(event.depth));
+  // Causal coordinates render only when present, so events emitted without
+  // context (and all pre-context golden fixtures) stay byte-identical.
+  if (event.span_id != 0) {
+    args["span"] = jsonv::Value(static_cast<int64_t>(event.span_id));
+  }
+  if (event.parent_span_id != 0) {
+    args["parent"] = jsonv::Value(static_cast<int64_t>(event.parent_span_id));
+  }
+  if (event.run_id != 0) {
+    args["run"] = jsonv::Value(static_cast<int64_t>(event.run_id));
+  }
+  if (!event.links.empty()) {
+    jsonv::Array links;
+    links.reserve(event.links.size());
+    for (uint64_t link : event.links) {
+      links.push_back(jsonv::Value(static_cast<int64_t>(link)));
+    }
+    args["links"] = jsonv::Value(std::move(links));
+  }
   for (const auto& [key, value] : event.args) {
     args[key] = jsonv::Value(value);
   }
   o["args"] = jsonv::Value(std::move(args));
   return jsonv::Value(std::move(o));
+}
+
+// One Chrome flow edge: a "s" (start) event at the producer and a matching
+// "f" (finish, bp:"e") event at the consumer, sharing name/cat/id.
+void AppendFlowEdge(jsonv::Array& out, int64_t flow_id, const char* name,
+                    uint32_t from_tid, uint64_t from_ts, uint32_t to_tid, uint64_t to_ts) {
+  jsonv::Object s;
+  s["name"] = jsonv::Value(name);
+  s["cat"] = jsonv::Value("flow");
+  s["ph"] = jsonv::Value("s");
+  s["id"] = jsonv::Value(flow_id);
+  s["ts"] = jsonv::Value(static_cast<int64_t>(from_ts));
+  s["pid"] = jsonv::Value(static_cast<int64_t>(1));
+  s["tid"] = jsonv::Value(static_cast<int64_t>(from_tid));
+  out.push_back(jsonv::Value(std::move(s)));
+  jsonv::Object f;
+  f["name"] = jsonv::Value(name);
+  f["cat"] = jsonv::Value("flow");
+  f["ph"] = jsonv::Value("f");
+  f["bp"] = jsonv::Value("e");
+  f["id"] = jsonv::Value(flow_id);
+  f["ts"] = jsonv::Value(static_cast<int64_t>(to_ts));
+  f["pid"] = jsonv::Value(static_cast<int64_t>(1));
+  f["tid"] = jsonv::Value(static_cast<int64_t>(to_tid));
+  out.push_back(jsonv::Value(std::move(f)));
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -52,8 +97,38 @@ void AddRate(jsonv::Object& derived, const MetricsSnapshot& snapshot, const char
 jsonv::Value ChromeTraceJson(const std::vector<TraceEvent>& events) {
   jsonv::Array trace_events;
   trace_events.reserve(events.size());
+  std::unordered_map<uint64_t, size_t> by_span;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].span_id != 0) {
+      by_span.emplace(events[i].span_id, i);
+    }
+  }
   for (const TraceEvent& event : events) {
     trace_events.push_back(EventJson(event));
+  }
+  // Flow edges. Ids count up in event order, which is deterministic for a
+  // given (causally sorted) event list.
+  int64_t next_flow_id = 1;
+  for (const TraceEvent& event : events) {
+    if (event.parent_span_id != 0) {
+      const auto it = by_span.find(event.parent_span_id);
+      // Only cross-thread parenthood needs a flow; same-thread nesting is
+      // already visible in the timeline.
+      if (it != by_span.end() && events[it->second].tid != event.tid) {
+        const TraceEvent& parent = events[it->second];
+        AppendFlowEdge(trace_events, next_flow_id++, "submit", parent.tid, parent.start_us,
+                       event.tid, event.start_us);
+      }
+    }
+    for (uint64_t link : event.links) {
+      const auto it = by_span.find(link);
+      if (it == by_span.end()) {
+        continue;
+      }
+      const TraceEvent& member = events[it->second];
+      AppendFlowEdge(trace_events, next_flow_id++, "link", member.tid, member.start_us,
+                     event.tid, event.start_us);
+    }
   }
   jsonv::Object doc;
   doc["traceEvents"] = jsonv::Value(std::move(trace_events));
@@ -119,11 +194,71 @@ jsonv::Value MetricsJson(const MetricsSnapshot& snapshot) {
   doc["counters"] = jsonv::Value(std::move(counters));
   doc["histograms"] = jsonv::Value(std::move(histograms));
   doc["derived"] = jsonv::Value(std::move(derived));
+  if (!snapshot.labeled_counters.empty()) {
+    // Keyed by the encoded series name; jsonv objects are sorted maps, so
+    // the document order is the deterministic (name, labels) order.
+    jsonv::Object labeled;
+    for (const CounterSnapshot& c : snapshot.labeled_counters) {
+      labeled[MetricsRegistry::EncodeLabeledName(c.name, c.labels)] =
+          jsonv::Value(static_cast<int64_t>(c.value));
+    }
+    doc["labeled_counters"] = jsonv::Value(std::move(labeled));
+  }
   return jsonv::Value(std::move(doc));
 }
 
 Status WriteMetricsJson(const std::string& path, const MetricsSnapshot& snapshot) {
   return WriteFile(path, MetricsJson(snapshot).DumpPretty() + "\n");
+}
+
+jsonv::Value FlightRecorderJson(const FlightRecorder& recorder) {
+  jsonv::Object doc;
+  doc["run_id"] = jsonv::Value(static_cast<int64_t>(recorder.run_id()));
+  doc["capacity"] = jsonv::Value(static_cast<int64_t>(recorder.capacity()));
+  doc["total_recorded"] = jsonv::Value(static_cast<int64_t>(recorder.TotalRecorded()));
+  doc["dropped"] = jsonv::Value(static_cast<int64_t>(recorder.DroppedCount()));
+  jsonv::Array events;
+  for (const FlightEvent& event : recorder.Events()) {
+    jsonv::Object o;
+    o["seq"] = jsonv::Value(static_cast<int64_t>(event.seq));
+    o["t_us"] = jsonv::Value(static_cast<int64_t>(event.t_us));
+    o["kind"] = jsonv::Value(event.kind);
+    if (!event.what.empty()) {
+      o["what"] = jsonv::Value(event.what);
+    }
+    if (!event.status.empty()) {
+      o["status"] = jsonv::Value(event.status);
+    }
+    if (event.detail != nullptr) {
+      // Same shape as the report's final_status error_detail.
+      jsonv::Object detail;
+      detail["control_id"] = jsonv::Value(event.detail->control_id);
+      detail["control_name"] = jsonv::Value(event.detail->control_name);
+      detail["required_pattern"] = jsonv::Value(event.detail->required_pattern);
+      detail["retryable"] = jsonv::Value(event.detail->retryable);
+      detail["attempts"] = jsonv::Value(static_cast<int64_t>(event.detail->attempts));
+      detail["backoff_ticks"] = jsonv::Value(static_cast<int64_t>(event.detail->backoff_ticks));
+      o["error_detail"] = jsonv::Value(std::move(detail));
+    }
+    if (event.attempts != 0) {
+      o["attempts"] = jsonv::Value(static_cast<int64_t>(event.attempts));
+    }
+    if (event.backoff_ticks != 0) {
+      o["backoff_ticks"] = jsonv::Value(static_cast<int64_t>(event.backoff_ticks));
+    }
+    if (event.tokens != 0) {
+      o["tokens"] = jsonv::Value(event.tokens);
+    }
+    if (event.aux_tokens != 0) {
+      o["aux_tokens"] = jsonv::Value(event.aux_tokens);
+    }
+    if (event.batch_id != 0) {
+      o["batch_id"] = jsonv::Value(static_cast<int64_t>(event.batch_id));
+    }
+    events.push_back(jsonv::Value(std::move(o)));
+  }
+  doc["events"] = jsonv::Value(std::move(events));
+  return jsonv::Value(std::move(doc));
 }
 
 }  // namespace support

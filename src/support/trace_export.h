@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/json/json.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/metrics.h"
 #include "src/support/status.h"
 #include "src/support/trace.h"
@@ -26,6 +27,11 @@ namespace support {
 
 // ----- Chrome trace ----------------------------------------------------------
 
+// Complete ("ph":"X") events plus flow ("ph":"s"/"f") events for the causal
+// edges a nested timeline cannot show: a parent/child pair on different
+// threads (a span submitted to the pool), and every span link (a batch flush
+// fanning in its member calls). Events without causal context render exactly
+// as they did before context existed — no extra args, no flows.
 jsonv::Value ChromeTraceJson(const std::vector<TraceEvent>& events);
 Status WriteChromeTrace(const std::string& path, const std::vector<TraceEvent>& events);
 
@@ -37,8 +43,20 @@ Status WriteTraceJsonl(const std::string& path, const std::vector<TraceEvent>& e
 
 // ----- metrics ---------------------------------------------------------------
 
+// Renders counters/histograms/derived rates as before; labeled series are
+// added under a separate "labeled_counters" object (keyed by the encoded
+// `name{k=v,...}` form) only when any exist, so the unlabeled document stays
+// byte-identical.
 jsonv::Value MetricsJson(const MetricsSnapshot& snapshot);
 Status WriteMetricsJson(const std::string& path, const MetricsSnapshot& snapshot);
+
+// ----- flight recorder -------------------------------------------------------
+
+// The per-run postmortem document embedded in --report-json (DESIGN.md §13):
+// {run_id, capacity, total_recorded, dropped, events:[...]} where each event
+// renders its non-zero fields only and error_detail matches the report's
+// final_status shape. Deterministic for a given recorder state.
+jsonv::Value FlightRecorderJson(const FlightRecorder& recorder);
 
 }  // namespace support
 

@@ -22,9 +22,12 @@ void AppPool::Lease::Release() {
 }
 
 AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
+  const support::MetricLabels labels{{"app", AppKindName(task.app)}};
   support::CountMetric("app_pool.leases");
+  support::CountMetric("app_pool.leases", labels);
   if (!pooled) {
     support::CountMetric("app_pool.creates");
+    support::CountMetric("app_pool.creates", labels);
     return Lease(nullptr, task.app, task.make_app(), 0);
   }
   int attempt = 0;
@@ -44,17 +47,21 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
     if (!options_.verify_acquire || entry.fresh_checksum == 0 ||
         entry.app->UiaStateChecksum() == entry.fresh_checksum) {
       support::CountMetric("app_pool.reuses");
+      support::CountMetric("app_pool.reuses", labels);
       return Lease(this, task.app, std::move(entry.app), entry.fresh_checksum);
     }
     support::CountMetric("app_pool.acquire_discards");
+    support::CountMetric("app_pool.acquire_discards", labels);
     DMI_LOG(kError) << "app_pool: shelved '" << entry.app->name()
                     << "' no longer matches its fresh checksum; discarding";
     if (!options_.acquire_retry.ShouldRetry(attempt)) {
       break;  // attempt budget spent: fall through to fresh construction
     }
     support::CountMetric("app_pool.acquire_retries");
+    support::CountMetric("app_pool.acquire_retries", labels);
   }
   support::CountMetric("app_pool.creates");
+  support::CountMetric("app_pool.creates", labels);
   std::unique_ptr<gsim::Application> app = task.make_app();
   app->CaptureFreshState();
   // The reference checksum is taken before any run touches the instance (and
@@ -67,11 +74,14 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
 void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
                      uint64_t fresh_checksum) {
   app->ResetToFreshState();
+  const support::MetricLabels labels{{"app", AppKindName(kind)}};
   support::CountMetric("app_pool.resets");
+  support::CountMetric("app_pool.resets", labels);
   if (options_.verify_reset) {
     const uint64_t reset_checksum = app->UiaStateChecksum();
     if (reset_checksum != fresh_checksum) {
       support::CountMetric("app_pool.reset_mismatches");
+      support::CountMetric("app_pool.reset_mismatches", labels);
       DMI_LOG(kError) << "app_pool: reset of '" << app->name()
                       << "' diverged from its fresh state (checksum "
                       << reset_checksum << " != " << fresh_checksum
@@ -79,6 +89,7 @@ void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
       return;  // the instance is destroyed, never reused
     }
     support::CountMetric("app_pool.resets_verified");
+    support::CountMetric("app_pool.resets_verified", labels);
   }
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Idle>& shelf = idle_[kind];
@@ -102,6 +113,7 @@ void AppPool::Prewarm(const Task& task, size_t count) {
     const uint64_t fresh_checksum =
         options_.verify_reset ? app->UiaStateChecksum() : 0;
     support::CountMetric("app_pool.prewarms");
+    support::CountMetric("app_pool.prewarms", {{"app", AppKindName(task.app)}});
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<Idle>& shelf = idle_[task.app];
     if (shelf.size() >= std::min(target, options_.max_idle_per_kind)) {

@@ -71,14 +71,19 @@ jsonv::Value StatusToJson(const support::Status& status) {
   return jsonv::Value(std::move(obj));
 }
 
-// The machine-readable suite report (--report-json).
+// The machine-readable suite report (--report-json). `batch_stats` is the
+// fleet-mode continuous-batching economics, null when batching is off.
 jsonv::Value SuiteReportJson(const agentsim::RunConfig& config,
-                             const agentsim::SuiteResult& result) {
+                             const agentsim::SuiteResult& result,
+                             const agentsim::BatchScheduler::Stats* batch_stats) {
   jsonv::Object root;
   root["mode"] = agentsim::InterfaceModeName(config.mode);
   root["model"] = config.profile.model;
   root["seed"] = static_cast<int64_t>(config.seed);
   root["repeats"] = config.repeats;
+  if (!config.policy_label.empty()) {
+    root["policy"] = config.policy_label;
+  }
   root["success_rate"] = result.SuccessRate();
   jsonv::Array task_entries;
   for (const auto& record : result.records) {
@@ -92,8 +97,15 @@ jsonv::Value SuiteReportJson(const agentsim::RunConfig& config,
       r["core_calls"] = run.core_calls;
       r["sim_time_s"] = run.sim_time_s;
       r["ui_actions"] = static_cast<int64_t>(run.ui_actions);
+      r["run_id"] = static_cast<int64_t>(run.run_id);
       r["cause"] = std::string(agentsim::FailureCauseName(run.cause));
       r["final_status"] = StatusToJson(run.final_status);
+      if (!run.success && run.flight != nullptr) {
+        // Failed run: render the flight recorder — the failing command with
+        // its ErrorDetail, retry/backoff spending, prompt tokens, and batch
+        // membership (DESIGN.md §13).
+        r["flight_recorder"] = support::FlightRecorderJson(*run.flight);
+      }
       if (!run.report_json.empty()) {
         // The per-run visit report is itself RenderJson() output; embed it as
         // a JSON value (round-trips by construction).
@@ -106,6 +118,18 @@ jsonv::Value SuiteReportJson(const agentsim::RunConfig& config,
     task_entries.push_back(jsonv::Value(std::move(task)));
   }
   root["tasks"] = jsonv::Value(std::move(task_entries));
+  if (batch_stats != nullptr) {
+    jsonv::Object fleet;
+    fleet["workers"] = config.workers;
+    fleet["max_batch_size"] = static_cast<int64_t>(config.batch.max_batch_size);
+    fleet["calls"] = static_cast<int64_t>(batch_stats->calls);
+    fleet["batches"] = static_cast<int64_t>(batch_stats->batches);
+    fleet["amortized_call_latency_s"] = batch_stats->AmortizedCallLatencyS();
+    fleet["amortized_speedup"] = batch_stats->AmortizedSpeedup();
+    fleet["tokens_per_sec"] = batch_stats->TokensPerSec();
+    fleet["prefix_tokens_saved"] = static_cast<int64_t>(batch_stats->prefix_tokens_saved);
+    root["fleet_batching"] = jsonv::Value(std::move(fleet));
+  }
   return jsonv::Value(std::move(root));
 }
 
@@ -295,7 +319,12 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu trace events to %s\n", events.size(), trace_path.c_str());
   }
   if (!report_path.empty()) {
-    const std::string doc = SuiteReportJson(config, result).DumpPretty();
+    const agentsim::BatchScheduler::Stats batch_stats =
+        config.batch.enabled ? runner.batch_stats() : agentsim::BatchScheduler::Stats{};
+    const std::string doc =
+        SuiteReportJson(config, result,
+                        config.batch.enabled ? &batch_stats : nullptr)
+            .DumpPretty();
     std::FILE* f = std::fopen(report_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s for writing\n", report_path.c_str());

@@ -10,7 +10,10 @@
 # worker concurrently, so the parallel robustness/determinism tests ride
 # along here too — as do the fleet-batching tests (batch_test): concurrent
 # Submit into the BatchScheduler and the shared static-prompt segment read
-# from every suite worker.
+# from every suite worker. The causal-telemetry tests (telemetry_test)
+# hammer the new surfaces: cross-thread TraceContext hand-off, labeled
+# counter registration from four suite workers, and concurrent flight
+# recorder writes from the visit executor and the batch scheduler.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -20,6 +23,6 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
-    describe_test pool_test batch_test robustness_test
+    describe_test pool_test batch_test robustness_test telemetry_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort'
