@@ -103,6 +103,12 @@ dmi::ModelingOptions TaskRunner::DefaultModelingOptions(workload::AppKind kind) 
   return options;
 }
 
+void TaskRunner::SetModelDir(std::string dir, std::string app_version) {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  registry_ = dir.empty() ? nullptr : std::make_unique<dmi::ModelRegistry>(std::move(dir));
+  model_app_version_ = std::move(app_version);
+}
+
 TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
   // Coarse lock: concurrent callers of an already-built model pay one probe;
   // a cold build holds the lock (RunSuite prebuilds before fanning out, so
@@ -112,18 +118,31 @@ TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
   if (it != models_.end()) {
     return *it->second;
   }
-  DMI_LOG(kInfo) << "modeling " << workload::AppKindName(kind) << " (offline phase)";
   auto model = std::make_unique<AppModel>();
   dmi::ModelingOptions options = DefaultModelingOptions(kind);
-  std::unique_ptr<gsim::Application> scratch = MakeScratch(kind);
-  ripper::GuiRipper rip(*scratch, options.ripper_config);
-  const topo::NavGraph graph = rip.Rip(options.contexts);
-  model->rip = rip.stats();
-  // Compile the shared model once; stats and core tokens come straight from
-  // it (no throwaway probe app / session).
-  model->compiled = dmi::CompiledModel::Compile(graph, options);
+  // The full offline pipeline (rip + compile). Compile folds the rip stats
+  // in, so a compiled model is the same self-contained record an artifact
+  // load produces.
+  auto pipeline = [&]() -> support::Result<std::shared_ptr<const dmi::CompiledModel>> {
+    DMI_LOG(kInfo) << "modeling " << workload::AppKindName(kind) << " (offline phase)";
+    std::unique_ptr<gsim::Application> scratch = MakeScratch(kind);
+    ripper::GuiRipper rip(*scratch, options.ripper_config);
+    const topo::NavGraph graph = rip.Rip(options.contexts);
+    return dmi::CompiledModel::Compile(graph, options, &rip.stats());
+  };
+  if (registry_ != nullptr) {
+    // Artifact store attached: cold-load when possible, compile (with
+    // save-through) when not. The registry's fallback makes a corrupt or
+    // missing artifact a perf event, never a failure, so the non-Result
+    // ModelFor contract holds.
+    auto acquired =
+        registry_->Acquire(workload::AppKindName(kind), model_app_version_, options, pipeline);
+    model->compiled = *acquired;
+  } else {
+    model->compiled = *pipeline();
+  }
   model->stats = model->compiled->stats();
-  model->stats.rip = model->rip;
+  model->rip = model->stats.rip;
   model->core_tokens = model->stats.core_tokens;
   AppModel& ref = *model;
   models_[kind] = std::move(model);

@@ -21,6 +21,7 @@
 #include "src/agent/llm_profile.h"
 #include "src/agent/run_result.h"
 #include "src/dmi/compiled_model.h"
+#include "src/dmi/model_registry.h"
 #include "src/dmi/policy.h"
 #include "src/dmi/session.h"
 #include "src/workload/app_pool.h"
@@ -150,6 +151,16 @@ class TaskRunner {
   // The modeling configuration shared by all settings.
   static dmi::ModelingOptions DefaultModelingOptions(workload::AppKind kind);
 
+  // Attaches a binary artifact store (DESIGN.md §14): ModelFor resolves
+  // models through a dmi::ModelRegistry rooted at `dir` — checksum-verified
+  // cold load when an artifact exists, full rip+compile with save-through
+  // when it doesn't. `app_version` is the store key's second half. Call
+  // before the first run; the in-memory model cache is not invalidated.
+  void SetModelDir(std::string dir, std::string app_version = "1");
+
+  // The artifact registry, or nullptr when no model dir is attached.
+  const dmi::ModelRegistry* model_registry() const { return registry_.get(); }
+
  private:
   struct AppModel {
     // Immutable compiled pipeline shared read-only by every DMI-mode run
@@ -174,6 +185,9 @@ class TaskRunner {
   // only the map lookup needs the lock.
   std::mutex models_mutex_;
   std::map<workload::AppKind, std::unique_ptr<AppModel>> models_;
+  // Set via SetModelDir; when present, ModelFor goes through it.
+  std::unique_ptr<dmi::ModelRegistry> registry_;
+  std::string model_app_version_ = "1";
   // Reset-based application pool shared by all runs (thread-safe; see
   // workload::AppPool). Unpooled runs go through it too, as throwaway leases.
   workload::AppPool app_pool_;

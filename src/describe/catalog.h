@@ -43,10 +43,37 @@ struct CoreStats {
   size_t elided_enumerations = 0;  // distinct enumerations collapsed
 };
 
+// Everything the catalog computed from the forest, captured for the binary
+// model artifact (DESIGN.md §14): the pruned core (membership, stats, text)
+// plus every memoized serialization and token count, so a cold load re-runs
+// none of the describe/tokenize pipeline.
+struct CatalogSnapshot {
+  std::vector<int> core_ids;  // ascending forest ids of the pruned core
+  CoreStats core_stats;
+  std::string core_text;
+  size_t core_tokens = 0;
+  size_t full_tokens = 0;
+  std::vector<std::string> subtree_texts;  // one per shared subtree
+};
+
 class TopologyCatalog {
  public:
   TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest, PruneOptions prune,
                   DescribeOptions describe);
+
+  // Captures the core plus all memoized serializations/token counts for the
+  // artifact writer, forcing any cache not yet populated (compile-side cost).
+  CatalogSnapshot Snapshot() const;
+
+  // Rebuilds a catalog from a loaded snapshot without re-running the
+  // describe/tokenize pipeline: the core is adopted as-is and the lazy
+  // caches are pre-seeded (their once-flags burnt with the loaded values).
+  // FullText() stays lazy — it composes from the seeded per-subtree
+  // serializations on first use, byte-identical to a fresh catalog's.
+  static std::unique_ptr<TopologyCatalog> FromSnapshot(const topo::NavGraph* dag,
+                                                       topo::Forest forest,
+                                                       DescribeOptions describe,
+                                                       CatalogSnapshot snapshot);
 
   const topo::Forest& forest() const { return forest_; }
   const topo::NavGraph& dag() const { return *dag_; }
@@ -79,6 +106,12 @@ class TopologyCatalog {
   const CoreStats& core_stats() const { return core_stats_; }
 
  private:
+  // Shared-state ctor for FromSnapshot: wires dag/forest/describe and sizes
+  // the lazy-cache arrays, computing nothing.
+  struct FromSnapshotTag {};
+  TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest, DescribeOptions describe,
+                  FromSnapshotTag);
+
   void ComputeCore(const PruneOptions& prune);
 
   const topo::NavGraph* dag_;

@@ -31,12 +31,16 @@ const std::string& CompiledModel::UsageHint() {
 }
 
 std::shared_ptr<const CompiledModel> CompiledModel::Compile(const topo::NavGraph& graph,
-                                                            const ModelingOptions& options) {
+                                                            const ModelingOptions& options,
+                                                            const ripper::RipStats* rip) {
   support::TraceSpan span("model.build", "model");
   const int64_t build_start_us = support::TraceNowUs();
   auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
   model->options_ = options;
   ModelingStats& stats = model->stats_;
+  if (rip != nullptr) {
+    stats.rip = *rip;
+  }
   // Augmentation is the only pipeline stage that mutates the input graph;
   // everything downstream reads it, so the copy is taken only when needed.
   const topo::NavGraph* source = &graph;
@@ -81,6 +85,22 @@ std::shared_ptr<const CompiledModel> CompiledModel::Compile(const topo::NavGraph
                          static_cast<double>(support::TraceNowUs() - build_start_us) / 1000.0);
   span.AddArg("core_nodes", static_cast<int64_t>(stats.core_nodes));
   span.AddArg("core_tokens", static_cast<int64_t>(stats.core_tokens));
+  return model;
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::FromLoadedParts(LoadedParts parts) {
+  auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
+  model->options_ = std::move(parts.options);
+  model->stats_ = parts.stats;
+  model->dag_ = std::move(parts.dag);
+  model->catalog_ = std::move(parts.catalog);
+  model->usage_hint_tokens_ = parts.usage_hint_tokens;
+  model->static_prompt_ = std::move(parts.static_prompt);
+  model->static_prompt_tokens_ = parts.static_prompt_tokens;
+  // A loaded model is a model the process did *not* build: model.builds and
+  // session.compile_builds stay untouched so the amortization accounting
+  // (DESIGN.md §10) keeps meaning "pipeline runs", not "models in memory".
+  support::CountMetric("model.artifact_loads");
   return model;
 }
 

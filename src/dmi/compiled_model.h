@@ -62,8 +62,25 @@ class CompiledModel {
   // read-only; a private copy is made only when augmentation must mutate it.
   // The result is immutable and safe to share across threads: the catalog's
   // lazy caches are call_once-guarded on an immutable forest (DESIGN.md §9).
+  // `rip` (optional) folds the ripper's counters into stats(), making the
+  // model a self-contained record for artifact persistence.
   static std::shared_ptr<const CompiledModel> Compile(const topo::NavGraph& graph,
-                                                      const ModelingOptions& options);
+                                                      const ModelingOptions& options,
+                                                      const ripper::RipStats* rip = nullptr);
+
+  // Fully materialized parts adopted by the binary-artifact loader
+  // (model_artifact.cc, DESIGN.md §14). `catalog` must already point at
+  // `dag` — FromLoadedParts re-runs no pipeline stage.
+  struct LoadedParts {
+    ModelingOptions options;
+    ModelingStats stats;
+    std::unique_ptr<topo::NavGraph> dag;
+    std::unique_ptr<desc::TopologyCatalog> catalog;
+    size_t usage_hint_tokens = 0;
+    std::string static_prompt;
+    size_t static_prompt_tokens = 0;
+  };
+  static std::shared_ptr<const CompiledModel> FromLoadedParts(LoadedParts parts);
 
   const topo::NavGraph& dag() const { return *dag_; }
   const desc::TopologyCatalog& catalog() const { return *catalog_; }

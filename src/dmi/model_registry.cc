@@ -1,0 +1,77 @@
+#include "src/dmi/model_registry.h"
+
+#include "src/dmi/model_artifact.h"
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
+namespace dmi {
+
+std::string ModelRegistry::ArtifactPath(const std::string& app_kind,
+                                        const std::string& app_version) const {
+  if (model_dir_.empty()) {
+    return "";
+  }
+  return model_dir_ + "/" + app_kind + "-" + app_version + kArtifactExtension;
+}
+
+support::Result<std::shared_ptr<const CompiledModel>> ModelRegistry::Acquire(
+    const std::string& app_kind, const std::string& app_version,
+    const ModelingOptions& runtime_options, const CompileFn& compile) {
+  support::TraceSpan span("registry.acquire", "model");
+  span.AddArg("app", app_kind + "-" + app_version);
+  const std::pair<std::string, std::string> key(app_kind, app_version);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.memo_hits;
+    support::CountMetric("registry.memo_hits");
+    return it->second;
+  }
+
+  const std::string path = ArtifactPath(app_kind, app_version);
+  if (!path.empty()) {
+    ArtifactMeta expect{app_kind, app_version};
+    support::Result<LoadedModelArtifact> loaded =
+        LoadModelArtifact(path, runtime_options, &expect);
+    if (loaded.ok()) {
+      ++stats_.artifact_loads;
+      support::CountMetric("registry.artifact_loads");
+      memo_.emplace(key, loaded->model);
+      return loaded->model;
+    }
+    if (loaded.status().code() != support::StatusCode::kNotFound) {
+      // A present-but-unusable artifact is worth a log line — it means a
+      // stale or corrupt store — but never blocks the run: the compile
+      // fallback rebuilds and the save-through replaces it.
+      ++stats_.load_errors;
+      support::CountMetric("registry.load_errors");
+      support::LogMessage(support::LogLevel::kWarning,
+                          "registry: artifact rejected, recompiling: " +
+                              loaded.status().ToString());
+    }
+  }
+
+  support::Result<std::shared_ptr<const CompiledModel>> model = compile();
+  if (!model.ok()) {
+    return model.status();
+  }
+  ++stats_.compiles;
+  support::CountMetric("registry.compiles");
+  if (!path.empty()) {
+    ArtifactMeta meta{app_kind, app_version};
+    support::Status saved = SaveModelArtifact(**model, meta, path);
+    if (saved.ok()) {
+      ++stats_.save_throughs;
+      support::CountMetric("registry.save_throughs");
+    } else {
+      // Save-through is best-effort: a read-only store just means the next
+      // process compiles again.
+      support::LogMessage(support::LogLevel::kWarning,
+                          "registry: artifact save-through failed: " + saved.ToString());
+    }
+  }
+  memo_.emplace(key, *model);
+  return *model;
+}
+
+}  // namespace dmi

@@ -1,0 +1,80 @@
+// ModelRegistry: process-wide memo of compiled models keyed by
+// (app kind, app version), backed by the binary artifact store
+// (DESIGN.md §14).
+//
+// Acquire() resolves a key through three tiers, cheapest first:
+//   1. memo hit   — the model is already in this process; shared_ptr copy.
+//   2. cold load  — a checksum-verified artifact exists in the model
+//                   directory; read + index fixup, no pipeline stages.
+//   3. compile    — the caller-supplied compile callback runs the full
+//                   pipeline; the result is saved through to the store so
+//                   every later process takes tier 2.
+//
+// Keys are strings (not workload::AppKind) so dmi_core stays independent of
+// the workload layer; callers pass AppKindName(kind).
+#ifndef SRC_DMI_MODEL_REGISTRY_H_
+#define SRC_DMI_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/dmi/compiled_model.h"
+#include "src/support/status.h"
+
+namespace dmi {
+
+class ModelRegistry {
+ public:
+  // `model_dir` is the artifact store; empty disables tiers 2/3's disk side
+  // (the registry degrades to a pure in-process memo).
+  explicit ModelRegistry(std::string model_dir = "") : model_dir_(std::move(model_dir)) {}
+
+  // Runs the full modeling pipeline for a key on a registry miss. Returns
+  // the freshly compiled model (never null on Ok).
+  using CompileFn =
+      std::function<support::Result<std::shared_ptr<const CompiledModel>>()>;
+
+  // Returns the model for (app_kind, app_version), loading or compiling as
+  // needed. Thread-safe; concurrent Acquire calls for the same key resolve
+  // to the same shared instance, and the loser of a race never compiles
+  // twice (the whole resolution runs under the registry lock — coarse, but
+  // Acquire is a per-run, not per-step, operation).
+  support::Result<std::shared_ptr<const CompiledModel>> Acquire(
+      const std::string& app_kind, const std::string& app_version,
+      const ModelingOptions& runtime_options, const CompileFn& compile);
+
+  // "<model_dir>/<kind>-<version>.dmim"; empty when the registry has no
+  // store.
+  std::string ArtifactPath(const std::string& app_kind, const std::string& app_version) const;
+
+  const std::string& model_dir() const { return model_dir_; }
+
+  struct Stats {
+    uint64_t memo_hits = 0;
+    uint64_t artifact_loads = 0;
+    uint64_t compiles = 0;
+    uint64_t save_throughs = 0;
+    // Artifacts present but rejected (corrupt, wrong identity, foreign
+    // endianness, ...). Each falls back to a compile; the artifact is left
+    // in place for inspection and overwritten by the save-through.
+    uint64_t load_errors = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const std::string model_dir_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, std::shared_ptr<const CompiledModel>> memo_;
+  Stats stats_;
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_MODEL_REGISTRY_H_

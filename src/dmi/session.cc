@@ -1,10 +1,10 @@
 #include "src/dmi/session.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <utility>
 
 #include "src/json/json.h"
+#include "src/support/binio.h"
 #include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
@@ -160,37 +160,18 @@ size_t DmiSession::PromptTokens() {
 }
 
 support::Status DmiSession::SaveModel(const topo::NavGraph& graph, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return support::InvalidArgumentError("cannot open '" + path + "' for writing");
-  }
-  const std::string json = graph.ToJson().Dump();
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  // fclose flushes the stdio buffer, so a full fwrite can still lose bytes
-  // here (ENOSPC, I/O error); both failures must surface.
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != json.size()) {
-    return support::InternalError("short write to '" + path + "'");
-  }
-  if (!close_ok) {
-    return support::InternalError("failed to flush/close '" + path + "'");
-  }
-  return support::Status::Ok();
+  return support::WriteFileBytes(path, graph.ToJson().Dump());
 }
 
 support::Result<topo::NavGraph> DmiSession::LoadModel(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return support::NotFoundError("cannot open model file '" + path + "'");
+  // ReadFileBytes surfaces every stdio failure mode (open, ferror mid-read,
+  // short read) as a typed status naming the path; the old hand-rolled loop
+  // treated a mid-file I/O error as EOF and parsed the truncated prefix.
+  support::Result<std::string> json = support::ReadFileBytes(path);
+  if (!json.ok()) {
+    return json.status();
   }
-  std::string json;
-  char buffer[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    json.append(buffer, n);
-  }
-  std::fclose(f);
-  auto doc = jsonv::Parse(json);
+  auto doc = jsonv::Parse(*json);
   if (!doc.ok()) {
     return doc.status();
   }

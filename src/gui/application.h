@@ -56,6 +56,24 @@ class StateHash {
       MixByte(static_cast<uint8_t>(c));
     }
   }
+  // Bulk variant for large payloads (model-artifact checksums, DESIGN.md
+  // §14): FNV-1a over 8-byte words with a byte-FNV tail. The per-byte chain
+  // is inherently serial (each multiply depends on the last), so word-sized
+  // steps are what make checksumming a multi-megabyte artifact cheap enough
+  // for the cold-load path. Not interchangeable with Mix() — word-FNV and
+  // byte-FNV digests differ by construction.
+  void MixBytes(const char* data, size_t n) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      uint64_t word = 0;
+      __builtin_memcpy(&word, data + i, 8);
+      h_ ^= word;
+      h_ *= 1099511628211ull;
+    }
+    for (; i < n; ++i) {
+      MixByte(static_cast<uint8_t>(data[i]));
+    }
+  }
   uint64_t digest() const { return h_; }
 
  private:

@@ -1,0 +1,74 @@
+#include "src/support/binio.h"
+
+#include <cstdio>
+
+namespace support {
+namespace {
+
+ErrorDetail PathDetail(const std::string& path) {
+  ErrorDetail d;
+  d.control_id = path;
+  return d;
+}
+
+}  // namespace
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open '" + path + "' for writing")
+        .WithDetail(PathDetail(path));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  // fclose flushes the stdio buffer, so a full fwrite can still lose bytes
+  // here (ENOSPC, I/O error); both failures must surface.
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != bytes.size()) {
+    return InternalError("short write to '" + path + "' (" + std::to_string(written) + "/" +
+                         std::to_string(bytes.size()) + " bytes)")
+        .WithDetail(PathDetail(path));
+  }
+  if (!close_ok) {
+    return InternalError("failed to flush/close '" + path + "'").WithDetail(PathDetail(path));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open '" + path + "' for reading")
+        .WithDetail(PathDetail(path));
+  }
+  std::string bytes;
+  // Size the buffer up front (one allocation, one big fread) when the file
+  // is seekable; the chunked loop below still runs to EOF, so a file that
+  // grew meanwhile — or a pipe, where ftell fails — reads correctly too.
+  long size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0 && (size = std::ftell(f)) > 0 &&
+      std::fseek(f, 0, SEEK_SET) == 0) {
+    bytes.resize(static_cast<size_t>(size));
+    const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    bytes.resize(got);
+  } else {
+    std::clearerr(f);
+    std::fseek(f, 0, SEEK_SET);
+  }
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  // fread returning 0 means EOF *or* error; only ferror distinguishes a
+  // complete file from one truncated by an I/O failure.
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return InternalError("read error on '" + path + "' after " +
+                         std::to_string(bytes.size()) + " bytes")
+        .WithDetail(PathDetail(path));
+  }
+  return bytes;
+}
+
+}  // namespace support

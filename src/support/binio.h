@@ -1,0 +1,30 @@
+// Checked whole-file I/O for model artifacts and other persisted blobs.
+//
+// The stdio fast paths (fread/fwrite/fclose) fail in ways that are easy to
+// drop on the floor: a short write on a full disk, a read error surfacing
+// only through ferror(), a close that loses the final buffer flush. These
+// helpers fold every failure mode into a typed support::Status with a
+// structured ErrorDetail payload (control_id carries the offending path),
+// so callers never see a silently truncated file as success (DESIGN.md §14).
+#ifndef SRC_SUPPORT_BINIO_H_
+#define SRC_SUPPORT_BINIO_H_
+
+#include <string>
+
+#include "src/support/status.h"
+
+namespace support {
+
+// Writes `bytes` to `path` (truncating). Open failure is kInvalidArgument;
+// a short write or a failed flush/close is kInternal. Either way the detail
+// payload names the path.
+Status WriteFileBytes(const std::string& path, const std::string& bytes);
+
+// Reads the whole file at `path`. A missing/unopenable file is kNotFound; a
+// stream error mid-read (ferror) is kInternal. A short read cannot hide: the
+// loop runs to EOF and EOF-vs-error is checked explicitly.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace support
+
+#endif  // SRC_SUPPORT_BINIO_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <functional>
+#include <string_view>
+#include <unordered_set>
 
 namespace topo {
 
@@ -30,6 +33,16 @@ int NavGraph::AddNode(const NodeInfo& info) {
 }
 
 int NavGraph::FindNode(const std::string& control_id) const {
+  if (index_by_id_.empty() && !nodes_.empty()) {
+    // FromParts graphs carry no eager index (see FromParts); FindNode is a
+    // modeling-time API, so the rare lookup on a loaded graph just scans.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].control_id == control_id) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
   auto it = index_by_id_.find(control_id);
   return it == index_by_id_.end() ? -1 : it->second;
 }
@@ -147,6 +160,71 @@ NavGraph NavGraph::Canonicalized() const {
     std::sort(succ.begin(), succ.end());
   }
   return out;
+}
+
+support::Result<NavGraph> NavGraph::FromParts(std::vector<NodeInfo> nodes,
+                                              std::vector<std::vector<int>> adjacency) {
+  if (nodes.empty() || nodes.size() != adjacency.size()) {
+    return support::InvalidArgumentError("graph parts misaligned: " +
+                                         std::to_string(nodes.size()) + " nodes vs " +
+                                         std::to_string(adjacency.size()) + " adjacency rows");
+  }
+  const int count = static_cast<int>(nodes.size());
+  for (const auto& row : adjacency) {
+    for (int to : row) {
+      if (to < 0 || to >= count) {
+        return support::InvalidArgumentError("graph edge target out of range: " +
+                                             std::to_string(to));
+      }
+    }
+  }
+  // Uniqueness check without materializing the string-keyed index: the
+  // eager map rebuild costs ~4x the whole rest of an artifact's DAG parse,
+  // and FindNode is a modeling-time API no loaded-graph caller hits (it
+  // degrades to a scan, see FindNode). 64-bit hashes go into a flat
+  // open-addressed probe table; a hash ever seen twice (real duplicate or
+  // collision) takes the exact slow path.
+  size_t cap = 16;
+  while (cap < nodes.size() * 2) {
+    cap <<= 1;
+  }
+  std::vector<uint64_t> table(cap, 0);
+  bool need_exact = false;
+  for (int i = 0; i < count && !need_exact; ++i) {
+    const std::string& id = nodes[static_cast<size_t>(i)].control_id;
+    uint64_t h = std::hash<std::string_view>{}(id);
+    h += (h == 0);  // 0 marks an empty slot
+    for (size_t slot = h & (cap - 1);; slot = (slot + 1) & (cap - 1)) {
+      if (table[slot] == 0) {
+        table[slot] = h;
+        break;
+      }
+      if (table[slot] == h) {
+        need_exact = true;
+        break;
+      }
+    }
+  }
+  if (need_exact) {
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(nodes.size());
+    for (int i = 0; i < count; ++i) {
+      if (!seen.insert(nodes[static_cast<size_t>(i)].control_id).second) {
+        return support::InvalidArgumentError("duplicate control id at node " +
+                                             std::to_string(i));
+      }
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    if (nodes[static_cast<size_t>(i)].control_id.empty()) {
+      return support::InvalidArgumentError("empty control id at node " + std::to_string(i));
+    }
+  }
+  NavGraph graph;
+  graph.nodes_ = std::move(nodes);
+  graph.adjacency_ = std::move(adjacency);
+  graph.index_by_id_.clear();
+  return graph;
 }
 
 jsonv::Value NavGraph::ToJson() const {

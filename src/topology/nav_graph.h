@@ -84,6 +84,16 @@ class NavGraph {
   jsonv::Value ToJson() const;
   static support::Result<NavGraph> FromJson(const jsonv::Value& value);
 
+  // Bulk reconstruction from parallel node/adjacency arrays (the binary
+  // model-artifact load path, DESIGN.md §14): nodes[0] must be the virtual
+  // root. Unlike AddNode/AddEdge this adopts the arrays wholesale and
+  // validates shape (aligned arrays, unique control ids via sorted hashes,
+  // in-range edge targets) instead of deduplicating. The string-keyed index
+  // is NOT materialized — FindNode on such a graph degrades to a scan,
+  // which no load-path caller performs.
+  static support::Result<NavGraph> FromParts(std::vector<NodeInfo> nodes,
+                                             std::vector<std::vector<int>> adjacency);
+
  private:
   std::vector<NodeInfo> nodes_;
   std::vector<std::vector<int>> adjacency_;

@@ -144,6 +144,27 @@ uint64_t NaiveCloneCount(const NavGraph& dag) {
   return f[NavGraph::kRootIndex];
 }
 
+support::Result<Forest> Forest::FromParts(ForestParts parts) {
+  if (parts.loc_by_id.size() != static_cast<size_t>(parts.max_id) + 1) {
+    return support::InvalidArgumentError(
+        "forest location table size " + std::to_string(parts.loc_by_id.size()) +
+        " disagrees with max_id " + std::to_string(parts.max_id));
+  }
+  if (parts.refs_by_subtree.size() != parts.shared.size()) {
+    return support::InvalidArgumentError(
+        "forest reverse-reference index covers " + std::to_string(parts.refs_by_subtree.size()) +
+        " subtrees but the forest has " + std::to_string(parts.shared.size()));
+  }
+  Forest forest;
+  forest.main_ = std::move(parts.main);
+  forest.shared_ = std::move(parts.shared);
+  forest.loc_by_id_ = std::move(parts.loc_by_id);
+  forest.all_refs_ = std::move(parts.all_refs);
+  forest.refs_by_subtree_ = std::move(parts.refs_by_subtree);
+  forest.max_id_ = parts.max_id;
+  return forest;
+}
+
 Forest SelectiveExternalize(const NavGraph& dag, uint64_t cost_threshold) {
   const std::vector<int> order = TopoOrder(dag);
   const std::vector<int> indeg = dag.InDegrees();

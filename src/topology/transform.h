@@ -65,10 +65,31 @@ struct ReferenceEntry {
   int subtree = -1;
 };
 
+// Raw forest state captured by the binary model-artifact writer and adopted
+// wholesale by the loader (DESIGN.md §14): the trees plus both precomputed
+// indexes, so a cold load re-derives nothing.
+struct ForestParts {
+  Tree main;
+  std::vector<Tree> shared;
+  std::vector<ForestLocation> loc_by_id;
+  std::vector<ReferenceEntry> all_refs;
+  std::vector<std::vector<int>> refs_by_subtree;
+  int max_id = 0;
+};
+
 class Forest {
  public:
   const Tree& main() const { return main_; }
   const std::vector<Tree>& shared() const { return shared_; }
+
+  // Adopts parts captured from an existing forest. Structural validity is
+  // the artifact checksum's job; this only rejects an index table whose size
+  // disagrees with max_id (the invariant every dense probe relies on).
+  static support::Result<Forest> FromParts(ForestParts parts);
+
+  // Raw access to the precomputed indexes, for the artifact writer.
+  const std::vector<ForestLocation>& LocationTable() const { return loc_by_id_; }
+  const std::vector<std::vector<int>>& RefsBySubtree() const { return refs_by_subtree_; }
 
   // Total nodes across main + shared trees (reference nodes included).
   size_t total_nodes() const;

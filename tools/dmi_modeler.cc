@@ -1,16 +1,22 @@
 // dmi_modeler: command-line offline modeler.
 //
 // Rips one of the bundled applications into a UI Navigation Graph, runs the
-// decycle/externalize pipeline, prints the modeling statistics, and
-// optionally saves the portable model JSON (reusable across machines for the
-// same app build, §5.2).
+// decycle/externalize pipeline, prints the modeling statistics, and saves
+// the compiled model as a binary artifact (compile once, cold-load
+// everywhere, DESIGN.md §14). The legacy portable-JSON graph dump survives
+// behind --legacy-json, and --from-json converts an existing JSON graph to
+// an artifact without re-ripping.
 //
 // Usage:
-//   dmi_modeler --app word|excel|ppoint [--out model.json]
+//   dmi_modeler --app word|excel|ppoint [--out model.dmim] [--app-version V]
 //               [--threshold N] [--depth N] [--print-core]
+//   dmi_modeler --app word --legacy-json --out model.json
+//   dmi_modeler --app word --from-json model.json --out model.dmim
+//   dmi_modeler --inspect model.dmim
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -19,6 +25,7 @@
 #include "src/apps/ppoint_sim.h"
 #include "src/apps/word_sim.h"
 #include "src/dmi/compiled_model.h"
+#include "src/dmi/model_artifact.h"
 #include "src/dmi/session.h"
 #include "src/ripper/ripper.h"
 
@@ -26,8 +33,10 @@ namespace {
 
 void Usage() {
   std::printf(
-      "usage: dmi_modeler --app word|excel|ppoint [--out model.json]\n"
-      "                   [--threshold N] [--depth N] [--print-core]\n");
+      "usage: dmi_modeler --app word|excel|ppoint [--out model.dmim]\n"
+      "                   [--app-version V] [--threshold N] [--depth N] [--print-core]\n"
+      "                   [--legacy-json] [--from-json model.json]\n"
+      "       dmi_modeler --inspect model.dmim\n");
 }
 
 std::unique_ptr<gsim::Application> MakeApp(const std::string& name,
@@ -47,14 +56,38 @@ std::unique_ptr<gsim::Application> MakeApp(const std::string& name,
   return nullptr;
 }
 
+int Inspect(const std::string& path) {
+  support::Result<dmi::ArtifactInfo> info = dmi::InspectModelArtifact(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "inspect failed: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: format v%u, app %s-%s, payload %llu bytes, checksum %016llx (%s)\n",
+              path.c_str(), info->format_version, info->meta.app_kind.c_str(),
+              info->meta.app_version.c_str(),
+              static_cast<unsigned long long>(info->payload_bytes),
+              static_cast<unsigned long long>(info->stored_checksum),
+              info->checksum_ok ? "ok" : "MISMATCH");
+  for (const dmi::ArtifactSectionInfo& section : info->sections) {
+    std::printf("  %-8s %8llu items %10llu bytes\n", section.name.c_str(),
+                static_cast<unsigned long long>(section.items),
+                static_cast<unsigned long long>(section.bytes));
+  }
+  return info->checksum_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string app_name;
   std::string out_path;
+  std::string app_version = "1";
+  std::string inspect_path;
+  std::string from_json;
   uint64_t threshold = topo::kDefaultExternalizeThreshold;
   int depth = desc::PruneOptions{}.max_depth;
   bool print_core = false;
+  bool legacy_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +102,14 @@ int main(int argc, char** argv) {
       app_name = next("--app");
     } else if (arg == "--out") {
       out_path = next("--out");
+    } else if (arg == "--app-version") {
+      app_version = next("--app-version");
+    } else if (arg == "--inspect") {
+      inspect_path = next("--inspect");
+    } else if (arg == "--from-json") {
+      from_json = next("--from-json");
+    } else if (arg == "--legacy-json") {
+      legacy_json = true;
     } else if (arg == "--threshold") {
       threshold = static_cast<uint64_t>(std::strtoull(next("--threshold"), nullptr, 10));
     } else if (arg == "--depth") {
@@ -85,6 +126,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!inspect_path.empty()) {
+    return Inspect(inspect_path);
+  }
+
   workload::AppKind kind;
   std::unique_ptr<gsim::Application> scratch = MakeApp(app_name, &kind);
   if (scratch == nullptr) {
@@ -96,18 +141,34 @@ int main(int argc, char** argv) {
   options.externalize_threshold = threshold;
   options.prune.max_depth = depth;
 
-  std::printf("ripping %s ...\n", app_name.c_str());
-  ripper::GuiRipper rip(*scratch, options.ripper_config);
-  topo::NavGraph graph = rip.Rip(options.contexts);
-  const ripper::RipStats& rs = rip.stats();
-  std::printf("  %zu controls, %zu edges | %llu clicks, %llu captures, %llu explored, "
-              "%.1f min simulated UIA time\n",
-              graph.node_count(), graph.edge_count(),
-              static_cast<unsigned long long>(rs.clicks),
-              static_cast<unsigned long long>(rs.captures),
-              static_cast<unsigned long long>(rs.explored), rs.simulated_ms / 60000.0);
+  topo::NavGraph graph;
+  ripper::RipStats rip_stats;
+  if (!from_json.empty()) {
+    // Conversion path: adopt a legacy JSON graph dump instead of re-ripping
+    // (rip counters are unknown and stay zero in the converted artifact).
+    std::printf("loading JSON graph %s ...\n", from_json.c_str());
+    support::Result<topo::NavGraph> loaded = dmi::DmiSession::LoadModel(from_json);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+  } else {
+    std::printf("ripping %s ...\n", app_name.c_str());
+    ripper::GuiRipper rip(*scratch, options.ripper_config);
+    graph = rip.Rip(options.contexts);
+    rip_stats = rip.stats();
+    std::printf("  %zu controls, %zu edges | %llu clicks, %llu captures, %llu explored, "
+                "%.1f min simulated UIA time\n",
+                graph.node_count(), graph.edge_count(),
+                static_cast<unsigned long long>(rip_stats.clicks),
+                static_cast<unsigned long long>(rip_stats.captures),
+                static_cast<unsigned long long>(rip_stats.explored),
+                rip_stats.simulated_ms / 60000.0);
+  }
 
-  std::shared_ptr<const dmi::CompiledModel> model = dmi::CompiledModel::Compile(graph, options);
+  std::shared_ptr<const dmi::CompiledModel> model =
+      dmi::CompiledModel::Compile(graph, options, &rip_stats);
   const dmi::ModelingStats& s = model->stats();
   std::printf("pipeline: %zu back-edges removed | forest %zu nodes, %zu shared subtrees, "
               "%zu refs | core %zu nodes / %zu tokens (full %zu tokens)\n",
@@ -118,12 +179,32 @@ int main(int argc, char** argv) {
     std::printf("\n%s\n", model->catalog().CoreText().c_str());
   }
   if (!out_path.empty()) {
-    support::Status st = dmi::DmiSession::SaveModel(graph, out_path);
-    if (!st.ok()) {
-      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-      return 1;
+    // SaveModelArtifact creates its own store directory; the legacy JSON dump
+    // goes through WriteFileBytes directly, so mirror that here.
+    std::error_code ec;
+    const std::filesystem::path parent = std::filesystem::path(out_path).parent_path();
+    if (!parent.empty()) {
+      std::filesystem::create_directories(parent, ec);
     }
-    std::printf("model saved to %s\n", out_path.c_str());
+    if (legacy_json) {
+      // Compatibility: the raw-graph JSON dump (re-runs the whole pipeline
+      // on load; kept for cross-version escape hatches).
+      support::Status st = dmi::DmiSession::SaveModel(graph, out_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("legacy JSON graph saved to %s\n", out_path.c_str());
+    } else {
+      dmi::ArtifactMeta meta{workload::AppKindName(kind), app_version};
+      support::Status st = dmi::SaveModelArtifact(*model, meta, out_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("model artifact saved to %s (%s-%s)\n", out_path.c_str(),
+                  meta.app_kind.c_str(), meta.app_version.c_str());
+    }
   }
   return 0;
 }

@@ -50,7 +50,8 @@ void Usage() {
       "               [--instability none|typical|harsh|hostile]\n"
       "               [--policy none|typical|harsh|hostile]\n"
       "               [--report-json <out.json>]\n"
-      "               [--trace <out.trace.json|out.jsonl>] [--metrics <out.json>]\n");
+      "               [--trace <out.trace.json|out.jsonl>] [--metrics <out.json>]\n"
+      "               [--model-dir <dir>] [--app-version V]\n");
 }
 
 jsonv::Value StatusToJson(const support::Status& status) {
@@ -147,6 +148,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string report_path;
+  std::string model_dir;
+  std::string app_version = "1";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -237,6 +240,10 @@ int main(int argc, char** argv) {
       metrics_path = next("--metrics");
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--model-dir") {
+      model_dir = next("--model-dir");
+    } else if (arg == "--app-version") {
+      app_version = next("--app-version");
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -248,6 +255,12 @@ int main(int argc, char** argv) {
   }
 
   agentsim::TaskRunner runner;
+  if (!model_dir.empty()) {
+    // Attach the binary artifact store: cold-load compiled models from
+    // <dir>/<kind>-<version>.dmim (emitted by dmi_modeler or a prior run's
+    // save-through) instead of re-running the offline pipeline.
+    runner.SetModelDir(model_dir, app_version);
+  }
   std::vector<workload::Task> tasks = workload::BuildOsworldWSuite();
   if (!task_filter.empty()) {
     std::vector<workload::Task> filtered;

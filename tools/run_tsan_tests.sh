@@ -13,7 +13,11 @@
 # from every suite worker. The causal-telemetry tests (telemetry_test)
 # hammer the new surfaces: cross-thread TraceContext hand-off, labeled
 # counter registration from four suite workers, and concurrent flight
-# recorder writes from the visit executor and the batch scheduler.
+# recorder writes from the visit executor and the batch scheduler. The
+# model-artifact tests (artifact_test) cover the registry: eight threads
+# Acquire the same (kind, version) concurrently — exactly one cold load,
+# everyone else memoized — plus the loader's parse-worker overlap on
+# multi-core hosts.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -23,6 +27,6 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
-    describe_test pool_test batch_test robustness_test telemetry_test
+    describe_test pool_test batch_test robustness_test telemetry_test artifact_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort|Artifact|Registry'
