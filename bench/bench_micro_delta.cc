@@ -1,0 +1,242 @@
+// Microbenchmark: delta ripping + incremental recompile (DESIGN.md §15).
+//
+// An app update typically touches a handful of UI partitions; re-modeling it
+// from scratch re-rips >4K controls anyway. The delta path diffs per-subtree
+// structural checksums against the baseline model and re-rips only the
+// changed partitions, splicing the rest of the baseline graph through.
+//
+// Two ways to obtain the updated build's CompiledModel:
+//   full_remodel   checksum walk + full GuiRipper rip + canonicalize +
+//                  Compile (what every version bump previously cost)
+//   delta_remodel  DeltaRip against the baseline table + RecompileDelta
+//                  (carrying memoized subtree serializations over)
+//
+// Mutations are renames spread round-robin over WordSim's main-tree
+// partitions (k renames touch min(k, partitions) subtrees), sweeping
+// {1, 4, 16}. Gate: the delta path must be at least 5x faster than the full
+// remodel for the 1-subtree update, and every delta model must serialize
+// byte-identically to its full-remodel reference. Each timing is the minimum
+// over its iterations. Results land in the "micro_delta" section of
+// BENCH_perf.json; tools/check_bench_regression.py holds the floors from
+// bench/BENCH_baseline.json.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/apps/word_sim.h"
+#include "src/dmi/compiled_model.h"
+#include "src/dmi/session.h"
+#include "src/ripper/delta.h"
+#include "src/ripper/ripper.h"
+
+namespace {
+
+gsim::Control* FindControl(gsim::Control& root, const std::string& name) {
+  gsim::Control* found = nullptr;
+  root.WalkStatic([&](gsim::Control& c) {
+    if (found == nullptr && c.TrueName() == name) {
+      found = &c;
+    }
+  });
+  return found;
+}
+
+// One stable anchor name per main-tree partition (root children and expanded
+// ribbon tabs), derived from the pristine checksum table so the bench tracks
+// the partition scheme instead of hardcoding the WordSim layout. The tab
+// strip's residual partition is skipped: renaming the strip would rename
+// every tab partition key at once.
+std::vector<std::string> PartitionAnchors() {
+  apps::WordSim app;
+  std::vector<std::string> names;
+  for (const ripper::SubtreeChecksum& entry : ripper::ComputeSubtreeChecksums(app)) {
+    constexpr const char kMain[] = "main:";
+    if (entry.key.rfind(kMain, 0) != 0) {
+      continue;
+    }
+    std::string name = entry.key.substr(sizeof(kMain) - 1);
+    const size_t slash = name.rfind('/');
+    if (slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    gsim::Control* control = FindControl(app.main_window().root(), name);
+    if (control == nullptr || control->Type() == uia::ControlType::kTab) {
+      continue;
+    }
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+// Renames the first proper descendant of each of `count` partition anchors
+// (round-robin), modeling an update that touches that many subtrees. Falls
+// back to renaming the anchor itself for leaf partitions.
+void MutateRoundRobin(gsim::Application& app, const std::vector<std::string>& anchors,
+                      int count) {
+  // Resolve every anchor before the first rename: a leaf partition's rename
+  // targets the anchor itself, which a wrapped round-robin pass could no
+  // longer find by its pristine name.
+  std::vector<gsim::Control*> resolved;
+  resolved.reserve(anchors.size());
+  for (const std::string& name : anchors) {
+    gsim::Control* control = FindControl(app.main_window().root(), name);
+    if (control == nullptr) {
+      std::abort();
+    }
+    resolved.push_back(control);
+  }
+  for (int k = 0; k < count; ++k) {
+    gsim::Control* anchor = resolved[static_cast<size_t>(k) % resolved.size()];
+    gsim::Control* target = nullptr;
+    anchor->WalkStatic([&](gsim::Control& c) {
+      if (target == nullptr && &c != anchor) {
+        target = &c;
+      }
+    });
+    if (target == nullptr) {
+      target = anchor;
+    }
+    target->RenameTo(target->TrueName() + " v" + std::to_string(k + 1));
+  }
+}
+
+struct DeltaPerf {
+  int mutations = 0;
+  size_t changed_partitions = 0;
+  size_t nodes_reused = 0;
+  double full_ms = 0;
+  double delta_ms = 0;
+  double delta_speedup = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Micro-bench: delta rip + incremental recompile vs full remodel");
+  bench::PerfRecorder recorder;
+
+  dmi::ModelingOptions options;
+  options.ripper_config.blocklist = {"Account"};
+  const std::vector<std::string> anchors = PartitionAnchors();
+  if (anchors.empty()) {
+    std::fprintf(stderr, "no partition anchors found\n");
+    return 1;
+  }
+
+  // Baseline (version N): the pipeline every process already ran once.
+  apps::WordSim baseline_app;
+  const ripper::ChecksumTable baseline_checksums =
+      ripper::ComputeSubtreeChecksums(baseline_app);
+  ripper::GuiRipper baseline_rip(baseline_app, options.ripper_config);
+  const topo::NavGraph baseline_graph = baseline_rip.Rip(options.contexts).Canonicalized();
+  const std::shared_ptr<const dmi::CompiledModel> baseline_model =
+      dmi::CompiledModel::Compile(baseline_graph, options, &baseline_rip.stats(),
+                                  &baseline_checksums);
+
+  auto min_iter_ms = [](int iters, auto&& body) {
+    double best = 1e18;
+    for (int i = 0; i < iters; ++i) {
+      bench::WallTimer t;
+      body();
+      best = std::min(best, t.ElapsedMs());
+    }
+    return best;
+  };
+
+  constexpr int kIters = 3;
+  const int kMutationSweep[] = {1, 4, 16};
+
+  std::printf("  %-10s | %10s %10s | %8s | %8s %8s | %9s\n", "mutations", "full", "delta",
+              "speedup", "changed", "reused", "identical");
+  std::printf("  %-10s | %10s %10s | %8s | %8s %8s | %9s\n", "", "(ms)", "(ms)", "(x)",
+              "(parts)", "(nodes)", "");
+  bench::PrintRule();
+
+  bool gate_ok = true;
+  bool match_ok = true;
+  jsonv::Array rows;
+  for (const int mutations : kMutationSweep) {
+    auto factory = [&]() -> std::unique_ptr<gsim::Application> {
+      auto app = std::make_unique<apps::WordSim>();
+      MutateRoundRobin(*app, anchors, mutations);
+      return app;
+    };
+
+    DeltaPerf perf;
+    perf.mutations = mutations;
+
+    std::shared_ptr<const dmi::CompiledModel> full_model;
+    std::shared_ptr<const dmi::CompiledModel> delta_model;
+    // full and delta alternate per round so both sides of the gated ratio
+    // sample the same machine-speed window.
+    for (int round = 0; round < kIters; ++round) {
+      const double full_ms = min_iter_ms(1, [&] {
+        std::unique_ptr<gsim::Application> scratch = factory();
+        const ripper::ChecksumTable checksums = ripper::ComputeSubtreeChecksums(*scratch);
+        ripper::GuiRipper rip(*scratch, options.ripper_config);
+        const topo::NavGraph graph = rip.Rip(options.contexts).Canonicalized();
+        full_model = dmi::CompiledModel::Compile(graph, options, &rip.stats(), &checksums);
+      });
+      perf.full_ms = std::min(perf.full_ms > 0 ? perf.full_ms : 1e18, full_ms);
+
+      const double delta_ms = min_iter_ms(1, [&] {
+        ripper::DeltaRipOptions delta_options;
+        delta_options.config = options.ripper_config;
+        delta_options.extra_contexts = options.contexts;
+        delta_options.app_factory = factory;
+        auto delta = ripper::DeltaRip(delta_options, baseline_graph, baseline_checksums);
+        if (!delta.ok() || delta->full_fallback) {
+          std::fprintf(stderr, "delta rip failed or fell back\n");
+          std::abort();
+        }
+        delta_model = dmi::CompiledModel::RecompileDelta(*baseline_model, delta->graph,
+                                                         options, &delta->stats,
+                                                         &delta->checksums);
+        perf.changed_partitions = delta->diff.changed.size() + delta->diff.added.size() +
+                                  delta->diff.removed.size();
+        perf.nodes_reused = delta->nodes_reused;
+      });
+      perf.delta_ms = std::min(perf.delta_ms > 0 ? perf.delta_ms : 1e18, delta_ms);
+    }
+    perf.delta_speedup = perf.delta_ms > 0 ? perf.full_ms / perf.delta_ms : 1e9;
+    perf.identical = delta_model->catalog().FullText() == full_model->catalog().FullText() &&
+                     delta_model->static_prompt() == full_model->static_prompt();
+
+    if (mutations == 1) {
+      gate_ok = gate_ok && perf.delta_speedup >= 5.0;
+    }
+    match_ok = match_ok && perf.identical;
+    std::printf("  %-10d | %10.2f %10.2f | %7.1fx | %8zu %8zu | %9s\n", perf.mutations,
+                perf.full_ms, perf.delta_ms, perf.delta_speedup, perf.changed_partitions,
+                perf.nodes_reused, perf.identical ? "yes" : "NO");
+
+    jsonv::Object row;
+    row["mutations"] = jsonv::Value(static_cast<double>(perf.mutations));
+    row["full_ms"] = jsonv::Value(perf.full_ms);
+    row["delta_ms"] = jsonv::Value(perf.delta_ms);
+    row["delta_speedup"] = jsonv::Value(perf.delta_speedup);
+    row["changed_partitions"] = jsonv::Value(static_cast<double>(perf.changed_partitions));
+    row["nodes_reused"] = jsonv::Value(static_cast<double>(perf.nodes_reused));
+    row["identical"] = jsonv::Value(perf.identical);
+    rows.push_back(jsonv::Value(std::move(row)));
+  }
+
+  jsonv::Object section;
+  section["delta"] = jsonv::Value(std::move(rows));
+  section["delta_speedup_gate"] = jsonv::Value(5.0);
+  section["gate_passed"] = jsonv::Value(gate_ok && match_ok);
+  recorder.Set("micro_delta", jsonv::Value(std::move(section)));
+  recorder.SetMetricsSnapshot();
+  recorder.Write();
+
+  std::printf("\ndelta model == full remodel outputs: %s\n", match_ok ? "PASS" : "FAIL");
+  std::printf(">=5x delta vs full remodel gate (1-subtree update): %s\n",
+              gate_ok ? "PASS" : "FAIL");
+  return (gate_ok && match_ok) ? 0 : 1;
+}

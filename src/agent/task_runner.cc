@@ -109,34 +109,46 @@ void TaskRunner::SetModelDir(std::string dir, std::string app_version) {
   model_app_version_ = std::move(app_version);
 }
 
-TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
+std::shared_ptr<const TaskRunner::AppModel> TaskRunner::ModelFor(workload::AppKind kind) {
   // Coarse lock: concurrent callers of an already-built model pay one probe;
   // a cold build holds the lock (RunSuite prebuilds before fanning out, so
   // workers never build).
   std::lock_guard<std::mutex> lock(models_mutex_);
   auto it = models_.find(kind);
   if (it != models_.end()) {
-    return *it->second;
+    return it->second;
   }
-  auto model = std::make_unique<AppModel>();
+  auto model = std::make_shared<AppModel>();
   dmi::ModelingOptions options = DefaultModelingOptions(kind);
   // The full offline pipeline (rip + compile). Compile folds the rip stats
-  // in, so a compiled model is the same self-contained record an artifact
-  // load produces.
+  // and the app's subtree-checksum table in, so a compiled model is the same
+  // self-contained record an artifact load produces — and a valid delta-rip
+  // baseline.
   auto pipeline = [&]() -> support::Result<std::shared_ptr<const dmi::CompiledModel>> {
     DMI_LOG(kInfo) << "modeling " << workload::AppKindName(kind) << " (offline phase)";
     std::unique_ptr<gsim::Application> scratch = MakeScratch(kind);
+    // Checksums are taken on the pristine instance, before the ripper drives
+    // it (the table is a pure function of static structure either way).
+    const ripper::ChecksumTable checksums = ripper::ComputeSubtreeChecksums(*scratch);
     ripper::GuiRipper rip(*scratch, options.ripper_config);
-    const topo::NavGraph graph = rip.Rip(options.contexts);
-    return dmi::CompiledModel::Compile(graph, options, &rip.stats());
+    // Canonical layout is the modeling norm (same contract as the factory
+    // rip entry points): delta splices and incremental recompiles line node
+    // ids up against the baseline only when both sides are canonical.
+    auto ripped =
+        std::make_shared<topo::NavGraph>(rip.Rip(options.contexts).Canonicalized());
+    auto compiled = dmi::CompiledModel::Compile(*ripped, options, &rip.stats(), &checksums);
+    model->ripped = std::move(ripped);
+    return compiled;
   };
+  const auto vit = model_versions_.find(kind);
+  const std::string& version = vit != model_versions_.end() ? vit->second : model_app_version_;
   if (registry_ != nullptr) {
     // Artifact store attached: cold-load when possible, compile (with
     // save-through) when not. The registry's fallback makes a corrupt or
     // missing artifact a perf event, never a failure, so the non-Result
     // ModelFor contract holds.
     auto acquired =
-        registry_->Acquire(workload::AppKindName(kind), model_app_version_, options, pipeline);
+        registry_->Acquire(workload::AppKindName(kind), version, options, pipeline);
     model->compiled = *acquired;
   } else {
     model->compiled = *pipeline();
@@ -144,21 +156,111 @@ TaskRunner::AppModel& TaskRunner::ModelFor(workload::AppKind kind) {
   model->stats = model->compiled->stats();
   model->rip = model->stats.rip;
   model->core_tokens = model->stats.core_tokens;
-  AppModel& ref = *model;
-  models_[kind] = std::move(model);
-  return ref;
+  models_[kind] = model;
+  return model;
+}
+
+support::Status TaskRunner::RefreshModel(workload::AppKind kind, const std::string& new_version,
+                                         workload::AppPool::Factory factory) {
+  support::TraceSpan span("model.refresh", "model");
+  span.AddArg("app", workload::AppKindName(kind));
+  span.AddArg("version", new_version);
+  // Snapshot the baseline outside the remodel (the delta rip is long; the
+  // models lock must not be held across it — workers keep resolving the old
+  // model meanwhile, which is the whole point).
+  std::shared_ptr<const AppModel> baseline;
+  std::string old_version;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    if (auto it = models_.find(kind); it != models_.end()) {
+      baseline = it->second;
+    }
+    const auto vit = model_versions_.find(kind);
+    old_version = vit != model_versions_.end() ? vit->second : model_app_version_;
+  }
+  dmi::ModelingOptions options = DefaultModelingOptions(kind);
+  auto next = std::make_shared<AppModel>();
+  auto remodel = [&](const std::shared_ptr<const dmi::CompiledModel>& registry_baseline)
+      -> support::Result<dmi::ModelRegistry::Remodeled> {
+    // The in-process baseline carries the raw ripped graph (the splice
+    // source); a registry-resolved artifact baseline has only the decycled
+    // DAG, so the delta ripper full-falls-back on it (empty baseline graph).
+    std::shared_ptr<const dmi::CompiledModel> base_model =
+        baseline != nullptr ? baseline->compiled : registry_baseline;
+    ripper::DeltaRipOptions delta_options;
+    delta_options.config = options.ripper_config;
+    delta_options.extra_contexts = options.contexts;
+    delta_options.app_factory = factory;
+    const topo::NavGraph empty_graph;
+    const ripper::ChecksumTable empty_table;
+    const topo::NavGraph* base_graph =
+        baseline != nullptr && baseline->ripped != nullptr ? baseline->ripped.get()
+                                                           : &empty_graph;
+    const ripper::ChecksumTable* base_checksums =
+        base_model != nullptr && base_graph != &empty_graph ? &base_model->subtree_checksums()
+                                                            : &empty_table;
+    support::Result<ripper::DeltaRipResult> delta =
+        ripper::DeltaRip(delta_options, *base_graph, *base_checksums);
+    if (!delta.ok()) {
+      return delta.status();
+    }
+    std::shared_ptr<const dmi::CompiledModel> compiled;
+    if (base_model != nullptr) {
+      dmi::CompiledModel::RecompileCounters counters;
+      compiled = dmi::CompiledModel::RecompileDelta(*base_model, delta->graph, options,
+                                                    &delta->stats, &delta->checksums, &counters);
+    } else {
+      compiled = dmi::CompiledModel::Compile(delta->graph, options, &delta->stats,
+                                             &delta->checksums);
+    }
+    next->ripped = std::make_shared<topo::NavGraph>(std::move(delta->graph));
+    return dmi::ModelRegistry::Remodeled{std::move(compiled), delta->nodes_reused};
+  };
+  support::Result<std::shared_ptr<const dmi::CompiledModel>> compiled =
+      support::InvalidArgumentError("unreachable");
+  if (registry_ != nullptr) {
+    compiled = registry_->Refresh(workload::AppKindName(kind), old_version, new_version,
+                                  options, remodel);
+  } else {
+    support::Result<dmi::ModelRegistry::Remodeled> remodeled = remodel(nullptr);
+    if (!remodeled.ok()) {
+      return remodeled.status();
+    }
+    compiled = std::move(remodeled->model);
+  }
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  next->compiled = *compiled;
+  next->stats = next->compiled->stats();
+  next->rip = next->stats.rip;
+  next->core_tokens = next->stats.core_tokens;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    models_[kind] = std::move(next);
+    model_versions_[kind] = new_version;
+  }
+  // Publish the new app build to the pool last: from here on, new leases
+  // construct the updated app and stale old-build instances are discarded on
+  // return. A worker that raced ModelFor before the publish above still pairs
+  // the old model with an old-build instance only if it also acquired its
+  // lease before this line — both orders are internally consistent.
+  app_pool_.SetFactory(kind, std::move(factory));
+  return support::Status::Ok();
 }
 
 const dmi::ModelingStats& TaskRunner::modeling_stats(workload::AppKind kind) {
-  return ModelFor(kind).stats;
+  // The returned reference stays valid while the runner holds the model in
+  // its map; a RefreshModel of the same kind invalidates it.
+  return ModelFor(kind)->stats;
 }
 
 const ripper::RipStats& TaskRunner::rip_stats(workload::AppKind kind) {
-  return ModelFor(kind).rip;
+  return ModelFor(kind)->rip;
 }
 
 size_t TaskRunner::CoreTopologyTokens(workload::AppKind kind) {
-  return ModelFor(kind).core_tokens;
+  return ModelFor(kind)->core_tokens;
 }
 
 RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& config,
@@ -214,7 +316,10 @@ RunResult TaskRunner::RunOnce(const workload::Task& task, const RunConfig& confi
 
 RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfig& config,
                                       uint64_t seed, uint64_t run_id) {
-  AppModel& model = ModelFor(task.app);
+  // Shared-ownership copy: if a RefreshModel publishes a new model for this
+  // kind mid-run, this run keeps the build it started on (zero-downtime
+  // swap, DESIGN.md §15).
+  const std::shared_ptr<const AppModel> model = ModelFor(task.app);
   // The injector is declared before the lease on purpose: the lease destructor
   // factory-resets the pooled app, which detaches the injector pointer, and
   // only afterwards does the injector itself go out of scope.
@@ -236,7 +341,7 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
     // GUI-mode calls batch prefix-less. Observational only — the sink draws
     // no RNG and never feeds back into the run.
     const dmi::CompiledModel* prefix = config.mode == InterfaceMode::kGuiPlusDmi
-                                           ? model.compiled.get()
+                                           ? model->compiled.get()
                                            : nullptr;
     llm.AttachBatchSink(&batch_scheduler_, prefix,
                         prefix != nullptr ? prefix->static_prompt_tokens() : 0,
@@ -247,9 +352,9 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
   if (config.mode == InterfaceMode::kGuiPlusDmi) {
     dmi::SessionOptions session_options;
     session_options.visit = config.visit;
-    session_options.interaction = model.compiled->options().interaction;
+    session_options.interaction = model->compiled->options().interaction;
     session_options.interaction.retry = config.interaction_retry;
-    dmi::DmiSession session(app, model.compiled, session_options);
+    dmi::DmiSession session(app, model->compiled, session_options);
     // Backoff jitter is seeded per trial: deterministic for a given seed,
     // decorrelated across trials.
     session.SeedRetryRng(seed);
@@ -267,7 +372,7 @@ RunResult TaskRunner::RunOnceInternal(const workload::Task& task, const RunConfi
     BaselineConfig agent_config;
     agent_config.step_cap = config.step_cap;
     agent_config.forest_knowledge = config.mode == InterfaceMode::kGuiOnlyForest;
-    agent_config.forest_knowledge_tokens = model.core_tokens;
+    agent_config.forest_knowledge_tokens = model->core_tokens;
     BaselineGuiAgent agent(agent_config);
     result = agent.Run(task, app, llm, &injector);
   }

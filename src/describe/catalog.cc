@@ -44,6 +44,24 @@ TopologyCatalog::TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest,
 }
 
 TopologyCatalog::TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest,
+                                 PruneOptions prune, DescribeOptions describe,
+                                 const std::vector<const std::string*>& seeds)
+    : TopologyCatalog(dag, std::move(forest), prune, describe) {
+  static support::Counter& reused =
+      support::MetricsRegistry::Global().GetCounter("describe.serialize_subtree_reused");
+  const size_t limit = std::min(seeds.size(), forest_.shared().size());
+  for (size_t s = 0; s < limit; ++s) {
+    if (seeds[s] == nullptr) {
+      continue;
+    }
+    // Burn the once-flag with the carried-over string; SubtreeText(s) then
+    // always takes the hit path without counting a cache build.
+    std::call_once(subtree_once_[s], [this, s, &seeds] { subtree_text_[s] = *seeds[s]; });
+    reused.Increment();
+  }
+}
+
+TopologyCatalog::TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest,
                                  DescribeOptions describe, FromSnapshotTag)
     : dag_(dag), forest_(std::move(forest)), describe_(describe) {
   subtree_once_ = std::make_unique<std::once_flag[]>(forest_.shared().size());

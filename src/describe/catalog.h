@@ -61,6 +61,16 @@ class TopologyCatalog {
   TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest, PruneOptions prune,
                   DescribeOptions describe);
 
+  // Like the primary constructor, but pre-seeds selected shared-subtree
+  // serializations with strings carried over from a previous catalog whose
+  // corresponding subtrees are structurally identical (delta recompile,
+  // DESIGN.md §15). `seeds[s] == nullptr` (or seeds shorter than the shared
+  // list) leaves subtree `s` lazily computed as usual. The core is always
+  // computed fresh — splices shift forest ids, so the core serialization
+  // cannot be carried over.
+  TopologyCatalog(const topo::NavGraph* dag, topo::Forest forest, PruneOptions prune,
+                  DescribeOptions describe, const std::vector<const std::string*>& seeds);
+
   // Captures the core plus all memoized serializations/token counts for the
   // artifact writer, forcing any cache not yet populated (compile-side cost).
   CatalogSnapshot Snapshot() const;

@@ -16,6 +16,7 @@
 #include "src/describe/catalog.h"
 #include "src/dmi/interaction.h"
 #include "src/dmi/visit.h"
+#include "src/ripper/delta.h"
 #include "src/ripper/ripper.h"
 #include "src/topology/nav_graph.h"
 #include "src/topology/transform.h"
@@ -63,10 +64,35 @@ class CompiledModel {
   // The result is immutable and safe to share across threads: the catalog's
   // lazy caches are call_once-guarded on an immutable forest (DESIGN.md §9).
   // `rip` (optional) folds the ripper's counters into stats(), making the
-  // model a self-contained record for artifact persistence.
-  static std::shared_ptr<const CompiledModel> Compile(const topo::NavGraph& graph,
-                                                      const ModelingOptions& options,
-                                                      const ripper::RipStats* rip = nullptr);
+  // model a self-contained record for artifact persistence. `checksums`
+  // (optional) attaches the app's per-subtree structural checksum table
+  // (ripper::ComputeSubtreeChecksums) so the saved artifact can serve as a
+  // delta-rip baseline (DESIGN.md §15).
+  static std::shared_ptr<const CompiledModel> Compile(
+      const topo::NavGraph& graph, const ModelingOptions& options,
+      const ripper::RipStats* rip = nullptr, const ripper::ChecksumTable* checksums = nullptr);
+
+  // Delta-aware recompile counters (observability; also mirrored onto the
+  // model.recompile_* metrics).
+  struct RecompileCounters {
+    size_t subtrees_total = 0;
+    size_t subtrees_reused = 0;  // memoized serializations carried over
+  };
+
+  // Incremental recompile over a DeltaRip graph (DESIGN.md §15): runs the
+  // same pure pipeline as Compile, but carries the baseline catalog's
+  // memoized shared-subtree serializations over wherever the new forest's
+  // subtree is structurally identical (same ids, same shape, same node
+  // content — node-count-preserving mutations keep ids stable, so renames
+  // reuse every untouched subtree; splices that shift ids fall back to
+  // recomputing, which exact comparison detects). `options` must equal the
+  // baseline's modeling options or the carried strings would lie. The result
+  // is byte-identical to Compile() over the same graph — only the cost
+  // differs.
+  static std::shared_ptr<const CompiledModel> RecompileDelta(
+      const CompiledModel& baseline, const topo::NavGraph& graph,
+      const ModelingOptions& options, const ripper::RipStats* rip,
+      const ripper::ChecksumTable* checksums, RecompileCounters* counters = nullptr);
 
   // Fully materialized parts adopted by the binary-artifact loader
   // (model_artifact.cc, DESIGN.md §14). `catalog` must already point at
@@ -79,6 +105,7 @@ class CompiledModel {
     size_t usage_hint_tokens = 0;
     std::string static_prompt;
     size_t static_prompt_tokens = 0;
+    ripper::ChecksumTable subtree_checksums;
   };
   static std::shared_ptr<const CompiledModel> FromLoadedParts(LoadedParts parts);
 
@@ -89,6 +116,11 @@ class CompiledModel {
   // visit/interaction configs from here.
   const ModelingOptions& options() const { return options_; }
   size_t usage_hint_tokens() const { return usage_hint_tokens_; }
+
+  // Per-subtree structural checksum table of the app build this model was
+  // ripped from (empty for models compiled without one, e.g. loaded from a
+  // pre-v2 artifact). The delta ripper diffs a live app against this.
+  const ripper::ChecksumTable& subtree_checksums() const { return subtree_checksums_; }
 
   // The static prompt segment — usage hint + serialized core topology —
   // concatenated and token-counted once at compile time. Every session of
@@ -124,6 +156,7 @@ class CompiledModel {
   size_t usage_hint_tokens_ = 0;  // counted once at compile
   std::string static_prompt_;     // UsageHint() + catalog CoreText()
   size_t static_prompt_tokens_ = 0;
+  ripper::ChecksumTable subtree_checksums_;
 };
 
 }  // namespace dmi

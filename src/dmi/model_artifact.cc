@@ -22,6 +22,7 @@ enum SectionId : uint32_t {
   kSectionPrompt = 4,
   kSectionStats = 5,
   kSectionOptions = 6,
+  kSectionChecksums = 7,  // v2+: per-subtree structural checksum table
 };
 
 const char* SectionName(uint32_t id) {
@@ -38,6 +39,8 @@ const char* SectionName(uint32_t id) {
       return "stats";
     case kSectionOptions:
       return "options";
+    case kSectionChecksums:
+      return "checksums";
   }
   return nullptr;
 }
@@ -228,6 +231,20 @@ std::string BuildOptionsSection(const ModelingOptions& options) {
   return body;
 }
 
+// v2+: the per-subtree structural checksum table the delta ripper diffs a
+// live app against. Entries are written in the table's canonical (sorted-
+// by-key) order so identical tables serialize byte-identically.
+std::string BuildChecksumsSection(const ripper::ChecksumTable& table) {
+  std::string body;
+  body.reserve(table.size() * 48 + 8);
+  PutU32(body, static_cast<uint32_t>(table.size()));
+  for (const ripper::SubtreeChecksum& entry : table) {
+    PutStr(body, entry.key);
+    PutU64(body, entry.checksum);
+  }
+  return body;
+}
+
 // ----- reader ----------------------------------------------------------------
 
 // Bounds-checked cursor over a byte span. Every overrun is a typed
@@ -380,6 +397,7 @@ class Reader {
 
 struct Header {
   ArtifactMeta meta;
+  uint32_t version = 0;  // parsed format version (within the accepted range)
   uint64_t payload_len = 0;
   uint64_t checksum = 0;
   size_t payload_offset = 0;  // into the file bytes
@@ -418,13 +436,15 @@ support::Status ParseHeader(const std::string& bytes, const std::string& path, H
   if (support::Status st = reader.ReadU32(&version); !st.ok()) {
     return st;
   }
-  if (version != kArtifactFormatVersion) {
+  if (version < kArtifactMinFormatVersion || version > kArtifactFormatVersion) {
     return support::UnimplementedError(
                support::Format("artifact '%s' has unsupported format version %u "
-                               "(reader supports %u)",
-                               path.c_str(), version, kArtifactFormatVersion))
+                               "(reader supports %u..%u)",
+                               path.c_str(), version, kArtifactMinFormatVersion,
+                               kArtifactFormatVersion))
         .WithDetail(ArtifactDetail(path, support::Format("version=%u", kArtifactFormatVersion)));
   }
+  out->version = version;
   if (support::Status st = reader.ReadStr(&out->meta.app_kind); !st.ok()) {
     return st;
   }
@@ -710,6 +730,26 @@ support::Status ParseOptionsSection(Reader& reader, ModelingOptions* options) {
   return support::Status::Ok();
 }
 
+support::Status ParseChecksumsSection(Reader& reader, ripper::ChecksumTable* table) {
+  uint32_t count = 0;
+  if (support::Status st = reader.ReadU32(&count); !st.ok()) {
+    return st;
+  }
+  table->clear();
+  table->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ripper::SubtreeChecksum entry;
+    if (support::Status st = reader.ReadStr(&entry.key); !st.ok()) {
+      return st;
+    }
+    if (support::Status st = reader.ReadU64(&entry.checksum); !st.ok()) {
+      return st;
+    }
+    table->push_back(std::move(entry));
+  }
+  return support::Status::Ok();
+}
+
 }  // namespace
 
 support::Status SaveModelArtifact(const CompiledModel& model, const ArtifactMeta& meta,
@@ -735,6 +775,10 @@ support::Status SaveModelArtifact(const CompiledModel& model, const ArtifactMeta
   PutSection(payload, kSectionPrompt, 1, BuildPromptSection(model));
   PutSection(payload, kSectionStats, 1, BuildStatsSection(model.stats()));
   PutSection(payload, kSectionOptions, 1, BuildOptionsSection(model.options()));
+  // Written even when empty (a model compiled without a table): readers then
+  // load an empty table and the delta ripper full-falls-back, same as v1.
+  PutSection(payload, kSectionChecksums, model.subtree_checksums().size(),
+             BuildChecksumsSection(model.subtree_checksums()));
 
   std::string bytes;
   bytes.reserve(payload.size() + 64 + meta.app_kind.size() + meta.app_version.size());
@@ -868,6 +912,9 @@ support::Result<LoadedModelArtifact> LoadModelArtifact(const std::string& path,
       case kSectionOptions:
         st = ParseOptionsSection(reader, &parts.options);
         break;
+      case kSectionChecksums:
+        st = ParseChecksumsSection(reader, &parts.subtree_checksums);
+        break;
       default:
         // Unknown section from an additive producer: skip (forward compat
         // within a format version; the checksum already vouched for the
@@ -978,7 +1025,7 @@ support::Result<ArtifactInfo> InspectModelArtifact(const std::string& path) {
     return st;
   }
   ArtifactInfo info;
-  info.format_version = kArtifactFormatVersion;
+  info.format_version = header.version;
   info.meta = header.meta;
   info.payload_bytes = header.payload_len;
   info.stored_checksum = header.checksum;

@@ -13,7 +13,10 @@
 //
 //   magic[8]            "DMIMODL\0"
 //   endian_tag  u32     0x01020304 as written by the producer
-//   version     u32     format version (readers accept == kArtifactFormatVersion)
+//   version     u32     format version (readers accept 1..kArtifactFormatVersion;
+//                       v2 added the optional checksums section — a v1 artifact
+//                       loads into a model with an empty subtree-checksum table,
+//                       which the delta ripper treats as "no baseline": full rip)
 //   app_kind    str     producer-declared application kind  ─┐ the registry
 //   app_version str     producer-declared application build  ┘ key
 //   payload_len u64
@@ -49,7 +52,9 @@ namespace dmi {
 
 inline constexpr char kArtifactMagic[8] = {'D', 'M', 'I', 'M', 'O', 'D', 'L', '\0'};
 inline constexpr uint32_t kArtifactEndianTag = 0x01020304u;
-inline constexpr uint32_t kArtifactFormatVersion = 1;
+inline constexpr uint32_t kArtifactFormatVersion = 2;
+// Oldest format version the reader still accepts (v1 = no checksums section).
+inline constexpr uint32_t kArtifactMinFormatVersion = 1;
 
 // Conventional artifact filename extension ("<kind>-<version>.dmim").
 inline constexpr char kArtifactExtension[] = ".dmim";

@@ -71,7 +71,102 @@ support::Result<std::shared_ptr<const CompiledModel>> ModelRegistry::Acquire(
     }
   }
   memo_.emplace(key, *model);
+  if (latest_.find(app_kind) == latest_.end()) {
+    latest_.emplace(app_kind, app_version);
+  }
   return *model;
+}
+
+support::Result<std::shared_ptr<const CompiledModel>> ModelRegistry::Refresh(
+    const std::string& app_kind, const std::string& old_version,
+    const std::string& new_version, const ModelingOptions& runtime_options,
+    const RemodelFn& remodel) {
+  support::TraceSpan span("registry.refresh", "model");
+  span.AddArg("app", app_kind + ": " + old_version + " -> " + new_version);
+  const std::pair<std::string, std::string> new_key(app_kind, new_version);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = memo_.find(new_key); it != memo_.end()) {
+    ++stats_.memo_hits;
+    support::CountMetric("registry.memo_hits");
+    latest_[app_kind] = new_version;
+    return it->second;
+  }
+
+  // Resolve the baseline: memo first, then a cold artifact load. A missing
+  // baseline is not an error — the remodel callback full-rips from nothing.
+  std::shared_ptr<const CompiledModel> baseline;
+  if (auto it = memo_.find({app_kind, old_version}); it != memo_.end()) {
+    baseline = it->second;
+  } else if (const std::string path = ArtifactPath(app_kind, old_version); !path.empty()) {
+    ArtifactMeta expect{app_kind, old_version};
+    support::Result<LoadedModelArtifact> loaded =
+        LoadModelArtifact(path, runtime_options, &expect);
+    if (loaded.ok()) {
+      baseline = loaded->model;
+    }
+  }
+
+  support::Result<Remodeled> remodeled = remodel(baseline);
+  if (!remodeled.ok()) {
+    return remodeled.status();
+  }
+  ++stats_.delta_rips;
+  stats_.delta_nodes_reused += remodeled->nodes_reused;
+  support::CountMetric("registry.delta_rips");
+  support::CountMetric("registry.delta_nodes_reused", remodeled->nodes_reused);
+
+  if (const std::string path = ArtifactPath(app_kind, new_version); !path.empty()) {
+    ArtifactMeta meta{app_kind, new_version};
+    support::Status saved = SaveModelArtifact(*remodeled->model, meta, path);
+    if (saved.ok()) {
+      ++stats_.save_throughs;
+      support::CountMetric("registry.save_throughs");
+    } else {
+      support::LogMessage(support::LogLevel::kWarning,
+                          "registry: artifact save-through failed: " + saved.ToString());
+    }
+  }
+
+  // Publish: after this insert, Acquire(new_version) memo-hits. The old
+  // version's entry stays (sessions may still Acquire it mid-suite) until
+  // Prune decides nothing holds it.
+  memo_[new_key] = remodeled->model;
+  latest_[app_kind] = new_version;
+  if (flight_ != nullptr) {
+    flight_->RecordNote("registry: " + app_kind + " model swapped " + old_version + " -> " +
+                        new_version + " (reused " +
+                        std::to_string(remodeled->nodes_reused) + " nodes)");
+  }
+  return remodeled->model;
+}
+
+size_t ModelRegistry::Prune(const std::string& app_kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto latest = latest_.find(app_kind);
+  size_t dropped = 0;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    const bool same_kind = it->first.first == app_kind;
+    const bool is_latest =
+        latest != latest_.end() && it->first.second == latest->second;
+    // use_count()==1 under the lock means the registry holds the only
+    // reference: no session can race a copy out of a map it can't reach.
+    if (same_kind && !is_latest && it->second.use_count() == 1) {
+      it = memo_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.pruned += dropped;
+  if (dropped > 0) {
+    support::CountMetric("registry.pruned", dropped);
+  }
+  return dropped;
+}
+
+void ModelRegistry::SetFlightRecorder(support::FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flight_ = recorder;
 }
 
 }  // namespace dmi

@@ -10,6 +10,12 @@
 //                   pipeline; the result is saved through to the store so
 //                   every later process takes tier 2.
 //
+// Refresh() is the live-versioning half (DESIGN.md §15): it remodels an old
+// version into a new one (delta rip + incremental recompile) and publishes
+// the result atomically — in-flight sessions keep their shared_ptr to the
+// old build, new acquires see the new one, and Prune() reclaims superseded
+// versions once nothing holds them.
+//
 // Keys are strings (not workload::AppKind) so dmi_core stays independent of
 // the workload layer; callers pass AppKindName(kind).
 #ifndef SRC_DMI_MODEL_REGISTRY_H_
@@ -23,6 +29,7 @@
 #include <utility>
 
 #include "src/dmi/compiled_model.h"
+#include "src/support/flight_recorder.h"
 #include "src/support/status.h"
 
 namespace dmi {
@@ -47,6 +54,48 @@ class ModelRegistry {
       const std::string& app_kind, const std::string& app_version,
       const ModelingOptions& runtime_options, const CompileFn& compile);
 
+  // What a Refresh remodel callback produced: the new model plus the delta
+  // ripper's reuse counter (ripper::DeltaRipResult::nodes_reused), folded
+  // into stats().delta_nodes_reused.
+  struct Remodeled {
+    std::shared_ptr<const CompiledModel> model;
+    size_t nodes_reused = 0;
+  };
+
+  // Remodels (app_kind, old_version) into new_version, typically by delta
+  // ripping against the baseline model's checksum table. `baseline` is the
+  // memoized/loaded model for the old version, or null when the registry has
+  // never seen it (the callback then full-rips).
+  using RemodelFn =
+      std::function<support::Result<Remodeled>(const std::shared_ptr<const CompiledModel>& baseline)>;
+
+  // Live version swap (DESIGN.md §15): runs `remodel` against the old
+  // version's model and atomically publishes the result as
+  // (app_kind, new_version) — after Refresh returns, Acquire of the new
+  // version memo-hits the new model, while every shared_ptr handed out for
+  // the old version stays valid until its last holder releases it
+  // (zero-downtime: in-flight sessions finish on the build they started
+  // on). The new model is saved through to the artifact store; the old
+  // version's memo entry is kept until Prune(). Idempotent: if the new
+  // version is already memoized, returns it without remodeling.
+  support::Result<std::shared_ptr<const CompiledModel>> Refresh(
+      const std::string& app_kind, const std::string& old_version,
+      const std::string& new_version, const ModelingOptions& runtime_options,
+      const RemodelFn& remodel);
+
+  // Drops memoized models of `app_kind` that are not the latest published
+  // version and have no holders outside the registry (use_count probe under
+  // the registry lock — the registry holds the only other ref, so
+  // use_count()==1 means no session can still be attached). Returns how many
+  // entries were dropped; each also bumps stats().pruned and the
+  // registry.pruned metric. Artifacts on disk are untouched.
+  size_t Prune(const std::string& app_kind);
+
+  // Borrowed recorder for swap breadcrumbs (Refresh notes the old→new
+  // transition); null disables. The recorder must outlive the registry or
+  // the next SetFlightRecorder call.
+  void SetFlightRecorder(support::FlightRecorder* recorder);
+
   // "<model_dir>/<kind>-<version>.dmim"; empty when the registry has no
   // store.
   std::string ArtifactPath(const std::string& app_kind, const std::string& app_version) const;
@@ -62,6 +111,12 @@ class ModelRegistry {
     // endianness, ...). Each falls back to a compile; the artifact is left
     // in place for inspection and overwritten by the save-through.
     uint64_t load_errors = 0;
+    // Live version swaps (Refresh calls that ran the remodel callback).
+    uint64_t delta_rips = 0;
+    // Baseline nodes the delta ripper spliced unchanged across all swaps.
+    uint64_t delta_nodes_reused = 0;
+    // Old-version models dropped by Prune().
+    uint64_t pruned = 0;
   };
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -72,6 +127,10 @@ class ModelRegistry {
   const std::string model_dir_;
   mutable std::mutex mu_;
   std::map<std::pair<std::string, std::string>, std::shared_ptr<const CompiledModel>> memo_;
+  // Latest published version per kind: set by the first Acquire of a kind
+  // and advanced by every Refresh. Prune keeps only this version.
+  std::map<std::string, std::string> latest_;
+  support::FlightRecorder* flight_ = nullptr;  // borrowed; may be null
   Stats stats_;
 };
 

@@ -73,6 +73,24 @@ Control* Application::RegisterSharedSubtree(std::unique_ptr<Control> root) {
   return raw;
 }
 
+std::vector<std::pair<std::string, const Window*>> Application::DialogEntries() const {
+  std::vector<std::pair<std::string, const Window*>> out;
+  out.reserve(dialogs_.size());
+  for (const auto& [id, dialog] : dialogs_) {
+    out.emplace_back(id, dialog.get());
+  }
+  return out;
+}
+
+std::vector<const Control*> Application::SharedSubtreeRoots() const {
+  std::vector<const Control*> out;
+  out.reserve(shared_subtrees_.size());
+  for (const auto& shared : shared_subtrees_) {
+    out.push_back(shared.get());
+  }
+  return out;
+}
+
 uia::Element& Application::AccessibilityRoot() { return *desktop_root_; }
 
 Window* Application::TopWindow() {

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/gui/control.h"
@@ -104,6 +105,12 @@ class Application {
 
   // Registers a subtree shared between several popup hosts (merge node).
   Control* RegisterSharedSubtree(std::unique_ptr<Control> root);
+
+  // Stable enumeration of registered dialogs (sorted by dialog id) and shared
+  // subtrees (registration order). Read-only structural views used by the
+  // delta ripper's checksum walk (DESIGN.md §15).
+  std::vector<std::pair<std::string, const Window*>> DialogEntries() const;
+  std::vector<const Control*> SharedSubtreeRoots() const;
 
   // ----- accessibility --------------------------------------------------------
   // The desktop root: its children are the roots of all open windows, topmost

@@ -295,6 +295,24 @@ Control* Control::NewChild(std::string name, uia::ControlType type) {
   return AddChild(std::make_unique<Control>(std::move(name), type));
 }
 
+std::unique_ptr<Control> Control::RemoveChild(Control* child) {
+  assert(app_ == nullptr || !app_->fresh_state_captured());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() != child) {
+      continue;
+    }
+    std::unique_ptr<Control> removed = std::move(children_[i]);
+    children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+    child_ptrs_.erase(child_ptrs_.begin() + static_cast<ptrdiff_t>(i));
+    removed->parent_ = nullptr;
+    if (app_ != nullptr) {
+      app_->BumpUiGeneration();
+    }
+    return removed;
+  }
+  return nullptr;
+}
+
 Control* Control::SetPopup(std::unique_ptr<Control> popup_root) {
   assert(popup_root != nullptr);
   popup_root->parent_ = this;

@@ -68,6 +68,12 @@ class Control final : public uia::Element {
   // Convenience: creates and adds a child.
   Control* NewChild(std::string name, uia::ControlType type);
 
+  // Detaches and returns a static child subtree (nullptr if `child` is not a
+  // direct child). Models an app update deleting a feature group. Only legal
+  // before the application captures fresh state — the pooling snapshot keeps
+  // raw pointers into the tree, so post-capture removal would dangle.
+  std::unique_ptr<Control> RemoveChild(Control* child);
+
   // Attaches an owned popup subtree revealed by clicking this control.
   Control* SetPopup(std::unique_ptr<Control> popup_root);
   // Attaches a *shared* popup subtree owned by the application. Multiple
@@ -145,6 +151,7 @@ class Control final : public uia::Element {
 
   // Explicit offscreen override (e.g. rows scrolled out of a viewport).
   void SetForcedOffscreen(bool offscreen);
+  bool forced_offscreen() const { return forced_offscreen_; }
 
   // Text value for Edit-type controls (backs the generic ValuePattern).
   // Value changes feed the passive data payload; the setter bumps the UI

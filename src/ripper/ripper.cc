@@ -246,9 +246,13 @@ void GuiRipper::RipContextInternal(topo::NavGraph& graph, const RipContext& cont
   std::deque<WorkItem> work;
   AddRevealedEdges(graph, topo::NavGraph::kRootIndex, initial);
   for (const auto& entry : initial) {
-    if (IsExplorable(*entry.control) && explored_.count(entry.control_id) == 0) {
-      work.push_back(WorkItem{entry.control_id, {}});
+    if (!IsExplorable(*entry.control) || explored_.count(entry.control_id) > 0) {
+      continue;
     }
+    if (config_.seed_filter && !config_.seed_filter(*entry.control, entry.control_id)) {
+      continue;  // out-of-scope region (delta rip); never entered
+    }
+    work.push_back(WorkItem{entry.control_id, {}});
   }
 
   // DFS (stack discipline via front-insertion).

@@ -46,6 +46,15 @@ struct RipperConfig {
   // reproduces the uncached full-walk behaviour (the determinism tests assert
   // both modes rip identical graphs).
   bool use_visible_index = true;
+  // Optional scope filter over *initial* exploration seeds (DESIGN.md §15,
+  // delta rip): an initially-visible explorable control only seeds the DFS
+  // when the filter accepts its control id. Everything *revealed* while
+  // exploring an accepted seed is explored normally — the filter scopes
+  // which top-level regions are entered, not what exploration may touch.
+  // Null means "explore everything" (full rip). May be invoked concurrently
+  // from parallel per-context rips; implementations must be pure.
+  std::function<bool(const gsim::Control& control, const std::string& control_id)>
+      seed_filter;
 };
 
 struct RipContext {

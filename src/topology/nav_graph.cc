@@ -9,7 +9,7 @@
 
 namespace topo {
 
-NavGraph::NavGraph() {
+NavGraph::NavGraph() : index_once_(std::make_unique<std::once_flag>()) {
   NodeInfo root;
   root.control_id = "[Root]|Pane|";
   root.name = "[Root]";
@@ -19,8 +19,37 @@ NavGraph::NavGraph() {
   index_by_id_[nodes_[0].control_id] = 0;
 }
 
+NavGraph::NavGraph(const NavGraph& other)
+    : nodes_(other.nodes_),
+      adjacency_(other.adjacency_),
+      index_by_id_(other.index_by_id_),
+      index_once_(std::make_unique<std::once_flag>()) {}
+
+NavGraph& NavGraph::operator=(const NavGraph& other) {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    adjacency_ = other.adjacency_;
+    index_by_id_ = other.index_by_id_;
+    index_once_ = std::make_unique<std::once_flag>();
+  }
+  return *this;
+}
+
+void NavGraph::EnsureIndex() const {
+  std::call_once(*index_once_, [this] {
+    if (!index_by_id_.empty()) {
+      return;  // built eagerly (AddNode path) or copied from a built graph
+    }
+    index_by_id_.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      index_by_id_.emplace(nodes_[i].control_id, static_cast<int>(i));
+    }
+  });
+}
+
 int NavGraph::AddNode(const NodeInfo& info) {
   assert(!info.control_id.empty());
+  EnsureIndex();
   auto it = index_by_id_.find(info.control_id);
   if (it != index_by_id_.end()) {
     return it->second;
@@ -33,16 +62,7 @@ int NavGraph::AddNode(const NodeInfo& info) {
 }
 
 int NavGraph::FindNode(const std::string& control_id) const {
-  if (index_by_id_.empty() && !nodes_.empty()) {
-    // FromParts graphs carry no eager index (see FromParts); FindNode is a
-    // modeling-time API, so the rare lookup on a loaded graph just scans.
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i].control_id == control_id) {
-        return static_cast<int>(i);
-      }
-    }
-    return -1;
-  }
+  EnsureIndex();
   auto it = index_by_id_.find(control_id);
   return it == index_by_id_.end() ? -1 : it->second;
 }
@@ -180,8 +200,8 @@ support::Result<NavGraph> NavGraph::FromParts(std::vector<NodeInfo> nodes,
   }
   // Uniqueness check without materializing the string-keyed index: the
   // eager map rebuild costs ~4x the whole rest of an artifact's DAG parse,
-  // and FindNode is a modeling-time API no loaded-graph caller hits (it
-  // degrades to a scan, see FindNode). 64-bit hashes go into a flat
+  // so it is deferred until the first lookup (EnsureIndex, call_once) —
+  // most loaded graphs are only ever walked by index. 64-bit hashes go into a flat
   // open-addressed probe table; a hash ever seen twice (real duplicate or
   // collision) takes the exact slow path.
   size_t cap = 16;

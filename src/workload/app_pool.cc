@@ -18,7 +18,44 @@ void AppPool::Lease::Release() {
   }
   AppPool* pool = pool_;
   pool_ = nullptr;
-  pool->Return(kind_, std::move(app_), fresh_checksum_);
+  pool->Return(kind_, std::move(app_), fresh_checksum_, generation_);
+}
+
+std::pair<std::unique_ptr<gsim::Application>, uint64_t> AppPool::Construct(const Task& task) {
+  Factory factory;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = factory_.find(task.app); it != factory_.end()) {
+      factory = it->second;
+    }
+    if (auto it = generation_.find(task.app); it != generation_.end()) {
+      generation = it->second;
+    }
+  }
+  // Construction runs outside the lock; the factory copy keeps a swap racing
+  // in parallel from invalidating the callable mid-call (the stale-generation
+  // check on return cleans up whichever build loses the race).
+  return {factory ? factory() : task.make_app(), generation};
+}
+
+void AppPool::SetFactory(AppKind kind, Factory factory) {
+  std::vector<Idle> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (factory) {
+      factory_[kind] = std::move(factory);
+    } else {
+      factory_.erase(kind);
+    }
+    ++generation_[kind];
+    dropped.swap(idle_[kind]);  // old-build instances; destroy outside the lock
+  }
+  if (!dropped.empty()) {
+    support::CountMetric("app_pool.swap_discards", dropped.size());
+    support::CountMetric("app_pool.swap_discards", {{"app", AppKindName(kind)}},
+                         dropped.size());
+  }
 }
 
 AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
@@ -28,11 +65,13 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
   if (!pooled) {
     support::CountMetric("app_pool.creates");
     support::CountMetric("app_pool.creates", labels);
-    return Lease(nullptr, task.app, task.make_app(), 0);
+    auto [app, generation] = Construct(task);
+    return Lease(nullptr, task.app, std::move(app), 0, generation);
   }
   int attempt = 0;
   while (true) {
     Idle entry;
+    uint64_t generation = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       std::vector<Idle>& shelf = idle_[task.app];
@@ -41,6 +80,12 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
       }
       entry = std::move(shelf.back());
       shelf.pop_back();
+      // The shelf holds only current-generation instances (SetFactory clears
+      // it and Return drops stale ones), so the lease is tagged here, under
+      // the same lock.
+      if (auto it = generation_.find(task.app); it != generation_.end()) {
+        generation = it->second;
+      }
     }
     ++attempt;
     // Checksum runs outside the lock on the exclusively-owned instance.
@@ -48,7 +93,7 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
         entry.app->UiaStateChecksum() == entry.fresh_checksum) {
       support::CountMetric("app_pool.reuses");
       support::CountMetric("app_pool.reuses", labels);
-      return Lease(this, task.app, std::move(entry.app), entry.fresh_checksum);
+      return Lease(this, task.app, std::move(entry.app), entry.fresh_checksum, generation);
     }
     support::CountMetric("app_pool.acquire_discards");
     support::CountMetric("app_pool.acquire_discards", labels);
@@ -62,17 +107,28 @@ AppPool::Lease AppPool::Acquire(const Task& task, bool pooled) {
   }
   support::CountMetric("app_pool.creates");
   support::CountMetric("app_pool.creates", labels);
-  std::unique_ptr<gsim::Application> app = task.make_app();
+  auto [app, generation] = Construct(task);
   app->CaptureFreshState();
   // The reference checksum is taken before any run touches the instance (and
   // before any injector attaches), so it describes the pristine state that
   // every later reset must reproduce.
   const uint64_t fresh_checksum = options_.verify_reset ? app->UiaStateChecksum() : 0;
-  return Lease(this, task.app, std::move(app), fresh_checksum);
+  return Lease(this, task.app, std::move(app), fresh_checksum, generation);
 }
 
 void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
-                     uint64_t fresh_checksum) {
+                     uint64_t fresh_checksum, uint64_t generation) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = generation_.find(kind);
+    if (it != generation_.end() && it->second != generation) {
+      // The kind was version-swapped while this lease was out: the instance
+      // is the old build and must never serve a new-model run.
+      support::CountMetric("app_pool.stale_discards");
+      support::CountMetric("app_pool.stale_discards", {{"app", AppKindName(kind)}});
+      return;  // destroyed, never re-shelved
+    }
+  }
   app->ResetToFreshState();
   const support::MetricLabels labels{{"app", AppKindName(kind)}};
   support::CountMetric("app_pool.resets");
@@ -92,6 +148,14 @@ void AppPool::Return(AppKind kind, std::unique_ptr<gsim::Application> app,
     support::CountMetric("app_pool.resets_verified", labels);
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Re-check under the shelf lock: a swap may have landed while the reset
+  // ran, and a stale instance must not slip onto the freshly cleared shelf.
+  const auto it = generation_.find(kind);
+  if (it != generation_.end() && it->second != generation) {
+    support::CountMetric("app_pool.stale_discards");
+    support::CountMetric("app_pool.stale_discards", {{"app", AppKindName(kind)}});
+    return;
+  }
   std::vector<Idle>& shelf = idle_[kind];
   if (shelf.size() >= options_.max_idle_per_kind) {
     return;  // shelf full; drop the instance
@@ -108,13 +172,17 @@ void AppPool::Prewarm(const Task& task, size_t count) {
         return;
       }
     }
-    std::unique_ptr<gsim::Application> app = task.make_app();
+    auto [app, generation] = Construct(task);
     app->CaptureFreshState();
     const uint64_t fresh_checksum =
         options_.verify_reset ? app->UiaStateChecksum() : 0;
     support::CountMetric("app_pool.prewarms");
     support::CountMetric("app_pool.prewarms", {{"app", AppKindName(task.app)}});
     std::lock_guard<std::mutex> lock(mu_);
+    const auto gen_it = generation_.find(task.app);
+    if (gen_it != generation_.end() && gen_it->second != generation) {
+      return;  // swapped while constructing; the instance is already stale
+    }
     std::vector<Idle>& shelf = idle_[task.app];
     if (shelf.size() >= std::min(target, options_.max_idle_per_kind)) {
       return;  // another thread filled the shelf meanwhile

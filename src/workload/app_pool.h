@@ -19,9 +19,11 @@
 #define SRC_WORKLOAD_APP_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/gui/application.h"
@@ -64,6 +66,7 @@ class AppPool {
         pool_ = other.pool_;
         kind_ = other.kind_;
         fresh_checksum_ = other.fresh_checksum_;
+        generation_ = other.generation_;
         app_ = std::move(other.app_);
         other.pool_ = nullptr;
       }
@@ -84,12 +87,17 @@ class AppPool {
    private:
     friend class AppPool;
     Lease(AppPool* pool, AppKind kind, std::unique_ptr<gsim::Application> app,
-          uint64_t fresh_checksum)
-        : pool_(pool), kind_(kind), fresh_checksum_(fresh_checksum), app_(std::move(app)) {}
+          uint64_t fresh_checksum, uint64_t generation)
+        : pool_(pool),
+          kind_(kind),
+          fresh_checksum_(fresh_checksum),
+          generation_(generation),
+          app_(std::move(app)) {}
 
     AppPool* pool_ = nullptr;  // null for unpooled leases
     AppKind kind_ = AppKind::kWord;
     uint64_t fresh_checksum_ = 0;
+    uint64_t generation_ = 0;  // pool generation the instance was built under
     std::unique_ptr<gsim::Application> app_;
   };
 
@@ -111,6 +119,16 @@ class AppPool {
 
   size_t IdleCount(AppKind kind);
 
+  using Factory = std::function<std::unique_ptr<gsim::Application>()>;
+
+  // Live version swap support (DESIGN.md §15): makes every *future* lease of
+  // `kind` construct through `factory` instead of Task::make_app, drops the
+  // idle shelf (those instances are the old build), and bumps the kind's
+  // generation so in-flight leases of the old build are destroyed on return
+  // instead of re-shelved. Thread-safe; null restores Task::make_app (still
+  // bumping the generation).
+  void SetFactory(AppKind kind, Factory factory);
+
  private:
   struct Idle {
     std::unique_ptr<gsim::Application> app;
@@ -118,12 +136,19 @@ class AppPool {
   };
 
   // Called by Lease::Release: factory-reset, verify, and re-shelve (or
-  // discard on mismatch / overflow).
-  void Return(AppKind kind, std::unique_ptr<gsim::Application> app, uint64_t fresh_checksum);
+  // discard on mismatch / overflow / stale generation).
+  void Return(AppKind kind, std::unique_ptr<gsim::Application> app, uint64_t fresh_checksum,
+              uint64_t generation);
+
+  // Constructs one instance of `kind` under the current factory override (or
+  // `task.make_app()`), returning it with the generation it was built under.
+  std::pair<std::unique_ptr<gsim::Application>, uint64_t> Construct(const Task& task);
 
   Options options_;
   std::mutex mu_;
   std::map<AppKind, std::vector<Idle>> idle_;
+  std::map<AppKind, Factory> factory_;      // per-kind override; absent = make_app
+  std::map<AppKind, uint64_t> generation_;  // bumped by every SetFactory
 };
 
 }  // namespace workload

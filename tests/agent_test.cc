@@ -91,7 +91,7 @@ TEST(RunnerTest, ResidualMechanismAccountingGolden) {
       TaskRunner::DefaultModelingOptions(workload::AppKind::kWord);
   apps::WordSim scratch;
   ripper::GuiRipper rip(scratch, options.ripper_config);
-  const topo::NavGraph graph = rip.Rip(options.contexts);
+  const topo::NavGraph graph = rip.Rip(options.contexts).Canonicalized();
   apps::WordSim app;
   dmi::DmiSession session(app, graph, options);
   EXPECT_EQ(r.prompt_tokens, 5u * (session.PromptTokens() + 200u));

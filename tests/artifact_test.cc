@@ -148,7 +148,7 @@ TEST(ArtifactRoundTrip, InspectReportsSections) {
     section_bytes += section.bytes;
   }
   EXPECT_EQ(names, (std::vector<std::string>{"dag", "forest", "catalog", "prompt", "stats",
-                                             "options"}));
+                                             "options", "checksums"}));
   // Section frames are 20 bytes each; bodies account for the whole payload.
   EXPECT_EQ(section_bytes + names.size() * 20, info->payload_bytes);
 }

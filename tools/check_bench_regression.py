@@ -48,6 +48,7 @@ CHECKS = [
     ("micro_batch", "batching", "batch_size", "tokens_per_sec"),
     ("micro_batch", "residency", "app", "resident_reduction"),
     ("micro_artifact", "artifact", "app", "cold_load_speedup"),
+    ("micro_delta", "delta", "mutations", "delta_speedup"),
     ("micro_telemetry", "tracing", "case", "disabled_span_mops"),
     ("micro_telemetry", "tracing", "case", "traced_speedup"),
     ("ablation_faults", "levels", "level", "success_rate"),

@@ -13,6 +13,7 @@
 //   dmi_modeler --app word --legacy-json --out model.json
 //   dmi_modeler --app word --from-json model.json --out model.dmim
 //   dmi_modeler --inspect model.dmim
+//   dmi_modeler --diff old.dmim new.dmim   (exit 1 when the models differ)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +37,8 @@ void Usage() {
       "usage: dmi_modeler --app word|excel|ppoint [--out model.dmim]\n"
       "                   [--app-version V] [--threshold N] [--depth N] [--print-core]\n"
       "                   [--legacy-json] [--from-json model.json]\n"
-      "       dmi_modeler --inspect model.dmim\n");
+      "       dmi_modeler --inspect model.dmim\n"
+      "       dmi_modeler --diff old.dmim new.dmim\n");
 }
 
 std::unique_ptr<gsim::Application> MakeApp(const std::string& name,
@@ -76,6 +78,83 @@ int Inspect(const std::string& path) {
   return info->checksum_ok ? 0 : 1;
 }
 
+// Structural diff of two model artifacts: which UI partitions changed
+// between the app builds, plus the token-cost movement. Exit 0 = identical,
+// 1 = differ, 2 = unreadable.
+int Diff(const std::string& old_path, const std::string& new_path) {
+  const dmi::ModelingOptions runtime;  // compile-time params come from the artifacts
+  support::Result<dmi::LoadedModelArtifact> old_loaded =
+      dmi::LoadModelArtifact(old_path, runtime);
+  if (!old_loaded.ok()) {
+    std::fprintf(stderr, "diff: %s\n", old_loaded.status().ToString().c_str());
+    return 2;
+  }
+  support::Result<dmi::LoadedModelArtifact> new_loaded =
+      dmi::LoadModelArtifact(new_path, runtime);
+  if (!new_loaded.ok()) {
+    std::fprintf(stderr, "diff: %s\n", new_loaded.status().ToString().c_str());
+    return 2;
+  }
+  const dmi::CompiledModel& old_model = *old_loaded->model;
+  const dmi::CompiledModel& new_model = *new_loaded->model;
+  std::printf("old: %s (%s-%s)\nnew: %s (%s-%s)\n", old_path.c_str(),
+              old_loaded->meta.app_kind.c_str(), old_loaded->meta.app_version.c_str(),
+              new_path.c_str(), new_loaded->meta.app_kind.c_str(),
+              new_loaded->meta.app_version.c_str());
+
+  const ripper::ChecksumTable& old_table = old_model.subtree_checksums();
+  const ripper::ChecksumTable& new_table = new_model.subtree_checksums();
+  const bool have_tables = !old_table.empty() && !new_table.empty();
+  bool differ = false;
+  if (!have_tables) {
+    std::printf("(pre-v2 artifact without a checksum table — partition diff unavailable, "
+                "comparing serialized topologies)\n");
+    differ = old_model.catalog().FullText() != new_model.catalog().FullText();
+  } else {
+    auto digest_of = [](const ripper::ChecksumTable& table,
+                        const std::string& key) -> unsigned long long {
+      for (const ripper::SubtreeChecksum& entry : table) {
+        if (entry.key == key) {
+          return entry.checksum;
+        }
+      }
+      return 0;
+    };
+    const ripper::ChecksumDiff diff = ripper::DiffChecksumTables(old_table, new_table);
+    for (const std::string& key : diff.changed) {
+      std::printf("  ~ %-40s %016llx -> %016llx\n", key.c_str(), digest_of(old_table, key),
+                  digest_of(new_table, key));
+    }
+    for (const std::string& key : diff.added) {
+      std::printf("  + %-40s %16s -> %016llx\n", key.c_str(), "", digest_of(new_table, key));
+    }
+    for (const std::string& key : diff.removed) {
+      std::printf("  - %-40s %016llx ->\n", key.c_str(), digest_of(old_table, key));
+    }
+    std::printf("%zu partitions: %zu changed, %zu added, %zu removed\n", new_table.size(),
+                diff.changed.size(), diff.added.size(), diff.removed.size());
+    differ = !diff.Empty();
+  }
+
+  const dmi::ModelingStats& old_stats = old_model.stats();
+  const dmi::ModelingStats& new_stats = new_model.stats();
+  auto delta = [](size_t old_value, size_t new_value) {
+    return static_cast<long long>(new_value) - static_cast<long long>(old_value);
+  };
+  std::printf("tokens: core %zu -> %zu (%+lld), full %zu -> %zu (%+lld), "
+              "static prompt %zu -> %zu (%+lld)\n",
+              old_stats.core_tokens, new_stats.core_tokens,
+              delta(old_stats.core_tokens, new_stats.core_tokens), old_stats.full_tokens,
+              new_stats.full_tokens, delta(old_stats.full_tokens, new_stats.full_tokens),
+              old_model.static_prompt_tokens(), new_model.static_prompt_tokens(),
+              delta(old_model.static_prompt_tokens(), new_model.static_prompt_tokens()));
+  differ = differ || old_stats.core_tokens != new_stats.core_tokens ||
+           old_stats.full_tokens != new_stats.full_tokens ||
+           old_model.static_prompt() != new_model.static_prompt();
+  std::printf("%s\n", differ ? "models differ" : "models identical");
+  return differ ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +162,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string app_version = "1";
   std::string inspect_path;
+  std::string diff_old;
+  std::string diff_new;
   std::string from_json;
   uint64_t threshold = topo::kDefaultExternalizeThreshold;
   int depth = desc::PruneOptions{}.max_depth;
@@ -106,6 +187,9 @@ int main(int argc, char** argv) {
       app_version = next("--app-version");
     } else if (arg == "--inspect") {
       inspect_path = next("--inspect");
+    } else if (arg == "--diff") {
+      diff_old = next("--diff");
+      diff_new = next("--diff");
     } else if (arg == "--from-json") {
       from_json = next("--from-json");
     } else if (arg == "--legacy-json") {
@@ -129,6 +213,9 @@ int main(int argc, char** argv) {
   if (!inspect_path.empty()) {
     return Inspect(inspect_path);
   }
+  if (!diff_old.empty()) {
+    return Diff(diff_old, diff_new);
+  }
 
   workload::AppKind kind;
   std::unique_ptr<gsim::Application> scratch = MakeApp(app_name, &kind);
@@ -143,6 +230,7 @@ int main(int argc, char** argv) {
 
   topo::NavGraph graph;
   ripper::RipStats rip_stats;
+  ripper::ChecksumTable checksums;  // empty on the JSON-conversion path
   if (!from_json.empty()) {
     // Conversion path: adopt a legacy JSON graph dump instead of re-ripping
     // (rip counters are unknown and stay zero in the converted artifact).
@@ -155,8 +243,13 @@ int main(int argc, char** argv) {
     graph = std::move(*loaded);
   } else {
     std::printf("ripping %s ...\n", app_name.c_str());
+    // Taken on the pristine instance: the saved artifact doubles as a
+    // delta-rip baseline (DESIGN.md §15).
+    checksums = ripper::ComputeSubtreeChecksums(*scratch);
     ripper::GuiRipper rip(*scratch, options.ripper_config);
-    graph = rip.Rip(options.contexts);
+    // Canonical layout, like the runner's pipeline: artifacts written here
+    // must line up node-for-node as delta-rip baselines.
+    graph = rip.Rip(options.contexts).Canonicalized();
     rip_stats = rip.stats();
     std::printf("  %zu controls, %zu edges | %llu clicks, %llu captures, %llu explored, "
                 "%.1f min simulated UIA time\n",
@@ -167,8 +260,8 @@ int main(int argc, char** argv) {
                 rip_stats.simulated_ms / 60000.0);
   }
 
-  std::shared_ptr<const dmi::CompiledModel> model =
-      dmi::CompiledModel::Compile(graph, options, &rip_stats);
+  std::shared_ptr<const dmi::CompiledModel> model = dmi::CompiledModel::Compile(
+      graph, options, &rip_stats, checksums.empty() ? nullptr : &checksums);
   const dmi::ModelingStats& s = model->stats();
   std::printf("pipeline: %zu back-edges removed | forest %zu nodes, %zu shared subtrees, "
               "%zu refs | core %zu nodes / %zu tokens (full %zu tokens)\n",

@@ -17,7 +17,11 @@
 # model-artifact tests (artifact_test) cover the registry: eight threads
 # Acquire the same (kind, version) concurrently — exactly one cold load,
 # everyone else memoized — plus the loader's parse-worker overlap on
-# multi-core hosts.
+# multi-core hosts. The delta tests (delta_test) exercise the live-versioning
+# path: a RefreshModel landing mid-suite while four workers resolve models,
+# lease pooled apps across the generation bump, and read the old build's
+# shared model — plus the FromParts lazy index built under concurrent
+# FindNode readers.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -27,6 +31,7 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
-    describe_test pool_test batch_test robustness_test telemetry_test artifact_test
+    describe_test pool_test batch_test robustness_test telemetry_test artifact_test \
+    delta_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort|Artifact|Registry'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort|Artifact|Registry|Delta|LazyIndex|ModelRegistrySwap|ConcurrentSwap'
