@@ -1,0 +1,284 @@
+// bench_serve_load: closed-loop load generator for the dmi_serve stack
+// (DESIGN.md §16).
+//
+// Simulates O(10k) synthetic users hammering one serve::SessionManager:
+// every user is a closed loop (submit -> wait for the verdict -> submit the
+// next request from the completion callback), users arrive by a seeded
+// Poisson process, and the request mix rotates across every task in the
+// OSWorld-W suite (all three app kinds) and a pool of tenants. All sessions
+// run over the shared substrate — one CompiledModel per kind, pooled app
+// instances, the fleet batch scheduler — with real wall-clock timing.
+//
+// Reported per scenario: sessions/sec throughput, exact p50/p99 end-to-end
+// latency, peak concurrent (queued + running) sessions, failure counts, and
+// how many failed sessions carried their flight recorder. The section is
+// folded into BENCH_perf.json as "serve_load" and gated by
+// tools/check_bench_regression.py: throughput against a floor, p99 against a
+// ceiling — the harness's first latency-ceiling gate.
+//
+// Usage:
+//   bench_serve_load [--users N] [--requests N] [--max-in-flight N] [--smoke]
+//
+// --smoke shrinks the load to a seconds-scale sanity pass and skips the
+// BENCH_perf.json write, so a ctest run can exercise the path without
+// polluting the perf gate's inputs.
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/dmi/service_config.h"
+#include "src/serve/session_manager.h"
+#include "src/support/rng.h"
+#include "src/workload/tasks.h"
+
+namespace {
+
+struct LoadResult {
+  uint64_t sessions = 0;
+  double wall_ms = 0.0;
+  double throughput_sps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t peak_outstanding = 0;
+  uint64_t failed_runs = 0;
+  uint64_t failed_with_flight = 0;
+  int64_t tokens_served = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+// One closed-loop scenario: `users` loops of `requests_per_user` sessions
+// each, all in flight against one SessionManager.
+LoadResult RunClosedLoop(serve::SessionManager& manager, int users,
+                         int requests_per_user, const std::vector<std::string>& task_ids,
+                         int tenants) {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<double> latencies;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t failed_with_flight = 0;
+  const uint64_t total =
+      static_cast<uint64_t>(users) * static_cast<uint64_t>(requests_per_user);
+  latencies.reserve(total);
+
+  // Per-user state for the closed loop. The completion callback submits the
+  // user's next request re-entrantly, so a user never has two sessions in
+  // the system at once — concurrency equals active users.
+  struct User {
+    int remaining = 0;
+    uint64_t next_seed = 0;
+    size_t task_index = 0;
+    std::string tenant;
+  };
+  std::vector<User> fleet(static_cast<size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    fleet[static_cast<size_t>(u)].remaining = requests_per_user;
+    fleet[static_cast<size_t>(u)].next_seed = static_cast<uint64_t>(u) * 7919ULL + 1;
+    fleet[static_cast<size_t>(u)].task_index = static_cast<size_t>(u) % task_ids.size();
+    fleet[static_cast<size_t>(u)].tenant =
+        "tenant" + std::to_string(u % std::max(tenants, 1));
+  }
+
+  // The submit loop (shared by the arrival pass and the callbacks).
+  std::function<void(int)> submit_for = [&](int u) {
+    User& user = fleet[static_cast<size_t>(u)];
+    serve::Request request;
+    request.request_id = static_cast<uint64_t>(u) + 1;
+    request.tenant = user.tenant;
+    request.task_id = task_ids[user.task_index];
+    request.seed = user.next_seed;
+    user.task_index = (user.task_index + task_ids.size() / 3 + 1) % task_ids.size();
+    user.next_seed = user.next_seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    --user.remaining;
+    const support::Status admitted =
+        manager.Submit(std::move(request), [&, u](serve::Response response) {
+          bool more = false;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++completed;
+            latencies.push_back(response.total_ms);
+            if (response.status.ok() && !response.result.success) {
+              ++failed;
+              if (response.result.flight != nullptr) {
+                ++failed_with_flight;
+              }
+            }
+            more = fleet[static_cast<size_t>(u)].remaining > 0;
+          }
+          if (more) {
+            submit_for(u);
+          } else {
+            done_cv.notify_all();
+          }
+        });
+    if (!admitted.ok()) {
+      // Sized never to reject; a rejection here is a bench bug worth seeing.
+      std::fprintf(stderr, "unexpected rejection: %s\n",
+                   admitted.ToString().c_str());
+      std::lock_guard<std::mutex> lock(mu);
+      ++completed;
+      done_cv.notify_all();
+    }
+  };
+
+  // Poisson arrivals: seeded exponential inter-arrival draws fix the order
+  // in which users enter the system (the virtual timeline mixes tenants and
+  // app kinds the way independent arrivals would).
+  support::Rng rng(42);
+  std::vector<std::pair<double, int>> arrivals;
+  arrivals.reserve(static_cast<size_t>(users));
+  double clock = 0.0;
+  for (int u = 0; u < users; ++u) {
+    clock += -std::log(1.0 - rng.NextDouble());
+    arrivals.emplace_back(clock, u);
+  }
+  rng.Shuffle(arrivals);  // arrival index decoupled from user index
+  std::sort(arrivals.begin(), arrivals.end());
+
+  bench::WallTimer timer;
+  for (const auto& [when, u] : arrivals) {
+    (void)when;
+    submit_for(u);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return completed >= total; });
+  }
+
+  LoadResult result;
+  result.wall_ms = timer.ElapsedMs();
+  result.sessions = total;
+  result.throughput_sps =
+      result.wall_ms > 0 ? 1000.0 * static_cast<double>(total) / result.wall_ms : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = Percentile(latencies, 0.50);
+  result.p99_ms = Percentile(latencies, 0.99);
+  const serve::SessionManager::Stats stats = manager.stats();
+  result.peak_outstanding = stats.peak_outstanding;
+  result.failed_runs = failed;
+  result.failed_with_flight = failed_with_flight;
+  result.tokens_served = stats.tokens_served;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int users = 10000;
+  int requests_per_user = 2;
+  int max_in_flight =
+      std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
+    if (arg == "--users") {
+      users = next();
+    } else if (arg == "--requests") {
+      requests_per_user = next();
+    } else if (arg == "--max-in-flight") {
+      max_in_flight = next();
+    } else if (arg == "--smoke") {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    users = std::min(users, 200);
+    requests_per_user = std::min(requests_per_user, 2);
+  }
+  if (max_in_flight <= 0) {
+    max_in_flight = 4;
+  }
+
+  bench::PrintHeader("dmi_serve closed-loop load (multi-tenant serving daemon)");
+  std::printf("users=%d, requests/user=%d, max_in_flight=%d%s\n", users,
+              requests_per_user, max_in_flight, smoke ? " [smoke]" : "");
+
+  dmi::ServiceConfig config;
+  config.policy = "none";
+  config.instability = "none";
+  config.batch_size = 8;  // exercise the fleet batch scheduler under load
+  config.max_in_flight = max_in_flight;
+  config.queue_capacity = users * requests_per_user + max_in_flight;
+  const support::Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "config: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> task_ids;
+  for (const workload::Task& task : workload::BuildOsworldWSuite()) {
+    task_ids.push_back(task.id);
+  }
+
+  serve::SessionManager manager(config);
+  manager.PrewarmModels();  // model compile/load out of the timed window
+
+  const LoadResult load =
+      RunClosedLoop(manager, users, requests_per_user, task_ids, /*tenants=*/16);
+  manager.Shutdown();
+
+  bench::PrintRule();
+  std::printf("%llu sessions in %.0f ms  ->  %.0f sessions/s\n",
+              static_cast<unsigned long long>(load.sessions), load.wall_ms,
+              load.throughput_sps);
+  std::printf("latency: p50 %.2f ms, p99 %.2f ms (end-to-end, incl. queue)\n",
+              load.p50_ms, load.p99_ms);
+  std::printf("peak concurrent sessions: %llu (target >= 1000)%s\n",
+              static_cast<unsigned long long>(load.peak_outstanding),
+              !smoke && load.peak_outstanding < 1000 ? "  [BELOW TARGET]" : "");
+  std::printf("failed runs: %llu (%llu with flight recorder attached)\n",
+              static_cast<unsigned long long>(load.failed_runs),
+              static_cast<unsigned long long>(load.failed_with_flight));
+  std::printf("tokens served: %lld\n", static_cast<long long>(load.tokens_served));
+
+  const agentsim::BatchScheduler::Stats batch = manager.runner().batch_stats();
+  std::printf("fleet batching: %llu calls in %llu batches, amortized speedup %.2fx\n",
+              static_cast<unsigned long long>(batch.calls),
+              static_cast<unsigned long long>(batch.batches), batch.AmortizedSpeedup());
+
+  if (!smoke) {
+    jsonv::Object row;
+    row["scenario"] = std::string("closed_loop");
+    row["users"] = users;
+    row["requests_per_user"] = requests_per_user;
+    row["max_in_flight"] = max_in_flight;
+    row["sessions"] = static_cast<int64_t>(load.sessions);
+    row["wall_ms"] = load.wall_ms;
+    row["throughput_sps"] = load.throughput_sps;
+    row["p50_ms"] = load.p50_ms;
+    row["p99_ms"] = load.p99_ms;
+    row["peak_outstanding"] = static_cast<int64_t>(load.peak_outstanding);
+    row["failed_runs"] = static_cast<int64_t>(load.failed_runs);
+    row["failed_with_flight"] = static_cast<int64_t>(load.failed_with_flight);
+    row["tokens_served"] = load.tokens_served;
+    jsonv::Array rows;
+    rows.push_back(jsonv::Value(std::move(row)));
+    jsonv::Object section;
+    section["load"] = jsonv::Value(std::move(rows));
+
+    bench::PerfRecorder perf;
+    perf.Set("serve_load", jsonv::Value(std::move(section)));
+    // session.* / batch.* / app_pool.* labeled telemetry rides along in the
+    // shared metrics section.
+    perf.SetMetricsSnapshot();
+    perf.Write();
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "src/agent/service_adapter.h"
+
+#include <cassert>
+
+namespace agentsim {
+namespace {
+
+gsim::InstabilityConfig InstabilityByName(const std::string& name) {
+  if (name == "none") {
+    return gsim::InstabilityConfig::None();
+  }
+  if (name == "harsh") {
+    return gsim::InstabilityConfig::Harsh();
+  }
+  if (name == "hostile") {
+    return gsim::InstabilityConfig::Hostile();
+  }
+  return gsim::InstabilityConfig::Typical();
+}
+
+dmi::Policy PolicyByName(const std::string& name) {
+  if (name == "none") {
+    return dmi::Policy::None();
+  }
+  if (name == "harsh") {
+    return dmi::Policy::Harsh();
+  }
+  if (name == "hostile") {
+    return dmi::Policy::Hostile();
+  }
+  return dmi::Policy::Typical();
+}
+
+}  // namespace
+
+RunConfig RunConfigFromService(const dmi::ServiceConfig& config) {
+  assert(config.Validate().ok() && "RunConfigFromService on unvalidated config");
+  RunConfig run;
+  if (config.mode == "gui") {
+    run.mode = InterfaceMode::kGuiOnly;
+  } else if (config.mode == "forest") {
+    run.mode = InterfaceMode::kGuiOnlyForest;
+  } else {
+    run.mode = InterfaceMode::kGuiPlusDmi;
+  }
+  if (config.model == "gpt5min") {
+    run.profile = LlmProfile::Gpt5Minimal();
+  } else if (config.model == "mini") {
+    run.profile = LlmProfile::Gpt5MiniMedium();
+  } else {
+    run.profile = LlmProfile::Gpt5Medium();
+  }
+  run.seed = config.seed;
+  run.repeats = config.repeats;
+  run.step_cap = config.step_cap;
+  run.workers = config.workers;
+  run.pool_apps = config.pool_apps;
+  run.capture_report_json = config.capture_report_json;
+  run.flight_recorder_events = static_cast<size_t>(config.flight_recorder_events);
+  if (!config.policy.empty()) {
+    run.ApplyPolicy(PolicyByName(config.policy));
+  }
+  if (!config.instability.empty()) {
+    // Hazard-level override layered after the preset, mirroring the CLI
+    // contract: --policy adopts the whole posture, --instability afterwards
+    // overrides just the injector level.
+    run.instability = InstabilityByName(config.instability);
+  }
+  if (config.batch_size > 0) {
+    run.batch.enabled = true;
+    run.batch.max_batch_size = static_cast<size_t>(config.batch_size);
+  }
+  return run;
+}
+
+}  // namespace agentsim

@@ -1,0 +1,23 @@
+// The legacy-RunConfig adapter for dmi::ServiceConfig (DESIGN.md §16).
+//
+// ServiceConfig is the one validated configuration surface; RunConfig is the
+// agent layer's working view of it. Front ends (dmi_run, dmi_serve) parse
+// into a ServiceConfig, Validate() it once, and call RunConfigFromService to
+// project the per-run view out — mode/model names become enums, the policy
+// preset is applied wholesale (ApplyPolicy), and the instability override is
+// layered on top, exactly the order dmi_run's historical flag handling used.
+#ifndef SRC_AGENT_SERVICE_ADAPTER_H_
+#define SRC_AGENT_SERVICE_ADAPTER_H_
+
+#include "src/agent/task_runner.h"
+#include "src/dmi/service_config.h"
+
+namespace agentsim {
+
+// Precondition: config.Validate().ok(). Every name has been vetted, so the
+// mapping is total and cannot fail.
+RunConfig RunConfigFromService(const dmi::ServiceConfig& config);
+
+}  // namespace agentsim
+
+#endif  // SRC_AGENT_SERVICE_ADAPTER_H_

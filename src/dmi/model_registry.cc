@@ -42,12 +42,19 @@ support::Result<std::shared_ptr<const CompiledModel>> ModelRegistry::Acquire(
     if (loaded.status().code() != support::StatusCode::kNotFound) {
       // A present-but-unusable artifact is worth a log line — it means a
       // stale or corrupt store — but never blocks the run: the compile
-      // fallback rebuilds and the save-through replaces it.
+      // fallback rebuilds and the save-through replaces it. The line is
+      // emitted once per (kind, version): when the compile fallback also
+      // fails (read-only store, broken pipeline), every session re-enters
+      // this path, and a serving daemon would otherwise spam one warning per
+      // admitted session for the same broken artifact.
       ++stats_.load_errors;
       support::CountMetric("registry.load_errors");
-      support::LogMessage(support::LogLevel::kWarning,
-                          "registry: artifact rejected, recompiling: " +
-                              loaded.status().ToString());
+      if (load_error_logged_.insert(key).second) {
+        ++stats_.load_errors_logged;
+        support::LogMessage(support::LogLevel::kWarning,
+                            "registry: artifact rejected, recompiling: " +
+                                loaded.status().ToString());
+      }
     }
   }
 

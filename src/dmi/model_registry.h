@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -111,6 +112,10 @@ class ModelRegistry {
     // endianness, ...). Each falls back to a compile; the artifact is left
     // in place for inspection and overwritten by the save-through.
     uint64_t load_errors = 0;
+    // Warning lines actually emitted for those rejections — at most one per
+    // (kind, version), however many sessions re-trip the same broken
+    // artifact (regression-tested in tests/artifact_test.cc).
+    uint64_t load_errors_logged = 0;
     // Live version swaps (Refresh calls that ran the remodel callback).
     uint64_t delta_rips = 0;
     // Baseline nodes the delta ripper spliced unchanged across all swaps.
@@ -130,6 +135,8 @@ class ModelRegistry {
   // Latest published version per kind: set by the first Acquire of a kind
   // and advanced by every Refresh. Prune keeps only this version.
   std::map<std::string, std::string> latest_;
+  // Keys whose artifact-rejection warning has already been emitted.
+  std::set<std::pair<std::string, std::string>> load_error_logged_;
   support::FlightRecorder* flight_ = nullptr;  // borrowed; may be null
   Stats stats_;
 };

@@ -1,0 +1,187 @@
+#include "src/dmi/service_config.h"
+
+#include <cstdlib>
+
+namespace dmi {
+namespace {
+
+bool ParseInt(const std::string& value, int* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseInt64(const std::string& value, int64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+bool ParseUint64(const std::string& value, uint64_t* out) {
+  if (value.empty() || value[0] == '-') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value == "on") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+support::Status BadValue(const std::string& flag, const std::string& value) {
+  return support::InvalidArgumentError("flag " + flag + ": bad value '" + value + "'");
+}
+
+bool OneOf(const std::string& value, std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    if (value == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ServiceConfig::ApplyFlag(const std::string& flag, const std::string& value,
+                              support::Status* error) {
+  *error = support::Status::Ok();
+  if (flag == "--mode") {
+    mode = value;
+  } else if (flag == "--model") {
+    model = value;
+  } else if (flag == "--policy") {
+    policy = value;
+  } else if (flag == "--instability") {
+    instability = value;
+  } else if (flag == "--seed") {
+    if (!ParseUint64(value, &seed)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--repeats") {
+    if (!ParseInt(value, &repeats)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--step-cap") {
+    if (!ParseInt(value, &step_cap)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--workers") {
+    if (!ParseInt(value, &workers)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--batch") {
+    if (!ParseInt(value, &batch_size)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--pool-apps") {
+    if (!ParseBool(value, &pool_apps)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--model-dir") {
+    model_dir = value;
+  } else if (flag == "--app-version") {
+    app_version = value;
+  } else if (flag == "--flight-recorder") {
+    if (!ParseInt(value, &flight_recorder_events)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--max-in-flight") {
+    if (!ParseInt(value, &max_in_flight)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--queue") {
+    if (!ParseInt(value, &queue_capacity)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--tenant-concurrent") {
+    if (!ParseInt(value, &tenant_max_concurrent)) {
+      *error = BadValue(flag, value);
+    }
+  } else if (flag == "--tenant-tokens") {
+    if (!ParseInt64(value, &tenant_token_budget)) {
+      *error = BadValue(flag, value);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+support::Status ServiceConfig::Validate() const {
+  if (!OneOf(mode, {"gui", "forest", "dmi"})) {
+    return support::InvalidArgumentError("mode: '" + mode +
+                                         "' is not one of gui|forest|dmi");
+  }
+  if (!OneOf(model, {"gpt5", "gpt5min", "mini"})) {
+    return support::InvalidArgumentError("model: '" + model +
+                                         "' is not one of gpt5|gpt5min|mini");
+  }
+  if (!policy.empty() && !OneOf(policy, {"none", "typical", "harsh", "hostile"})) {
+    return support::InvalidArgumentError(
+        "policy: '" + policy + "' is not one of none|typical|harsh|hostile");
+  }
+  if (!instability.empty() &&
+      !OneOf(instability, {"none", "typical", "harsh", "hostile"})) {
+    return support::InvalidArgumentError(
+        "instability: '" + instability + "' is not one of none|typical|harsh|hostile");
+  }
+  if (repeats <= 0) {
+    return support::InvalidArgumentError("repeats: must be positive");
+  }
+  if (step_cap <= 0) {
+    return support::InvalidArgumentError("step_cap: must be positive");
+  }
+  if (workers < 0) {
+    return support::InvalidArgumentError("workers: must be >= 0 (0 = hardware threads)");
+  }
+  if (batch_size < 0) {
+    return support::InvalidArgumentError("batch_size: must be >= 0 (0 = batching off)");
+  }
+  if (flight_recorder_events < 0) {
+    return support::InvalidArgumentError("flight_recorder_events: must be >= 0");
+  }
+  if (max_in_flight <= 0) {
+    return support::InvalidArgumentError("max_in_flight: must be positive");
+  }
+  if (queue_capacity < 0) {
+    return support::InvalidArgumentError("queue_capacity: must be >= 0");
+  }
+  if (tenant_max_concurrent < 0) {
+    return support::InvalidArgumentError("tenant_max_concurrent: must be >= 0");
+  }
+  if (tenant_token_budget < 0) {
+    return support::InvalidArgumentError("tenant_token_budget: must be >= 0");
+  }
+  return support::Status::Ok();
+}
+
+}  // namespace dmi

@@ -1,0 +1,86 @@
+// dmi::ServiceConfig: the one validated configuration surface for every
+// DMI front end (DESIGN.md §16).
+//
+// Historically each binary grew its own knob set: dmi_run accreted a dozen
+// flags that it hand-mapped onto agentsim::RunConfig, dmi::Policy presets
+// were applied imperatively, and the batching/worker/model-dir switches lived
+// only in flag-parsing code. ServiceConfig consolidates all of it into one
+// struct with one Validate(): both `dmi_run` and `dmi_serve` parse their
+// command lines into a ServiceConfig (ApplyFlag handles the shared flag
+// vocabulary), validate once, and hand the result to the agent layer, where
+// agentsim::RunConfigFromService projects the legacy RunConfig view out of
+// it. RunConfig itself is kept as that thin adapter target — new knobs land
+// here first (see the deprecation note in DESIGN.md §16).
+//
+// The struct deliberately stores names (mode/model/policy presets) as
+// validated strings rather than agent-layer enums so dmi_core stays
+// independent of src/agent; Validate() is the single authority on the legal
+// vocabulary and returns typed support::Status values (kInvalidArgument with
+// the offending flag named) instead of exiting mid-parse.
+#ifndef SRC_DMI_SERVICE_CONFIG_H_
+#define SRC_DMI_SERVICE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/status.h"
+
+namespace dmi {
+
+struct ServiceConfig {
+  // ----- interface / model ---------------------------------------------------
+  std::string mode = "dmi";    // gui | forest | dmi
+  std::string model = "gpt5";  // gpt5 | gpt5min | mini
+
+  // ----- robustness policy ---------------------------------------------------
+  // Preset name ("", none, typical, harsh, hostile). Empty = Typical
+  // instability with no retry schedule (the legacy default posture).
+  std::string policy;
+  // Hazard-level override applied after the policy preset ("" = keep the
+  // preset's level): none | typical | harsh | hostile.
+  std::string instability;
+
+  // ----- run shape -----------------------------------------------------------
+  uint64_t seed = 1;
+  int repeats = 3;
+  int step_cap = 30;
+
+  // ----- fleet / perf knobs --------------------------------------------------
+  int workers = 1;     // suite worker threads; 0 = one per hardware thread
+  int batch_size = 0;  // fleet batching max batch size; 0 = batching off
+  bool pool_apps = true;
+
+  // ----- model store ---------------------------------------------------------
+  std::string model_dir;  // empty = no artifact store
+  std::string app_version = "1";
+
+  // ----- telemetry -----------------------------------------------------------
+  int flight_recorder_events = 128;  // 0 disables the per-run recorder
+  bool capture_report_json = false;
+
+  // ----- serving knobs (dmi_serve only; ignored by batch front ends) ---------
+  int max_in_flight = 4;     // concurrent sessions actually running
+  int queue_capacity = 256;  // admitted-but-waiting sessions
+  // Default per-tenant quotas applied to tenants without an explicit entry.
+  // 0 = unlimited.
+  int tenant_max_concurrent = 0;
+  int64_t tenant_token_budget = 0;
+
+  // Consumes one "--flag value" pair of the shared vocabulary. Returns false
+  // when the flag is not a ServiceConfig flag (the caller then tries its
+  // binary-local flags); returns true with *error set to a non-OK status when
+  // the flag is recognized but the value is malformed. Vocabulary errors in
+  // enum-like values (mode/model/policy names) are deferred to Validate() so
+  // there is exactly one authority on legal names.
+  bool ApplyFlag(const std::string& flag, const std::string& value,
+                 support::Status* error);
+
+  // Typed whole-config validation: kInvalidArgument naming the offending
+  // field for vocabulary and range errors. Both binaries call this once after
+  // parsing; everything downstream may assume a validated config.
+  support::Status Validate() const;
+};
+
+}  // namespace dmi
+
+#endif  // SRC_DMI_SERVICE_CONFIG_H_

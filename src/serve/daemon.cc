@@ -1,0 +1,121 @@
+#include "src/serve/daemon.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/serve/report_schema.h"
+#include "src/serve/wire.h"
+
+namespace serve {
+namespace {
+
+// Shared by the reader thread (inline rejections) and the manager's worker
+// threads (completion callbacks): serializes response frames onto `out` and
+// counts down the in-flight sessions the loop still owes.
+class ResponseWriter {
+ public:
+  explicit ResponseWriter(std::FILE* out) : out_(out) {}
+
+  support::Status Write(const Response& response) {
+    const std::string payload = ResponseJson(response).Dump();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++written_;
+    return WriteFrame(out_, payload);
+  }
+
+  void AddPending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+
+  void FinishPending(const Response& response) {
+    const std::string payload = ResponseJson(response).Dump();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++written_;
+    (void)WriteFrame(out_, payload);  // transport loss surfaces at loop exit
+    --pending_;
+    drained_cv_.notify_all();
+  }
+
+  void WaitForDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  uint64_t written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return written_;
+  }
+
+ private:
+  std::FILE* out_;
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  uint64_t pending_ = 0;
+  uint64_t written_ = 0;
+};
+
+Response ErrorResponse(const Request& request, support::Status status) {
+  Response response;
+  response.request_id = request.request_id;
+  response.tenant = request.tenant;
+  response.task_id = request.task_id;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+support::Result<ServeLoopStats> ServeLoop(std::FILE* in, std::FILE* out,
+                                          SessionManager& manager) {
+  ServeLoopStats stats;
+  ResponseWriter writer(out);
+  support::Status transport = support::Status::Ok();
+  for (;;) {
+    support::Result<std::optional<std::string>> frame = ReadFrame(in);
+    if (!frame.ok()) {
+      transport = frame.status();
+      break;
+    }
+    if (!frame->has_value()) {
+      break;  // clean EOF: client is done sending
+    }
+    ++stats.frames_read;
+    support::Result<Request> parsed = ParseRequest(**frame);
+    if (!parsed.ok()) {
+      ++stats.parse_errors;
+      const support::Status wrote = writer.Write(ErrorResponse(Request{}, parsed.status()));
+      if (!wrote.ok()) {
+        transport = wrote;
+        break;
+      }
+      continue;
+    }
+    Request request = std::move(*parsed);
+    const Request echo = request;  // Submit consumes the request
+    writer.AddPending();
+    const support::Status admitted =
+        manager.Submit(std::move(request), [&writer](Response response) {
+          writer.FinishPending(std::move(response));
+        });
+    if (!admitted.ok()) {
+      ++stats.rejected;
+      // Never admitted, so the callback never fires: settle the pending slot
+      // with an in-band rejection frame.
+      writer.FinishPending(ErrorResponse(echo, admitted));
+    }
+  }
+  // Every admitted session still owes a response frame; the manager keeps
+  // running them while we wait here.
+  writer.WaitForDrain();
+  stats.responses_written = writer.written();
+  if (!transport.ok()) {
+    return transport;
+  }
+  return stats;
+}
+
+}  // namespace serve

@@ -1,0 +1,46 @@
+// serve::ServeLoop — the dmi_serve transport loop (DESIGN.md §16).
+//
+// Speaks the length-prefixed frame protocol (src/serve/wire.h) over a pair
+// of stdio streams: each inbound frame is one serve::Request JSON, each
+// outbound frame one serve::Response JSON. Requests are submitted to the
+// SessionManager as they arrive, so many sessions are in flight at once and
+// responses stream back in completion order — callers correlate by
+// request_id, not position.
+//
+// Error handling is in-band and typed: a frame that fails to parse, or a
+// request the manager rejects (unknown task, queue full, quota spent),
+// produces a Response frame whose `status` carries the typed error; the loop
+// itself only fails on transport damage (truncated frame, write error).
+//
+// On clean EOF the loop waits for every in-flight session to deliver its
+// response before returning — closing the request pipe is the client's
+// graceful-drain signal. Tests drive this loop directly over tmpfile()
+// streams; dmi_serve wires it to stdin/stdout.
+#ifndef SRC_SERVE_DAEMON_H_
+#define SRC_SERVE_DAEMON_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/serve/session_manager.h"
+#include "src/support/status.h"
+
+namespace serve {
+
+struct ServeLoopStats {
+  uint64_t frames_read = 0;       // well-formed frames decoded
+  uint64_t parse_errors = 0;      // frames whose payload failed ParseRequest
+  uint64_t rejected = 0;          // requests the manager refused (typed)
+  uint64_t responses_written = 0; // every frame written back (incl. errors)
+};
+
+// Runs the frame loop until EOF on `in` or a transport error. Every response
+// the manager owes has been written to `out` when this returns. Returns the
+// loop stats, or a typed error on transport damage (after draining what was
+// already in flight).
+support::Result<ServeLoopStats> ServeLoop(std::FILE* in, std::FILE* out,
+                                          SessionManager& manager);
+
+}  // namespace serve
+
+#endif  // SRC_SERVE_DAEMON_H_

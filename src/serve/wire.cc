@@ -1,0 +1,87 @@
+#include "src/serve/wire.h"
+
+#include <cstring>
+
+namespace serve {
+namespace {
+
+void EncodeLength(uint32_t n, char out[4]) {
+  out[0] = static_cast<char>(n & 0xff);
+  out[1] = static_cast<char>((n >> 8) & 0xff);
+  out[2] = static_cast<char>((n >> 16) & 0xff);
+  out[3] = static_cast<char>((n >> 24) & 0xff);
+}
+
+uint32_t DecodeLength(const char in[4]) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+}  // namespace
+
+void AppendFrame(std::string& out, std::string_view payload) {
+  char prefix[4];
+  EncodeLength(static_cast<uint32_t>(payload.size()), prefix);
+  out.append(prefix, 4);
+  out.append(payload.data(), payload.size());
+}
+
+support::Result<std::optional<std::string>> DecodeFrame(std::string_view buffer,
+                                                        size_t* offset) {
+  if (buffer.size() - *offset < 4) {
+    return std::optional<std::string>();
+  }
+  const uint32_t length = DecodeLength(buffer.data() + *offset);
+  if (length > kMaxFramePayload) {
+    return support::InvalidArgumentError("frame payload length " +
+                                         std::to_string(length) + " exceeds limit");
+  }
+  if (buffer.size() - *offset - 4 < length) {
+    return std::optional<std::string>();
+  }
+  std::string payload(buffer.substr(*offset + 4, length));
+  *offset += 4 + static_cast<size_t>(length);
+  return std::optional<std::string>(std::move(payload));
+}
+
+support::Result<std::optional<std::string>> ReadFrame(std::FILE* in) {
+  char prefix[4];
+  const size_t got = std::fread(prefix, 1, 4, in);
+  if (got == 0 && std::feof(in)) {
+    return std::optional<std::string>();  // clean EOF between frames
+  }
+  if (got < 4) {
+    if (std::ferror(in)) {
+      return support::UnavailableError("frame read error");
+    }
+    return support::InvalidArgumentError("truncated frame length prefix");
+  }
+  const uint32_t length = DecodeLength(prefix);
+  if (length > kMaxFramePayload) {
+    return support::InvalidArgumentError("frame payload length " +
+                                         std::to_string(length) + " exceeds limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && std::fread(payload.data(), 1, length, in) != length) {
+    if (std::ferror(in)) {
+      return support::UnavailableError("frame read error");
+    }
+    return support::InvalidArgumentError("truncated frame payload");
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+support::Status WriteFrame(std::FILE* out, std::string_view payload) {
+  char prefix[4];
+  EncodeLength(static_cast<uint32_t>(payload.size()), prefix);
+  if (std::fwrite(prefix, 1, 4, out) != 4 ||
+      std::fwrite(payload.data(), 1, payload.size(), out) != payload.size() ||
+      std::fflush(out) != 0) {
+    return support::UnavailableError("frame write error");
+  }
+  return support::Status::Ok();
+}
+
+}  // namespace serve

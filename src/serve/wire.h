@@ -1,0 +1,46 @@
+// Length-prefixed framing for the dmi_serve wire protocol (DESIGN.md §16).
+//
+// One frame = a 4-byte little-endian payload length followed by the payload
+// bytes (a UTF-8 JSON document). The framing is transport-agnostic: the
+// daemon speaks it over a stdio pipe (drivable from tests and scripts with
+// nothing but read/write), and the same codec works over any byte stream.
+// 4 bytes bounds a frame at 4 GiB; ReadFrame additionally enforces
+// kMaxFramePayload so a corrupt length prefix cannot trigger a giant
+// allocation.
+#ifndef SRC_SERVE_WIRE_H_
+#define SRC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/support/status.h"
+
+namespace serve {
+
+// Upper bound on a single frame payload (64 MiB) — far above any real
+// request/response, far below an OOM.
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+// Appends one encoded frame (length prefix + payload) to `out`.
+void AppendFrame(std::string& out, std::string_view payload);
+
+// Decodes the frame starting at `*offset` in `buffer`, advancing *offset past
+// it. Returns nullopt when the buffer holds only a partial frame (read more
+// and retry); a non-OK status when the prefix is malformed (oversized
+// length).
+support::Result<std::optional<std::string>> DecodeFrame(std::string_view buffer,
+                                                        size_t* offset);
+
+// Blocking stream variants used by the daemon loop. ReadFrame returns
+// nullopt on clean EOF (no partial prefix), kInvalidArgument on a truncated
+// or oversized frame, kUnavailable on a read error. WriteFrame flushes so a
+// pipe peer sees the response without buffering games.
+support::Result<std::optional<std::string>> ReadFrame(std::FILE* in);
+support::Status WriteFrame(std::FILE* out, std::string_view payload);
+
+}  // namespace serve
+
+#endif  // SRC_SERVE_WIRE_H_

@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kDeadlineExceeded,// retry budget exhausted
   kInternal,        // invariant violation inside the executor
   kUnimplemented,
+  kResourceExhausted, // admission refused: queue full, quota spent
+  kCancelled,         // admitted work dropped before running (drain)
 };
 
 // Human-readable name for a status code ("NOT_FOUND", ...).
@@ -147,6 +149,12 @@ inline Status InternalError(std::string msg) {
 }
 inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK Status. Minimal expected<T, Status>.

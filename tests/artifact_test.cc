@@ -307,6 +307,35 @@ TEST(RegistryTest, CorruptArtifactFallsBackAndHeals) {
   EXPECT_TRUE(healed.ok()) << healed.status().ToString();
 }
 
+TEST(RegistryTest, CorruptArtifactWarningLoggedOncePerKey) {
+  const std::string dir = TempPath("registry_store_logmemo");
+  std::filesystem::create_directories(dir);
+  std::string bytes = WordArtifactBytes();
+  bytes[bytes.size() / 3] ^= 0x10;
+  ASSERT_TRUE(support::WriteFileBytes(dir + "/WordSim-1.dmim", bytes).ok());
+
+  // Failing compile fallback ≈ broken pipeline behind a corrupt store: the
+  // memo never populates, so every Acquire re-reads and re-rejects the same
+  // artifact. Each rejection counts, but only the first may log — a serving
+  // daemon admits thousands of sessions against one registry and must not
+  // emit one warning line per session for the same broken artifact.
+  auto broken_compile = []() -> support::Result<std::shared_ptr<const dmi::CompiledModel>> {
+    return support::UnavailableError("pipeline down");
+  };
+  dmi::ModelRegistry registry(dir);
+  EXPECT_FALSE(registry.Acquire("WordSim", "1", WordOptions(), broken_compile).ok());
+  EXPECT_FALSE(registry.Acquire("WordSim", "1", WordOptions(), broken_compile).ok());
+  EXPECT_EQ(registry.stats().load_errors, 2u);
+  EXPECT_EQ(registry.stats().load_errors_logged, 1u);
+
+  // A different version of the same kind is a different brokenness: it gets
+  // its own (single) warning.
+  ASSERT_TRUE(support::WriteFileBytes(dir + "/WordSim-2.dmim", bytes).ok());
+  EXPECT_FALSE(registry.Acquire("WordSim", "2", WordOptions(), broken_compile).ok());
+  EXPECT_EQ(registry.stats().load_errors, 3u);
+  EXPECT_EQ(registry.stats().load_errors_logged, 2u);
+}
+
 TEST(RegistryTest, ConcurrentAcquireSharesOneModel) {
   const std::string dir = TempPath("registry_store_c");
   std::filesystem::create_directories(dir);

@@ -2,15 +2,21 @@
 """Fails when a gated metric in BENCH_perf.json regresses >20% vs baseline.
 
 The perf harness (bench_micro_capture, bench_micro_describe, bench_micro_batch,
-...) folds derived rates into BENCH_perf.json; that file is a build artifact
-and never committed. The committed reference is bench/BENCH_baseline.json:
-conservative floor values set below typical measurements (wall-clock speedups
-are machine-dependent; the batching/residency gates are deterministic) but far
-above the failure mode a regression produces (a lost cache collapses a speedup
-to ~1x; batching degenerating to serial collapses the amortized speedup to
-~1x). A measured value below baseline * (1 - tolerance) fails the check.
+bench_serve_load, ...) folds derived rates into BENCH_perf.json; that file is a
+build artifact and never committed. The committed reference is
+bench/BENCH_baseline.json: conservative values set with margin vs typical
+measurements (wall-clock speedups are machine-dependent; the
+batching/residency gates are deterministic) but far from the failure mode a
+regression produces (a lost cache collapses a speedup to ~1x; batching
+degenerating to serial collapses the amortized speedup to ~1x; a serialized
+admission path multiplies serving tail latency).
 
-The observed-vs-floor table is printed on pass AND fail, so CI logs always
+Each gate has a direction. "floor" gates (the default — speedups, rates,
+throughput) fail when the measured value drops below
+baseline * (1 - tolerance). "ceiling" gates (latencies, e.g. the serve_load
+p99) fail when the value rises above baseline * (1 + tolerance).
+
+The observed-vs-bound table is printed on pass AND fail, so CI logs always
 show how much headroom each gate has left.
 
 Exit codes: 0 pass, 1 regression, 77 skip (inputs missing — e.g. the benches
@@ -23,10 +29,11 @@ Usage:
                                   [--update-floors] [--headroom 0.20]
 
 --update-floors rewrites the baseline: every covered metric present in the
-perf results is floored at observed * (1 - headroom), rounded to 3 significant
-digits. Rows/metrics absent from the perf results are left untouched. Run the
-full micro-bench harness first, eyeball the diff, and commit it deliberately —
-the mode exists to make intentional re-floors easy, not automatic.
+perf results is re-bounded at observed * (1 - headroom) (floors) or
+observed * (1 + headroom) (ceilings), rounded to 3 significant digits.
+Rows/metrics absent from the perf results are left untouched. Run the full
+micro-bench harness first, eyeball the diff, and commit it deliberately — the
+mode exists to make intentional re-floors easy, not automatic.
 """
 
 import argparse
@@ -37,7 +44,9 @@ import sys
 
 SKIP = 77
 
-# (section, rows key, row id key, metric) tuples covered by the check.
+# (section, rows key, row id key, metric[, direction]) tuples covered by the
+# check. direction defaults to "floor" (higher is better); "ceiling" gates
+# latency-style metrics where lower is better.
 CHECKS = [
     ("micro_capture", "lookup", "app", "warm_find_speedup"),
     ("micro_describe", "describe", "app", "warm_full_speedup"),
@@ -52,7 +61,17 @@ CHECKS = [
     ("micro_telemetry", "tracing", "case", "disabled_span_mops"),
     ("micro_telemetry", "tracing", "case", "traced_speedup"),
     ("ablation_faults", "levels", "level", "success_rate"),
+    ("serve_load", "load", "scenario", "throughput_sps"),
+    ("serve_load", "load", "scenario", "p99_ms", "ceiling"),
 ]
+
+
+def normalize_check(check):
+    """Expands a CHECKS tuple to (section, rows_key, id_key, metric, direction)."""
+    if len(check) == 5:
+        return check
+    section, rows_key, id_key, metric = check
+    return section, rows_key, id_key, metric, "floor"
 
 
 def load_json(path, label):
@@ -85,9 +104,10 @@ def round_sig(value, digits=3):
 
 
 def update_floors(perf, baseline, baseline_path, headroom):
-    """Rewrites baseline floors to observed * (1 - headroom) for covered metrics."""
+    """Re-bounds the baseline from observed values (floors down, ceilings up)."""
     updated = 0
-    for section, rows_key, id_key, metric in CHECKS:
+    for check in CHECKS:
+        section, rows_key, id_key, metric, direction = normalize_check(check)
         base_rows = rows_by_id(baseline, section, rows_key, id_key)
         cur_rows = rows_by_id(perf, section, rows_key, id_key)
         if base_rows is None or cur_rows is None:
@@ -98,12 +118,13 @@ def update_floors(perf, baseline, baseline_path, headroom):
             cur_row = cur_rows.get(row_id)
             if cur_row is None or metric not in cur_row:
                 continue
-            new_floor = round_sig(float(cur_row[metric]) * (1.0 - headroom))
-            if new_floor != base_row[metric]:
+            margin = -headroom if direction == "floor" else headroom
+            new_bound = round_sig(float(cur_row[metric]) * (1.0 + margin))
+            if new_bound != base_row[metric]:
                 print(f"  {section}/{row_id}/{metric}: "
-                      f"{base_row[metric]} -> {new_floor} "
-                      f"(observed {float(cur_row[metric]):.1f})")
-                base_row[metric] = new_floor
+                      f"{base_row[metric]} -> {new_bound} "
+                      f"(observed {float(cur_row[metric]):.1f}, {direction})")
+                base_row[metric] = new_bound
                 updated += 1
     if updated == 0:
         print("no floors changed")
@@ -136,13 +157,14 @@ def main():
     if args.update_floors:
         return update_floors(perf, baseline, args.baseline, args.headroom)
 
-    header = f"  {'metric':<52} {'observed':>10} {'baseline':>10} {'floor':>10}  verdict"
+    header = f"  {'metric':<52} {'observed':>10} {'baseline':>10} {'bound':>10}  verdict"
     print(header)
     print("  " + "-" * (len(header) - 2))
     failures = []
     compared = 0
     skipped_sections = set()
-    for section, rows_key, id_key, metric in CHECKS:
+    for check in CHECKS:
+        section, rows_key, id_key, metric, direction = normalize_check(check)
         base_rows = rows_by_id(baseline, section, rows_key, id_key)
         cur_rows = rows_by_id(perf, section, rows_key, id_key)
         if base_rows is None:
@@ -153,21 +175,26 @@ def main():
         for row_id, base_row in sorted(base_rows.items(), key=lambda kv: str(kv[0])):
             if metric not in base_row:
                 continue
-            floor = float(base_row[metric]) * (1.0 - args.tolerance)
+            if direction == "floor":
+                bound = float(base_row[metric]) * (1.0 - args.tolerance)
+            else:
+                bound = float(base_row[metric]) * (1.0 + args.tolerance)
             cur_row = cur_rows.get(row_id)
             name = f"{section}/{row_id}/{metric}"
             if cur_row is None or metric not in cur_row:
                 failures.append(f"{name}: missing from perf results")
                 print(f"  {name:<52} {'--':>10} {float(base_row[metric]):>10.1f} "
-                      f"{floor:>10.1f}  MISSING")
+                      f"{bound:>10.1f}  MISSING")
                 continue
             value = float(cur_row[metric])
             compared += 1
-            verdict = "ok" if value >= floor else "REGRESSION"
+            ok = value >= bound if direction == "floor" else value <= bound
+            verdict = "ok" if ok else "REGRESSION"
             print(f"  {name:<52} {value:>10.1f} {float(base_row[metric]):>10.1f} "
-                  f"{floor:>10.1f}  {verdict}")
-            if value < floor:
-                failures.append(f"{name}: {value:.1f} < floor {floor:.1f}")
+                  f"{bound:>10.1f}  {verdict}")
+            if not ok:
+                op = "<" if direction == "floor" else ">"
+                failures.append(f"{name}: {value:.1f} {op} {direction} {bound:.1f}")
 
     for section in sorted(skipped_sections):
         print(f"[note] section '{section}' absent from {args.perf} (bench not run)")

@@ -6,12 +6,17 @@
 //
 // Usage:
 //   dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
-//           [--task W3] [--repeats 3] [--seed 1]
-//           [--workers N] [--batch N]
+//           [--task W3] [--repeats 3] [--seed 1] [--step-cap 30]
+//           [--workers N] [--batch N] [--pool-apps true|false]
 //           [--instability none|typical|harsh|hostile]
 //           [--policy none|typical|harsh|hostile]
 //           [--report-json out.report.json]
 //           [--trace out.trace.json] [--metrics out.metrics.json]
+//
+// Every shared knob parses through dmi::ServiceConfig — the same validated
+// configuration surface dmi_serve uses — and is projected onto the legacy
+// agentsim::RunConfig via agentsim::RunConfigFromService (DESIGN.md §16).
+// Binary-local flags (--task, the export paths) stay here.
 //
 // --trace enables span recording and writes a Chrome-trace JSON (load it in
 // chrome://tracing or https://ui.perfetto.dev); a path ending in .jsonl gets
@@ -20,9 +25,10 @@
 //
 // --policy adopts a full dmi::Policy preset (instability + typed retry
 // schedules + per-run deadline); --instability afterwards overrides just the
-// hazard level. --report-json writes a machine-readable suite report: every
-// run's terminal status with its structured ErrorDetail payload plus the
-// RenderJson() of its last visit report (DESIGN.md §11).
+// hazard level. --report-json writes the machine-readable suite report in the
+// shared serve::ReportSchema shape (schema_version 1): every run's terminal
+// status with its structured ErrorDetail payload plus the RenderJson() of its
+// last visit report (DESIGN.md §11, §16).
 //
 // --workers N runs the suite on N concurrent worker threads (0 = one per
 // hardware thread); --batch N additionally enables fleet-scale inference
@@ -34,9 +40,11 @@
 #include <cstring>
 #include <string>
 
+#include "src/agent/service_adapter.h"
 #include "src/agent/task_runner.h"
-#include "src/dmi/policy.h"
+#include "src/dmi/service_config.h"
 #include "src/json/json.h"
+#include "src/serve/report_schema.h"
 #include "src/support/trace.h"
 #include "src/support/trace_export.h"
 
@@ -45,93 +53,13 @@ namespace {
 void Usage() {
   std::printf(
       "usage: dmi_run [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
-      "               [--task <id>] [--repeats N] [--seed N]\n"
-      "               [--workers N] [--batch N]\n"
+      "               [--task <id>] [--repeats N] [--seed N] [--step-cap N]\n"
+      "               [--workers N] [--batch N] [--pool-apps true|false]\n"
       "               [--instability none|typical|harsh|hostile]\n"
       "               [--policy none|typical|harsh|hostile]\n"
       "               [--report-json <out.json>]\n"
       "               [--trace <out.trace.json|out.jsonl>] [--metrics <out.json>]\n"
       "               [--model-dir <dir>] [--app-version V]\n");
-}
-
-jsonv::Value StatusToJson(const support::Status& status) {
-  jsonv::Object obj;
-  obj["code"] = support::StatusCodeName(status.code());
-  obj["message"] = status.message();
-  if (status.has_detail()) {
-    const support::ErrorDetail& d = status.detail();
-    jsonv::Object detail;
-    detail["control_id"] = d.control_id;
-    detail["control_name"] = d.control_name;
-    detail["required_pattern"] = d.required_pattern;
-    detail["retryable"] = d.retryable;
-    detail["attempts"] = d.attempts;
-    detail["backoff_ticks"] = static_cast<int64_t>(d.backoff_ticks);
-    obj["error_detail"] = jsonv::Value(std::move(detail));
-  }
-  return jsonv::Value(std::move(obj));
-}
-
-// The machine-readable suite report (--report-json). `batch_stats` is the
-// fleet-mode continuous-batching economics, null when batching is off.
-jsonv::Value SuiteReportJson(const agentsim::RunConfig& config,
-                             const agentsim::SuiteResult& result,
-                             const agentsim::BatchScheduler::Stats* batch_stats) {
-  jsonv::Object root;
-  root["mode"] = agentsim::InterfaceModeName(config.mode);
-  root["model"] = config.profile.model;
-  root["seed"] = static_cast<int64_t>(config.seed);
-  root["repeats"] = config.repeats;
-  if (!config.policy_label.empty()) {
-    root["policy"] = config.policy_label;
-  }
-  root["success_rate"] = result.SuccessRate();
-  jsonv::Array task_entries;
-  for (const auto& record : result.records) {
-    jsonv::Object task;
-    task["task"] = record.task_id;
-    jsonv::Array runs;
-    for (const auto& run : record.runs) {
-      jsonv::Object r;
-      r["success"] = run.success;
-      r["llm_calls"] = run.llm_calls;
-      r["core_calls"] = run.core_calls;
-      r["sim_time_s"] = run.sim_time_s;
-      r["ui_actions"] = static_cast<int64_t>(run.ui_actions);
-      r["run_id"] = static_cast<int64_t>(run.run_id);
-      r["cause"] = std::string(agentsim::FailureCauseName(run.cause));
-      r["final_status"] = StatusToJson(run.final_status);
-      if (!run.success && run.flight != nullptr) {
-        // Failed run: render the flight recorder — the failing command with
-        // its ErrorDetail, retry/backoff spending, prompt tokens, and batch
-        // membership (DESIGN.md §13).
-        r["flight_recorder"] = support::FlightRecorderJson(*run.flight);
-      }
-      if (!run.report_json.empty()) {
-        // The per-run visit report is itself RenderJson() output; embed it as
-        // a JSON value (round-trips by construction).
-        support::Result<jsonv::Value> parsed = jsonv::Parse(run.report_json);
-        r["visit_report"] = parsed.ok() ? std::move(*parsed) : jsonv::Value(nullptr);
-      }
-      runs.push_back(jsonv::Value(std::move(r)));
-    }
-    task["runs"] = jsonv::Value(std::move(runs));
-    task_entries.push_back(jsonv::Value(std::move(task)));
-  }
-  root["tasks"] = jsonv::Value(std::move(task_entries));
-  if (batch_stats != nullptr) {
-    jsonv::Object fleet;
-    fleet["workers"] = config.workers;
-    fleet["max_batch_size"] = static_cast<int64_t>(config.batch.max_batch_size);
-    fleet["calls"] = static_cast<int64_t>(batch_stats->calls);
-    fleet["batches"] = static_cast<int64_t>(batch_stats->batches);
-    fleet["amortized_call_latency_s"] = batch_stats->AmortizedCallLatencyS();
-    fleet["amortized_speedup"] = batch_stats->AmortizedSpeedup();
-    fleet["tokens_per_sec"] = batch_stats->TokensPerSec();
-    fleet["prefix_tokens_saved"] = static_cast<int64_t>(batch_stats->prefix_tokens_saved);
-    root["fleet_batching"] = jsonv::Value(std::move(fleet));
-  }
-  return jsonv::Value(std::move(root));
 }
 
 bool EndsWith(const std::string& s, const char* suffix) {
@@ -142,14 +70,11 @@ bool EndsWith(const std::string& s, const char* suffix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  agentsim::RunConfig config;
-  config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
+  dmi::ServiceConfig service;
   std::string task_filter;
   std::string trace_path;
   std::string metrics_path;
   std::string report_path;
-  std::string model_dir;
-  std::string app_version = "1";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,74 +85,8 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--mode") {
-      const std::string m = next("--mode");
-      if (m == "gui") {
-        config.mode = agentsim::InterfaceMode::kGuiOnly;
-      } else if (m == "forest") {
-        config.mode = agentsim::InterfaceMode::kGuiOnlyForest;
-      } else if (m == "dmi") {
-        config.mode = agentsim::InterfaceMode::kGuiPlusDmi;
-      } else {
-        Usage();
-        return 2;
-      }
-    } else if (arg == "--model") {
-      const std::string m = next("--model");
-      if (m == "gpt5") {
-        config.profile = agentsim::LlmProfile::Gpt5Medium();
-      } else if (m == "gpt5min") {
-        config.profile = agentsim::LlmProfile::Gpt5Minimal();
-      } else if (m == "mini") {
-        config.profile = agentsim::LlmProfile::Gpt5MiniMedium();
-      } else {
-        Usage();
-        return 2;
-      }
-    } else if (arg == "--task") {
+    if (arg == "--task") {
       task_filter = next("--task");
-    } else if (arg == "--repeats") {
-      config.repeats = std::atoi(next("--repeats"));
-    } else if (arg == "--seed") {
-      config.seed = static_cast<uint64_t>(std::strtoull(next("--seed"), nullptr, 10));
-    } else if (arg == "--workers") {
-      config.workers = std::atoi(next("--workers"));
-    } else if (arg == "--batch") {
-      const int n = std::atoi(next("--batch"));
-      if (n <= 0) {
-        std::fprintf(stderr, "--batch needs a positive batch size\n");
-        return 2;
-      }
-      config.batch.enabled = true;
-      config.batch.max_batch_size = static_cast<size_t>(n);
-    } else if (arg == "--instability") {
-      const std::string level = next("--instability");
-      if (level == "none") {
-        config.instability = gsim::InstabilityConfig::None();
-      } else if (level == "typical") {
-        config.instability = gsim::InstabilityConfig::Typical();
-      } else if (level == "harsh") {
-        config.instability = gsim::InstabilityConfig::Harsh();
-      } else if (level == "hostile") {
-        config.instability = gsim::InstabilityConfig::Hostile();
-      } else {
-        Usage();
-        return 2;
-      }
-    } else if (arg == "--policy") {
-      const std::string preset = next("--policy");
-      if (preset == "none") {
-        config.ApplyPolicy(dmi::Policy::None());
-      } else if (preset == "typical") {
-        config.ApplyPolicy(dmi::Policy::Typical());
-      } else if (preset == "harsh") {
-        config.ApplyPolicy(dmi::Policy::Harsh());
-      } else if (preset == "hostile") {
-        config.ApplyPolicy(dmi::Policy::Hostile());
-      } else {
-        Usage();
-        return 2;
-      }
     } else if (arg == "--report-json") {
       report_path = next("--report-json");
     } else if (arg.rfind("--report-json=", 0) == 0) {
@@ -240,26 +99,40 @@ int main(int argc, char** argv) {
       metrics_path = next("--metrics");
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(std::strlen("--metrics="));
-    } else if (arg == "--model-dir") {
-      model_dir = next("--model-dir");
-    } else if (arg == "--app-version") {
-      app_version = next("--app-version");
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
-      Usage();
-      return 2;
+      support::Status flag_error = support::Status::Ok();
+      if (!service.ApplyFlag(arg, next(arg.c_str()), &flag_error)) {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        Usage();
+        return 2;
+      }
+      if (!flag_error.ok()) {
+        std::fprintf(stderr, "%s\n", flag_error.message().c_str());
+        return 2;
+      }
     }
   }
 
+  if (!report_path.empty()) {
+    service.capture_report_json = true;
+  }
+  const support::Status valid = service.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", valid.message().c_str());
+    Usage();
+    return 2;
+  }
+  agentsim::RunConfig config = agentsim::RunConfigFromService(service);
+
   agentsim::TaskRunner runner;
-  if (!model_dir.empty()) {
+  if (!service.model_dir.empty()) {
     // Attach the binary artifact store: cold-load compiled models from
     // <dir>/<kind>-<version>.dmim (emitted by dmi_modeler or a prior run's
     // save-through) instead of re-running the offline pipeline.
-    runner.SetModelDir(model_dir, app_version);
+    runner.SetModelDir(service.model_dir, service.app_version);
   }
   std::vector<workload::Task> tasks = workload::BuildOsworldWSuite();
   if (!task_filter.empty()) {
@@ -278,9 +151,6 @@ int main(int argc, char** argv) {
 
   if (!trace_path.empty()) {
     support::TraceRecorder::Global().SetEnabled(true);
-  }
-  if (!report_path.empty()) {
-    config.capture_report_json = true;
   }
 
   std::printf("running %zu task(s), mode=%s, model=%s %s, repeats=%d\n\n", tasks.size(),
@@ -335,8 +205,8 @@ int main(int argc, char** argv) {
     const agentsim::BatchScheduler::Stats batch_stats =
         config.batch.enabled ? runner.batch_stats() : agentsim::BatchScheduler::Stats{};
     const std::string doc =
-        SuiteReportJson(config, result,
-                        config.batch.enabled ? &batch_stats : nullptr)
+        serve::SuiteReportJson(config, result,
+                               config.batch.enabled ? &batch_stats : nullptr)
             .DumpPretty();
     std::FILE* f = std::fopen(report_path.c_str(), "w");
     if (f == nullptr) {

@@ -1,0 +1,144 @@
+// dmi_serve: the multi-tenant DMI serving daemon (DESIGN.md §16).
+//
+// Long-lived front end over serve::SessionManager: compiled app models,
+// pooled app instances, and the fleet batch scheduler are resident and
+// shared; each inbound request is one agent session admitted under the
+// daemon's capacity and per-tenant quotas.
+//
+// Transport: length-prefixed frames on stdin/stdout (src/serve/wire.h).
+// Each request frame is a serve::Request JSON
+// ({"schema_version":1,"request_id":7,"tenant":"acme","task":"W3","seed":42});
+// each response frame a serve::Response JSON carrying the typed status, the
+// run verdict, and the serving latencies. Responses stream in completion
+// order — correlate by request_id. Closing stdin drains the daemon
+// gracefully: in-flight sessions finish and answer, then the process exits.
+// tools/serve_client.py is a minimal reference client.
+//
+// Usage:
+//   dmi_serve [--max-in-flight N] [--queue N]
+//             [--tenant-concurrent N] [--tenant-tokens N]
+//             [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]
+//             [--policy P] [--instability L] [--step-cap N]
+//             [--batch N] [--model-dir <dir>] [--app-version V]
+//             [--no-prewarm] [--metrics <out.json>]
+//
+// All shared knobs parse through dmi::ServiceConfig — the same surface as
+// dmi_run — so a setting proven offline serves unchanged. Human-readable
+// status goes to stderr (stdout belongs to the frame protocol).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/dmi/service_config.h"
+#include "src/serve/daemon.h"
+#include "src/serve/session_manager.h"
+#include "src/support/metrics.h"
+#include "src/support/trace_export.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmi_serve [--max-in-flight N] [--queue N]\n"
+      "                 [--tenant-concurrent N] [--tenant-tokens N]\n"
+      "                 [--mode gui|forest|dmi] [--model gpt5|gpt5min|mini]\n"
+      "                 [--policy none|typical|harsh|hostile]\n"
+      "                 [--instability none|typical|harsh|hostile]\n"
+      "                 [--step-cap N] [--batch N]\n"
+      "                 [--model-dir <dir>] [--app-version V]\n"
+      "                 [--no-prewarm] [--metrics <out.json>]\n"
+      "reads serve::Request frames on stdin, writes serve::Response frames\n"
+      "on stdout; close stdin to drain and exit.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmi::ServiceConfig service;
+  std::string metrics_path;
+  bool prewarm = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--no-prewarm") {
+      prewarm = false;
+    } else if (arg == "--metrics") {
+      metrics_path = next("--metrics");
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      support::Status flag_error = support::Status::Ok();
+      if (!service.ApplyFlag(arg, next(arg.c_str()), &flag_error)) {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        Usage();
+        return 2;
+      }
+      if (!flag_error.ok()) {
+        std::fprintf(stderr, "%s\n", flag_error.message().c_str());
+        return 2;
+      }
+    }
+  }
+
+  const support::Status valid = service.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", valid.message().c_str());
+    Usage();
+    return 2;
+  }
+
+  serve::SessionManager manager(service);
+  if (prewarm) {
+    manager.PrewarmModels();
+  }
+  std::fprintf(stderr,
+               "dmi_serve: ready (mode=%s model=%s max_in_flight=%d queue=%d%s)\n",
+               service.mode.c_str(), service.model.c_str(), service.max_in_flight,
+               service.queue_capacity, prewarm ? ", models prewarmed" : "");
+
+  support::Result<serve::ServeLoopStats> served =
+      serve::ServeLoop(stdin, stdout, manager);
+  manager.Shutdown();
+
+  const serve::SessionManager::Stats stats = manager.stats();
+  std::fprintf(stderr,
+               "dmi_serve: drained — %llu submitted, %llu admitted, %llu completed "
+               "(%llu failed runs), %llu rejected, peak %llu outstanding, "
+               "%lld tokens served\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.admitted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.failed_runs),
+               static_cast<unsigned long long>(stats.rejected_queue_full +
+                                               stats.rejected_tenant_concurrent +
+                                               stats.rejected_tenant_tokens +
+                                               stats.rejected_draining),
+               static_cast<unsigned long long>(stats.peak_outstanding),
+               static_cast<long long>(stats.tokens_served));
+
+  if (!metrics_path.empty()) {
+    const support::Status s = support::WriteMetricsJson(
+        metrics_path, support::MetricsRegistry::Global().Snapshot());
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "dmi_serve: wrote metrics snapshot to %s\n",
+                 metrics_path.c_str());
+  }
+  if (!served.ok()) {
+    std::fprintf(stderr, "dmi_serve: transport error: %s\n",
+                 served.status().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

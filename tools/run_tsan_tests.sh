@@ -21,7 +21,10 @@
 # path: a RefreshModel landing mid-suite while four workers resolve models,
 # lease pooled apps across the generation bump, and read the old build's
 # shared model — plus the FromParts lazy index built under concurrent
-# FindNode readers.
+# FindNode readers. The serving tests (serve_test) put the whole stack behind
+# the SessionManager: worker threads racing admission/quota accounting against
+# Submit, a Shutdown draining the queue while a session is mid-run, and the
+# ServeLoop's response writer fed from every worker at once.
 # Usage: tools/run_tsan_tests.sh [build-dir]
 set -euo pipefail
 
@@ -32,6 +35,6 @@ cmake -B "$build_dir" -S "$repo_root" -DDMI_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target support_test agent_test integration_test \
     describe_test pool_test batch_test robustness_test telemetry_test artifact_test \
-    delta_test
+    delta_test serve_test
 ctest --test-dir "$build_dir" --output-on-failure \
-    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort|Artifact|Registry|Delta|LazyIndex|ModelRegistrySwap|ConcurrentSwap'
+    -R 'Trace|Metrics|ThreadPool|Runner|Observability|Catalog|Serialize|Pool|CompiledModel|SuiteEquivalence|Robustness|Deadline|Retry|Hostile|Batch|SharedPrefix|Telemetry|Flight|Labeled|CausalSort|Artifact|Registry|Delta|LazyIndex|ModelRegistrySwap|ConcurrentSwap|Admission|Drain|ServeEquivalence|ServeLoop'

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Minimal reference client for dmi_serve (DESIGN.md §16).
+
+Spawns the daemon, streams serve::Request frames on its stdin, and prints
+each serve::Response as it completes. The transport is 4-byte little-endian
+length prefix + JSON payload, schema_version 1 — the same framing
+tests/serve_test.cc drives in-process.
+
+Usage:
+  tools/serve_client.py --serve build/tools/dmi_serve \
+      [--tenant acme] [--seed 42] [--repeat N] W3 E7 P1 ...
+
+Each positional argument is a task id; --repeat sends the whole list N times
+(seeds advance per request so repeats are distinct sessions).
+"""
+
+import argparse
+import json
+import struct
+import subprocess
+import sys
+
+
+def write_frame(pipe, payload: bytes) -> None:
+    pipe.write(struct.pack("<I", len(payload)) + payload)
+    pipe.flush()
+
+
+def read_frame(pipe):
+    prefix = pipe.read(4)
+    if len(prefix) == 0:
+        return None  # clean EOF
+    if len(prefix) < 4:
+        raise IOError("truncated frame length prefix")
+    (length,) = struct.unpack("<I", prefix)
+    payload = pipe.read(length)
+    if len(payload) < length:
+        raise IOError("truncated frame payload")
+    return payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", default="build/tools/dmi_serve",
+                        help="path to the dmi_serve binary")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument("--serve-arg", action="append", default=[],
+                        help="extra flag passed through to dmi_serve "
+                             "(repeatable, e.g. --serve-arg=--max-in-flight "
+                             "--serve-arg=8)")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw serve::Response JSON, one per line, "
+                             "instead of the summary table")
+    parser.add_argument("tasks", nargs="+", help="task ids (W3, E7, ...)")
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen([args.serve] + args.serve_arg,
+                              stdin=subprocess.PIPE, stdout=subprocess.PIPE)
+    request_id = 0
+    for round_index in range(args.repeat):
+        for task in args.tasks:
+            request_id += 1
+            request = {
+                "schema_version": 1,
+                "request_id": request_id,
+                "tenant": args.tenant,
+                "task": task,
+                "seed": args.seed + round_index,
+            }
+            write_frame(daemon.stdin, json.dumps(request).encode())
+    daemon.stdin.close()  # graceful drain: daemon answers everything, exits
+
+    ok = True
+    while True:
+        payload = read_frame(daemon.stdout)
+        if payload is None:
+            break
+        response = json.loads(payload)
+        status = response["status"]["code"]
+        ok = ok and status == "OK"
+        if args.json:
+            print(payload.decode())
+            continue
+        run = response.get("run")
+        verdict = ("ok" if run and run["success"] else "run-failed") \
+            if status == "OK" else status
+        print(f"#{response['request_id']:<4} {response['task']:<4} "
+              f"tenant={response['tenant']:<10} {verdict:<18} "
+              f"queue={response['queue_ms']:.1f}ms total={response['total_ms']:.1f}ms")
+    return 0 if daemon.wait() == 0 and ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
